@@ -1,0 +1,92 @@
+// Command asm430 assembles ULP430 (MSP430-subset) assembly into a binary
+// image, printing a listing and optionally writing a hex image (one
+// "addr: word" pair per line).
+//
+// Usage:
+//
+//	asm430 [-o out.hex] [-d] prog.s
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/isa"
+)
+
+func main() {
+	out := flag.String("o", "", "write hex image to this file")
+	disasm := flag.Bool("d", false, "print a disassembly listing")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: asm430 [-o out.hex] [-d] prog.s")
+		os.Exit(2)
+	}
+	text, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	img, err := isa.Assemble(flag.Arg(0), string(text))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d words, entry %#04x, %d input regions, %d loop bounds\n",
+		img.Name, len(img.Words), img.Entry, len(img.Inputs), len(img.LoopBounds))
+	for _, r := range img.Inputs {
+		fmt.Printf("  input region %#04x (%d words)\n", r.Addr, r.Words)
+	}
+
+	if *disasm {
+		addrs := make([]int, 0, len(img.Words))
+		for a := range img.Words {
+			addrs = append(addrs, int(a))
+		}
+		sort.Ints(addrs)
+		for i := 0; i < len(addrs); {
+			a := uint16(addrs[i])
+			if a < 0xF000 || a == isa.ResetVector {
+				fmt.Printf("%04x: %04x\n", a, img.Words[a])
+				i++
+				continue
+			}
+			text, n := isa.DisasmAt(img, a)
+			fmt.Printf("%04x: %-24s", a, text)
+			if s := img.SourceLine(a); s != "" {
+				fmt.Printf(" ; %s", s)
+			}
+			fmt.Println()
+			i += n
+		}
+	}
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		w := bufio.NewWriter(f)
+		addrs := make([]int, 0, len(img.Words))
+		for a := range img.Words {
+			addrs = append(addrs, int(a))
+		}
+		sort.Ints(addrs)
+		for _, a := range addrs {
+			fmt.Fprintf(w, "%04x: %04x\n", a, img.Words[uint16(a)])
+		}
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "asm430:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,108 @@
+// Command figures regenerates the paper's tables and figures on the
+// simulated substrate and prints them as text.
+//
+// Usage:
+//
+//	figures [-fig all|F2.2|F2.3|F1.5|F3.2|F3.3|F3.4|F3.5|F3.6|F4.1|F5.1|F5.2|T5.1|T5.2|F5.3|F5.4|F5.5|T1] [-runs N] [-bench a,b,c]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/figures"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure/table id to regenerate (or 'all')")
+	runs := flag.Int("runs", 5, "input sets per profiling/measurement sweep")
+	benches := flag.String("bench", "", "comma-separated benchmark subset (default: all 14)")
+	flag.Parse()
+
+	cfg, err := figures.NewConfig(os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	cfg.ProfileRuns = *runs
+
+	names := bench.Names()
+	if *benches != "" {
+		names = strings.Split(*benches, ",")
+	}
+
+	run := func(id string) error {
+		fmt.Printf("\n===== %s =====\n", id)
+		switch id {
+		case "F2.2":
+			_, err := cfg.Fig22(names)
+			return err
+		case "F2.3":
+			_, err := cfg.Fig23()
+			return err
+		case "F1.5":
+			_, _, err := cfg.Fig15()
+			return err
+		case "F3.2":
+			return cfg.Fig32()
+		case "F3.3":
+			_, err := cfg.Fig33(names)
+			return err
+		case "F3.4":
+			_, err := cfg.Fig34("mult",
+				[]uint16{1, 0, 2, 0, 1, 2, 0, 1},
+				[]uint16{0xFFFF, 0xAAAA, 0xF731, 0x8001, 0x7FFF, 0x5555, 0xFF0F, 0xFFFE})
+			return err
+		case "F3.5":
+			_, _, err := cfg.Fig35()
+			return err
+		case "F3.6":
+			_, err := cfg.Fig36()
+			return err
+		case "F4.1":
+			_, err := cfg.Fig41(names)
+			return err
+		case "F5.1":
+			_, _, err := cfg.Fig51(names)
+			return err
+		case "F5.2":
+			_, _, err := cfg.Fig52(names)
+			return err
+		case "T5.1":
+			_, err := cfg.Table51(names)
+			return err
+		case "T5.2":
+			_, err := cfg.Table52(names)
+			return err
+		case "F5.3":
+			cfg.Fig53()
+			return nil
+		case "F5.4":
+			_, err := cfg.Fig54(names)
+			return err
+		case "F5.5":
+			_, _, err := cfg.Fig55()
+			return err
+		case "T1":
+			cfg.Tables11_12_61()
+			return nil
+		default:
+			return fmt.Errorf("unknown figure id %q", id)
+		}
+	}
+
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = []string{"T1", "F2.2", "F2.3", "F1.5", "F3.2", "F3.3", "F3.4",
+			"F3.5", "F3.6", "F4.1", "F5.1", "F5.2", "T5.1", "T5.2", "F5.3", "F5.4", "F5.5"}
+	}
+	for _, id := range ids {
+		if err := run(id); err != nil {
+			fmt.Fprintf(os.Stderr, "figures %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+// Command peakpower is the co-analysis tool: it takes an application (a
+// built-in benchmark or an assembly file) and reports the guaranteed,
+// input-independent peak power and energy requirements of the ULP430
+// processor running it, with cycle-of-interest attribution.
+//
+// Usage:
+//
+//	peakpower -bench mult
+//	peakpower -src app.s [-coi 4] [-trace]
+//	peakpower -dump-netlist ulp430.v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/symx"
+)
+
+func main() {
+	benchName := flag.String("bench", "", "built-in benchmark name (see -list)")
+	src := flag.String("src", "", "ULP430 assembly file to analyze")
+	list := flag.Bool("list", false, "list built-in benchmarks")
+	coi := flag.Int("coi", 4, "cycles of interest to report")
+	trace := flag.Bool("trace", false, "print the per-cycle peak power trace")
+	dumpNetlist := flag.String("dump-netlist", "", "write the ULP430 gate-level netlist as structural Verilog and exit")
+	maxCycles := flag.Int("max-cycles", 2_000_000, "symbolic exploration cycle budget")
+	flag.Parse()
+
+	if *list {
+		for _, b := range bench.All() {
+			fmt.Printf("%-10s %-16s %s\n", b.Name, b.Suite, b.Desc)
+		}
+		return
+	}
+
+	an, err := core.NewAnalyzer()
+	if err != nil {
+		fatal(err)
+	}
+
+	if *dumpNetlist != "" {
+		f, err := os.Create(*dumpNetlist)
+		if err != nil {
+			fatal(err)
+		}
+		if err := an.Netlist.WriteVerilog(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		st := an.Netlist.Stats(an.Model.Lib)
+		fmt.Printf("wrote %s: %d cells (%d flip-flops), %d nets, %.0f um2\n",
+			*dumpNetlist, st.Cells, st.Seq, st.Nets, st.AreaUM2)
+		return
+	}
+
+	var img *isa.Image
+	opts := symx.Options{MaxCycles: *maxCycles}
+	switch {
+	case *benchName != "":
+		b := bench.ByName(*benchName)
+		if b == nil {
+			fatal(fmt.Errorf("unknown benchmark %q (try -list)", *benchName))
+		}
+		img, err = b.Image()
+		if err != nil {
+			fatal(err)
+		}
+		if b.MaxCycles > 0 {
+			opts.MaxCycles = b.MaxCycles * 2
+		}
+	case *src != "":
+		text, err := os.ReadFile(*src)
+		if err != nil {
+			fatal(err)
+		}
+		img, err = isa.Assemble(*src, string(text))
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("need -bench or -src (or -list / -dump-netlist)"))
+	}
+
+	req, err := an.Analyze(img, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("application:          %s\n", img.Name)
+	fmt.Printf("operating point:      %s @ %.0f MHz\n", an.Model.Lib.Name, an.Model.ClockHz/1e6)
+	fmt.Printf("peak power bound:     %.3f mW (guaranteed for all inputs)\n", req.PeakPowerMW)
+	fmt.Printf("peak energy bound:    %.3e J over %.0f cycles\n", req.PeakEnergyJ, req.BoundingCycles)
+	fmt.Printf("normalized peak energy: %.3e J/cycle\n", req.NPEJPerCycle)
+	fmt.Printf("exploration:          %d paths, %d tree nodes, %d simulated cycles\n",
+		req.Paths, req.Nodes, req.SimCycles)
+
+	fmt.Printf("\ncycles of interest (peak power attribution):\n")
+	n := len(req.COIs)
+	if n > *coi {
+		n = *coi
+	}
+	for _, pk := range req.COIs[:n] {
+		fmt.Printf("  cycle %-6d %.3f mW  %-8s (after %-8s) state=%-6s",
+			pk.PathPos, pk.PowerMW, isa.Mnemonic(img, pk.FetchAddr),
+			isa.Mnemonic(img, pk.PrevFetch), pk.State)
+		type mp struct {
+			name string
+			mw   float64
+		}
+		var mods []mp
+		for mi, mw := range pk.ByModuleMW {
+			mods = append(mods, mp{req.Modules[mi], mw})
+		}
+		sort.Slice(mods, func(i, j int) bool { return mods[i].mw > mods[j].mw })
+		for _, m := range mods[:3] {
+			fmt.Printf("  %s=%.2f", m.name, m.mw)
+		}
+		fmt.Println()
+	}
+
+	active := 0
+	for _, a := range req.UnionActive {
+		if a {
+			active++
+		}
+	}
+	fmt.Printf("\npotentially-toggled gates: %d of %d\n", active, len(req.UnionActive))
+	by := c2sorted(an.ActiveByModule(req.UnionActive))
+	for _, kv := range by {
+		fmt.Printf("  %-16s %d\n", kv.k, kv.v)
+	}
+
+	if *trace {
+		fmt.Printf("\nper-cycle peak power trace (mW):\n")
+		for i, p := range req.PeakTrace {
+			fmt.Printf("%d %.4f\n", i, p)
+		}
+	}
+}
+
+type kv struct {
+	k string
+	v int
+}
+
+func c2sorted(m map[string]int) []kv {
+	out := make([]kv, 0, len(m))
+	for k, v := range m {
+		out = append(out, kv{k, v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].v > out[j].v })
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "peakpower:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,12 @@
+// Package repro is a from-scratch Go reproduction of "Determining
+// Application-specific Peak Power and Energy Requirements for
+// Ultra-low Power Processors" (ASPLOS 2017): symbolic gate-level
+// co-analysis of an application binary and a ULP processor netlist that
+// produces guaranteed, input-independent peak power and energy bounds.
+//
+// See README.md for the tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmark harness in
+// bench_test.go regenerates every table and figure:
+//
+//	go test -bench=. -benchmem
+package repro

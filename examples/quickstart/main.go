@@ -1,0 +1,60 @@
+// Quickstart: analyze one application and print its guaranteed peak power
+// and energy requirements.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/symx"
+)
+
+// A small sensor kernel: read two input words, combine them, store the
+// result. The .input directive marks application inputs — symbolic
+// analysis propagates X for them, so the reported bounds hold for every
+// possible input.
+const app = `
+.org 0x0200
+sensor: .input 2
+result: .space 1
+
+.org 0xf000
+.entry main
+main:
+    mov #0x0080, &0x0120   ; stop the watchdog
+    mov #0x0a00, sp
+    mov &sensor, r4
+    add &sensor+2, r4
+    cmp #100, r4
+    jl small
+    rra r4                 ; large readings are halved
+small:
+    mov r4, &result
+    mov #1, &0x0126        ; halt
+spin:
+    jmp spin
+`
+
+func main() {
+	img, err := isa.Assemble("quickstart", app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	analyzer, err := core.NewAnalyzer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	req, err := analyzer.Analyze(img, symx.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("peak power requirement:  %.3f mW (all inputs, all paths)\n", req.PeakPowerMW)
+	fmt.Printf("peak energy requirement: %.3e J (%.0f cycles worst case)\n", req.PeakEnergyJ, req.BoundingCycles)
+	fmt.Printf("explored %d execution paths in %d simulated cycles\n", req.Paths, req.SimCycles)
+	fmt.Printf("hottest cycle: %.3f mW during %s in state %s\n",
+		req.Best.PowerMW, isa.Mnemonic(img, req.Best.FetchAddr), req.Best.State)
+}

@@ -1,0 +1,70 @@
+// Sensornode: size the energy harvester and battery of a solar sensor
+// node (the Figure 1.2/1.3 workflow) from analyzed peak power and energy
+// requirements, and compare against conventional sizing.
+//
+//	go run ./examples/sensornode
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/sizing"
+	"repro/internal/symx"
+)
+
+func main() {
+	// The node runs the tHold benchmark (sensor thresholding) forever in
+	// a compute/sleep cycle.
+	b := bench.ByName("tHold")
+	img, err := b.Image()
+	if err != nil {
+		log.Fatal(err)
+	}
+	analyzer, err := core.NewAnalyzer()
+	if err != nil {
+		log.Fatal(err)
+	}
+	req, err := analyzer.Analyze(img, symx.Options{MaxCycles: b.MaxCycles})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prof, err := baseline.Profile(analyzer.Netlist, analyzer.Model, b, 5, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("application: %s — %s\n\n", b.Name, b.Desc)
+	fmt.Printf("peak power:   X-based %.3f mW vs guardbanded profiling %.3f mW\n",
+		req.PeakPowerMW, prof.GuardbandedPeakMW)
+
+	// Type 1 (harvester-powered): the harvester must cover peak power.
+	indoor := sizing.Harvesters()[1] // indoor photovoltaic
+	areaX := sizing.HarvesterAreaCM2(req.PeakPowerMW, indoor)
+	areaGB := sizing.HarvesterAreaCM2(prof.GuardbandedPeakMW, indoor)
+	fmt.Printf("\nType 1 node (indoor PV, %.1f uW/cm2):\n", indoor.PowerDensityMWCM2*1000)
+	fmt.Printf("  harvester sized by GB profiling: %.1f cm2\n", areaGB)
+	fmt.Printf("  harvester sized by co-analysis:  %.1f cm2 (%.1f%% smaller)\n",
+		areaX, sizing.ReductionPct(1, areaGB, areaX))
+
+	// Type 3 (battery-powered): battery sized by energy over lifetime.
+	// One compute burst per second for a 5-year lifetime.
+	bursts := 5.0 * 365 * 24 * 3600
+	liion := sizing.Batteries()[0]
+	eX := req.PeakEnergyJ * bursts
+	eGB := prof.GuardbandedNPE * req.BoundingCycles * bursts
+	fmt.Printf("\nType 3 node (5-year lifetime, 1 burst/s, Li-ion):\n")
+	fmt.Printf("  battery by GB profiling: %.0f mm3 (%.1f g)\n",
+		sizing.BatteryVolumeMM3(eGB, liion), sizing.BatteryMassG(eGB, liion))
+	fmt.Printf("  battery by co-analysis:  %.0f mm3 (%.1f g)  (%.1f%% smaller)\n",
+		sizing.BatteryVolumeMM3(eX, liion), sizing.BatteryMassG(eX, liion),
+		sizing.ReductionPct(1, eGB, eX))
+
+	// The paper's reference node (Figure 1.2).
+	node := sizing.Reference()
+	fmt.Printf("\nreference node (32.6 cm2 harvester): saves %.2f cm2 of solar cell\n",
+		node.HarvesterSavingCM2(prof.GuardbandedPeakMW, req.PeakPowerMW))
+}

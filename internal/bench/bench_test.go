@@ -1,0 +1,361 @@
+package bench
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/energy"
+	"repro/internal/isim"
+	"repro/internal/netlist"
+	"repro/internal/power"
+	"repro/internal/symx"
+	"repro/internal/ulp430"
+)
+
+var (
+	cpuOnce sync.Once
+	cpuNet  *netlist.Netlist
+)
+
+func sharedCPU(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	cpuOnce.Do(func() {
+		n, err := ulp430.BuildCPU()
+		if err != nil {
+			panic(err)
+		}
+		cpuNet = n
+	})
+	return cpuNet
+}
+
+func model() power.Model { return power.Model{Lib: cell.ULP65(), ClockHz: 100e6} }
+
+func TestSuiteInventory(t *testing.T) {
+	want := []string{"autoCorr", "binSearch", "FFT", "intFilt", "mult", "PI",
+		"tea8", "tHold", "div", "inSort", "rle", "intAVG", "ConvEn", "Viterbi"}
+	got := Names()
+	if len(got) != 14 {
+		t.Fatalf("suite has %d benchmarks, want 14", len(got))
+	}
+	for _, name := range want {
+		if ByName(name) == nil {
+			t.Errorf("missing benchmark %s", name)
+		}
+	}
+	if ByName("nope") != nil {
+		t.Error("ByName should return nil for unknown")
+	}
+	// Table 4.1 grouping.
+	groups := map[string]int{}
+	for _, b := range All() {
+		groups[b.Suite]++
+	}
+	if groups["Embedded Sensor"] != 9 || groups["EEMBC"] != 4 || groups["Control Systems"] != 1 {
+		t.Errorf("suite grouping: %v", groups)
+	}
+}
+
+func TestAllAssemble(t *testing.T) {
+	for _, b := range All() {
+		if _, err := b.Image(); err != nil {
+			t.Errorf("%s: %v", b.Name, err)
+		}
+	}
+}
+
+// runISS runs a benchmark on the reference simulator with one drawn
+// input set.
+func runISS(t *testing.T, b *Benchmark, seed int64) *isim.Machine {
+	t.Helper()
+	img, err := b.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(seed))
+	m, err := isim.New(img, b.GenInputs(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.UsesPort {
+		m.PortIn = b.GenPort(r)
+	}
+	if err := m.Run(300000); err != nil {
+		t.Fatalf("%s: %v", b.Name, err)
+	}
+	return m
+}
+
+func TestAllRunOnISS(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				m := runISS(t, b, seed)
+				if m.Insns == 0 {
+					t.Fatal("no instructions executed")
+				}
+			}
+		})
+	}
+}
+
+// Functional spot checks of benchmark semantics on the ISS.
+func TestKernelSemantics(t *testing.T) {
+	t.Run("binSearch finds present key", func(t *testing.T) {
+		img, _ := ByName("binSearch").Image()
+		m, _ := isim.New(img, []uint16{42})
+		if err := m.Run(100000); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Mem(img.Symbols["res"]); got != 4 {
+			t.Fatalf("res = %d, want index 4", got)
+		}
+	})
+	t.Run("binSearch misses absent key", func(t *testing.T) {
+		img, _ := ByName("binSearch").Image()
+		m, _ := isim.New(img, []uint16{43})
+		if err := m.Run(100000); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Mem(img.Symbols["res"]); got != 0xFFFF {
+			t.Fatalf("res = %#x, want 0xffff", got)
+		}
+	})
+	t.Run("mult computes dot product", func(t *testing.T) {
+		img, _ := ByName("mult").Image()
+		m, _ := isim.New(img, []uint16{2, 3, 4, 5, 10, 20, 30, 40})
+		if err := m.Run(100000); err != nil {
+			t.Fatal(err)
+		}
+		want := uint32(2*10 + 3*20 + 4*30 + 5*40)
+		lo := uint32(m.Mem(img.Symbols["dot"]))
+		hi := uint32(m.Mem(img.Symbols["dot"] + 2))
+		if lo|hi<<16 != want {
+			t.Fatalf("dot = %d, want %d", lo|hi<<16, want)
+		}
+	})
+	t.Run("inSort sorts", func(t *testing.T) {
+		img, _ := ByName("inSort").Image()
+		m, _ := isim.New(img, []uint16{900, 12, 550, 12})
+		if err := m.Run(100000); err != nil {
+			t.Fatal(err)
+		}
+		base := img.Symbols["arr"]
+		want := []uint16{12, 12, 550, 900}
+		for i, w := range want {
+			if got := m.Mem(base + uint16(2*i)); got != w {
+				t.Fatalf("arr[%d] = %d, want %d", i, got, w)
+			}
+		}
+	})
+	t.Run("div divides", func(t *testing.T) {
+		img, _ := ByName("div").Image()
+		// Dividend's high 8 bits get divided (8 quotient steps over a
+		// left-shifting register): 0xC800>>8 = 200, 200/9 = 22 rem 2.
+		m, _ := isim.New(img, []uint16{0xC800, 9})
+		if err := m.Run(100000); err != nil {
+			t.Fatal(err)
+		}
+		if q := m.Mem(img.Symbols["q"]); q != 22 {
+			t.Fatalf("q = %d, want 22", q)
+		}
+		if r := m.Mem(img.Symbols["rem"]); r != 2 {
+			t.Fatalf("rem = %d, want 2", r)
+		}
+	})
+	t.Run("rle encodes runs", func(t *testing.T) {
+		img, _ := ByName("rle").Image()
+		m, _ := isim.New(img, []uint16{7, 7, 7, 2, 2, 9})
+		if err := m.Run(100000); err != nil {
+			t.Fatal(err)
+		}
+		base := img.Symbols["rout"]
+		want := []uint16{7, 3, 2, 2, 9, 1}
+		for i, w := range want {
+			if got := m.Mem(base + uint16(2*i)); got != w {
+				t.Fatalf("rout[%d] = %d, want %d", i, got, w)
+			}
+		}
+		if got := m.Mem(img.Symbols["rlen"]); got != 6 {
+			t.Fatalf("rlen = %d, want 6", got)
+		}
+	})
+	t.Run("intAVG averages", func(t *testing.T) {
+		img, _ := ByName("intAVG").Image()
+		m, _ := isim.New(img, []uint16{8, 16, 24, 32, 40, 48, 56, 64})
+		if err := m.Run(100000); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Mem(img.Symbols["avg"]); got != 36 {
+			t.Fatalf("avg = %d, want 36", got)
+		}
+	})
+	t.Run("tHold counts exceedances", func(t *testing.T) {
+		img, _ := ByName("tHold").Image()
+		m, _ := isim.New(img, nil)
+		seq := []uint16{50, 0x150, 0x200, 10, 0x300} // wait x1, cross, then 2 of 3 above
+		i := 0
+		m.PortIn = func() uint16 { v := seq[i]; i++; return v }
+		if err := m.Run(100000); err != nil {
+			t.Fatal(err)
+		}
+		if got := m.Mem(img.Symbols["cnt"]); got != 2 {
+			t.Fatalf("cnt = %d, want 2", got)
+		}
+	})
+	t.Run("ConvEn encodes known vector", func(t *testing.T) {
+		img, _ := ByName("ConvEn").Image()
+		m, _ := isim.New(img, []uint16{0x0001}) // single 1 bit then zeros
+		if err := m.Run(100000); err != nil {
+			t.Fatal(err)
+		}
+		// First processed bit is 1 (state 001 -> g1=1,g2=1), then state
+		// 010 (g1=1,g2=0), then 100 (g1=1,g2=1), then zeros.
+		got := m.Mem(img.Symbols["cout"])
+		want := uint16(0b11_10_11_00_00_00_00_00)
+		if got != want {
+			t.Fatalf("cout = %#016b, want %#016b", got, want)
+		}
+	})
+}
+
+// TestGateLevelDifferential runs every benchmark on both the reference
+// simulator and the gate-level system and compares architectural results.
+func TestGateLevelDifferential(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			img, err := b.Image()
+			if err != nil {
+				t.Fatal(err)
+			}
+			r := rand.New(rand.NewSource(7))
+			inputs := b.GenInputs(r)
+			iss, err := isim.New(img, inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var portISS, portGate func() uint16
+			if b.UsesPort {
+				portISS = b.GenPort(rand.New(rand.NewSource(11)))
+				portGate = b.GenPort(rand.New(rand.NewSource(11)))
+			}
+			iss.PortIn = portISS
+			if err := iss.Run(300000); err != nil {
+				t.Fatal(err)
+			}
+			sys, err := ulp430.NewSystem(sharedCPU(t), cell.ULP65(), img, ulp430.ConcreteInputs, inputs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sys.PortIn = portGate
+			sys.Reset()
+			if err := sys.RunToHalt(2_000_000); err != nil {
+				t.Fatal(err)
+			}
+			// Compare all RAM words the ISS wrote.
+			for addr := uint16(0x0200); addr < 0x0A00; addr += 2 {
+				hw := sys.MemWord(addr)
+				v, ok := hw.Uint()
+				if !ok {
+					continue // never written at gate level either
+				}
+				if uint16(v) != iss.Mem(addr) {
+					t.Errorf("mem[%#04x] = %#04x (hw) vs %#04x (iss)", addr, v, iss.Mem(addr))
+				}
+			}
+			// Cycle model agreement (boot + halt-latch offset of 2).
+			if got := sys.Sim.Cycle() - 2; got != iss.Cycles+2 {
+				t.Errorf("cycles: hw %d vs iss %d", got, iss.Cycles)
+			}
+		})
+	}
+}
+
+// Explore runs symbolic analysis on a benchmark and returns tree + sink.
+func exploreBench(t *testing.T, b *Benchmark) (*symx.Tree, *power.Sink) {
+	t.Helper()
+	img, err := b.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := ulp430.NewSystem(sharedCPU(t), cell.ULP65(), img, ulp430.SymbolicInputs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := power.NewSink(sys, model(), img, 8)
+	tree, err := symx.Explore(sys, sink, symx.Options{MaxCycles: b.MaxCycles, MaxNodes: 60000})
+	if err != nil {
+		t.Fatalf("%s: %v", b.Name, err)
+	}
+	return tree, sink
+}
+
+// TestSymbolicAnalysisAllBenchmarks is the full Algorithm 1+2 pass over
+// the suite, checking the paper's containment properties per benchmark:
+// the X-based peak power bounds every observed input-based peak, and the
+// X-based potentially-toggled set contains every concretely-toggled set.
+func TestSymbolicAnalysisAllBenchmarks(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			if testing.Short() && (b.Name == "div" || b.Name == "inSort" || b.Name == "Viterbi") {
+				t.Skip("large path count; run without -short")
+			}
+			tree, sink := exploreBench(t, b)
+			if tree.Paths == 0 || sink.PeakMW() <= 0 {
+				t.Fatalf("paths=%d peak=%f", tree.Paths, sink.PeakMW())
+			}
+			img, _ := b.Image()
+			res, err := energy.PeakEnergy(tree, img, 100e6)
+			if err != nil {
+				t.Fatalf("energy: %v", err)
+			}
+			if res.EnergyJ <= 0 || res.NPEJPerCycle <= 0 {
+				t.Fatalf("energy result %+v", res)
+			}
+
+			// Validation against concrete runs.
+			for seed := int64(1); seed <= 2; seed++ {
+				r := rand.New(rand.NewSource(seed))
+				inputs := b.GenInputs(r)
+				sys, err := ulp430.NewSystem(sharedCPU(t), cell.ULP65(), img, ulp430.ConcreteInputs, inputs)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if b.UsesPort {
+					sys.PortIn = b.GenPort(r)
+				}
+				csink := power.NewSink(sys, model(), img, 0)
+				sys.Reset()
+				for i := 0; i < 2_000_000 && !sys.Halted(); i++ {
+					sys.Step()
+					csink.OnCycle(sys)
+				}
+				if !sys.Halted() {
+					t.Fatal("concrete run did not halt")
+				}
+				if csink.PeakMW() > sink.PeakMW()+1e-9 {
+					t.Errorf("seed %d: concrete peak %.4f mW > X-bound %.4f mW",
+						seed, csink.PeakMW(), sink.PeakMW())
+				}
+				for ci, act := range csink.UnionActive {
+					if act && !sink.UnionActive[ci] {
+						t.Fatalf("seed %d: cell %d toggles concretely but missing from X-based set", seed, ci)
+					}
+				}
+				// Concrete energy cannot exceed the peak-energy bound.
+				concE := 0.0
+				for _, mw := range csink.Trace {
+					concE += mw * 1e-3 / 100e6
+				}
+				if concE > res.EnergyJ+1e-12 {
+					t.Errorf("seed %d: concrete energy %.3e J > bound %.3e J", seed, concE, res.EnergyJ)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,290 @@
+// Package cell defines the synthetic "ULP65" standard-cell library the
+// gate-level processor is built from: the set of primitive cells, their
+// three-valued evaluation functions, and their power characterization
+// (per-transition rise/fall energy, clock-pin energy, leakage, area).
+//
+// The paper synthesizes openMSP430 into TSMC 65GP cells and performs
+// activity-based power analysis with Synopsys PrimeTime; this library is
+// the from-scratch substitute. Absolute numbers are synthetic but the
+// relative magnitudes are realistic for a 65 nm LP process: XOR-class
+// cells cost more per transition than NAND-class cells, rise and fall
+// energies differ, and flip-flop clock pins dissipate every cycle even
+// when data is stable — the effect that produces the power floor visible
+// in the paper's per-cycle traces (Figure 3.3).
+package cell
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// Kind identifies a primitive cell type.
+type Kind uint8
+
+// The cell set. Combinational cells are evaluated in topological order
+// each cycle; DFF variants are the only sequential elements.
+const (
+	// Tie0 drives constant 0 (no inputs).
+	Tie0 Kind = iota
+	// Tie1 drives constant 1 (no inputs).
+	Tie1
+	// Inv is an inverter.
+	Inv
+	// Buf is a non-inverting buffer (also used for clock-tree buffers).
+	Buf
+	// Nand2 is a 2-input NAND.
+	Nand2
+	// Nor2 is a 2-input NOR.
+	Nor2
+	// And2 is a 2-input AND.
+	And2
+	// Or2 is a 2-input OR.
+	Or2
+	// Xor2 is a 2-input XOR.
+	Xor2
+	// Xnor2 is a 2-input XNOR.
+	Xnor2
+	// Mux2 is a 2:1 mux: inputs are (S, D0, D1); output D0 when S=0.
+	Mux2
+	// Dff is a rising-edge D flip-flop: input (D).
+	Dff
+	// Dffr is a DFF with synchronous active-high reset: inputs (D, RST).
+	Dffr
+	// Dffre is a DFF with synchronous reset and enable: inputs (D, RST, EN).
+	// When EN=0 the state is held.
+	Dffre
+	numKinds
+)
+
+// NumKinds is the number of distinct cell kinds.
+const NumKinds = int(numKinds)
+
+var kindNames = [...]string{
+	Tie0: "TIE0", Tie1: "TIE1", Inv: "INV", Buf: "BUF",
+	Nand2: "NAND2", Nor2: "NOR2", And2: "AND2", Or2: "OR2",
+	Xor2: "XOR2", Xnor2: "XNOR2", Mux2: "MUX2",
+	Dff: "DFF", Dffr: "DFFR", Dffre: "DFFRE",
+}
+
+// String returns the library cell name, e.g. "NAND2".
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// KindByName resolves a library cell name; it is the inverse of String.
+func KindByName(name string) (Kind, error) {
+	for k, n := range kindNames {
+		if n == name {
+			return Kind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("cell: unknown cell name %q", name)
+}
+
+// NumInputs returns the number of input pins of k (excluding the implicit
+// clock pin of DFF variants).
+func (k Kind) NumInputs() int {
+	switch k {
+	case Tie0, Tie1:
+		return 0
+	case Inv, Buf, Dff:
+		return 1
+	case Nand2, Nor2, And2, Or2, Xor2, Xnor2, Dffr:
+		return 2
+	case Mux2, Dffre:
+		return 3
+	}
+	panic("cell: NumInputs on invalid kind")
+}
+
+// Sequential reports whether k is a flip-flop variant.
+func (k Kind) Sequential() bool { return k == Dff || k == Dffr || k == Dffre }
+
+// Eval computes the three-valued output of a combinational cell. For DFF
+// variants it computes the *next-state* function (what Q becomes at the
+// next rising edge), given (D[, RST[, EN]]) and the current state q.
+// Combinational kinds ignore q.
+func Eval(k Kind, a, b, c, q logic.Trit) logic.Trit {
+	switch k {
+	case Tie0:
+		return logic.L
+	case Tie1:
+		return logic.H
+	case Inv:
+		return logic.Not(a)
+	case Buf:
+		return a
+	case Nand2:
+		return logic.Nand(a, b)
+	case Nor2:
+		return logic.Nor(a, b)
+	case And2:
+		return logic.And(a, b)
+	case Or2:
+		return logic.Or(a, b)
+	case Xor2:
+		return logic.Xor(a, b)
+	case Xnor2:
+		return logic.Xnor(a, b)
+	case Mux2:
+		return logic.Mux(a, b, c)
+	case Dff:
+		return a
+	case Dffr:
+		// b = RST (sync, active high)
+		switch b {
+		case logic.H:
+			return logic.L
+		case logic.L:
+			return a
+		}
+		if a == logic.L {
+			return logic.L // reset or not, next state is 0
+		}
+		return logic.X
+	case Dffre:
+		// b = RST, c = EN
+		switch b {
+		case logic.H:
+			return logic.L
+		case logic.X:
+			next := logic.Mux(c, q, a)
+			if next == logic.L {
+				return logic.L
+			}
+			return logic.X
+		}
+		return logic.Mux(c, q, a)
+	}
+	panic("cell: Eval on invalid kind")
+}
+
+// Params is the power/area characterization of one cell kind.
+type Params struct {
+	// EnergyRise is the internal+switching energy, in femtojoules, of an
+	// output 0->1 transition.
+	EnergyRise float64
+	// EnergyFall is the energy, in femtojoules, of an output 1->0
+	// transition. Asymmetric with EnergyRise, as in real libraries.
+	EnergyFall float64
+	// EnergyClk is the energy, in femtojoules, dissipated per clock cycle
+	// by the cell's clock pin and internal clock network, independent of
+	// data activity. Zero for combinational cells.
+	EnergyClk float64
+	// LeakageNW is the leakage power in nanowatts.
+	LeakageNW float64
+	// AreaUM2 is the cell area in square micrometers.
+	AreaUM2 float64
+}
+
+// MaxEnergy returns the larger of the rise and fall transition energies.
+func (p Params) MaxEnergy() float64 {
+	if p.EnergyRise >= p.EnergyFall {
+		return p.EnergyRise
+	}
+	return p.EnergyFall
+}
+
+// Library is a characterized standard-cell library.
+type Library struct {
+	// Name identifies the library (e.g. "ULP65").
+	Name string
+	// FeatureNM is the process feature size in nanometers.
+	FeatureNM int
+	params    [NumKinds]Params
+}
+
+// Params returns the characterization of kind k.
+func (l *Library) Params(k Kind) Params { return l.params[k] }
+
+// MaxTransition returns the (first, second) output values of the
+// maximum-power transition of cell kind k, and that transition's energy in
+// femtojoules. This is the standard-cell-library lookup of Algorithm 2
+// line 7: when a gate's value is X in two consecutive cycles, the peak
+// power bound assigns the transition that dissipates the most.
+func (l *Library) MaxTransition(k Kind) (first, second logic.Trit, energyFJ float64) {
+	p := l.params[k]
+	if p.EnergyRise >= p.EnergyFall {
+		return logic.L, logic.H, p.EnergyRise
+	}
+	return logic.H, logic.L, p.EnergyFall
+}
+
+// TransitionEnergy returns the energy in femtojoules of an output
+// transition from prev to cur; zero if prev == cur or either is X.
+func (l *Library) TransitionEnergy(k Kind, prev, cur logic.Trit) float64 {
+	if prev == cur || prev == logic.X || cur == logic.X {
+		return 0
+	}
+	if cur == logic.H {
+		return l.params[k].EnergyRise
+	}
+	return l.params[k].EnergyFall
+}
+
+// ULP65 returns the synthetic 65 nm low-power library used for the
+// openMSP430-class experiments (1 V, 100 MHz operating point in the
+// paper's methodology).
+func ULP65() *Library {
+	l := &Library{Name: "ULP65", FeatureNM: 65}
+	// Calibrated so a ~6k-cell ULP core at 1 V / 100 MHz lands in the
+	// paper's measured range (peak ~2 mW, idle floor ~1 mW; Figure 4.1):
+	// DFF clock pins dominate the floor, datapath transitions the peaks.
+	l.params = [NumKinds]Params{
+		Tie0:  {0, 0, 0, 0.05, 0.7},
+		Tie1:  {0, 0, 0, 0.05, 0.7},
+		Inv:   {4.4, 3.8, 0, 0.35, 1.1},
+		Buf:   {6.2, 5.6, 0, 0.45, 1.4},
+		Nand2: {6.6, 5.8, 0, 0.55, 1.8},
+		Nor2:  {7.2, 6.2, 0, 0.55, 1.8},
+		And2:  {8.2, 7.4, 0, 0.70, 2.2},
+		Or2:   {8.6, 7.6, 0, 0.70, 2.2},
+		Xor2:  {12.4, 11.6, 0, 0.95, 3.2},
+		Xnor2: {12.2, 11.4, 0, 0.95, 3.2},
+		Mux2:  {13.0, 12.2, 0, 1.05, 3.6},
+		Dff:   {31.2, 28.8, 17.5, 2.6, 7.1},
+		Dffr:  {32.8, 30.4, 18.0, 2.8, 8.0},
+		Dffre: {35.6, 33.2, 18.5, 3.0, 9.3},
+	}
+	return l
+}
+
+// ULP130 returns a 130 nm variant of the library, used by the
+// measurement-rig substitute for the MSP430F1610 experiments of Chapter 2
+// (different process, 8 MHz operating point). Energies and leakage scale
+// up relative to ULP65 as older processes do.
+func ULP130() *Library {
+	l := ULP65().Scaled(3.4, 1.6)
+	l.Name = "ULP130"
+	l.FeatureNM = 130
+	return l
+}
+
+// Scaled returns a copy of the library with all transition/clock energies
+// multiplied by energyScale and leakage by leakScale. Used to derive
+// operating points for other process nodes.
+func (l *Library) Scaled(energyScale, leakScale float64) *Library {
+	n := &Library{Name: l.Name + "-scaled", FeatureNM: l.FeatureNM}
+	for k := range l.params {
+		p := l.params[k]
+		p.EnergyRise *= energyScale
+		p.EnergyFall *= energyScale
+		p.EnergyClk *= energyScale
+		p.LeakageNW *= leakScale
+		n.params[k] = p
+	}
+	return n
+}
+
+// Kinds returns all cell kinds in the library.
+func Kinds() []Kind {
+	ks := make([]Kind, 0, NumKinds)
+	for k := Kind(0); k < numKinds; k++ {
+		ks = append(ks, k)
+	}
+	return ks
+}

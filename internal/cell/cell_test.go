@@ -1,0 +1,235 @@
+package cell
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestKindNamesRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		name := k.String()
+		got, err := KindByName(name)
+		if err != nil || got != k {
+			t.Errorf("KindByName(%q) = %v, %v; want %v", name, got, err, k)
+		}
+	}
+	if _, err := KindByName("FOO99"); err == nil {
+		t.Error("expected error for unknown name")
+	}
+}
+
+func TestNumInputs(t *testing.T) {
+	want := map[Kind]int{
+		Tie0: 0, Tie1: 0, Inv: 1, Buf: 1, Nand2: 2, Nor2: 2, And2: 2,
+		Or2: 2, Xor2: 2, Xnor2: 2, Mux2: 3, Dff: 1, Dffr: 2, Dffre: 3,
+	}
+	for k, n := range want {
+		if got := k.NumInputs(); got != n {
+			t.Errorf("%v.NumInputs() = %d, want %d", k, got, n)
+		}
+	}
+}
+
+func TestSequential(t *testing.T) {
+	for _, k := range Kinds() {
+		want := k == Dff || k == Dffr || k == Dffre
+		if got := k.Sequential(); got != want {
+			t.Errorf("%v.Sequential() = %v", k, got)
+		}
+	}
+}
+
+func TestEvalCombinational(t *testing.T) {
+	l, h, x := logic.L, logic.H, logic.X
+	cases := []struct {
+		k       Kind
+		a, b, c logic.Trit
+		want    logic.Trit
+	}{
+		{Tie0, x, x, x, l},
+		{Tie1, x, x, x, h},
+		{Inv, l, x, x, h},
+		{Inv, x, x, x, x},
+		{Buf, h, x, x, h},
+		{Nand2, h, h, x, l},
+		{Nand2, l, x, x, h},
+		{Nor2, l, l, x, h},
+		{Nor2, h, x, x, l},
+		{And2, h, x, x, x},
+		{And2, l, x, x, l},
+		{Or2, h, x, x, h},
+		{Xor2, h, l, x, h},
+		{Xor2, h, x, x, x},
+		{Xnor2, h, h, x, h},
+		{Mux2, l, h, l, h},
+		{Mux2, h, h, l, l},
+		{Mux2, x, h, h, h},
+		{Mux2, x, h, l, x},
+	}
+	for _, tc := range cases {
+		if got := Eval(tc.k, tc.a, tc.b, tc.c, x); got != tc.want {
+			t.Errorf("Eval(%v, %v,%v,%v) = %v, want %v", tc.k, tc.a, tc.b, tc.c, got, tc.want)
+		}
+	}
+}
+
+func TestEvalDFF(t *testing.T) {
+	l, h, x := logic.L, logic.H, logic.X
+	// Plain DFF: next = D
+	if Eval(Dff, h, x, x, l) != h || Eval(Dff, x, x, x, h) != x {
+		t.Fatal("Dff next-state wrong")
+	}
+	// DFFR: reset dominates
+	if Eval(Dffr, h, h, x, h) != l {
+		t.Fatal("Dffr reset should force 0")
+	}
+	if Eval(Dffr, h, l, x, l) != h {
+		t.Fatal("Dffr no-reset should load D")
+	}
+	// X reset with D=0: both reset and load give 0.
+	if Eval(Dffr, l, x, x, h) != l {
+		t.Fatal("Dffr X-reset with D=0 should be 0")
+	}
+	if Eval(Dffr, h, x, x, h) != x {
+		t.Fatal("Dffr X-reset with D=1 should be X")
+	}
+	// DFFRE: enable gating
+	if Eval(Dffre, h, l, l, l) != l {
+		t.Fatal("Dffre EN=0 should hold state")
+	}
+	if Eval(Dffre, h, l, h, l) != h {
+		t.Fatal("Dffre EN=1 should load D")
+	}
+	if Eval(Dffre, h, h, h, h) != l {
+		t.Fatal("Dffre reset dominates")
+	}
+	// X enable: hold and load agree -> known
+	if Eval(Dffre, h, l, x, h) != h {
+		t.Fatal("Dffre X-enable agreement should stay known")
+	}
+	if Eval(Dffre, h, l, x, l) != x {
+		t.Fatal("Dffre X-enable disagreement should be X")
+	}
+	// X reset, but D=0 and held state 0 -> 0 either way
+	if Eval(Dffre, l, x, x, l) != l {
+		t.Fatal("Dffre all-paths-0 should be 0")
+	}
+}
+
+// Property: DFF next-state functions are monotone w.r.t. X refinement of
+// the reset/enable pins.
+func TestDFFMonotone(t *testing.T) {
+	vals := []logic.Trit{logic.L, logic.H, logic.X}
+	conc := func(v logic.Trit) []logic.Trit {
+		if v == logic.X {
+			return []logic.Trit{logic.L, logic.H}
+		}
+		return []logic.Trit{v}
+	}
+	refines := func(c, s logic.Trit) bool { return s == logic.X || s == c }
+	for _, d := range vals {
+		for _, r := range vals {
+			for _, e := range vals {
+				for _, q := range []logic.Trit{logic.L, logic.H} {
+					sym := Eval(Dffre, d, r, e, q)
+					for _, cd := range conc(d) {
+						for _, cr := range conc(r) {
+							for _, ce := range conc(e) {
+								if got := Eval(Dffre, cd, cr, ce, q); !refines(got, sym) {
+									t.Fatalf("Dffre not monotone: D=%v R=%v E=%v q=%v sym=%v got=%v", d, r, e, q, sym, got)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLibraryCharacterization(t *testing.T) {
+	lib := ULP65()
+	if lib.Name != "ULP65" || lib.FeatureNM != 65 {
+		t.Fatal("library identity wrong")
+	}
+	// XOR must cost more than NAND; DFFs must have clock-pin energy.
+	if lib.Params(Xor2).MaxEnergy() <= lib.Params(Nand2).MaxEnergy() {
+		t.Error("XOR2 should cost more than NAND2")
+	}
+	for _, k := range []Kind{Dff, Dffr, Dffre} {
+		if lib.Params(k).EnergyClk <= 0 {
+			t.Errorf("%v should have clock-pin energy", k)
+		}
+	}
+	for _, k := range []Kind{Inv, Nand2, Mux2} {
+		if lib.Params(k).EnergyClk != 0 {
+			t.Errorf("%v should have no clock-pin energy", k)
+		}
+	}
+	// Every active cell has positive leakage and area.
+	for _, k := range Kinds() {
+		p := lib.Params(k)
+		if p.LeakageNW <= 0 || p.AreaUM2 <= 0 {
+			t.Errorf("%v has nonpositive leakage/area", k)
+		}
+	}
+}
+
+func TestMaxTransition(t *testing.T) {
+	lib := ULP65()
+	for _, k := range Kinds() {
+		first, second, e := lib.MaxTransition(k)
+		if first == second {
+			t.Errorf("%v: MaxTransition must be a transition", k)
+		}
+		if e != lib.Params(k).MaxEnergy() {
+			t.Errorf("%v: energy %v != MaxEnergy %v", k, e, lib.Params(k).MaxEnergy())
+		}
+		// The claimed transition's energy must match TransitionEnergy.
+		if got := lib.TransitionEnergy(k, first, second); k != Tie0 && k != Tie1 && got != e {
+			t.Errorf("%v: TransitionEnergy(max) = %v, want %v", k, got, e)
+		}
+	}
+}
+
+func TestTransitionEnergy(t *testing.T) {
+	lib := ULP65()
+	if lib.TransitionEnergy(Nand2, logic.L, logic.H) != lib.Params(Nand2).EnergyRise {
+		t.Error("rise energy wrong")
+	}
+	if lib.TransitionEnergy(Nand2, logic.H, logic.L) != lib.Params(Nand2).EnergyFall {
+		t.Error("fall energy wrong")
+	}
+	if lib.TransitionEnergy(Nand2, logic.H, logic.H) != 0 {
+		t.Error("no transition should be zero energy")
+	}
+	if lib.TransitionEnergy(Nand2, logic.X, logic.H) != 0 ||
+		lib.TransitionEnergy(Nand2, logic.L, logic.X) != 0 {
+		t.Error("X endpoints contribute no concrete energy")
+	}
+}
+
+func TestScaledLibrary(t *testing.T) {
+	base := ULP65()
+	s := base.Scaled(2.0, 3.0)
+	for _, k := range Kinds() {
+		b, p := base.Params(k), s.Params(k)
+		if p.EnergyRise != 2*b.EnergyRise || p.EnergyFall != 2*b.EnergyFall || p.EnergyClk != 2*b.EnergyClk {
+			t.Errorf("%v energies not scaled", k)
+		}
+		if p.LeakageNW != 3*b.LeakageNW {
+			t.Errorf("%v leakage not scaled", k)
+		}
+		if p.AreaUM2 != b.AreaUM2 {
+			t.Errorf("%v area should not scale", k)
+		}
+	}
+	if ULP130().FeatureNM != 130 {
+		t.Error("ULP130 identity wrong")
+	}
+	// 130nm must be more energy-hungry than 65nm.
+	if ULP130().Params(Dff).EnergyRise <= base.Params(Dff).EnergyRise {
+		t.Error("ULP130 should cost more energy than ULP65")
+	}
+}

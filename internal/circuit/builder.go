@@ -1,0 +1,425 @@
+// Package circuit is a structural synthesis toolkit: it builds gate-level
+// datapath and control blocks (adders, muxes, decoders, registers, an
+// array multiplier, ...) directly as ULP65 cells in a netlist. It plays
+// the role of the synthesis flow (Design Compiler) in the paper's
+// methodology: the ULP430 processor of package ulp430 is "synthesized"
+// with this builder.
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+)
+
+// Builder constructs cells inside one module path of a shared netlist.
+type Builder struct {
+	// N is the underlying netlist.
+	N *netlist.Netlist
+
+	module string
+	shared *sharedState
+}
+
+type sharedState struct {
+	zero netlist.NetID
+	one  netlist.NetID
+	seq  int
+}
+
+// NewBuilder creates a netlist with the given top name and returns a
+// builder rooted at the top module.
+func NewBuilder(top string) *Builder {
+	n := netlist.New(top)
+	b := &Builder{N: n, module: top, shared: &sharedState{zero: netlist.None, one: netlist.None}}
+	return b
+}
+
+// InModule returns a builder view that places new cells under the given
+// module path (e.g. "exec_unit.alu"); the netlist is shared.
+func (b *Builder) InModule(path string) *Builder {
+	return &Builder{N: b.N, module: path, shared: b.shared}
+}
+
+// Module returns the builder's current module path.
+func (b *Builder) Module() string { return b.module }
+
+func (b *Builder) autoName(prefix string) string {
+	b.shared.seq++
+	return fmt.Sprintf("%s_%d", prefix, b.shared.seq)
+}
+
+// --- scalar primitives -------------------------------------------------
+
+// Zero returns the shared constant-0 net (one TIE0 cell per design).
+func (b *Builder) Zero() netlist.NetID {
+	if b.shared.zero == netlist.None {
+		b.shared.zero = b.N.NewNet("const0")
+		b.N.AddCell(cell.Tie0, b.module, b.autoName("tie0"), b.shared.zero)
+	}
+	return b.shared.zero
+}
+
+// One returns the shared constant-1 net.
+func (b *Builder) One() netlist.NetID {
+	if b.shared.one == netlist.None {
+		b.shared.one = b.N.NewNet("const1")
+		b.N.AddCell(cell.Tie1, b.module, b.autoName("tie1"), b.shared.one)
+	}
+	return b.shared.one
+}
+
+func (b *Builder) gate2(k cell.Kind, prefix string, a, c netlist.NetID) netlist.NetID {
+	out := b.N.NewNet("")
+	b.N.AddCell(k, b.module, b.autoName(prefix), out, a, c)
+	return out
+}
+
+// Not returns ¬a.
+func (b *Builder) Not(a netlist.NetID) netlist.NetID {
+	out := b.N.NewNet("")
+	b.N.AddCell(cell.Inv, b.module, b.autoName("inv"), out, a)
+	return out
+}
+
+// Buf returns a buffered copy of a.
+func (b *Builder) Buf(a netlist.NetID) netlist.NetID {
+	out := b.N.NewNet("")
+	b.N.AddCell(cell.Buf, b.module, b.autoName("buf"), out, a)
+	return out
+}
+
+// And returns a∧c.
+func (b *Builder) And(a, c netlist.NetID) netlist.NetID { return b.gate2(cell.And2, "and", a, c) }
+
+// Or returns a∨c.
+func (b *Builder) Or(a, c netlist.NetID) netlist.NetID { return b.gate2(cell.Or2, "or", a, c) }
+
+// Xor returns a⊕c.
+func (b *Builder) Xor(a, c netlist.NetID) netlist.NetID { return b.gate2(cell.Xor2, "xor", a, c) }
+
+// Nand returns ¬(a∧c).
+func (b *Builder) Nand(a, c netlist.NetID) netlist.NetID { return b.gate2(cell.Nand2, "nand", a, c) }
+
+// Nor returns ¬(a∨c).
+func (b *Builder) Nor(a, c netlist.NetID) netlist.NetID { return b.gate2(cell.Nor2, "nor", a, c) }
+
+// Xnor returns ¬(a⊕c).
+func (b *Builder) Xnor(a, c netlist.NetID) netlist.NetID { return b.gate2(cell.Xnor2, "xnor", a, c) }
+
+// Mux returns d0 when s=0, d1 when s=1.
+func (b *Builder) Mux(s, d0, d1 netlist.NetID) netlist.NetID {
+	out := b.N.NewNet("")
+	b.N.AddCell(cell.Mux2, b.module, b.autoName("mux"), out, s, d0, d1)
+	return out
+}
+
+// AndN reduces ins with a balanced AND tree; returns One for no inputs.
+func (b *Builder) AndN(ins ...netlist.NetID) netlist.NetID { return b.reduce(cell.And2, "and", ins) }
+
+// OrN reduces ins with a balanced OR tree; returns Zero for no inputs.
+func (b *Builder) OrN(ins ...netlist.NetID) netlist.NetID { return b.reduce(cell.Or2, "or", ins) }
+
+func (b *Builder) reduce(k cell.Kind, prefix string, ins []netlist.NetID) netlist.NetID {
+	switch len(ins) {
+	case 0:
+		if k == cell.And2 {
+			return b.One()
+		}
+		return b.Zero()
+	case 1:
+		return ins[0]
+	}
+	next := make([]netlist.NetID, 0, (len(ins)+1)/2)
+	for i := 0; i+1 < len(ins); i += 2 {
+		next = append(next, b.gate2(k, prefix, ins[i], ins[i+1]))
+	}
+	if len(ins)%2 == 1 {
+		next = append(next, ins[len(ins)-1])
+	}
+	return b.reduce(k, prefix, next)
+}
+
+// --- vector helpers ----------------------------------------------------
+
+// Input declares a width-bit primary-input port with the given name.
+func (b *Builder) Input(name string, width int) []netlist.NetID {
+	nets := b.N.NewNets(name, width)
+	for _, id := range nets {
+		b.N.MarkInput(id)
+	}
+	b.N.DefinePort(name, nets)
+	return nets
+}
+
+// InputBit declares a 1-bit primary-input port.
+func (b *Builder) InputBit(name string) netlist.NetID {
+	id := b.N.NewNet(name)
+	b.N.MarkInput(id)
+	b.N.DefinePort(name, []netlist.NetID{id})
+	return id
+}
+
+// Output declares name as an output port over existing nets.
+func (b *Builder) Output(name string, nets []netlist.NetID) {
+	b.N.DefinePort(name, nets)
+}
+
+// Const returns a width-bit vector wired to the constant v (reusing the
+// shared tie nets).
+func (b *Builder) Const(v uint64, width int) []netlist.NetID {
+	out := make([]netlist.NetID, width)
+	for i := 0; i < width; i++ {
+		if v>>uint(i)&1 == 1 {
+			out[i] = b.One()
+		} else {
+			out[i] = b.Zero()
+		}
+	}
+	return out
+}
+
+// NotV returns the bitwise complement of a.
+func (b *Builder) NotV(a []netlist.NetID) []netlist.NetID {
+	out := make([]netlist.NetID, len(a))
+	for i := range a {
+		out[i] = b.Not(a[i])
+	}
+	return out
+}
+
+func (b *Builder) zip(k cell.Kind, prefix string, a, c []netlist.NetID) []netlist.NetID {
+	if len(a) != len(c) {
+		panic("circuit: vector width mismatch")
+	}
+	out := make([]netlist.NetID, len(a))
+	for i := range a {
+		out[i] = b.gate2(k, prefix, a[i], c[i])
+	}
+	return out
+}
+
+// AndV returns bitwise a∧c.
+func (b *Builder) AndV(a, c []netlist.NetID) []netlist.NetID { return b.zip(cell.And2, "and", a, c) }
+
+// OrV returns bitwise a∨c.
+func (b *Builder) OrV(a, c []netlist.NetID) []netlist.NetID { return b.zip(cell.Or2, "or", a, c) }
+
+// XorV returns bitwise a⊕c.
+func (b *Builder) XorV(a, c []netlist.NetID) []netlist.NetID { return b.zip(cell.Xor2, "xor", a, c) }
+
+// MuxV selects d0 (s=0) or d1 (s=1) element-wise.
+func (b *Builder) MuxV(s netlist.NetID, d0, d1 []netlist.NetID) []netlist.NetID {
+	if len(d0) != len(d1) {
+		panic("circuit: mux width mismatch")
+	}
+	out := make([]netlist.NetID, len(d0))
+	for i := range d0 {
+		out[i] = b.Mux(s, d0[i], d1[i])
+	}
+	return out
+}
+
+// MuxTree selects options[sel] with a balanced mux tree. len(options) must
+// be a power of two and match 1<<len(sel); sel[0] is the LSB.
+func (b *Builder) MuxTree(sel []netlist.NetID, options [][]netlist.NetID) []netlist.NetID {
+	if len(options) != 1<<uint(len(sel)) {
+		panic(fmt.Sprintf("circuit: mux tree needs %d options, got %d", 1<<uint(len(sel)), len(options)))
+	}
+	if len(sel) == 0 {
+		return options[0]
+	}
+	half := len(options) / 2
+	lo := make([][]netlist.NetID, half)
+	hi := make([][]netlist.NetID, half)
+	for i := 0; i < half; i++ {
+		lo[i] = options[2*i]
+		hi[i] = options[2*i+1]
+	}
+	merged := make([][]netlist.NetID, half)
+	for i := 0; i < half; i++ {
+		merged[i] = b.MuxV(sel[0], lo[i], hi[i])
+	}
+	return b.MuxTree(sel[1:], merged)
+}
+
+// Decoder returns the 2^n one-hot decode of sel (with enable en; pass
+// One() for always-on).
+func (b *Builder) Decoder(sel []netlist.NetID, en netlist.NetID) []netlist.NetID {
+	n := len(sel)
+	out := make([]netlist.NetID, 1<<uint(n))
+	inv := make([]netlist.NetID, n)
+	for i, s := range sel {
+		inv[i] = b.Not(s)
+	}
+	for v := range out {
+		terms := make([]netlist.NetID, 0, n+1)
+		for i := 0; i < n; i++ {
+			if v>>uint(i)&1 == 1 {
+				terms = append(terms, sel[i])
+			} else {
+				terms = append(terms, inv[i])
+			}
+		}
+		terms = append(terms, en)
+		out[v] = b.AndN(terms...)
+	}
+	return out
+}
+
+// EqualConst returns 1 when a equals the constant v.
+func (b *Builder) EqualConst(a []netlist.NetID, v uint64) netlist.NetID {
+	terms := make([]netlist.NetID, len(a))
+	for i := range a {
+		if v>>uint(i)&1 == 1 {
+			terms[i] = a[i]
+		} else {
+			terms[i] = b.Not(a[i])
+		}
+	}
+	return b.AndN(terms...)
+}
+
+// EqualV returns 1 when a == c bitwise.
+func (b *Builder) EqualV(a, c []netlist.NetID) netlist.NetID {
+	x := b.zip(cell.Xnor2, "xnor", a, c)
+	return b.AndN(x...)
+}
+
+// IsZero returns 1 when all bits of a are 0.
+func (b *Builder) IsZero(a []netlist.NetID) netlist.NetID {
+	return b.Not(b.OrN(a...))
+}
+
+// --- arithmetic --------------------------------------------------------
+
+// FullAdder returns (sum, carry) of a+c+ci.
+func (b *Builder) FullAdder(a, c, ci netlist.NetID) (sum, co netlist.NetID) {
+	axc := b.Xor(a, c)
+	sum = b.Xor(axc, ci)
+	co = b.Or(b.And(a, c), b.And(axc, ci))
+	return sum, co
+}
+
+// Adder returns the width-len(a) sum a+c+ci and the carry out of every
+// bit position (couts[i] is the carry out of bit i; couts[len-1] is the
+// adder carry-out). Ripple-carry, as a small ULP core would use.
+func (b *Builder) Adder(a, c []netlist.NetID, ci netlist.NetID) (sum []netlist.NetID, couts []netlist.NetID) {
+	if len(a) != len(c) {
+		panic("circuit: adder width mismatch")
+	}
+	sum = make([]netlist.NetID, len(a))
+	couts = make([]netlist.NetID, len(a))
+	carry := ci
+	for i := range a {
+		sum[i], carry = b.FullAdder(a[i], c[i], carry)
+		couts[i] = carry
+	}
+	return sum, couts
+}
+
+// Sub returns a-c (two's complement: a + ¬c + 1) with per-bit carries;
+// carry-out high means no borrow (a >= c unsigned).
+func (b *Builder) Sub(a, c []netlist.NetID) (diff []netlist.NetID, couts []netlist.NetID) {
+	return b.Adder(a, b.NotV(c), b.One())
+}
+
+// Inc returns a+k for a small constant k using an adder against Const.
+func (b *Builder) Inc(a []netlist.NetID, k uint64) []netlist.NetID {
+	sum, _ := b.Adder(a, b.Const(k, len(a)), b.Zero())
+	return sum
+}
+
+// Multiplier builds a combinational unsigned array multiplier; the result
+// has len(a)+len(c) bits. This is the paper's high-power peripheral: a
+// 16x16 array dominates the design's per-cycle power when exercised
+// (Section 5, "the multiplier is a relatively large, high-power module").
+func (b *Builder) Multiplier(a, c []netlist.NetID) []netlist.NetID {
+	w := len(a) + len(c)
+	acc := make([]netlist.NetID, w)
+	zero := b.Zero()
+	for i := range acc {
+		acc[i] = zero
+	}
+	for j := range c {
+		// partial product: (a AND c[j]) << j
+		pp := make([]netlist.NetID, w)
+		for i := range pp {
+			pp[i] = zero
+		}
+		for i := range a {
+			pp[i+j] = b.And(a[i], c[j])
+		}
+		acc, _ = b.Adder(acc, pp, zero)
+	}
+	return acc
+}
+
+// --- state -------------------------------------------------------------
+
+// Reg is a register (bank of flip-flops) whose Q nets exist before its D
+// input is wired, enabling feedback paths.
+type Reg struct {
+	// Q is the register output vector.
+	Q []netlist.NetID
+
+	name   string
+	driven bool
+}
+
+// Reg declares a width-bit register named name and returns its (not yet
+// driven) output nets.
+func (b *Builder) Reg(name string, width int) *Reg {
+	return &Reg{Q: b.N.NewNets(name, width), name: name}
+}
+
+// DriveReg wires the register's input: next state is d, with synchronous
+// reset rst (active high) and clock-enable en. Pass netlist.None for rst
+// and/or en to omit those pins (plain DFF / DFFR).
+func (b *Builder) DriveReg(r *Reg, d []netlist.NetID, rst, en netlist.NetID) {
+	if r.driven {
+		panic("circuit: register " + r.name + " driven twice")
+	}
+	if len(d) != len(r.Q) {
+		panic("circuit: register " + r.name + " width mismatch")
+	}
+	r.driven = true
+	for i := range d {
+		name := fmt.Sprintf("%s_reg_%d", r.name, i)
+		switch {
+		case rst == netlist.None && en == netlist.None:
+			b.N.AddCell(cell.Dff, b.module, name, r.Q[i], d[i])
+		case en == netlist.None:
+			b.N.AddCell(cell.Dffr, b.module, name, r.Q[i], d[i], rst)
+		case rst == netlist.None:
+			b.N.AddCell(cell.Dffre, b.module, name, r.Q[i], d[i], b.Zero(), en)
+		default:
+			b.N.AddCell(cell.Dffre, b.module, name, r.Q[i], d[i], rst, en)
+		}
+	}
+}
+
+// RegV is shorthand: declare and immediately drive a register.
+func (b *Builder) RegV(name string, d []netlist.NetID, rst, en netlist.NetID) []netlist.NetID {
+	r := b.Reg(name, len(d))
+	b.DriveReg(r, d, rst, en)
+	return r.Q
+}
+
+// ClockBuffers adds n clock-tree buffer cells fed by a toggling source to
+// module "clk_module". Real designs dissipate clock-tree power every
+// cycle; the DFF clock-pin energy in the cell library models the leaves,
+// and these explicit buffers model the trunk. The source is a 1-bit
+// divider register (reset by rst) that toggles each cycle once out of
+// reset.
+func (b *Builder) ClockBuffers(n int, rst netlist.NetID) {
+	cb := b.InModule("clk_module")
+	div := cb.Reg("clk_div", 1)
+	cb.DriveReg(div, []netlist.NetID{cb.Not(div.Q[0])}, rst, netlist.None)
+	prev := div.Q[0]
+	for i := 0; i < n; i++ {
+		prev = cb.Buf(prev)
+	}
+	cb.Output("clk_tree_leaf", []netlist.NetID{prev})
+}

@@ -1,0 +1,329 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cell"
+	"repro/internal/gsim"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// harness builds the netlist, creates a simulator, and returns an
+// evaluate function: set named inputs, step once, read named output.
+func harness(t *testing.T, b *Builder) *gsim.Simulator {
+	t.Helper()
+	if err := b.N.Build(); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return gsim.New(b.N, cell.ULP65(), nil)
+}
+
+func TestAdderExhaustive4(t *testing.T) {
+	b := NewBuilder("adder4")
+	a := b.Input("a", 4)
+	c := b.Input("b", 4)
+	ci := b.InputBit("ci")
+	sum, couts := b.Adder(a, c, ci)
+	b.Output("sum", sum)
+	b.Output("co", []netlist.NetID{couts[3]})
+	s := harness(t, b)
+	for av := uint64(0); av < 16; av++ {
+		for bv := uint64(0); bv < 16; bv++ {
+			for civ := uint64(0); civ < 2; civ++ {
+				s.SetPortUint("a", av)
+				s.SetPortUint("b", bv)
+				s.SetPortUint("ci", civ)
+				s.Step()
+				got, ok := s.PortUint("sum")
+				co, ok2 := s.PortUint("co")
+				if !ok || !ok2 {
+					t.Fatalf("X output for %d+%d+%d", av, bv, civ)
+				}
+				want := av + bv + civ
+				if got != want&0xF || co != want>>4 {
+					t.Fatalf("%d+%d+%d = %d co %d, want %d co %d", av, bv, civ, got, co, want&0xF, want>>4)
+				}
+			}
+		}
+	}
+}
+
+func TestSubExhaustive4(t *testing.T) {
+	b := NewBuilder("sub4")
+	a := b.Input("a", 4)
+	c := b.Input("b", 4)
+	diff, couts := b.Sub(a, c)
+	b.Output("diff", diff)
+	b.Output("noborrow", []netlist.NetID{couts[3]})
+	s := harness(t, b)
+	for av := uint64(0); av < 16; av++ {
+		for bv := uint64(0); bv < 16; bv++ {
+			s.SetPortUint("a", av)
+			s.SetPortUint("b", bv)
+			s.Step()
+			got, _ := s.PortUint("diff")
+			nb, _ := s.PortUint("noborrow")
+			if got != (av-bv)&0xF {
+				t.Fatalf("%d-%d = %d, want %d", av, bv, got, (av-bv)&0xF)
+			}
+			wantNB := uint64(0)
+			if av >= bv {
+				wantNB = 1
+			}
+			if nb != wantNB {
+				t.Fatalf("%d-%d noborrow = %d, want %d", av, bv, nb, wantNB)
+			}
+		}
+	}
+}
+
+func TestMultiplierExhaustive4x4(t *testing.T) {
+	b := NewBuilder("mul4")
+	a := b.Input("a", 4)
+	c := b.Input("b", 4)
+	p := b.Multiplier(a, c)
+	b.Output("p", p)
+	s := harness(t, b)
+	for av := uint64(0); av < 16; av++ {
+		for bv := uint64(0); bv < 16; bv++ {
+			s.SetPortUint("a", av)
+			s.SetPortUint("b", bv)
+			s.Step()
+			got, ok := s.PortUint("p")
+			if !ok || got != av*bv {
+				t.Fatalf("%d*%d = %d (ok=%v), want %d", av, bv, got, ok, av*bv)
+			}
+		}
+	}
+}
+
+func TestMultiplier8x8Property(t *testing.T) {
+	b := NewBuilder("mul8")
+	a := b.Input("a", 8)
+	c := b.Input("b", 8)
+	p := b.Multiplier(a, c)
+	b.Output("p", p)
+	s := harness(t, b)
+	f := func(av, bv uint8) bool {
+		s.SetPortUint("a", uint64(av))
+		s.SetPortUint("b", uint64(bv))
+		s.Step()
+		got, ok := s.PortUint("p")
+		return ok && got == uint64(av)*uint64(bv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMuxTreeAndDecoder(t *testing.T) {
+	b := NewBuilder("mux")
+	sel := b.Input("sel", 3)
+	opts := make([][]netlist.NetID, 8)
+	for i := range opts {
+		opts[i] = b.Const(uint64(i*3+1), 8)
+	}
+	out := b.MuxTree(sel, opts)
+	b.Output("out", out)
+	dec := b.Decoder(sel, b.One())
+	b.Output("dec", dec)
+	s := harness(t, b)
+	for v := uint64(0); v < 8; v++ {
+		s.SetPortUint("sel", v)
+		s.Step()
+		got, _ := s.PortUint("out")
+		if got != v*3+1 {
+			t.Fatalf("mux sel=%d got %d want %d", v, got, v*3+1)
+		}
+		d, _ := s.PortUint("dec")
+		if d != 1<<v {
+			t.Fatalf("dec sel=%d got %b want %b", v, d, 1<<v)
+		}
+	}
+}
+
+func TestComparatorsAndReductions(t *testing.T) {
+	b := NewBuilder("cmp")
+	a := b.Input("a", 6)
+	c := b.Input("b", 6)
+	b.Output("eqc", []netlist.NetID{b.EqualConst(a, 37)})
+	b.Output("eqv", []netlist.NetID{b.EqualV(a, c)})
+	b.Output("zero", []netlist.NetID{b.IsZero(a)})
+	s := harness(t, b)
+	check := func(av, bv uint64) {
+		s.SetPortUint("a", av)
+		s.SetPortUint("b", bv)
+		s.Step()
+		eqc, _ := s.PortUint("eqc")
+		eqv, _ := s.PortUint("eqv")
+		z, _ := s.PortUint("zero")
+		if (eqc == 1) != (av == 37) {
+			t.Fatalf("eqc(%d) = %d", av, eqc)
+		}
+		if (eqv == 1) != (av == bv) {
+			t.Fatalf("eqv(%d,%d) = %d", av, bv, eqv)
+		}
+		if (z == 1) != (av == 0) {
+			t.Fatalf("zero(%d) = %d", av, z)
+		}
+	}
+	for _, av := range []uint64{0, 1, 36, 37, 38, 63} {
+		for _, bv := range []uint64{0, 37, av} {
+			check(av, bv)
+		}
+	}
+}
+
+func TestRegisterTiming(t *testing.T) {
+	b := NewBuilder("reg")
+	d := b.Input("d", 8)
+	rst := b.InputBit("rst")
+	en := b.InputBit("en")
+	q := b.RegV("r", d, rst, en)
+	b.Output("q", q)
+	s := harness(t, b)
+
+	// Reset for one cycle: q must be 0 afterwards.
+	s.SetPortUint("rst", 1)
+	s.SetPortUint("en", 0)
+	s.SetPortUint("d", 0xAB)
+	s.Step()
+	s.Step()
+	if got, ok := s.PortUint("q"); !ok || got != 0 {
+		t.Fatalf("after reset q=%v ok=%v", got, ok)
+	}
+	// Load with enable: the D value present in cycle c is captured at the
+	// edge that begins cycle c+1.
+	s.SetPortUint("rst", 0)
+	s.SetPortUint("en", 1)
+	s.SetPortUint("d", 0x5C)
+	s.Step() // d=0x5C settled during this cycle
+	s.Step() // captured at this edge
+	if got, _ := s.PortUint("q"); got != 0x5C {
+		t.Fatalf("q=%#x, want 0x5c", got)
+	}
+	// Enable low holds.
+	s.SetPortUint("en", 0)
+	s.SetPortUint("d", 0xFF)
+	s.Step()
+	s.Step()
+	s.Step()
+	if got, _ := s.PortUint("q"); got != 0x5C {
+		t.Fatalf("hold failed: q=%#x", got)
+	}
+}
+
+func TestConstAndLogicVectors(t *testing.T) {
+	b := NewBuilder("vec")
+	a := b.Input("a", 8)
+	c := b.Input("b", 8)
+	b.Output("and", b.AndV(a, c))
+	b.Output("or", b.OrV(a, c))
+	b.Output("xor", b.XorV(a, c))
+	b.Output("not", b.NotV(a))
+	b.Output("k", b.Const(0xC3, 8))
+	b.Output("inc", b.Inc(a, 2))
+	s := harness(t, b)
+	f := func(av, bv uint8) bool {
+		s.SetPortUint("a", uint64(av))
+		s.SetPortUint("b", uint64(bv))
+		s.Step()
+		and, _ := s.PortUint("and")
+		or, _ := s.PortUint("or")
+		xor, _ := s.PortUint("xor")
+		not, _ := s.PortUint("not")
+		k, _ := s.PortUint("k")
+		inc, _ := s.PortUint("inc")
+		return and == uint64(av&bv) && or == uint64(av|bv) &&
+			xor == uint64(av^bv) && not == uint64(^av) && k == 0xC3 &&
+			inc == uint64(av+2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModulePlacement(t *testing.T) {
+	b := NewBuilder("top")
+	a := b.InputBit("a")
+	rst := b.InputBit("rst")
+	sub := b.InModule("exec_unit.alu")
+	_ = sub.Not(a)
+	b.ClockBuffers(3, rst)
+	if err := b.N.Build(); err != nil {
+		t.Fatal(err)
+	}
+	st := b.N.Stats(cell.ULP65())
+	if st.ByModule["exec_unit"] == 0 {
+		t.Fatalf("exec_unit cells missing: %v", st.ByModule)
+	}
+	if st.ByModule["clk_module"] < 4 { // divider DFF + 3 bufs
+		t.Fatalf("clk_module cells missing: %v", st.ByModule)
+	}
+}
+
+func TestClockBuffersToggleEveryCycle(t *testing.T) {
+	b := NewBuilder("clk")
+	rst := b.InputBit("rst")
+	b.ClockBuffers(2, rst)
+	s := harness(t, b)
+	s.SetPortUint("rst", 1)
+	s.Step()
+	s.Step()
+	s.SetPortUint("rst", 0)
+	s.Step() // reset deassertion is sampled at the next edge
+	leaf := b.N.Port("clk_tree_leaf")[0]
+	// Out of reset, the divider toggles every cycle: the clock tree is
+	// always active — the paper's power floor.
+	last := s.Val(leaf)
+	for i := 0; i < 6; i++ {
+		s.Step()
+		if s.Val(leaf) == logic.X {
+			t.Fatal("divider should be concrete after reset")
+		}
+		if s.Val(leaf) == last {
+			t.Fatalf("cycle %d: clock leaf did not toggle", i)
+		}
+		if !s.Active(leaf) {
+			t.Fatalf("cycle %d: clock leaf should be active", i)
+		}
+		last = s.Val(leaf)
+	}
+}
+
+func TestDriveRegPanics(t *testing.T) {
+	b := NewBuilder("p")
+	r := b.Reg("r", 2)
+	d := b.Input("d", 2)
+	b.DriveReg(r, d, netlist.None, netlist.None)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double drive")
+		}
+	}()
+	b.DriveReg(r, d, netlist.None, netlist.None)
+}
+
+func TestMuxTreeSizePanics(t *testing.T) {
+	b := NewBuilder("p")
+	sel := b.Input("sel", 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong option count")
+		}
+	}()
+	b.MuxTree(sel, [][]netlist.NetID{b.Const(0, 4)})
+}
+
+func TestSharedTies(t *testing.T) {
+	b := NewBuilder("ties")
+	if b.Zero() != b.Zero() || b.One() != b.One() {
+		t.Fatal("tie nets should be shared")
+	}
+	sub := b.InModule("x")
+	if sub.Zero() != b.Zero() {
+		t.Fatal("tie nets should be shared across module views")
+	}
+}

@@ -1,0 +1,264 @@
+// Package core is the tool's public face: hardware–software co-analysis
+// that takes an application binary and a gate-level processor netlist and
+// returns guaranteed, input-independent, application-specific peak power
+// and peak energy requirements (the paper's headline contribution,
+// Figure 3.1).
+//
+// The pipeline: symbolic gate-activity analysis (Algorithm 1, package
+// symx) drives the streaming peak-power computation (Algorithm 2, package
+// power) to annotate an execution tree, from which the peak-power
+// requirement (maximum over every cycle of every path) and the
+// peak-energy requirement (maximum-energy path, package energy) are
+// derived, along with cycle-of-interest attribution for optimization
+// guidance (Section 3.5).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/energy"
+	"repro/internal/isa"
+	"repro/internal/netlist"
+	"repro/internal/power"
+	"repro/internal/symx"
+	"repro/internal/ulp430"
+)
+
+// Analyzer binds a processor design and operating point.
+type Analyzer struct {
+	// Netlist is the gate-level design under analysis.
+	Netlist *netlist.Netlist
+	// Model is the power model / operating point.
+	Model power.Model
+}
+
+// NewAnalyzer builds the default analyzer: the ULP430 processor in the
+// ULP65 library at 1 V / 100 MHz (the paper's openMSP430 operating
+// point).
+func NewAnalyzer() (*Analyzer, error) {
+	nl, err := ulp430.BuildCPU()
+	if err != nil {
+		return nil, err
+	}
+	return &Analyzer{
+		Netlist: nl,
+		Model:   power.Model{Lib: cell.ULP65(), ClockHz: 100e6},
+	}, nil
+}
+
+// Requirements is the co-analysis output for one application.
+type Requirements struct {
+	// PeakPowerMW is the input-independent peak power requirement: no
+	// execution of the application, on any input, can exceed it.
+	PeakPowerMW float64
+	// PeakEnergyJ is the input-independent peak energy requirement (the
+	// maximum-energy execution path, loop bounds applied).
+	PeakEnergyJ float64
+	// NPEJPerCycle is the normalized peak energy (J/cycle): the maximum
+	// average rate at which the application can consume energy.
+	NPEJPerCycle float64
+	// BoundingCycles is the runtime of the bounding path.
+	BoundingCycles float64
+	// PeakTrace is the per-cycle peak-power trace along the
+	// maximum-energy path (Figure 3.3's series).
+	PeakTrace []float64
+	// COIs are the top cycles of interest with microarchitectural
+	// attribution (Figure 3.6).
+	COIs []power.Peak
+	// Best is the global peak's full attribution, including the active
+	// cell set (Figures 1.5/3.4).
+	Best power.Peak
+	// UnionActive marks cells that can possibly toggle (per cell index).
+	UnionActive []bool
+	// Modules names the per-module breakdown columns.
+	Modules []string
+	// Paths, Nodes, and SimCycles summarize the exploration.
+	Paths, Nodes, SimCycles int
+	// Tree is the annotated symbolic execution tree.
+	Tree *symx.Tree
+}
+
+// Analyze runs the full co-analysis on an application binary.
+func (a *Analyzer) Analyze(img *isa.Image, opts symx.Options) (*Requirements, error) {
+	sys, err := ulp430.NewSystem(a.Netlist, a.Model.Lib, img, ulp430.SymbolicInputs, nil)
+	if err != nil {
+		return nil, err
+	}
+	sink := power.NewSink(sys, a.Model, img, 8)
+	tree, err := symx.Explore(sys, sink, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: symbolic analysis of %s: %w", img.Name, err)
+	}
+	res, err := energy.PeakEnergy(tree, img, a.Model.ClockHz)
+	if err != nil {
+		return nil, fmt.Errorf("core: peak energy of %s: %w", img.Name, err)
+	}
+	req := &Requirements{
+		PeakPowerMW:    sink.PeakMW(),
+		PeakEnergyJ:    res.EnergyJ,
+		NPEJPerCycle:   res.NPEJPerCycle,
+		BoundingCycles: res.Cycles,
+		PeakTrace:      maxEnergyPathTrace(tree),
+		COIs:           sink.TopK,
+		Best:           sink.Best,
+		UnionActive:    sink.UnionActive,
+		Modules:        sink.Modules(),
+		Paths:          tree.Paths,
+		Nodes:          len(tree.Nodes),
+		SimCycles:      tree.Cycles,
+		Tree:           tree,
+	}
+	return req, nil
+}
+
+// maxEnergyPathTrace concatenates segment traces greedily along the
+// higher-energy child, stopping at merges (one loop pass shown).
+func maxEnergyPathTrace(tree *symx.Tree) []float64 {
+	var out []float64
+	seen := make(map[int]bool)
+	n := tree.Root
+	for n != nil && !seen[n.ID] {
+		seen[n.ID] = true
+		if seg, ok := n.Data.([]float64); ok {
+			out = append(out, seg...)
+		}
+		switch n.Kind {
+		case symx.KindBranch:
+			a, b := n.Taken, n.NotTaken
+			if segSum(a) >= segSum(b) {
+				n = a
+			} else {
+				n = b
+			}
+		case symx.KindMerge:
+			n = n.MergeTo
+		default:
+			n = nil
+		}
+	}
+	return out
+}
+
+func segSum(n *symx.Node) float64 {
+	if n == nil {
+		return -1
+	}
+	seg, ok := n.Data.([]float64)
+	if !ok {
+		return -1
+	}
+	s := 0.0
+	for _, v := range seg {
+		s += v
+	}
+	return s
+}
+
+// ConcreteRun is an input-based execution's power characterization.
+type ConcreteRun struct {
+	// PeakMW is the run's observed peak power (steady state).
+	PeakMW float64
+	// Trace is the per-cycle power (mW).
+	Trace []float64
+	// EnergyJ integrates the trace.
+	EnergyJ float64
+	// NPEJPerCycle is EnergyJ / cycles.
+	NPEJPerCycle float64
+	// UnionActive marks cells that toggled.
+	UnionActive []bool
+}
+
+// RunConcrete executes the binary with concrete inputs and measures its
+// power — the "input-based" view used for profiling and validation.
+func (a *Analyzer) RunConcrete(img *isa.Image, inputs []uint16, portIn func() uint16, maxCycles int) (*ConcreteRun, error) {
+	sys, err := ulp430.NewSystem(a.Netlist, a.Model.Lib, img, ulp430.ConcreteInputs, inputs)
+	if err != nil {
+		return nil, err
+	}
+	sys.PortIn = portIn
+	sink := power.NewSink(sys, a.Model, img, 0)
+	sys.Reset()
+	for c := 0; c < maxCycles && !sys.Halted(); c++ {
+		sys.Step()
+		sink.OnCycle(sys)
+	}
+	if !sys.Halted() {
+		return nil, fmt.Errorf("core: %s did not halt within %d cycles", img.Name, maxCycles)
+	}
+	if err := sys.Err(); err != nil {
+		return nil, err
+	}
+	run := &ConcreteRun{
+		PeakMW:      sink.PeakMW(),
+		Trace:       sink.Trace,
+		UnionActive: sink.UnionActive,
+	}
+	for _, mw := range sink.Trace {
+		run.EnergyJ += mw * 1e-3 / a.Model.ClockHz
+	}
+	run.NPEJPerCycle = run.EnergyJ / float64(len(sink.Trace))
+	return run, nil
+}
+
+// ActiveByModule counts cells from the given activity set per top-level
+// module — the data behind the activity-profile figures (1.5, 3.4).
+func (a *Analyzer) ActiveByModule(active []bool) map[string]int {
+	out := make(map[string]int)
+	for ci, act := range active {
+		if act {
+			out[a.Netlist.Modules()[a.Netlist.ModuleIndex(netlist.CellID(ci))]]++
+		}
+	}
+	return out
+}
+
+// ActiveCellsByModule groups an explicit cell list per module.
+func (a *Analyzer) ActiveCellsByModule(cells []netlist.CellID) map[string]int {
+	out := make(map[string]int)
+	for _, ci := range cells {
+		out[a.Netlist.Modules()[a.Netlist.ModuleIndex(ci)]]++
+	}
+	return out
+}
+
+// CombineMultiProgrammed implements the paper's Chapter 6 rule for
+// multi-programmed systems (including dynamic linking): the processor's
+// requirement is the union over all co-resident applications — the
+// maximum of the peak power and energy bounds, and the union of the
+// potentially-toggled sets.
+func CombineMultiProgrammed(reqs ...*Requirements) (*Requirements, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("core: no requirements to combine")
+	}
+	out := &Requirements{
+		Modules:     reqs[0].Modules,
+		UnionActive: make([]bool, len(reqs[0].UnionActive)),
+	}
+	for _, r := range reqs {
+		if len(r.UnionActive) != len(out.UnionActive) {
+			return nil, fmt.Errorf("core: requirements from different designs cannot be combined")
+		}
+		if r.PeakPowerMW > out.PeakPowerMW {
+			out.PeakPowerMW = r.PeakPowerMW
+			out.Best = r.Best
+			out.COIs = r.COIs
+		}
+		if r.PeakEnergyJ > out.PeakEnergyJ {
+			out.PeakEnergyJ = r.PeakEnergyJ
+			out.BoundingCycles = r.BoundingCycles
+		}
+		if r.NPEJPerCycle > out.NPEJPerCycle {
+			out.NPEJPerCycle = r.NPEJPerCycle
+		}
+		for i, a := range r.UnionActive {
+			if a {
+				out.UnionActive[i] = true
+			}
+		}
+		out.Paths += r.Paths
+		out.Nodes += r.Nodes
+		out.SimCycles += r.SimCycles
+	}
+	return out, nil
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/isa"
+	"repro/internal/power"
+	"repro/internal/symx"
+)
+
+var testAnalyzer *Analyzer
+
+func analyzer(t *testing.T) *Analyzer {
+	t.Helper()
+	if testAnalyzer == nil {
+		a, err := NewAnalyzer()
+		if err != nil {
+			t.Fatal(err)
+		}
+		testAnalyzer = a
+	}
+	return testAnalyzer
+}
+
+func TestAnalyzeEndToEnd(t *testing.T) {
+	a := analyzer(t)
+	b := bench.ByName("binSearch")
+	img, err := b.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := a.Analyze(img, symx.Options{MaxCycles: b.MaxCycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.PeakPowerMW <= 0 || req.PeakEnergyJ <= 0 || req.NPEJPerCycle <= 0 {
+		t.Fatalf("requirements: %+v", req)
+	}
+	if req.Paths < 2 {
+		t.Fatalf("binSearch must fork: %d paths", req.Paths)
+	}
+	if len(req.PeakTrace) == 0 {
+		t.Fatal("missing peak trace")
+	}
+	// Past the measurement warmup, the trace's maximum cannot exceed the
+	// global peak (the greedy path need not contain the peak cycle, but
+	// never exceeds it; the first cycles hold the reset transient, which
+	// peak reporting deliberately skips).
+	for c, p := range req.PeakTrace {
+		if c >= power.DefaultWarmup && p > req.PeakPowerMW+1e-9 {
+			t.Fatalf("cycle %d: trace %.3f exceeds reported peak %.3f", c, p, req.PeakPowerMW)
+		}
+	}
+	if len(req.COIs) == 0 || req.COIs[0].PowerMW != req.PeakPowerMW {
+		t.Fatal("COIs inconsistent with peak")
+	}
+	if len(req.Modules) == 0 || len(req.UnionActive) != a.Netlist.NumCells() {
+		t.Fatal("attribution metadata missing")
+	}
+	// NPE consistency.
+	if got := req.PeakEnergyJ / req.BoundingCycles; got != req.NPEJPerCycle {
+		t.Fatalf("NPE %.3e != E/cycles %.3e", req.NPEJPerCycle, got)
+	}
+}
+
+func TestRunConcreteBoundedByAnalyze(t *testing.T) {
+	a := analyzer(t)
+	b := bench.ByName("tea8")
+	img, err := b.Image()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := a.Analyze(img, symx.Options{MaxCycles: b.MaxCycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, err := a.RunConcrete(img, []uint16{0xDEAD, 0xBEEF}, nil, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.PeakMW > req.PeakPowerMW {
+		t.Fatalf("concrete peak %.3f exceeds bound %.3f", run.PeakMW, req.PeakPowerMW)
+	}
+	if run.EnergyJ > req.PeakEnergyJ {
+		t.Fatalf("concrete energy exceeds bound")
+	}
+	if run.NPEJPerCycle <= 0 || len(run.Trace) == 0 {
+		t.Fatalf("run: %+v", run)
+	}
+}
+
+func TestActiveByModule(t *testing.T) {
+	a := analyzer(t)
+	b := bench.ByName("mult")
+	img, _ := b.Image()
+	req, err := a.Analyze(img, symx.Options{MaxCycles: b.MaxCycles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	by := a.ActiveByModule(req.UnionActive)
+	if by["multiplier"] == 0 || by["exec_unit"] == 0 {
+		t.Fatalf("module grouping: %v", by)
+	}
+	byCells := a.ActiveCellsByModule(req.Best.ActiveCells)
+	total := 0
+	for _, n := range byCells {
+		total += n
+	}
+	if total != len(req.Best.ActiveCells) {
+		t.Fatal("cell grouping lost cells")
+	}
+}
+
+func TestAnalyzeErrorPropagation(t *testing.T) {
+	a := analyzer(t)
+	// A program with an input-dependent computed branch target must be
+	// rejected with a diagnosis, not silence.
+	img, err := isa.Assemble("computed-branch", `
+.org 0x0200
+v: .input 1
+.org 0xf000
+.entry main
+main:
+    mov &v, r4
+    br r4
+    mov #1, &0x0126
+spin: jmp spin
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Analyze(img, symx.Options{MaxCycles: 10000}); err == nil {
+		t.Fatal("expected analysis error")
+	}
+}
+
+func TestCombineMultiProgrammed(t *testing.T) {
+	a := analyzer(t)
+	var reqs []*Requirements
+	for _, name := range []string{"tea8", "mult"} {
+		b := bench.ByName(name)
+		img, _ := b.Image()
+		r, err := a.Analyze(img, symx.Options{MaxCycles: b.MaxCycles})
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs = append(reqs, r)
+	}
+	comb, err := CombineMultiProgrammed(reqs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The combined requirement dominates each application's.
+	for i, r := range reqs {
+		if comb.PeakPowerMW < r.PeakPowerMW || comb.PeakEnergyJ < r.PeakEnergyJ {
+			t.Fatalf("combined bound below application %d", i)
+		}
+		for ci, act := range r.UnionActive {
+			if act && !comb.UnionActive[ci] {
+				t.Fatal("union lost an active cell")
+			}
+		}
+	}
+	// mult's multiplier activity must dominate the union peak.
+	if comb.PeakPowerMW != reqs[1].PeakPowerMW {
+		t.Fatalf("union peak %.3f, want mult's %.3f", comb.PeakPowerMW, reqs[1].PeakPowerMW)
+	}
+	if _, err := CombineMultiProgrammed(); err == nil {
+		t.Fatal("empty combine must error")
+	}
+}

@@ -1,0 +1,240 @@
+// Package energy implements the paper's input-independent peak energy
+// computation (Section 3.3) over the annotated symbolic execution tree:
+// the peak energy of an application is bounded by the execution path with
+// the highest sum of per-cycle peak power multiplied by the clock period.
+//
+//   - For an input-dependent branch, peak energy takes the higher-energy
+//     side.
+//   - Input-independent loops never fork, so their iterations are simply
+//     simulated and summed exactly.
+//   - Input-dependent loops appear as cycles in the tree's merge graph;
+//     they require an iteration bound (the binary's .loopbound annotation,
+//     standing in for the paper's "static analysis or user input"), and
+//     contribute bound × (energy of one worst-case pass) — a conservative
+//     upper bound.
+package energy
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/symx"
+)
+
+// Result is the peak-energy bound for one application.
+type Result struct {
+	// EnergyJ is the peak energy bound in joules.
+	EnergyJ float64
+	// Cycles is the runtime (in cycles) of the bounding path, with loop
+	// bounds applied.
+	Cycles float64
+	// NPEJPerCycle is the normalized peak energy (J/cycle): the maximum
+	// average rate at which the application can consume energy.
+	NPEJPerCycle float64
+}
+
+// PeakEnergy computes the peak energy bound of an explored tree. Segment
+// payloads must be the power sink's per-cycle mW traces. clockHz converts
+// power to per-cycle energy.
+func PeakEnergy(tree *symx.Tree, img *isa.Image, clockHz float64) (Result, error) {
+	if tree.Root == nil {
+		return Result{}, fmt.Errorf("energy: empty tree")
+	}
+	g := newGraph(tree)
+
+	// Segment energies in joules and lengths in cycles.
+	segE := make([]float64, len(tree.Nodes))
+	segC := make([]float64, len(tree.Nodes))
+	for i, n := range tree.Nodes {
+		trace, ok := n.Data.([]float64)
+		if !ok {
+			return Result{}, fmt.Errorf("energy: node %d payload is %T, want []float64 (power trace)", n.ID, n.Data)
+		}
+		sum := 0.0
+		for _, mw := range trace {
+			sum += mw
+		}
+		segE[i] = sum * 1e-3 / clockHz
+		segC[i] = float64(n.Len)
+	}
+
+	sccs := tarjan(g)
+	// Map node -> SCC index; detect cyclic SCCs.
+	sccOf := make([]int, len(tree.Nodes))
+	for si, members := range sccs {
+		for _, id := range members {
+			sccOf[id] = si
+		}
+	}
+	cyclic := make([]bool, len(sccs))
+	for si, members := range sccs {
+		if len(members) > 1 {
+			cyclic[si] = true
+			continue
+		}
+		id := members[0]
+		for _, succ := range g.succ[id] {
+			if succ == id {
+				cyclic[si] = true
+			}
+		}
+	}
+
+	// Condensation DAG: process SCCs in reverse topological order
+	// (tarjan emits them in reverse topological order already: an SCC is
+	// emitted only after all SCCs it can reach).
+	bestE := make([]float64, len(sccs))
+	bestC := make([]float64, len(sccs))
+	for si, members := range sccs {
+		// Gather external successors.
+		extE, extC := 0.0, 0.0
+		for _, id := range members {
+			for _, succ := range g.succ[id] {
+				if sccOf[succ] != si {
+					se, sc := bestE[sccOf[succ]], bestC[sccOf[succ]]
+					if se > extE {
+						extE, extC = se, sc
+					}
+				}
+			}
+		}
+		if !cyclic[si] {
+			id := members[0]
+			bestE[si] = segE[id] + extE
+			bestC[si] = segC[id] + extC
+			continue
+		}
+		// Input-dependent loop: need an iteration bound from one of the
+		// SCC's branch instructions.
+		bound, boundPC, found := 0, uint16(0), false
+		var loopE, loopC float64
+		for _, id := range members {
+			n := tree.Nodes[id]
+			loopE += segE[id]
+			loopC += segC[id]
+			if b, ok := img.LoopBounds[n.BranchPC]; ok && n.BranchPC != 0 {
+				if !found || b > bound {
+					bound, boundPC, found = b, n.BranchPC, true
+				}
+			}
+		}
+		if !found {
+			pcs := []uint16{}
+			for _, id := range members {
+				if tree.Nodes[id].BranchPC != 0 {
+					pcs = append(pcs, tree.Nodes[id].BranchPC)
+				}
+			}
+			return Result{}, fmt.Errorf("energy: input-dependent loop through branch(es) %#04x has no .loopbound annotation", pcs)
+		}
+		_ = boundPC
+		bestE[si] = float64(bound)*loopE + extE
+		bestC[si] = float64(bound)*loopC + extC
+	}
+
+	rootSCC := sccOf[tree.Root.ID]
+	res := Result{EnergyJ: bestE[rootSCC], Cycles: bestC[rootSCC]}
+	if res.Cycles > 0 {
+		res.NPEJPerCycle = res.EnergyJ / res.Cycles
+	}
+	return res, nil
+}
+
+// graph is the segment DAG-with-back-edges induced by the tree.
+type graph struct {
+	succ [][]int
+}
+
+func newGraph(t *symx.Tree) *graph {
+	g := &graph{succ: make([][]int, len(t.Nodes))}
+	for _, n := range t.Nodes {
+		switch n.Kind {
+		case symx.KindBranch:
+			if n.Taken != nil {
+				g.succ[n.ID] = append(g.succ[n.ID], n.Taken.ID)
+			}
+			if n.NotTaken != nil {
+				g.succ[n.ID] = append(g.succ[n.ID], n.NotTaken.ID)
+			}
+		case symx.KindMerge:
+			if n.MergeTo != nil {
+				g.succ[n.ID] = append(g.succ[n.ID], n.MergeTo.ID)
+			}
+		}
+	}
+	return g
+}
+
+// tarjan computes strongly connected components; components are emitted
+// in reverse topological order of the condensation.
+func tarjan(g *graph) [][]int {
+	n := len(g.succ)
+	index := make([]int, n)
+	low := make([]int, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []int
+	var sccs [][]int
+	counter := 0
+
+	type frame struct {
+		v, pi int
+	}
+	for start := 0; start < n; start++ {
+		if index[start] != -1 {
+			continue
+		}
+		work := []frame{{start, 0}}
+		for len(work) > 0 {
+			f := &work[len(work)-1]
+			v := f.v
+			if f.pi == 0 {
+				index[v] = counter
+				low[v] = counter
+				counter++
+				stack = append(stack, v)
+				onStack[v] = true
+			}
+			advanced := false
+			for f.pi < len(g.succ[v]) {
+				w := g.succ[v][f.pi]
+				f.pi++
+				if index[w] == -1 {
+					work = append(work, frame{w, 0})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// All successors done.
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == v {
+						break
+					}
+				}
+				sccs = append(sccs, comp)
+			}
+			work = work[:len(work)-1]
+			if len(work) > 0 {
+				p := work[len(work)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+	return sccs
+}

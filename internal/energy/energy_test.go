@@ -1,0 +1,175 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/symx"
+)
+
+// mkNode builds a tree node with a constant-power trace.
+func mkNode(id int, mw float64, cycles int) *symx.Node {
+	trace := make([]float64, cycles)
+	for i := range trace {
+		trace[i] = mw
+	}
+	return &symx.Node{ID: id, Len: cycles, Data: trace, Kind: symx.KindEnd}
+}
+
+const clock = 100e6
+
+// segE returns the energy (J) of a constant-power segment.
+func segE(mw float64, cycles int) float64 {
+	return mw * 1e-3 * float64(cycles) / clock
+}
+
+func emptyImage() *isa.Image {
+	return &isa.Image{LoopBounds: map[uint16]int{}}
+}
+
+func TestStraightLine(t *testing.T) {
+	root := mkNode(0, 2.0, 100)
+	tree := &symx.Tree{Root: root, Nodes: []*symx.Node{root}}
+	res, err := PeakEnergy(tree, emptyImage(), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := segE(2.0, 100)
+	if math.Abs(res.EnergyJ-want) > 1e-15 {
+		t.Fatalf("E = %g, want %g", res.EnergyJ, want)
+	}
+	if res.Cycles != 100 {
+		t.Fatalf("cycles = %v", res.Cycles)
+	}
+	if math.Abs(res.NPEJPerCycle-want/100) > 1e-18 {
+		t.Fatalf("NPE = %g", res.NPEJPerCycle)
+	}
+}
+
+func TestBranchTakesMax(t *testing.T) {
+	root := mkNode(0, 1.0, 10)
+	root.Kind = symx.KindBranch
+	root.BranchPC = 0xF010
+	hot := mkNode(1, 3.0, 20)  // 60 units
+	cold := mkNode(2, 1.0, 50) // 50 units
+	root.Taken = hot
+	root.NotTaken = cold
+	tree := &symx.Tree{Root: root, Nodes: []*symx.Node{root, hot, cold}}
+	res, err := PeakEnergy(tree, emptyImage(), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := segE(1.0, 10) + segE(3.0, 20)
+	if math.Abs(res.EnergyJ-want) > 1e-15 {
+		t.Fatalf("E = %g, want %g (must take the hot side)", res.EnergyJ, want)
+	}
+	if res.Cycles != 30 {
+		t.Fatalf("cycles = %v, want 30 (the bounding path)", res.Cycles)
+	}
+}
+
+func TestNestedBranches(t *testing.T) {
+	root := mkNode(0, 1.0, 10)
+	root.Kind = symx.KindBranch
+	mid := mkNode(1, 1.0, 10)
+	mid.Kind = symx.KindBranch
+	leafA := mkNode(2, 1.0, 10)
+	leafB := mkNode(3, 5.0, 10)
+	other := mkNode(4, 2.0, 10)
+	root.Taken = mid
+	root.NotTaken = other
+	mid.Taken = leafA
+	mid.NotTaken = leafB
+	tree := &symx.Tree{Root: root, Nodes: []*symx.Node{root, mid, leafA, leafB, other}}
+	res, err := PeakEnergy(tree, emptyImage(), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := segE(1.0, 10) + segE(1.0, 10) + segE(5.0, 10)
+	if math.Abs(res.EnergyJ-want) > 1e-15 {
+		t.Fatalf("E = %g, want %g", res.EnergyJ, want)
+	}
+}
+
+func TestMergeLoopRequiresBound(t *testing.T) {
+	// root(branch) --not-taken--> body(merge back to root)
+	//             \--taken-----> exit(end)
+	root := mkNode(0, 1.0, 10)
+	root.Kind = symx.KindBranch
+	root.BranchPC = 0xF020
+	body := mkNode(1, 2.0, 10)
+	body.Kind = symx.KindMerge
+	body.BranchPC = 0xF020
+	body.MergeTo = root
+	exit := mkNode(2, 1.0, 5)
+	root.NotTaken = body
+	root.Taken = exit
+	tree := &symx.Tree{Root: root, Nodes: []*symx.Node{root, body, exit}}
+
+	if _, err := PeakEnergy(tree, emptyImage(), clock); err == nil ||
+		!strings.Contains(err.Error(), "loopbound") {
+		t.Fatalf("expected loop-bound error, got %v", err)
+	}
+
+	img := emptyImage()
+	img.LoopBounds[0xF020] = 4
+	res, err := PeakEnergy(tree, img, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loop SCC = {root, body}: one pass = 10@1mW + 10@2mW; 4 iterations,
+	// plus the exit segment.
+	want := 4*(segE(1.0, 10)+segE(2.0, 10)) + segE(1.0, 5)
+	if math.Abs(res.EnergyJ-want) > 1e-15 {
+		t.Fatalf("E = %g, want %g", res.EnergyJ, want)
+	}
+	wantCycles := 4.0*20 + 5
+	if res.Cycles != wantCycles {
+		t.Fatalf("cycles = %v, want %v", res.Cycles, wantCycles)
+	}
+}
+
+func TestMergeToSiblingIsNotALoop(t *testing.T) {
+	// Diamond: both sides of a branch reach an identical second branch;
+	// one side merges to the other's branch node. No cycle — no bound
+	// needed.
+	root := mkNode(0, 1.0, 10)
+	root.Kind = symx.KindBranch
+	b2 := mkNode(1, 1.0, 10)
+	b2.Kind = symx.KindBranch
+	m := mkNode(2, 4.0, 3)
+	m.Kind = symx.KindMerge
+	m.MergeTo = b2
+	endA := mkNode(3, 1.0, 10)
+	endB := mkNode(4, 2.0, 10)
+	root.Taken = m
+	root.NotTaken = b2
+	b2.Taken = endA
+	b2.NotTaken = endB
+	tree := &symx.Tree{Root: root, Nodes: []*symx.Node{root, b2, m, endA, endB}}
+	res, err := PeakEnergy(tree, emptyImage(), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Max path: root -> m -> b2 -> endB.
+	want := segE(1.0, 10) + segE(4.0, 3) + segE(1.0, 10) + segE(2.0, 10)
+	if math.Abs(res.EnergyJ-want) > 1e-15 {
+		t.Fatalf("E = %g, want %g", res.EnergyJ, want)
+	}
+}
+
+func TestBadPayload(t *testing.T) {
+	root := &symx.Node{ID: 0, Len: 3, Data: "nope", Kind: symx.KindEnd}
+	tree := &symx.Tree{Root: root, Nodes: []*symx.Node{root}}
+	if _, err := PeakEnergy(tree, emptyImage(), clock); err == nil {
+		t.Fatal("expected payload error")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	if _, err := PeakEnergy(&symx.Tree{}, emptyImage(), clock); err == nil {
+		t.Fatal("expected error")
+	}
+}

@@ -1,0 +1,777 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (the per-experiment index in DESIGN.md): each Fig*/Table*
+// method computes the experiment's data on the simulated substrate,
+// renders it as text, and returns it in structured form for the
+// benchmark harness and EXPERIMENTS.md bookkeeping.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/hwmeas"
+	"repro/internal/isa"
+	"repro/internal/opt"
+	"repro/internal/power"
+	"repro/internal/sizing"
+	"repro/internal/symx"
+	"repro/internal/ulp430"
+)
+
+// Config carries the experimental setup and caches expensive results.
+type Config struct {
+	// Out receives rendered text.
+	Out io.Writer
+	// Analyzer is the 65nm/100MHz analysis setup.
+	Analyzer *core.Analyzer
+	// Rig is the 130nm/8MHz measurement substitute.
+	Rig *hwmeas.Rig
+	// ProfileRuns is the number of input sets per profiling sweep.
+	ProfileRuns int
+	// Seed fixes all random draws.
+	Seed int64
+
+	reqs     map[string]*core.Requirements
+	profiles map[string]baseline.ProfileResult
+	stress   *baseline.StressResult
+	optReqs  map[string]*core.Requirements
+	optSrcs  map[string]string
+}
+
+// NewConfig builds the shared setup (one CPU netlist for everything).
+func NewConfig(out io.Writer) (*Config, error) {
+	an, err := core.NewAnalyzer()
+	if err != nil {
+		return nil, err
+	}
+	rig, err := hwmeas.NewRig(an.Netlist)
+	if err != nil {
+		return nil, err
+	}
+	return &Config{
+		Out:         out,
+		Analyzer:    an,
+		Rig:         rig,
+		ProfileRuns: 5,
+		Seed:        42,
+		reqs:        make(map[string]*core.Requirements),
+		profiles:    make(map[string]baseline.ProfileResult),
+		optReqs:     make(map[string]*core.Requirements),
+		optSrcs:     make(map[string]string),
+	}, nil
+}
+
+func (c *Config) printf(format string, args ...interface{}) {
+	if c.Out != nil {
+		fmt.Fprintf(c.Out, format, args...)
+	}
+}
+
+// Req returns (cached) co-analysis requirements for a benchmark.
+func (c *Config) Req(name string) (*core.Requirements, error) {
+	if r, ok := c.reqs[name]; ok {
+		return r, nil
+	}
+	b := bench.ByName(name)
+	if b == nil {
+		return nil, fmt.Errorf("figures: unknown benchmark %s", name)
+	}
+	img, err := b.Image()
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.Analyzer.Analyze(img, symx.Options{MaxCycles: b.MaxCycles, MaxNodes: 60000})
+	if err != nil {
+		return nil, err
+	}
+	c.reqs[name] = r
+	return r, nil
+}
+
+// Prof returns (cached) input-based profiling results.
+func (c *Config) Prof(name string) (baseline.ProfileResult, error) {
+	if p, ok := c.profiles[name]; ok {
+		return p, nil
+	}
+	b := bench.ByName(name)
+	p, err := baseline.Profile(c.Analyzer.Netlist, c.Analyzer.Model, b, c.ProfileRuns, c.Seed)
+	if err != nil {
+		return ProfileZero, err
+	}
+	c.profiles[name] = p
+	return p, nil
+}
+
+// ProfileZero is the zero profile value.
+var ProfileZero baseline.ProfileResult
+
+// Stress returns the (cached) evolved stressmark.
+func (c *Config) Stress() (*baseline.StressResult, error) {
+	if c.stress != nil {
+		return c.stress, nil
+	}
+	res, err := baseline.Stressmark(c.Analyzer.Netlist, c.Analyzer.Model, baseline.StressOptions{Seed: c.Seed})
+	if err != nil {
+		return nil, err
+	}
+	c.stress = &res
+	return c.stress, nil
+}
+
+// OptReq returns the (cached) guided-optimization result: following the
+// paper's workflow ("choose to apply only the optimizations that are
+// guaranteed to reduce peak power", Section 3.5), it tries every subset
+// of {OPT1, OPT2, OPT3}, verifies each rewrite differentially, re-runs
+// the co-analysis, and keeps the subset with the lowest peak-power bound
+// — falling back to the unmodified program when nothing helps.
+func (c *Config) OptReq(name string) (*core.Requirements, string, error) {
+	if r, ok := c.optReqs[name]; ok {
+		return r, c.optSrcs[name], nil
+	}
+	b := bench.ByName(name)
+	base, err := c.Req(name)
+	if err != nil {
+		return nil, "", err
+	}
+	bestReq, bestSrc := base, b.Source
+	transforms := []func(string) opt.Result{opt.OPT1, opt.OPT2, opt.OPT3}
+	tried := map[string]bool{b.Source: true}
+	for mask := 1; mask < 8; mask++ {
+		src := b.Source
+		applied := 0
+		for ti, f := range transforms {
+			if mask>>ti&1 == 1 {
+				r := f(src)
+				src = r.Source
+				applied += r.Applied
+			}
+		}
+		if applied == 0 || tried[src] {
+			continue
+		}
+		tried[src] = true
+		if err := opt.VerifyEquivalent(b, src, 4, c.Seed); err != nil {
+			return nil, "", fmt.Errorf("figures: %s optimization unsound: %w", name, err)
+		}
+		img, err := isa.Assemble(name+"-opt", src)
+		if err != nil {
+			return nil, "", err
+		}
+		r, err := c.Analyzer.Analyze(img, symx.Options{MaxCycles: 2 * b.MaxCycles, MaxNodes: 120000})
+		if err != nil {
+			return nil, "", err
+		}
+		if r.PeakPowerMW < bestReq.PeakPowerMW {
+			bestReq, bestSrc = r, src
+		}
+	}
+	c.optReqs[name] = bestReq
+	c.optSrcs[name] = bestSrc
+	return bestReq, bestSrc, nil
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// sparkline renders a compact trace view.
+func sparkline(xs []float64, width int) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	out := make([]rune, 0, width)
+	for i := 0; i < width; i++ {
+		j := i * len(xs) / width
+		g := 0
+		if hi > lo {
+			g = int((xs[j] - lo) / (hi - lo) * float64(len(glyphs)-1))
+		}
+		out = append(out, glyphs[g])
+	}
+	return string(out)
+}
+
+// Fig22Row is one benchmark's measured peak/NPE with input range.
+type Fig22Row struct {
+	Bench                      string
+	MeanPeak, MinPeak, MaxPeak float64
+	MeanNPE, MinNPE, MaxNPE    float64
+}
+
+// Fig22 reproduces Figure 2.2 (7a/7b): measured peak power and
+// normalized peak energy across benchmarks and input sets on the
+// MSP430F1610-class rig, with input-induced ranges.
+func (c *Config) Fig22(names []string) ([]Fig22Row, error) {
+	c.printf("Figure 2.2 — measured peak power and NPE on the 130nm/8MHz rig (rated peak %.2f mW)\n", c.Rig.RatedPeakMW)
+	c.printf("%-10s %28s %34s\n", "bench", "peak power mW (min..max)", "NPE J/cycle (min..max)")
+	var rows []Fig22Row
+	for _, name := range names {
+		sw, err := c.Rig.Sweep(bench.ByName(name), c.ProfileRuns, c.Seed)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig22Row{
+			Bench: name, MeanPeak: sw.MeanPeakMW, MinPeak: sw.MinPeakMW, MaxPeak: sw.MaxPeakMW,
+			MeanNPE: sw.MeanNPE, MinNPE: sw.MinNPE, MaxNPE: sw.MaxNPE,
+		}
+		rows = append(rows, row)
+		c.printf("%-10s %10.4f (%.4f..%.4f) %14.3e (%.3e..%.3e)\n",
+			name, row.MeanPeak, row.MinPeak, row.MaxPeak, row.MeanNPE, row.MinNPE, row.MaxNPE)
+	}
+	return rows, nil
+}
+
+// Fig23 reproduces Figure 2.3: the measured instantaneous power profile
+// of mult, far below both rated and observed peak on average.
+func (c *Config) Fig23() (hwmeas.Measurement, error) {
+	m, err := c.Rig.Measure(bench.ByName("mult"), c.Seed, c.Seed+1)
+	if err != nil {
+		return m, err
+	}
+	c.printf("Figure 2.3 — mult instantaneous power (130nm/8MHz rig)\n")
+	c.printf("  cycles=%d peak=%.4f mW avg=%.4f mW rated=%.4f mW\n", m.Cycles, m.PeakMW, m.AvgMW, c.Rig.RatedPeakMW)
+	c.printf("  trace: %s\n", sparkline(m.TraceMW, 72))
+	return m, nil
+}
+
+// Fig15 reproduces Figure 1.5/5: active gates at the peak cycle for
+// tHold vs PI, per module.
+func (c *Config) Fig15() (tholdCount, piCount int, err error) {
+	rt, err := c.Req("tHold")
+	if err != nil {
+		return 0, 0, err
+	}
+	rp, err := c.Req("PI")
+	if err != nil {
+		return 0, 0, err
+	}
+	c.printf("Figure 1.5 — active gates at the peak cycle (application-specific activity)\n")
+	for _, e := range []struct {
+		name string
+		req  *core.Requirements
+	}{{"tHold", rt}, {"PI", rp}} {
+		by := c.Analyzer.ActiveCellsByModule(e.req.Best.ActiveCells)
+		total := len(e.req.Best.ActiveCells)
+		mods := make([]string, 0, len(by))
+		for m := range by {
+			mods = append(mods, m)
+		}
+		sort.Strings(mods)
+		c.printf("  %-6s peak cycle: %4d active gates:", e.name, total)
+		for _, m := range mods {
+			c.printf(" %s:%d", m, by[m])
+		}
+		c.printf("\n")
+	}
+	return len(rt.Best.ActiveCells), len(rp.Best.ActiveCells), nil
+}
+
+// Fig33 reproduces Figure 3.3: per-cycle peak power traces for every
+// benchmark.
+func (c *Config) Fig33(names []string) (map[string][]float64, error) {
+	c.printf("Figure 3.3 — per-cycle X-based peak power traces\n")
+	out := make(map[string][]float64)
+	for _, name := range names {
+		r, err := c.Req(name)
+		if err != nil {
+			return nil, err
+		}
+		tr := r.PeakTrace
+		out[name] = tr
+		lo, hi := tr[0], tr[0]
+		for _, v := range tr {
+			lo, hi = math.Min(lo, v), math.Max(hi, v)
+		}
+		c.printf("  %-10s [%5.2f..%5.2f mW] %s\n", name, lo, hi, sparkline(tr, 64))
+	}
+	return out, nil
+}
+
+// Fig34Result summarizes toggle-set containment for one benchmark.
+type Fig34Result struct {
+	XOnly, Common, InputOnly int
+}
+
+// Fig34 reproduces Figure 3.4: gates toggled under low- and high-activity
+// inputs are contained in the X-based potentially-toggled set.
+func (c *Config) Fig34(name string, lowInputs, highInputs []uint16) (Fig34Result, error) {
+	r, err := c.Req(name)
+	if err != nil {
+		return Fig34Result{}, err
+	}
+	b := bench.ByName(name)
+	img, _ := b.Image()
+	res := Fig34Result{}
+	c.printf("Figure 3.4 — toggled-gate containment for %s\n", name)
+	for _, in := range [][]uint16{lowInputs, highInputs} {
+		run, err := c.Analyzer.RunConcrete(img, in, nil, 2_000_000)
+		if err != nil {
+			return res, err
+		}
+		common, inputOnly := 0, 0
+		for ci, act := range run.UnionActive {
+			if !act {
+				continue
+			}
+			if r.UnionActive[ci] {
+				common++
+			} else {
+				inputOnly++
+			}
+		}
+		res.Common = common
+		res.InputOnly += inputOnly
+		c.printf("  inputs %v: common=%d input-only=%d\n", in, common, inputOnly)
+	}
+	xonly := 0
+	for _, act := range r.UnionActive {
+		if act {
+			xonly++
+		}
+	}
+	res.XOnly = xonly
+	c.printf("  X-based potentially-toggled set: %d gates (superset; input-only must be 0)\n", xonly)
+	return res, nil
+}
+
+// Fig35 reproduces Figure 3.5: the X-based peak power trace upper-bounds
+// the input-based trace cycle for cycle (shown for mult, which has a
+// single execution path so the traces align exactly).
+func (c *Config) Fig35() (xTrace, inTrace []float64, err error) {
+	r, err := c.Req("mult")
+	if err != nil {
+		return nil, nil, err
+	}
+	b := bench.ByName("mult")
+	img, _ := b.Image()
+	run, err := c.Analyzer.RunConcrete(img, []uint16{0xFFFF, 0xAAAA, 0x1234, 0x8001, 0x7FFF, 0x5555, 0xF0F0, 0x0F0F}, nil, 1_000_000)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.printf("Figure 3.5 — X-based trace bounds the input-based trace (mult)\n")
+	c.printf("  X-based:     %s\n", sparkline(r.PeakTrace, 64))
+	c.printf("  input-based: %s\n", sparkline(run.Trace, 64))
+	return r.PeakTrace, run.Trace, nil
+}
+
+// Fig36 reproduces Figure 3.6: cycles of interest for mult with
+// instruction and per-module power attribution.
+func (c *Config) Fig36() ([]power.Peak, error) {
+	r, err := c.Req("mult")
+	if err != nil {
+		return nil, err
+	}
+	c.printf("Figure 3.6 — mult cycles of interest (instruction + module attribution)\n")
+	c.printf("%6s %8s %-8s %-6s  per-module mW\n", "cycle", "mW", "instr", "state")
+	img, _ := bench.ByName("mult").Image()
+	n := len(r.COIs)
+	if n > 4 {
+		n = 4
+	}
+	for _, pk := range r.COIs[:n] {
+		c.printf("%6d %8.3f %-8s %-6s ", pk.PathPos, pk.PowerMW, isa.Mnemonic(img, pk.FetchAddr), pk.State)
+		for mi, mw := range pk.ByModuleMW {
+			if mw > 0.05 {
+				c.printf(" %s:%.2f", r.Modules[mi], mw)
+			}
+		}
+		c.printf("\n")
+	}
+	return r.COIs, nil
+}
+
+// Fig41Row is one benchmark's concrete peak/NPE statistics at the
+// 65nm/100MHz operating point.
+type Fig41Row struct {
+	Bench                      string
+	MeanPeak, MinPeak, MaxPeak float64
+	MeanNPE, MinNPE, MaxNPE    float64
+}
+
+// Fig41 reproduces Figure 4.1 (15a/15b): per-benchmark, per-input peak
+// power and NPE on the openMSP430-class design.
+func (c *Config) Fig41(names []string) ([]Fig41Row, error) {
+	c.printf("Figure 4.1 — input-based peak power and NPE (ULP430 @ 65nm/100MHz)\n")
+	var rows []Fig41Row
+	for _, name := range names {
+		p, err := c.Prof(name)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig41Row{
+			Bench: name, MinPeak: p.MinPeakMW, MaxPeak: p.ObservedPeakMW,
+			MeanPeak: (p.MinPeakMW + p.ObservedPeakMW) / 2,
+			MinNPE:   p.MinNPE, MaxNPE: p.ObservedNPE, MeanNPE: (p.MinNPE + p.ObservedNPE) / 2,
+		}
+		rows = append(rows, row)
+		c.printf("  %-10s peak %.3f..%.3f mW   NPE %.3e..%.3e J/cyc\n",
+			name, row.MinPeak, row.MaxPeak, row.MinNPE, row.MaxNPE)
+	}
+	return rows, nil
+}
+
+// Fig51Row is the peak-power comparison for one benchmark.
+type Fig51Row struct {
+	Bench      string
+	DesignTool float64
+	GBStress   float64
+	InputBased float64 // highest observed
+	GBInput    float64
+	XBased     float64
+}
+
+// Fig51 reproduces Figure 5.1: peak power requirements by technique.
+func (c *Config) Fig51(names []string) ([]Fig51Row, Aggregates, error) {
+	design := baseline.DesignToolPeakMW(c.Analyzer.Netlist, c.Analyzer.Model, baseline.DefaultToggleRate)
+	st, err := c.Stress()
+	if err != nil {
+		return nil, Aggregates{}, err
+	}
+	c.printf("Figure 5.1 — peak power requirements by technique (mW)\n")
+	c.printf("%-10s %10s %10s %10s %10s %10s\n", "bench", "design", "GB-stress", "input-max", "GB-input", "X-based")
+	var rows []Fig51Row
+	for _, name := range names {
+		r, err := c.Req(name)
+		if err != nil {
+			return nil, Aggregates{}, err
+		}
+		p, err := c.Prof(name)
+		if err != nil {
+			return nil, Aggregates{}, err
+		}
+		row := Fig51Row{
+			Bench: name, DesignTool: design, GBStress: st.GuardbandedPeakMW,
+			InputBased: p.ObservedPeakMW, GBInput: p.GuardbandedPeakMW, XBased: r.PeakPowerMW,
+		}
+		rows = append(rows, row)
+		c.printf("%-10s %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+			name, row.DesignTool, row.GBStress, row.InputBased, row.GBInput, row.XBased)
+	}
+	agg := aggregate(rows)
+	c.printf("X-based is on average: %.0f%% below design tool, %.0f%% below GB-stressmark, %.0f%% below GB-input, %.0f%% above max observed input-based\n",
+		agg.VsDesignPct, agg.VsStressPct, agg.VsGBInputPct, agg.AboveObservedPct)
+	return rows, agg, nil
+}
+
+// Aggregates are the headline averages of Figure 5.1/5.2.
+type Aggregates struct {
+	VsDesignPct      float64 // X-based below design tool
+	VsStressPct      float64 // X-based below GB stressmark
+	VsGBInputPct     float64 // X-based below GB input-based
+	AboveObservedPct float64 // X-based above max observed
+}
+
+func aggregate(rows []Fig51Row) Aggregates {
+	var a Aggregates
+	for _, r := range rows {
+		a.VsDesignPct += 100 * (1 - r.XBased/r.DesignTool)
+		a.VsStressPct += 100 * (1 - r.XBased/r.GBStress)
+		a.VsGBInputPct += 100 * (1 - r.XBased/r.GBInput)
+		a.AboveObservedPct += 100 * (r.XBased/r.InputBased - 1)
+	}
+	n := float64(len(rows))
+	a.VsDesignPct /= n
+	a.VsStressPct /= n
+	a.VsGBInputPct /= n
+	a.AboveObservedPct /= n
+	return a
+}
+
+// Fig52Row is the NPE comparison for one benchmark.
+type Fig52Row struct {
+	Bench      string
+	DesignTool float64
+	GBStress   float64
+	InputBased float64
+	GBInput    float64
+	XBased     float64
+}
+
+// Fig52 reproduces Figure 5.2: normalized peak energy by technique.
+func (c *Config) Fig52(names []string) ([]Fig52Row, Aggregates, error) {
+	design := baseline.DesignToolNPE(c.Analyzer.Netlist, c.Analyzer.Model, baseline.DefaultToggleRate)
+	st, err := c.Stress()
+	if err != nil {
+		return nil, Aggregates{}, err
+	}
+	c.printf("Figure 5.2 — normalized peak energy by technique (J/cycle)\n")
+	c.printf("%-10s %11s %11s %11s %11s %11s\n", "bench", "design", "GB-stress", "input-max", "GB-input", "X-based")
+	var rows []Fig52Row
+	for _, name := range names {
+		r, err := c.Req(name)
+		if err != nil {
+			return nil, Aggregates{}, err
+		}
+		p, err := c.Prof(name)
+		if err != nil {
+			return nil, Aggregates{}, err
+		}
+		row := Fig52Row{
+			Bench: name, DesignTool: design, GBStress: st.GuardbandedNPE,
+			InputBased: p.ObservedNPE, GBInput: p.GuardbandedNPE, XBased: r.NPEJPerCycle,
+		}
+		rows = append(rows, row)
+		c.printf("%-10s %11.3e %11.3e %11.3e %11.3e %11.3e\n",
+			name, row.DesignTool, row.GBStress, row.InputBased, row.GBInput, row.XBased)
+	}
+	conv := make([]Fig51Row, len(rows))
+	for i, r := range rows {
+		conv[i] = Fig51Row{Bench: r.Bench, DesignTool: r.DesignTool, GBStress: r.GBStress,
+			InputBased: r.InputBased, GBInput: r.GBInput, XBased: r.XBased}
+	}
+	agg := aggregate(conv)
+	c.printf("X-based NPE is on average: %.0f%% below design tool, %.0f%% below GB-stressmark, %.0f%% below GB-input\n",
+		agg.VsDesignPct, agg.VsStressPct, agg.VsGBInputPct)
+	return rows, agg, nil
+}
+
+// Table51 reproduces Table 5.1: harvester-area reduction vs baselines
+// across processor peak-power contribution fractions.
+func (c *Config) Table51(names []string) (map[string][]float64, error) {
+	rows, _, err := c.Fig51(names)
+	if err != nil {
+		return nil, err
+	}
+	var xs, gbin, gbst, des []float64
+	for _, r := range rows {
+		xs = append(xs, r.XBased)
+		gbin = append(gbin, r.GBInput)
+		gbst = append(gbst, r.GBStress)
+		des = append(des, r.DesignTool)
+	}
+	out := map[string][]float64{
+		"GB-Input":    sizing.ReductionRow(mean(gbin), mean(xs)),
+		"GB-Stress":   sizing.ReductionRow(mean(gbst), mean(xs)),
+		"Design Tool": sizing.ReductionRow(mean(des), mean(xs)),
+	}
+	c.printf("Table 5.1 — %% reduction in harvester area vs processor contribution\n")
+	c.printf("%-12s", "Baseline")
+	for _, p := range sizing.Contributions {
+		c.printf(" %6.0f%%", p*100)
+	}
+	c.printf("\n")
+	for _, k := range []string{"GB-Input", "GB-Stress", "Design Tool"} {
+		c.printf("%-12s", k)
+		for _, v := range out[k] {
+			c.printf(" %6.2f ", v)
+		}
+		c.printf("\n")
+	}
+	return out, nil
+}
+
+// Table52 reproduces Table 5.2: battery-volume reduction vs baselines
+// across processor energy contribution fractions.
+func (c *Config) Table52(names []string) (map[string][]float64, error) {
+	rows, _, err := c.Fig52(names)
+	if err != nil {
+		return nil, err
+	}
+	var xs, gbin, gbst, des []float64
+	for _, r := range rows {
+		xs = append(xs, r.XBased)
+		gbin = append(gbin, r.GBInput)
+		gbst = append(gbst, r.GBStress)
+		des = append(des, r.DesignTool)
+	}
+	out := map[string][]float64{
+		"GB-Input":    sizing.ReductionRow(mean(gbin), mean(xs)),
+		"GB-Stress":   sizing.ReductionRow(mean(gbst), mean(xs)),
+		"Design Tool": sizing.ReductionRow(mean(des), mean(xs)),
+	}
+	c.printf("Table 5.2 — %% reduction in battery volume vs processor contribution\n")
+	for _, k := range []string{"GB-Input", "GB-Stress", "Design Tool"} {
+		c.printf("%-12s", k)
+		for _, v := range out[k] {
+			c.printf(" %6.2f ", v)
+		}
+		c.printf("\n")
+	}
+	return out, nil
+}
+
+// Fig54Row reports the optimization outcome for one benchmark.
+type Fig54Row struct {
+	Bench              string
+	PeakBefore         float64
+	PeakAfter          float64
+	PeakReductionPct   float64
+	RangeReductionPct  float64
+	PerfDegradationPct float64
+	EnergyOverheadPct  float64
+	Applied            bool
+}
+
+// Fig54 reproduces Figures 5.4 and 5.6: peak power reduction, dynamic
+// range reduction, performance degradation, and energy overhead of the
+// OPT1-3 transforms.
+func (c *Config) Fig54(names []string) ([]Fig54Row, error) {
+	c.printf("Figures 5.4/5.6 — peak power optimization results\n")
+	c.printf("%-10s %9s %9s %8s %8s %8s %8s\n", "bench", "before", "after", "Δpeak%", "Δrange%", "perf%", "energy%")
+	var rows []Fig54Row
+	for _, name := range names {
+		b := bench.ByName(name)
+		before, err := c.Req(name)
+		if err != nil {
+			return nil, err
+		}
+		after, newSrc, err := c.OptReq(name)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig54Row{
+			Bench: name, PeakBefore: before.PeakPowerMW, PeakAfter: after.PeakPowerMW,
+			Applied: newSrc != b.Source,
+		}
+		row.PeakReductionPct = 100 * (1 - after.PeakPowerMW/before.PeakPowerMW)
+		avgB := mean(before.PeakTrace)
+		avgA := mean(after.PeakTrace)
+		rangeB := before.PeakPowerMW - avgB
+		rangeA := after.PeakPowerMW - avgA
+		if rangeB > 0 {
+			row.RangeReductionPct = 100 * (1 - rangeA/rangeB)
+		}
+		if row.Applied {
+			ov, err := opt.MeasureOverhead(b, newSrc, c.Seed)
+			if err != nil {
+				return nil, err
+			}
+			row.PerfDegradationPct = ov.PerfDegradationPct
+		}
+		row.EnergyOverheadPct = 100 * (after.PeakEnergyJ/before.PeakEnergyJ - 1)
+		rows = append(rows, row)
+		c.printf("%-10s %9.3f %9.3f %8.2f %8.2f %8.2f %8.2f\n",
+			name, row.PeakBefore, row.PeakAfter, row.PeakReductionPct,
+			row.RangeReductionPct, row.PerfDegradationPct, row.EnergyOverheadPct)
+	}
+	return rows, nil
+}
+
+// Fig55 reproduces Figure 5.5: mult's peak power trace before and after
+// optimization.
+func (c *Config) Fig55() (before, after []float64, err error) {
+	rb, err := c.Req("mult")
+	if err != nil {
+		return nil, nil, err
+	}
+	ra, _, err := c.OptReq("mult")
+	if err != nil {
+		return nil, nil, err
+	}
+	c.printf("Figure 5.5 — mult X-based peak power trace before/after optimization\n")
+	c.printf("  before (peak %.3f): %s\n", rb.PeakPowerMW, sparkline(rb.PeakTrace, 64))
+	c.printf("  after  (peak %.3f): %s\n", ra.PeakPowerMW, sparkline(ra.PeakTrace, 64))
+	return rb.PeakTrace, ra.PeakTrace, nil
+}
+
+// Fig53 reproduces Figure 5.3: the instruction transforms themselves.
+func (c *Config) Fig53() map[string]map[string]int {
+	c.printf("Figure 5.3 — instruction optimization transforms applied per benchmark\n")
+	out := make(map[string]map[string]int)
+	for _, b := range bench.All() {
+		_, counts := opt.ApplyAll(b.Source)
+		out[b.Name] = counts
+		c.printf("  %-10s OPT1(indexed-load)=%d OPT2(pop-split)=%d OPT3(mult-nop)=%d\n",
+			b.Name, counts["OPT1"], counts["OPT2"], counts["OPT3"])
+	}
+	return out
+}
+
+// Tables11_12_61 renders the constant tables.
+func (c *Config) Tables11_12_61() {
+	c.printf("Table 1.1 — battery energy characteristics\n")
+	for _, b := range sizing.Batteries() {
+		c.printf("  %-12s %6.0f J/g  %6.3f MJ/L\n", b.Type, b.SpecificEnergyJG, b.EnergyDensityMJL)
+	}
+	c.printf("Table 1.2 — harvester power density\n")
+	for _, h := range sizing.Harvesters() {
+		c.printf("  %-24s %8.3f mW/cm²\n", h.Type, h.PowerDensityMWCM2)
+	}
+	c.printf("Table 6.1 — microarchitectural features\n")
+	for _, r := range sizing.MicroarchTable() {
+		c.printf("  %-24s predictor=%v cache=%v\n", r.Processor, r.BranchPredictor, r.Cache)
+	}
+}
+
+// Fig32 renders the Figure 3.2 even/odd assignment example.
+func (c *Config) Fig32() error {
+	img, err := isa.Assemble("fig32", `
+.org 0x0200
+v: .input 2
+.org 0xf000
+.entry main
+main:
+    mov #0x0080, &0x0120
+    mov &v, r4
+    add &v+2, r4
+    xor r4, r5
+    mov #1, &0x0126
+spin: jmp spin
+`)
+	if err != nil {
+		return err
+	}
+	sys, err := ulp430.NewSystem(c.Analyzer.Netlist, c.Analyzer.Model.Lib, img, ulp430.SymbolicInputs, nil)
+	if err != nil {
+		return err
+	}
+	sys.Reset()
+	w, err := power.Capture(sys, 30)
+	if err != nil {
+		return err
+	}
+	peak, even, odd := power.AlgorithmTwo(w, c.Analyzer.Model)
+	stream := power.StreamingTrace(w, c.Analyzer.Model)
+	c.printf("Figure 3.2 — Algorithm 2 even/odd assignment on a live window\n")
+	c.printf("  interleaved peak: %s\n", sparkline(peak[1:], 29))
+	c.printf("  streaming bound:  %s\n", sparkline(stream[1:], 29))
+	_ = even
+	_ = odd
+	maxDiff := 0.0
+	for i := 1; i < len(peak); i++ {
+		maxDiff = math.Max(maxDiff, math.Abs(peak[i]-stream[i]))
+	}
+	c.printf("  max |interleaved-streaming| = %.2e mW (must be ~0)\n", maxDiff)
+	return nil
+}
+
+// EnergyCrossCheck verifies that a benchmark's concrete energy stays
+// within its bound — data backing EXPERIMENTS.md.
+func (c *Config) EnergyCrossCheck(name string) (boundJ, concreteJ float64, err error) {
+	r, err := c.Req(name)
+	if err != nil {
+		return 0, 0, err
+	}
+	b := bench.ByName(name)
+	img, err := b.Image()
+	if err != nil {
+		return 0, 0, err
+	}
+	rr := rand.New(rand.NewSource(c.Seed))
+	var portIn func() uint16
+	inputs := b.GenInputs(rr)
+	if b.UsesPort {
+		portIn = b.GenPort(rr)
+	}
+	run, err := c.Analyzer.RunConcrete(img, inputs, portIn, 2_000_000)
+	if err != nil {
+		return 0, 0, err
+	}
+	return r.PeakEnergyJ, run.EnergyJ, nil
+}

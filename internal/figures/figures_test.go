@@ -1,0 +1,186 @@
+package figures
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// One shared config across tests (analysis results are cached in it).
+var testCfg *Config
+
+func config(t *testing.T) *Config {
+	t.Helper()
+	if testCfg == nil {
+		c, err := NewConfig(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.ProfileRuns = 2
+		testCfg = c
+	}
+	return testCfg
+}
+
+var smokeSet = []string{"mult", "tea8"}
+
+func TestFig22And23(t *testing.T) {
+	c := config(t)
+	var buf bytes.Buffer
+	c.Out = &buf
+	rows, err := c.Fig22(smokeSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].MaxPeak < rows[0].MinPeak {
+		t.Fatalf("rows: %+v", rows)
+	}
+	m, err := c.Fig23()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.AvgMW >= m.PeakMW {
+		t.Fatal("average must sit below peak")
+	}
+	if !strings.Contains(buf.String(), "Figure 2.2") {
+		t.Fatal("rendering missing")
+	}
+	c.Out = nil
+}
+
+func TestFig15ActivityOrdering(t *testing.T) {
+	c := config(t)
+	th, pi, err := c.Fig15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pi <= th {
+		t.Fatalf("PI (%d) must exceed tHold (%d) at the peak cycle", pi, th)
+	}
+}
+
+func TestFig32Equivalence(t *testing.T) {
+	c := config(t)
+	if err := c.Fig32(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig33And35Bounds(t *testing.T) {
+	c := config(t)
+	traces, err := c.Fig33(smokeSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces["mult"]) == 0 {
+		t.Fatal("empty trace")
+	}
+	x, in, err := c.Fig35()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cyc := range in {
+		if cyc < len(x) && in[cyc] > x[cyc]+1e-9 {
+			t.Fatalf("cycle %d: concrete above bound", cyc)
+		}
+	}
+}
+
+func TestFig34Containment(t *testing.T) {
+	c := config(t)
+	res, err := c.Fig34("mult",
+		[]uint16{1, 0, 2, 0, 1, 2, 0, 1},
+		[]uint16{0xFFFF, 0xAAAA, 0xF731, 0x8001, 0x7FFF, 0x5555, 0xFF0F, 0xFFFE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InputOnly != 0 {
+		t.Fatalf("%d gates escaped the X-based set", res.InputOnly)
+	}
+	if res.XOnly < res.Common {
+		t.Fatal("X set must be a superset")
+	}
+}
+
+func TestFig51OrderingAndAggregates(t *testing.T) {
+	c := config(t)
+	rows, agg, err := c.Fig51(smokeSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if !(r.DesignTool > r.GBStress && r.GBStress > r.XBased && r.XBased >= r.InputBased) {
+			t.Fatalf("ordering violated: %+v", r)
+		}
+	}
+	if agg.VsDesignPct <= 0 || agg.VsGBInputPct <= 0 || agg.AboveObservedPct < 0 {
+		t.Fatalf("aggregates: %+v", agg)
+	}
+}
+
+func TestFig52AndTables(t *testing.T) {
+	c := config(t)
+	rows, _, err := c.Fig52(smokeSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.XBased > r.GBInput || r.XBased < r.InputBased-1e-15 {
+			t.Fatalf("NPE ordering: %+v", r)
+		}
+	}
+	t51, err := c.Table51(smokeSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t52, err := c.Table52(smokeSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range []map[string][]float64{t51, t52} {
+		for base, row := range tab {
+			if len(row) != 6 || row[5] <= 0 {
+				t.Fatalf("%s row: %v", base, row)
+			}
+		}
+	}
+}
+
+func TestFig54GuidedSelectionNeverWorsens(t *testing.T) {
+	c := config(t)
+	rows, err := c.Fig54([]string{"mult", "tea8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.PeakReductionPct < -1e-9 {
+			t.Fatalf("%s: guided selection regressed the peak: %+v", r.Bench, r)
+		}
+	}
+	before, after, err := c.Fig55()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(before) == 0 || len(after) == 0 {
+		t.Fatal("missing traces")
+	}
+}
+
+func TestEnergyCrossCheck(t *testing.T) {
+	c := config(t)
+	bound, concrete, err := c.EnergyCrossCheck("tea8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if concrete > bound {
+		t.Fatalf("concrete energy %.3e exceeds bound %.3e", concrete, bound)
+	}
+}
+
+func TestFig53CountsTransforms(t *testing.T) {
+	c := config(t)
+	counts := c.Fig53()
+	if counts["mult"]["OPT3"] == 0 || counts["rle"]["OPT2"] == 0 || counts["binSearch"]["OPT1"] == 0 {
+		t.Fatalf("expected transform sites missing: %v", counts)
+	}
+}

@@ -1,0 +1,399 @@
+// Package gsim is the cycle-based gate-level simulator at the heart of the
+// co-analysis. It evaluates a built netlist in the three-valued domain of
+// package logic, so the same engine performs both concrete ("input-based")
+// simulation and the symbolic ("X-based") simulation of the paper's
+// Section 3.1, in which unknown values are propagated for all inputs.
+//
+// Each Step models one clock cycle of a design with a registered bus
+// interface:
+//
+//  1. flip-flops capture their next state (computed from last cycle's
+//     settled values),
+//  2. the external Bus observes the freshly captured, registered bus
+//     outputs, services the access, and drives the read-data inputs,
+//  3. combinational logic settles in one topologically ordered pass,
+//  4. per-gate activity is derived by comparing against the previous
+//     cycle's settled values.
+//
+// Activity follows the paper's definition: a gate is active in a cycle if
+// its output value changed, or if its output is X and it is driven by an
+// active gate (Section 3.1).
+package gsim
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Bus services memory/peripheral accesses. Tick is called once per cycle
+// after flip-flops have captured and before combinational settling; it
+// may read registered output nets with s.Val and must drive read-data
+// primary inputs with s.SetNet.
+type Bus interface {
+	Tick(s *Simulator)
+}
+
+// CycleHook observes every completed cycle; used by power analysis,
+// activity recording, and VCD dumping. prev and cur are the settled net
+// values of the previous and current cycle (do not retain or mutate).
+type CycleHook func(cycle uint64, s *Simulator)
+
+// Simulator simulates one netlist instance.
+type Simulator struct {
+	n   *netlist.Netlist
+	lib *cell.Library
+	bus Bus
+
+	vals    []logic.Trit
+	prev    []logic.Trit
+	active  []bool
+	prevAct []bool
+
+	order []netlist.CellID // combinational cells in topological order
+	seq   []netlist.CellID
+	seqNx []logic.Trit
+
+	staged []stagedInput
+	inStep bool
+
+	cycle uint64
+	hooks []CycleHook
+}
+
+// stagedInput is an input assignment made between Steps; it takes effect
+// at the start of the next cycle, after the previous cycle's values have
+// been latched as "previous" (so input changes register as activity).
+type stagedInput struct {
+	id netlist.NetID
+	v  logic.Trit
+}
+
+// New creates a simulator for a built netlist. All nets start at X — the
+// paper's initial condition ("the states of all gates ... are initialized
+// to Xs").
+func New(n *netlist.Netlist, lib *cell.Library, bus Bus) *Simulator {
+	if !n.Built() {
+		panic("gsim: netlist not built")
+	}
+	order := make([]netlist.CellID, 0, n.NumCells())
+	for _, level := range n.Levels() {
+		order = append(order, level...)
+	}
+	s := &Simulator{
+		n: n, lib: lib, bus: bus,
+		vals:    make([]logic.Trit, n.NumNets()),
+		prev:    make([]logic.Trit, n.NumNets()),
+		active:  make([]bool, n.NumNets()),
+		prevAct: make([]bool, n.NumNets()),
+		order:   order,
+		seq:     n.Sequential(),
+		seqNx:   make([]logic.Trit, len(n.Sequential())),
+	}
+	for i := range s.vals {
+		s.vals[i] = logic.X
+		s.prev[i] = logic.X
+	}
+	return s
+}
+
+// Netlist returns the simulated design.
+func (s *Simulator) Netlist() *netlist.Netlist { return s.n }
+
+// Library returns the cell library used for power lookups.
+func (s *Simulator) Library() *cell.Library { return s.lib }
+
+// Cycle returns the number of completed Steps.
+func (s *Simulator) Cycle() uint64 { return s.cycle }
+
+// AddHook registers a per-cycle observer.
+func (s *Simulator) AddHook(h CycleHook) { s.hooks = append(s.hooks, h) }
+
+// Val returns the settled value of a net in the current cycle.
+func (s *Simulator) Val(id netlist.NetID) logic.Trit { return s.vals[id] }
+
+// PrevVal returns the settled value of a net in the previous cycle.
+func (s *Simulator) PrevVal(id netlist.NetID) logic.Trit { return s.prev[id] }
+
+// Active reports whether the net was active in the current cycle.
+func (s *Simulator) Active(id netlist.NetID) bool { return s.active[id] }
+
+// SetNet drives a primary-input net. Outside Step the assignment is
+// staged and takes effect at the start of the next cycle; a Bus calling
+// SetNet from Tick drives the net immediately (read data for the cycle in
+// flight). SetNet panics when applied to a driven net, which would
+// silently desynchronize simulation from the netlist.
+func (s *Simulator) SetNet(id netlist.NetID, v logic.Trit) {
+	if !s.n.IsInput(id) {
+		panic(fmt.Sprintf("gsim: SetNet on non-input net %s", s.n.NetName(id)))
+	}
+	if s.inStep {
+		s.vals[id] = v
+		return
+	}
+	s.staged = append(s.staged, stagedInput{id, v})
+}
+
+// SetPort drives a named input port with a word (bit i of w drives net i
+// of the port).
+func (s *Simulator) SetPort(name string, w logic.Word) {
+	nets := s.n.Port(name)
+	if nets == nil {
+		panic("gsim: unknown port " + name)
+	}
+	if len(nets) != len(w) {
+		panic(fmt.Sprintf("gsim: port %s width %d, word width %d", name, len(nets), len(w)))
+	}
+	for i, id := range nets {
+		s.SetNet(id, w[i])
+	}
+}
+
+// SetPortUint drives a named input port with a concrete value.
+func (s *Simulator) SetPortUint(name string, v uint64) {
+	nets := s.n.Port(name)
+	if nets == nil {
+		panic("gsim: unknown port " + name)
+	}
+	s.SetPort(name, logic.FromUint(v, len(nets)))
+}
+
+// Port reads the current value of a named port as a word.
+func (s *Simulator) Port(name string) logic.Word {
+	nets := s.n.Port(name)
+	if nets == nil {
+		panic("gsim: unknown port " + name)
+	}
+	w := make(logic.Word, len(nets))
+	for i, id := range nets {
+		w[i] = s.vals[id]
+	}
+	return w
+}
+
+// PortUint reads a named port as a concrete value; ok is false if any bit
+// is X.
+func (s *Simulator) PortUint(name string) (uint64, bool) {
+	return s.Port(name).Uint()
+}
+
+// Step advances simulation by one clock cycle.
+func (s *Simulator) Step() {
+	copy(s.prev, s.vals)
+	s.inStep = true
+
+	// 0. Staged input assignments become the new cycle's input values.
+	for _, si := range s.staged {
+		s.vals[si.id] = si.v
+	}
+	s.staged = s.staged[:0]
+
+	// 1. Clock edge: flip-flops capture next state computed from the
+	// previous cycle's settled values.
+	for i, ci := range s.seq {
+		c := s.n.Cell(ci)
+		var a, b, cc logic.Trit
+		a = s.prev[c.In[0]]
+		if c.In[1] >= 0 {
+			b = s.prev[c.In[1]]
+		}
+		if c.In[2] >= 0 {
+			cc = s.prev[c.In[2]]
+		}
+		s.seqNx[i] = cell.Eval(c.Kind, a, b, cc, s.prev[c.Out])
+	}
+	for i, ci := range s.seq {
+		s.vals[s.n.Cell(ci).Out] = s.seqNx[i]
+	}
+
+	// 2. External bus observes registered outputs and drives read data.
+	if s.bus != nil {
+		s.bus.Tick(s)
+	}
+
+	// 3. Combinational settling in topological order.
+	for _, ci := range s.order {
+		c := s.n.Cell(ci)
+		var a, b, cc logic.Trit
+		if c.In[0] >= 0 {
+			a = s.vals[c.In[0]]
+		}
+		if c.In[1] >= 0 {
+			b = s.vals[c.In[1]]
+		}
+		if c.In[2] >= 0 {
+			cc = s.vals[c.In[2]]
+		}
+		s.vals[c.Out] = cell.Eval(c.Kind, a, b, cc, 0)
+	}
+
+	// 4. Activity: toggled, or X driven by an active gate (the paper's
+	// Section 3.1 rule). Primary inputs are active when they changed or
+	// are X (inputs are the unconstrained signals the analysis
+	// abstracts). Flip-flop outputs changed at the clock edge as a
+	// function of last cycle's inputs, so their X-activity derives from
+	// last cycle's activity flags; combinational gates settle within the
+	// cycle and use current flags in topological order.
+	copy(s.prevAct, s.active)
+	for _, ci := range s.seq {
+		c := s.n.Cell(ci)
+		out := c.Out
+		if s.prev[out] != s.vals[out] {
+			s.active[out] = true
+			continue
+		}
+		act := false
+		if s.vals[out] == logic.X && s.seqCanCapture(c) {
+			for pin := 0; pin < c.Kind.NumInputs(); pin++ {
+				if s.prevAct[c.In[pin]] {
+					act = true
+					break
+				}
+			}
+		}
+		s.active[out] = act
+	}
+	for _, id := range s.n.Inputs() {
+		s.active[id] = s.prev[id] != s.vals[id] || s.vals[id] == logic.X
+	}
+	for _, ci := range s.order {
+		c := s.n.Cell(ci)
+		out := c.Out
+		if s.prev[out] != s.vals[out] {
+			s.active[out] = true
+			continue
+		}
+		act := false
+		if s.vals[out] == logic.X {
+			for pin := 0; pin < c.Kind.NumInputs(); pin++ {
+				if s.active[c.In[pin]] {
+					act = true
+					break
+				}
+			}
+		}
+		s.active[out] = act
+	}
+
+	s.inStep = false
+	s.cycle++
+	for _, h := range s.hooks {
+		h(s.cycle, s)
+	}
+}
+
+// seqCanCapture reports whether a flip-flop could have captured a new
+// value at the edge that began this cycle. A Dffre whose enable was a
+// known 0 (with reset known inactive) held its state in *every* concrete
+// refinement, so an unchanged-X output cannot have toggled — this keeps
+// idle X-holding register banks (e.g. the multiplier operands) from being
+// conservatively marked active via their data-pin cones.
+func (s *Simulator) seqCanCapture(c *netlist.Cell) bool {
+	if c.Kind != cell.Dffre {
+		return true
+	}
+	rst := s.prev[c.In[1]]
+	en := s.prev[c.In[2]]
+	return !(en == logic.L && rst == logic.L)
+}
+
+// Run advances n cycles.
+func (s *Simulator) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}
+
+// Snapshot is a restorable copy of simulator state (net values only; bus
+// state is snapshotted by the system owning the bus).
+type Snapshot struct {
+	Vals   []logic.Trit
+	Prev   []logic.Trit
+	Staged []stagedInput
+	Cycle  uint64
+}
+
+// Snapshot captures the current simulator state, including any staged
+// input assignments not yet consumed by Step.
+func (s *Simulator) Snapshot() *Snapshot {
+	sn := &Snapshot{}
+	s.SnapshotInto(sn)
+	return sn
+}
+
+// SnapshotInto captures the current state into sn, reusing its buffers —
+// the allocation-free form used by the symbolic engine's per-cycle
+// rolling snapshot.
+func (s *Simulator) SnapshotInto(sn *Snapshot) {
+	if cap(sn.Vals) < len(s.vals) {
+		sn.Vals = make([]logic.Trit, len(s.vals))
+		sn.Prev = make([]logic.Trit, len(s.prev))
+	}
+	sn.Vals = sn.Vals[:len(s.vals)]
+	sn.Prev = sn.Prev[:len(s.prev)]
+	copy(sn.Vals, s.vals)
+	copy(sn.Prev, s.prev)
+	sn.Staged = append(sn.Staged[:0], s.staged...)
+	sn.Cycle = s.cycle
+}
+
+// Restore rewinds the simulator to a snapshot.
+func (s *Simulator) Restore(sn *Snapshot) {
+	copy(s.vals, sn.Vals)
+	copy(s.prev, sn.Prev)
+	s.staged = append(s.staged[:0], sn.Staged...)
+	s.cycle = sn.Cycle
+	for i := range s.active {
+		s.active[i] = false
+	}
+}
+
+// ActiveCells appends to dst the IDs of cells whose outputs are active in
+// the current cycle and returns the extended slice.
+func (s *Simulator) ActiveCells(dst []netlist.CellID) []netlist.CellID {
+	for ci := 0; ci < s.n.NumCells(); ci++ {
+		if s.active[s.n.Cell(netlist.CellID(ci)).Out] {
+			dst = append(dst, netlist.CellID(ci))
+		}
+	}
+	return dst
+}
+
+// StateHash returns a hash of all flip-flop values — the processor-state
+// component of Algorithm 1's "seen this state at this branch before"
+// check. Memory contents are hashed by the system layer.
+func (s *Simulator) StateHash() uint64 {
+	h := uint64(1469598103934665603) // FNV-64 offset basis
+	for _, ci := range s.seq {
+		h ^= uint64(s.vals[s.n.Cell(ci).Out])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// DynamicEnergyFJ returns the concrete dynamic energy, in femtojoules,
+// dissipated by transitions in the current cycle: the sum of per-cell
+// transition energies (X-involved transitions contribute nothing here;
+// bounding their contribution is the power package's job) plus the
+// clock-pin energy of every flip-flop.
+func (s *Simulator) DynamicEnergyFJ() float64 {
+	e := 0.0
+	for ci := 0; ci < s.n.NumCells(); ci++ {
+		c := s.n.Cell(netlist.CellID(ci))
+		e += s.lib.TransitionEnergy(c.Kind, s.prev[c.Out], s.vals[c.Out])
+		e += s.lib.Params(c.Kind).EnergyClk
+	}
+	return e
+}
+
+// LeakagePowerNW returns the total leakage power of the design in
+// nanowatts.
+func (s *Simulator) LeakagePowerNW() float64 {
+	p := 0.0
+	for ci := 0; ci < s.n.NumCells(); ci++ {
+		p += s.lib.Params(s.n.Cell(netlist.CellID(ci)).Kind).LeakageNW
+	}
+	return p
+}

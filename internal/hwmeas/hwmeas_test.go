@@ -1,0 +1,126 @@
+package hwmeas
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/netlist"
+	"repro/internal/ulp430"
+)
+
+var (
+	rigOnce sync.Once
+	rigNet  *netlist.Netlist
+)
+
+func sharedRig(t *testing.T) *Rig {
+	t.Helper()
+	rigOnce.Do(func() {
+		n, err := ulp430.BuildCPU()
+		if err != nil {
+			panic(err)
+		}
+		rigNet = n
+	})
+	rig, err := NewRig(rigNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rig
+}
+
+func TestRigOperatingPoint(t *testing.T) {
+	rig := sharedRig(t)
+	if rig.Model.ClockHz != 8e6 {
+		t.Fatalf("clock %v, want 8 MHz", rig.Model.ClockHz)
+	}
+	if rig.Model.Lib.FeatureNM != 130 {
+		t.Fatalf("process %d nm, want 130", rig.Model.Lib.FeatureNM)
+	}
+	if rig.RatedPeakMW <= 0 {
+		t.Fatal("rated peak missing")
+	}
+}
+
+func TestMeasureBasics(t *testing.T) {
+	rig := sharedRig(t)
+	m, err := rig.Measure(bench.ByName("mult"), 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PeakMW <= 0 || m.AvgMW <= 0 || m.PeakMW < m.AvgMW {
+		t.Fatalf("implausible measurement: %+v", m)
+	}
+	if m.Cycles == 0 || len(m.TraceMW) != m.Cycles {
+		t.Fatalf("trace length wrong")
+	}
+	if math.Abs(m.NPEJPerCycle-m.EnergyJ/float64(m.Cycles)) > 1e-18 {
+		t.Fatal("NPE inconsistent")
+	}
+	// The measured peak sits well below the rated figure (the paper's
+	// observation that datasheet ratings over-provision).
+	if m.PeakMW >= rig.RatedPeakMW {
+		t.Fatalf("measured %.3f mW not below rated %.3f mW", m.PeakMW, rig.RatedPeakMW)
+	}
+}
+
+func TestRunToRunVariationUnder2Pct(t *testing.T) {
+	rig := sharedRig(t)
+	b := bench.ByName("tea8")
+	m1, err := rig.Measure(b, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := rig.Measure(b, 5, 200) // same inputs, different noise
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := math.Abs(m1.PeakMW-m2.PeakMW) / m1.PeakMW
+	if rel > 0.02 {
+		t.Fatalf("run-to-run variation %.2f%% exceeds 2%%", rel*100)
+	}
+	if m1.PeakMW == m2.PeakMW {
+		t.Fatal("noise model inactive")
+	}
+}
+
+func TestInputVariationVisible(t *testing.T) {
+	// Figure 2.2: input-induced peak variation for data-dependent
+	// benchmarks.
+	rig := sharedRig(t)
+	sw, err := rig.Sweep(bench.ByName("div"), 6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.Runs != 6 {
+		t.Fatalf("runs=%d", sw.Runs)
+	}
+	if sw.MaxPeakMW <= sw.MinPeakMW {
+		t.Fatal("input sweep should show peak-power variation")
+	}
+	if sw.MeanPeakMW < sw.MinPeakMW || sw.MeanPeakMW > sw.MaxPeakMW {
+		t.Fatal("mean outside range")
+	}
+	if sw.MaxNPE < sw.MinNPE {
+		t.Fatal("NPE range inverted")
+	}
+}
+
+func TestPeaksDifferAcrossApplications(t *testing.T) {
+	rig := sharedRig(t)
+	peaks := map[string]float64{}
+	for _, name := range []string{"mult", "tea8", "tHold"} {
+		sw, err := rig.Sweep(bench.ByName(name), 3, 9)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		peaks[name] = sw.MeanPeakMW
+	}
+	// The multiplier-heavy benchmark must out-peak the ALU-only ones
+	// (Figure 2.2's application-specificity).
+	if peaks["mult"] <= peaks["tHold"] {
+		t.Errorf("mult peak %.3f should exceed tHold %.3f", peaks["mult"], peaks["tHold"])
+	}
+}

@@ -1,0 +1,774 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Region is a contiguous word range in the address space.
+type Region struct {
+	// Addr is the starting byte address (even).
+	Addr uint16
+	// Words is the region length in 16-bit words.
+	Words int
+}
+
+// Image is an assembled application binary plus the side-band metadata
+// the co-analysis consumes: which memory words are application inputs
+// (initialized to X by symbolic simulation, to concrete values by
+// profiling) and user-supplied loop bounds for peak-energy analysis
+// (Section 3.3: "the maximum number of iterations may be determined
+// either by static analysis or user input").
+type Image struct {
+	// Name identifies the program.
+	Name string
+	// Words maps even byte addresses to initialized 16-bit words.
+	Words map[uint16]uint16
+	// Entry is the address the reset vector points to.
+	Entry uint16
+	// Inputs are the declared application-input regions.
+	Inputs []Region
+	// LoopBounds maps a branch-instruction address to the maximum number
+	// of times the backward path through it can be taken.
+	LoopBounds map[uint16]int
+	// Symbols maps labels and .equ names to values.
+	Symbols map[string]uint16
+	// Listing records, per emitted instruction, its address and source.
+	Listing []ListingEntry
+}
+
+// ListingEntry ties an emitted instruction to its source line.
+type ListingEntry struct {
+	// Addr is the instruction's byte address.
+	Addr uint16
+	// Words is the encoded instruction.
+	Words []uint16
+	// Line is the 1-based source line number.
+	Line int
+	// Source is the trimmed source text.
+	Source string
+}
+
+// ResetVector is the address of the reset vector word.
+const ResetVector = 0xFFFE
+
+// SourceLine returns the source text of the instruction at addr, or "".
+func (im *Image) SourceLine(addr uint16) string {
+	for _, le := range im.Listing {
+		if le.Addr == addr {
+			return le.Source
+		}
+	}
+	return ""
+}
+
+// Clone returns a deep copy of the image (used by binary-rewriting
+// optimizations).
+func (im *Image) Clone() *Image {
+	c := &Image{
+		Name:       im.Name,
+		Words:      make(map[uint16]uint16, len(im.Words)),
+		Entry:      im.Entry,
+		Inputs:     append([]Region(nil), im.Inputs...),
+		LoopBounds: make(map[uint16]int, len(im.LoopBounds)),
+		Symbols:    make(map[string]uint16, len(im.Symbols)),
+		Listing:    append([]ListingEntry(nil), im.Listing...),
+	}
+	for k, v := range im.Words {
+		c.Words[k] = v
+	}
+	for k, v := range im.LoopBounds {
+		c.LoopBounds[k] = v
+	}
+	for k, v := range im.Symbols {
+		c.Symbols[k] = v
+	}
+	return c
+}
+
+// InInput reports whether byte address a falls inside an input region.
+func (im *Image) InInput(a uint16) bool {
+	for _, r := range im.Inputs {
+		if a >= r.Addr && a < r.Addr+uint16(2*r.Words) {
+			return true
+		}
+	}
+	return false
+}
+
+// operand is a parsed assembler operand.
+type operand struct {
+	mode  uint8 // AmReg / AmIndexed / AmIndirect / AmIndirectInc, or immediate/absolute markers below
+	reg   uint8
+	expr  expr
+	isImm bool // #expr
+	isAbs bool // &expr or bare expr
+}
+
+// expr is a deferred expression: literal, or symbol ± literal.
+type expr struct {
+	sym string
+	lit int64
+}
+
+func (e expr) isLiteral() bool { return e.sym == "" }
+
+type asmLine struct {
+	line    int
+	src     string
+	label   string
+	mnem    string
+	ops     []operand
+	dir     string
+	dirArgs []string
+}
+
+type patch struct {
+	addr  uint16 // address of the word to patch
+	e     expr
+	pcRel uint16 // if non-zero: encode as jump offset relative to this PC
+	line  int
+	jop   Op // jump op for range checking
+}
+
+// Assembler assembles ULP430 source text.
+type Assembler struct {
+	img     *Image
+	symbols map[string]uint16
+	pc      uint16
+	errs    []string
+	pending []pendingBound
+}
+
+type pendingBound struct {
+	label string
+	e     expr
+	n     int
+	line  int
+}
+
+// Assemble assembles the given source into an Image. The source must
+// declare `.entry <label>`; the reset vector is emitted automatically.
+func Assemble(name, src string) (*Image, error) {
+	a := &Assembler{
+		img: &Image{
+			Name:       name,
+			Words:      make(map[uint16]uint16),
+			LoopBounds: make(map[uint16]int),
+			Symbols:    make(map[string]uint16),
+		},
+		symbols: make(map[string]uint16),
+	}
+	lines, err := a.parse(src)
+	if err != nil {
+		return nil, err
+	}
+	// Pass 1: addresses.
+	a.pc = 0
+	entrySym := ""
+	for _, ln := range lines {
+		if ln.label != "" {
+			if _, dup := a.symbols[ln.label]; dup {
+				a.errorf(ln.line, "duplicate label %q", ln.label)
+			}
+			a.symbols[ln.label] = a.pc
+		}
+		switch {
+		case ln.dir != "":
+			sz, es := a.directiveSize(ln)
+			if es != "" && ln.dir == ".entry" {
+				entrySym = es
+			}
+			a.pc += sz
+		case ln.mnem != "":
+			a.pc += uint16(2 * a.instrLen(ln))
+		}
+	}
+	if entrySym == "" {
+		return nil, fmt.Errorf("%s: missing .entry directive", name)
+	}
+	// Pass 2: emission.
+	a.pc = 0
+	var patches []patch
+	for _, ln := range lines {
+		switch {
+		case ln.dir != "":
+			a.emitDirective(ln, &patches)
+		case ln.mnem != "":
+			a.emitInstr(ln, &patches)
+		}
+	}
+	// Resolve patches.
+	for _, p := range patches {
+		v, ok := a.eval(p.e)
+		if !ok {
+			a.errorf(p.line, "undefined symbol %q", p.e.sym)
+			continue
+		}
+		if p.pcRel != 0 {
+			diff := int32(v) - int32(p.pcRel)
+			if diff%2 != 0 {
+				a.errorf(p.line, "odd jump target %#x", v)
+				continue
+			}
+			off := diff / 2
+			if off < -512 || off > 511 {
+				a.errorf(p.line, "jump target out of range (%d words)", off)
+				continue
+			}
+			w := a.img.Words[p.addr]
+			a.img.Words[p.addr] = w | uint16(off)&0x3FF
+		} else {
+			a.img.Words[p.addr] = v
+		}
+	}
+	// Entry + reset vector.
+	ev, ok := a.symbols[entrySym]
+	if !ok {
+		a.errorf(0, "entry label %q undefined", entrySym)
+	}
+	a.img.Entry = ev
+	a.img.Words[ResetVector] = ev
+	// Loop bounds.
+	for _, pb := range a.pending {
+		v, ok := a.eval(pb.e)
+		if !ok {
+			a.errorf(pb.line, "loopbound: undefined symbol %q", pb.e.sym)
+			continue
+		}
+		a.img.LoopBounds[v] = pb.n
+	}
+	for k, v := range a.symbols {
+		a.img.Symbols[k] = v
+	}
+	if len(a.errs) > 0 {
+		sort.Strings(a.errs)
+		return nil, fmt.Errorf("%s: %s", name, strings.Join(a.errs, "; "))
+	}
+	return a.img, nil
+}
+
+func (a *Assembler) errorf(line int, format string, args ...interface{}) {
+	a.errs = append(a.errs, fmt.Sprintf("line %d: %s", line, fmt.Sprintf(format, args...)))
+}
+
+func (a *Assembler) parse(src string) ([]asmLine, error) {
+	var out []asmLine
+	for i, raw := range strings.Split(src, "\n") {
+		line := raw
+		if idx := strings.IndexByte(line, ';'); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		ln := asmLine{line: i + 1, src: line}
+		// label?
+		if idx := strings.IndexByte(line, ':'); idx >= 0 && isIdent(line[:idx]) {
+			ln.label = strings.ToLower(line[:idx])
+			line = strings.TrimSpace(line[idx+1:])
+		}
+		if line != "" {
+			fields := strings.SplitN(line, " ", 2)
+			head := strings.ToLower(fields[0])
+			rest := ""
+			if len(fields) == 2 {
+				rest = strings.TrimSpace(fields[1])
+			}
+			if strings.HasPrefix(head, ".") {
+				ln.dir = head
+				if rest != "" {
+					for _, f := range strings.Split(rest, ",") {
+						ln.dirArgs = append(ln.dirArgs, strings.TrimSpace(f))
+					}
+				}
+			} else {
+				ln.mnem = head
+				if rest != "" {
+					for _, f := range splitOperands(rest) {
+						op, err := a.parseOperand(strings.TrimSpace(f))
+						if err != nil {
+							a.errorf(ln.line, "%v", err)
+							continue
+						}
+						ln.ops = append(ln.ops, op)
+					}
+				}
+			}
+		}
+		out = append(out, ln)
+	}
+	return out, nil
+}
+
+// splitOperands splits at commas outside parentheses.
+func splitOperands(s string) []string {
+	var parts []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(parts, s[start:])
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if !(c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' && i > 0) {
+			return false
+		}
+	}
+	return true
+}
+
+var regNames = map[string]uint8{
+	"pc": 0, "sp": 1, "sr": 2, "cg": 3,
+	"r0": 0, "r1": 1, "r2": 2, "r3": 3, "r4": 4, "r5": 5, "r6": 6, "r7": 7,
+	"r8": 8, "r9": 9, "r10": 10, "r11": 11, "r12": 12, "r13": 13, "r14": 14, "r15": 15,
+}
+
+func (a *Assembler) parseOperand(s string) (operand, error) {
+	low := strings.ToLower(s)
+	if r, ok := regNames[low]; ok {
+		return operand{mode: AmReg, reg: r}, nil
+	}
+	switch {
+	case strings.HasPrefix(s, "#"):
+		e, err := parseExpr(s[1:])
+		if err != nil {
+			return operand{}, err
+		}
+		return operand{isImm: true, expr: e}, nil
+	case strings.HasPrefix(s, "&"):
+		e, err := parseExpr(s[1:])
+		if err != nil {
+			return operand{}, err
+		}
+		return operand{isAbs: true, expr: e}, nil
+	case strings.HasPrefix(s, "@"):
+		rest := strings.ToLower(strings.TrimPrefix(s, "@"))
+		inc := strings.HasSuffix(rest, "+")
+		rest = strings.TrimSuffix(rest, "+")
+		r, ok := regNames[rest]
+		if !ok {
+			return operand{}, fmt.Errorf("bad indirect register %q", s)
+		}
+		if inc {
+			return operand{mode: AmIndirectInc, reg: r}, nil
+		}
+		return operand{mode: AmIndirect, reg: r}, nil
+	case strings.HasSuffix(s, ")"):
+		lp := strings.IndexByte(s, '(')
+		if lp < 0 {
+			return operand{}, fmt.Errorf("malformed indexed operand %q", s)
+		}
+		r, ok := regNames[strings.ToLower(strings.TrimSpace(s[lp+1:len(s)-1]))]
+		if !ok {
+			return operand{}, fmt.Errorf("bad index register in %q", s)
+		}
+		e, err := parseExpr(strings.TrimSpace(s[:lp]))
+		if err != nil {
+			return operand{}, err
+		}
+		return operand{mode: AmIndexed, reg: r, expr: e}, nil
+	default:
+		// Bare expression: absolute addressing (documented deviation
+		// from MSP430 PC-relative symbolic mode; equivalent semantics).
+		e, err := parseExpr(s)
+		if err != nil {
+			return operand{}, err
+		}
+		return operand{isAbs: true, expr: e}, nil
+	}
+}
+
+func parseExpr(s string) (expr, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return expr{}, fmt.Errorf("empty expression")
+	}
+	// symbol±literal or literal
+	for i := 1; i < len(s); i++ {
+		if s[i] == '+' || s[i] == '-' {
+			head := strings.TrimSpace(s[:i])
+			if !isIdent(head) {
+				break // negative literal handled below
+			}
+			lit, err := strconv.ParseInt(strings.TrimSpace(s[i+1:]), 0, 32)
+			if err != nil {
+				return expr{}, fmt.Errorf("bad expression %q", s)
+			}
+			if s[i] == '-' {
+				lit = -lit
+			}
+			return expr{sym: strings.ToLower(head), lit: lit}, nil
+		}
+	}
+	if isIdent(s) && !isNumber(s) {
+		return expr{sym: strings.ToLower(s)}, nil
+	}
+	v, err := strconv.ParseInt(s, 0, 32)
+	if err != nil {
+		return expr{}, fmt.Errorf("bad expression %q", s)
+	}
+	return expr{lit: v}, nil
+}
+
+func isNumber(s string) bool {
+	_, err := strconv.ParseInt(s, 0, 32)
+	return err == nil
+}
+
+func (a *Assembler) eval(e expr) (uint16, bool) {
+	if e.sym == "" {
+		return uint16(e.lit), true
+	}
+	base, ok := a.symbols[e.sym]
+	if !ok {
+		return 0, false
+	}
+	return base + uint16(e.lit), true
+}
+
+// cgValue reports whether a literal immediate can use the constant
+// generator, returning the (reg, as) encoding.
+func cgValue(v int64) (reg, as uint8, ok bool) {
+	switch uint16(v) {
+	case 0:
+		return CG, AmReg, true
+	case 1:
+		return CG, AmIndexed, true
+	case 2:
+		return CG, AmIndirect, true
+	case 0xFFFF:
+		return CG, AmIndirectInc, true
+	case 4:
+		return SR, AmIndirect, true
+	case 8:
+		return SR, AmIndirectInc, true
+	}
+	return 0, 0, false
+}
+
+// srcEncoding maps an operand to (reg, as, needsExt).
+func srcEncoding(op operand) (reg, as uint8, ext bool) {
+	switch {
+	case op.isImm:
+		if op.expr.isLiteral() {
+			if r, m, ok := cgValue(op.expr.lit); ok {
+				return r, m, false
+			}
+		}
+		return PC, AmIndirectInc, true
+	case op.isAbs:
+		return SR, AmIndexed, true
+	default:
+		return op.reg, op.mode, op.mode == AmIndexed
+	}
+}
+
+// dstEncoding maps an operand to (reg, ad, needsExt); only register and
+// indexed/absolute are legal destinations.
+func dstEncoding(op operand) (reg, ad uint8, ext bool, err error) {
+	switch {
+	case op.isImm:
+		return 0, 0, false, fmt.Errorf("immediate destination")
+	case op.isAbs:
+		return SR, 1, true, nil
+	case op.mode == AmReg:
+		return op.reg, 0, false, nil
+	case op.mode == AmIndexed:
+		return op.reg, 1, true, nil
+	default:
+		return 0, 0, false, fmt.Errorf("indirect destination not encodable")
+	}
+}
+
+// instrLen computes the instruction length in words during pass 1.
+func (a *Assembler) instrLen(ln asmLine) int {
+	mnem, ops, err := expandAlias(ln.mnem, ln.ops)
+	if err != nil {
+		return 1
+	}
+	if isJump(mnem) {
+		return 1
+	}
+	n := 1
+	switch len(ops) {
+	case 2:
+		_, _, e1 := srcEncoding(ops[0])
+		if e1 {
+			n++
+		}
+		_, _, e2, _ := dstEncoding(ops[1])
+		if e2 {
+			n++
+		}
+	case 1:
+		_, _, e1 := srcEncoding(ops[0])
+		if e1 {
+			n++
+		}
+	}
+	return n
+}
+
+var fmtIOps = map[string]Op{
+	"mov": MOV, "add": ADD, "addc": ADDC, "subc": SUBC, "sub": SUB,
+	"cmp": CMP, "bit": BIT, "bic": BIC, "bis": BIS, "xor": XOR, "and": AND,
+}
+
+var fmtIIOps = map[string]Op{
+	"rrc": RRC, "swpb": SWPB, "rra": RRA, "sxt": SXT, "push": PUSH, "call": CALL,
+}
+
+var jumpOps = map[string]Op{
+	"jne": JNE, "jnz": JNE, "jeq": JEQ, "jz": JEQ, "jnc": JNC, "jlo": JNC,
+	"jc": JC, "jhs": JC, "jn": JN, "jge": JGE, "jl": JL, "jmp": JMP,
+}
+
+func isJump(m string) bool { _, ok := jumpOps[m]; return ok }
+
+// expandAlias rewrites emulated mnemonics into core instructions.
+func expandAlias(mnem string, ops []operand) (string, []operand, error) {
+	imm := func(v int64) operand { return operand{isImm: true, expr: expr{lit: v}} }
+	reg := func(r uint8) operand { return operand{mode: AmReg, reg: r} }
+	switch mnem {
+	case "nop":
+		return "mov", []operand{reg(CG), reg(CG)}, nil
+	case "pop":
+		if len(ops) != 1 {
+			return "", nil, fmt.Errorf("pop takes one operand")
+		}
+		return "mov", []operand{{mode: AmIndirectInc, reg: SP}, ops[0]}, nil
+	case "ret":
+		return "mov", []operand{{mode: AmIndirectInc, reg: SP}, reg(PC)}, nil
+	case "br":
+		if len(ops) != 1 {
+			return "", nil, fmt.Errorf("br takes one operand")
+		}
+		return "mov", []operand{ops[0], reg(PC)}, nil
+	case "clr":
+		return "mov", append([]operand{imm(0)}, ops...), nil
+	case "tst":
+		return "cmp", append([]operand{imm(0)}, ops...), nil
+	case "inc":
+		return "add", append([]operand{imm(1)}, ops...), nil
+	case "incd":
+		return "add", append([]operand{imm(2)}, ops...), nil
+	case "dec":
+		return "sub", append([]operand{imm(1)}, ops...), nil
+	case "decd":
+		return "sub", append([]operand{imm(2)}, ops...), nil
+	case "inv":
+		return "xor", append([]operand{imm(-1)}, ops...), nil
+	case "rla":
+		if len(ops) != 1 {
+			return "", nil, fmt.Errorf("rla takes one operand")
+		}
+		return "add", []operand{ops[0], ops[0]}, nil
+	case "rlc":
+		if len(ops) != 1 {
+			return "", nil, fmt.Errorf("rlc takes one operand")
+		}
+		return "addc", []operand{ops[0], ops[0]}, nil
+	case "setc":
+		return "bis", []operand{imm(1), reg(SR)}, nil
+	case "clrc":
+		return "bic", []operand{imm(1), reg(SR)}, nil
+	}
+	return mnem, ops, nil
+}
+
+func (a *Assembler) emitWord(w uint16) uint16 {
+	addr := a.pc
+	a.img.Words[addr] = w
+	a.pc += 2
+	return addr
+}
+
+func (a *Assembler) emitInstr(ln asmLine, patches *[]patch) {
+	start := a.pc
+	mnem, ops, err := expandAlias(ln.mnem, ln.ops)
+	if err != nil {
+		a.errorf(ln.line, "%v", err)
+		return
+	}
+	switch {
+	case isJump(mnem):
+		if len(ops) != 1 || !ops[0].isAbs {
+			a.errorf(ln.line, "%s needs a label/address target", mnem)
+			return
+		}
+		op := jumpOps[mnem]
+		w := uint16(0b001<<13) | uint16(op-32)<<10
+		addr := a.emitWord(w)
+		*patches = append(*patches, patch{addr: addr, e: ops[0].expr, pcRel: addr + 2, line: ln.line, jop: op})
+	case fmtIOps[mnem] != 0:
+		if len(ops) != 2 {
+			a.errorf(ln.line, "%s takes two operands", mnem)
+			return
+		}
+		sreg, sas, sext := srcEncoding(ops[0])
+		dreg, dad, dext, derr := dstEncoding(ops[1])
+		if derr != nil {
+			a.errorf(ln.line, "%s: %v", mnem, derr)
+			return
+		}
+		w := uint16(fmtIOps[mnem])<<12 | uint16(sreg)<<8 | uint16(dad)<<7 |
+			uint16(sas)<<4 | uint16(dreg)
+		a.emitWord(w)
+		if sext {
+			addr := a.emitWord(0)
+			*patches = append(*patches, patch{addr: addr, e: ops[0].expr, line: ln.line})
+		}
+		if dext {
+			addr := a.emitWord(0)
+			*patches = append(*patches, patch{addr: addr, e: ops[1].expr, line: ln.line})
+		}
+	case fmtIIOps[mnem] != 0:
+		if len(ops) != 1 {
+			a.errorf(ln.line, "%s takes one operand", mnem)
+			return
+		}
+		op := fmtIIOps[mnem]
+		sreg, sas, sext := srcEncoding(ops[0])
+		if op != PUSH && op != CALL && (ops[0].isImm || (sreg == CG || sreg == SR && sas != AmReg && !ops[0].isAbs)) {
+			a.errorf(ln.line, "%s: operand must be writable", mnem)
+			return
+		}
+		w := uint16(0b000100)<<10 | uint16(op-16)<<7 | uint16(sas)<<4 | uint16(sreg)
+		a.emitWord(w)
+		if sext {
+			addr := a.emitWord(0)
+			*patches = append(*patches, patch{addr: addr, e: ops[0].expr, line: ln.line})
+		}
+	default:
+		a.errorf(ln.line, "unknown mnemonic %q", ln.mnem)
+		return
+	}
+	words := make([]uint16, 0, 3)
+	for p := start; p < a.pc; p += 2 {
+		words = append(words, a.img.Words[p])
+	}
+	a.img.Listing = append(a.img.Listing, ListingEntry{Addr: start, Words: words, Line: ln.line, Source: ln.src})
+}
+
+// directiveSize returns the size in bytes a directive occupies (pass 1)
+// and, for .entry, the entry symbol.
+func (a *Assembler) directiveSize(ln asmLine) (uint16, string) {
+	switch ln.dir {
+	case ".org":
+		if len(ln.dirArgs) == 1 {
+			if e, err := parseExpr(ln.dirArgs[0]); err == nil {
+				if v, ok := a.eval(e); ok {
+					// .org jumps, doesn't grow; handled by setting pc.
+					a.pc = v
+					return 0, ""
+				}
+			}
+		}
+		a.errorf(ln.line, ".org needs a literal or already-defined address")
+		return 0, ""
+	case ".word":
+		return uint16(2 * len(ln.dirArgs)), ""
+	case ".space", ".input":
+		if len(ln.dirArgs) == 1 {
+			if e, err := parseExpr(ln.dirArgs[0]); err == nil {
+				if v, ok := a.eval(e); ok {
+					return 2 * v, ""
+				}
+			}
+		}
+		a.errorf(ln.line, "%s needs a literal or already-defined word count", ln.dir)
+		return 0, ""
+	case ".equ":
+		if len(ln.dirArgs) == 2 {
+			if e, err := parseExpr(ln.dirArgs[1]); err == nil && e.isLiteral() {
+				a.symbols[strings.ToLower(ln.dirArgs[0])] = uint16(e.lit)
+				return 0, ""
+			}
+		}
+		a.errorf(ln.line, ".equ needs NAME, literal")
+		return 0, ""
+	case ".entry":
+		if len(ln.dirArgs) == 1 {
+			return 0, strings.ToLower(ln.dirArgs[0])
+		}
+		a.errorf(ln.line, ".entry needs a label")
+		return 0, ""
+	case ".loopbound":
+		return 0, ""
+	default:
+		a.errorf(ln.line, "unknown directive %q", ln.dir)
+		return 0, ""
+	}
+}
+
+func (a *Assembler) emitDirective(ln asmLine, patches *[]patch) {
+	switch ln.dir {
+	case ".org":
+		if e, err := parseExpr(ln.dirArgs[0]); err == nil {
+			if v, ok := a.eval(e); ok {
+				a.pc = v
+			}
+		}
+	case ".word":
+		for _, arg := range ln.dirArgs {
+			e, err := parseExpr(arg)
+			if err != nil {
+				a.errorf(ln.line, "%v", err)
+				continue
+			}
+			addr := a.emitWord(0)
+			*patches = append(*patches, patch{addr: addr, e: e, line: ln.line})
+		}
+	case ".space":
+		e, _ := parseExpr(ln.dirArgs[0])
+		v, _ := a.eval(e)
+		for i := uint16(0); i < v; i++ {
+			a.emitWord(0)
+		}
+	case ".input":
+		e, _ := parseExpr(ln.dirArgs[0])
+		v, _ := a.eval(e)
+		a.img.Inputs = append(a.img.Inputs, Region{Addr: a.pc, Words: int(v)})
+		for i := uint16(0); i < v; i++ {
+			a.emitWord(0)
+		}
+	case ".equ", ".entry":
+		// handled in pass 1
+	case ".loopbound":
+		if len(ln.dirArgs) != 2 {
+			a.errorf(ln.line, ".loopbound needs LABEL, N")
+			return
+		}
+		e, err := parseExpr(ln.dirArgs[0])
+		if err != nil {
+			a.errorf(ln.line, "%v", err)
+			return
+		}
+		n, err := strconv.Atoi(ln.dirArgs[1])
+		if err != nil || n < 0 {
+			a.errorf(ln.line, ".loopbound needs a nonnegative count")
+			return
+		}
+		a.pending = append(a.pending, pendingBound{e: e, n: n, line: ln.line})
+	}
+}

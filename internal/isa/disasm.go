@@ -1,0 +1,127 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DisasmAt decodes and formats the instruction at byte address addr in
+// the image; it returns the rendered text and the instruction length in
+// words (1 on failure).
+func DisasmAt(img *Image, addr uint16) (string, int) {
+	w, ok := img.Words[addr]
+	if !ok {
+		return fmt.Sprintf(".word 0x0000 ; uninitialized @%#04x", addr), 1
+	}
+	ins := Decode(w)
+	if ins.Format == FmtIllegal {
+		return fmt.Sprintf(".word %#04x", w), 1
+	}
+	exts := make([]uint16, 0, 2)
+	for k := 0; k < ins.NumExtWords(); k++ {
+		exts = append(exts, img.Words[addr+2+uint16(2*k)])
+	}
+	if err := ins.AttachExt(exts); err != nil {
+		return fmt.Sprintf(".word %#04x", w), 1
+	}
+	return FormatInstr(ins, addr), ins.Len()
+}
+
+// FormatInstr renders a decoded instruction as assembler text. addr is
+// the instruction's own address (used for jump targets).
+func FormatInstr(ins Instr, addr uint16) string {
+	switch ins.Format {
+	case FmtJump:
+		target := addr + 2 + uint16(2*ins.Off)
+		return fmt.Sprintf("%s %#04x", strings.ToLower(ins.Op.String()), target)
+	case FmtII:
+		return fmt.Sprintf("%s %s", strings.ToLower(ins.Op.String()),
+			formatOperand(ins.Dst, ins.As, ins.SrcExt))
+	case FmtI:
+		src := formatOperand(ins.Src, ins.As, ins.SrcExt)
+		var dst string
+		if ins.Ad == 0 {
+			dst = regName(ins.Dst)
+		} else if ins.Dst == SR {
+			dst = fmt.Sprintf("&%#04x", ins.DstExt)
+		} else {
+			dst = fmt.Sprintf("%d(%s)", int16(ins.DstExt), regName(ins.Dst))
+		}
+		return fmt.Sprintf("%s %s, %s", strings.ToLower(ins.Op.String()), src, dst)
+	}
+	return ".word ?"
+}
+
+func formatOperand(reg, as uint8, ext uint16) string {
+	if v, ok := ConstGen(reg, as); ok {
+		return fmt.Sprintf("#%d", int16(v))
+	}
+	switch as {
+	case AmReg:
+		return regName(reg)
+	case AmIndexed:
+		if reg == SR {
+			return fmt.Sprintf("&%#04x", ext)
+		}
+		return fmt.Sprintf("%d(%s)", int16(ext), regName(reg))
+	case AmIndirect:
+		return "@" + regName(reg)
+	case AmIndirectInc:
+		if reg == PC {
+			return fmt.Sprintf("#%#04x", ext)
+		}
+		return "@" + regName(reg) + "+"
+	}
+	return "?"
+}
+
+func regName(r uint8) string {
+	switch r {
+	case 0:
+		return "pc"
+	case 1:
+		return "sp"
+	case 2:
+		return "sr"
+	case 3:
+		return "cg"
+	}
+	return fmt.Sprintf("r%d", r)
+}
+
+// Mnemonic returns just the lower-case mnemonic of the instruction at
+// addr, or "?" if undecodable — the label used in COI pipeline displays
+// (Figure 3.6).
+func Mnemonic(img *Image, addr uint16) string {
+	w, ok := img.Words[addr]
+	if !ok {
+		return "?"
+	}
+	ins := Decode(w)
+	if ins.Format == FmtIllegal {
+		return "?"
+	}
+	// Recognize common emulated forms for readability.
+	switch {
+	case w == 0x4303:
+		return "nop"
+	case ins.Format == FmtI && ins.Op == MOV && ins.Src == SP && ins.As == AmIndirectInc && ins.Ad == 0 && ins.Dst == PC:
+		return "ret"
+	case ins.Format == FmtI && ins.Op == MOV && ins.Src == SP && ins.As == AmIndirectInc:
+		return "pop"
+	case ins.Format == FmtI && ins.Op == MOV && ins.SrcIsLoad():
+		return "load"
+	case ins.Format == FmtI && ins.Op == MOV && ins.Ad == 1:
+		return "store"
+	}
+	return strings.ToLower(ins.Op.String())
+}
+
+// SrcIsLoad reports whether the instruction's source operand reads data
+// memory.
+func (i Instr) SrcIsLoad() bool {
+	if i.Format != FmtI {
+		return false
+	}
+	return SrcIsMem(i.Src, i.As)
+}

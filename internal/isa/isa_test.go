@@ -1,0 +1,397 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeEncodeRoundTrip(t *testing.T) {
+	// Enumerate all decodable instruction words and check Encode∘Decode
+	// is the identity on the instruction word.
+	count := 0
+	for w := 0; w <= 0xFFFF; w++ {
+		ins := Decode(uint16(w))
+		if ins.Format == FmtIllegal {
+			continue
+		}
+		count++
+		words, err := ins.Encode()
+		if err != nil {
+			t.Fatalf("encode %#04x: %v", w, err)
+		}
+		if words[0] != uint16(w) {
+			t.Fatalf("round trip %#04x -> %#04x (%+v)", w, words[0], ins)
+		}
+		if len(words) != ins.Len() {
+			t.Fatalf("%#04x: len %d != %d", w, len(words), ins.Len())
+		}
+	}
+	if count < 30000 {
+		t.Fatalf("implausibly few decodable words: %d", count)
+	}
+}
+
+func TestDecodeSpecificEncodings(t *testing.T) {
+	// Known MSP430 encodings.
+	cases := []struct {
+		w    uint16
+		want string
+	}{
+		{0x4303, "MOV"},  // NOP = MOV R3,R3
+		{0x4130, "MOV"},  // RET = MOV @SP+,PC
+		{0x5515, "ADD"},  // ADD @R5, R5... fields differ; just op check
+		{0x1204, "PUSH"}, // PUSH R4
+		{0x3C00, "JMP"},
+		{0x2000, "JNE"},
+	}
+	for _, tc := range cases {
+		ins := Decode(tc.w)
+		if ins.Op.String() != tc.want {
+			t.Errorf("Decode(%#04x).Op = %v, want %s", tc.w, ins.Op, tc.want)
+		}
+	}
+	// NOP details.
+	nop := Decode(0x4303)
+	if nop.Src != CG || nop.Dst != CG || nop.As != AmReg || nop.Ad != 0 {
+		t.Errorf("NOP fields: %+v", nop)
+	}
+	// Byte mode and DADD and RETI are illegal in this subset.
+	for _, w := range []uint16{0x4343 /* mov.b */, 0xA000 /* dadd */, 0x1300 /* reti */} {
+		if Decode(w).Format != FmtIllegal {
+			t.Errorf("%#04x should be illegal", w)
+		}
+	}
+}
+
+func TestJumpOffsets(t *testing.T) {
+	// JMP with offset -1 (jump to self): 0x3FFF
+	ins := Decode(0x3FFF)
+	if ins.Format != FmtJump || ins.Op != JMP || ins.Off != -1 {
+		t.Fatalf("jmp $: %+v", ins)
+	}
+	ins = Decode(0x3C0A)
+	if ins.Off != 10 {
+		t.Fatalf("offset: %+v", ins)
+	}
+	// Out-of-range encode.
+	bad := Instr{Format: FmtJump, Op: JMP, Off: 600}
+	if _, err := bad.Encode(); err == nil {
+		t.Fatal("expected range error")
+	}
+}
+
+func TestConstGen(t *testing.T) {
+	cases := []struct {
+		reg, as uint8
+		v       uint16
+		ok      bool
+	}{
+		{CG, AmReg, 0, true}, {CG, AmIndexed, 1, true},
+		{CG, AmIndirect, 2, true}, {CG, AmIndirectInc, 0xFFFF, true},
+		{SR, AmIndirect, 4, true}, {SR, AmIndirectInc, 8, true},
+		{SR, AmReg, 0, false}, {SR, AmIndexed, 0, false},
+		{4, AmIndirect, 0, false},
+	}
+	for _, tc := range cases {
+		v, ok := ConstGen(tc.reg, tc.as)
+		if ok != tc.ok || (ok && v != tc.v) {
+			t.Errorf("ConstGen(%d,%d) = %d,%v", tc.reg, tc.as, v, ok)
+		}
+	}
+}
+
+func TestCyclesModel(t *testing.T) {
+	asmOne := func(src string) Instr {
+		t.Helper()
+		img := mustAsm(t, ".org 0xf000\n.entry main\nmain: "+src+"\n")
+		w := img.Words[img.Entry]
+		ins := Decode(w)
+		exts := []uint16{}
+		for k := 0; k < ins.NumExtWords(); k++ {
+			exts = append(exts, img.Words[img.Entry+2+uint16(2*k)])
+		}
+		ins.AttachExt(exts)
+		return ins
+	}
+	cases := []struct {
+		src  string
+		want int
+	}{
+		{"mov r4, r5", 2},
+		{"mov #0, r5", 2},      // constant generator
+		{"mov #100, r5", 3},    // immediate word
+		{"mov @r4, r5", 3},     // SRC_RD
+		{"mov @r4+, r5", 3},    // SRC_RD
+		{"mov 2(r4), r5", 4},   // SOFF + SRC_RD
+		{"mov &0x0200, r5", 4}, // absolute = SOFF + SRC_RD
+		{"mov r4, 2(r5)", 4},   // DOFF + DST_WR (no dst read for MOV)
+		{"add r4, 2(r5)", 5},   // DOFF + DST_RD + DST_WR
+		{"cmp r4, 2(r5)", 4},   // DOFF + DST_RD, no write
+		{"add 2(r4), 4(r5)", 7},
+		{"jmp main", 2},
+		{"push r4", 3},
+		{"push #1000", 4},
+		{"call #0xf000", 4},
+		{"rra r4", 2},
+		{"rra 2(r4)", 5}, // SOFF + SRC_RD + EXEC + DST_WR
+	}
+	for _, tc := range cases {
+		ins := asmOne(tc.src)
+		if got := ins.Cycles(); got != tc.want {
+			t.Errorf("%q cycles = %d, want %d", tc.src, got, tc.want)
+		}
+	}
+}
+
+func mustAsm(t *testing.T, src string) *Image {
+	t.Helper()
+	img, err := Assemble("t", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return img
+}
+
+func TestAssembleBasics(t *testing.T) {
+	img := mustAsm(t, `
+; a tiny program
+.equ RAM, 0x0200
+.org RAM
+counter: .space 1
+invals:  .input 4
+.org 0xf000
+.entry main
+main:
+    mov #5, r4
+    mov #invals, r5
+loop:
+    add @r5+, r6
+    dec r4
+    jnz loop
+    mov r6, &counter
+halt:
+    jmp halt
+.loopbound loop, 4
+`)
+	if img.Entry != 0xF000 {
+		t.Fatalf("entry %#x", img.Entry)
+	}
+	if img.Words[ResetVector] != 0xF000 {
+		t.Fatal("reset vector missing")
+	}
+	if len(img.Inputs) != 1 || img.Inputs[0].Addr != 0x0202 || img.Inputs[0].Words != 4 {
+		t.Fatalf("inputs %+v", img.Inputs)
+	}
+	if !img.InInput(0x0202) || !img.InInput(0x0208) || img.InInput(0x020A) || img.InInput(0x0200) {
+		t.Fatal("InInput ranges wrong")
+	}
+	loop := img.Symbols["loop"]
+	if img.LoopBounds[loop] != 4 {
+		t.Fatalf("loop bounds %v", img.LoopBounds)
+	}
+	// mov #5, r4 is 2 words (no CG for 5); decode it.
+	ins := Decode(img.Words[0xF000])
+	if ins.Op != MOV || ins.Src != PC || ins.As != AmIndirectInc {
+		t.Fatalf("first instr %+v", ins)
+	}
+	if img.Words[0xF002] != 5 {
+		t.Fatal("immediate word wrong")
+	}
+}
+
+func TestConstantGeneratorSelection(t *testing.T) {
+	img := mustAsm(t, `
+.org 0xf000
+.entry main
+main:
+    mov #0, r4
+    mov #1, r4
+    mov #2, r4
+    mov #4, r4
+    mov #8, r4
+    mov #-1, r4
+    mov #3, r4
+halt: jmp halt
+`)
+	// First six are single-word (constant generator), #3 takes two.
+	addr := uint16(0xF000)
+	for i := 0; i < 6; i++ {
+		ins := Decode(img.Words[addr])
+		if ins.NumExtWords() != 0 {
+			t.Fatalf("instr %d at %#x should use constant generator: %+v", i, addr, ins)
+		}
+		addr += 2
+	}
+	ins := Decode(img.Words[addr])
+	if ins.NumExtWords() != 1 {
+		t.Fatalf("#3 should need an immediate word: %+v", ins)
+	}
+}
+
+func TestEmulatedMnemonics(t *testing.T) {
+	img := mustAsm(t, `
+.org 0xf000
+.entry main
+main:
+    nop
+    clr r4
+    inc r4
+    dec r4
+    tst r4
+    inv r4
+    rla r4
+    rlc r4
+    setc
+    clrc
+    push r4
+    pop r5
+    br #main
+halt: jmp halt
+`)
+	if img.Words[0xF000] != 0x4303 {
+		t.Fatalf("nop encodes as %#04x, want 0x4303", img.Words[0xF000])
+	}
+	// pop r5 = mov @sp+, r5
+	found := false
+	for a := uint16(0xF000); a < 0xF040; a += 2 {
+		ins := Decode(img.Words[a])
+		if ins.Format == FmtI && ins.Op == MOV && ins.Src == SP && ins.As == AmIndirectInc && ins.Dst == 5 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("pop expansion not found")
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	cases := map[string]string{
+		"no entry":      ".org 0xf000\nmain: nop\n",
+		"dup label":     ".org 0xf000\n.entry main\nmain: nop\nmain: nop\n",
+		"bad mnemonic":  ".org 0xf000\n.entry main\nmain: frob r4\n",
+		"bad operand":   ".org 0xf000\n.entry main\nmain: mov r4\n",
+		"imm dest":      ".org 0xf000\n.entry main\nmain: mov r4, #5\n",
+		"indirect dest": ".org 0xf000\n.entry main\nmain: mov r4, @r5\n",
+		"undef sym":     ".org 0xf000\n.entry main\nmain: jmp nowhere\n",
+		"jump too far":  ".org 0xf000\n.entry main\nmain: jmp far\n.org 0xf900\nfar: nop\n",
+		"bad directive": ".org 0xf000\n.entry main\n.frob 3\nmain: nop\n",
+		"entry missing": ".org 0xf000\n.entry nowhere\nmain: nop\n",
+		"rrc immediate": ".org 0xf000\n.entry main\nmain: rrc #4\n",
+	}
+	for name, src := range cases {
+		if _, err := Assemble("t", src); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestDisassembler(t *testing.T) {
+	img := mustAsm(t, `
+.org 0xf000
+.entry main
+main:
+    mov #100, r5
+    add @r4+, r6
+    mov 2(r4), r7
+    mov r7, &0x0200
+    push r4
+    jeq main
+    rra r8
+halt: jmp halt
+`)
+	var got []string
+	addr := uint16(0xF000)
+	for i := 0; i < 8; i++ {
+		text, n := DisasmAt(img, addr)
+		got = append(got, text)
+		addr += uint16(2 * n)
+	}
+	want := []string{
+		"mov #0x0064, r5",
+		"add @r4+, r6",
+		"mov 2(r4), r7",
+		"mov r7, &0x0200",
+		"push r4",
+		"jeq 0xf000",
+		"rra r8",
+		"jmp 0xf014",
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("disasm[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMnemonicClassification(t *testing.T) {
+	img := mustAsm(t, `
+.org 0xf000
+.entry main
+main:
+    mov @r4, r5
+    mov r5, 2(r4)
+    pop r6
+    ret
+    nop
+    add r4, r5
+halt: jmp halt
+`)
+	addr := uint16(0xF000)
+	want := []string{"load", "store", "pop", "ret", "nop", "add"}
+	for _, w := range want {
+		got := Mnemonic(img, addr)
+		if got != w {
+			t.Errorf("Mnemonic@%#x = %q, want %q", addr, got, w)
+		}
+		_, n := DisasmAt(img, addr)
+		addr += uint16(2 * n)
+	}
+}
+
+func TestImageClone(t *testing.T) {
+	img := mustAsm(t, ".org 0xf000\n.entry main\nmain: nop\nhalt: jmp halt\n.loopbound halt, 1\n")
+	c := img.Clone()
+	c.Words[0xF000] = 0x1234
+	c.LoopBounds[1] = 2
+	c.Symbols["x"] = 3
+	if img.Words[0xF000] == 0x1234 || img.LoopBounds[1] == 2 || img.Symbols["x"] == 3 {
+		t.Fatal("Clone aliases")
+	}
+}
+
+func TestSourceLineLookup(t *testing.T) {
+	img := mustAsm(t, ".org 0xf000\n.entry main\nmain: mov #7, r4\nhalt: jmp halt\n")
+	if s := img.SourceLine(0xF000); !strings.Contains(s, "mov #7, r4") {
+		t.Fatalf("SourceLine = %q", s)
+	}
+	if s := img.SourceLine(0xEEEE); s != "" {
+		t.Fatalf("missing addr should be empty, got %q", s)
+	}
+}
+
+// Property: for random legal register/mode combinations, extension-word
+// accounting is consistent between SrcNeedsExt and Decode.
+func TestExtConsistencyProperty(t *testing.T) {
+	f := func(op8, src, dst, as, ad uint8) bool {
+		ops := []Op{MOV, ADD, ADDC, SUBC, SUB, CMP, BIT, BIC, BIS, XOR, AND}
+		ins := Instr{
+			Format: FmtI,
+			Op:     ops[int(op8)%len(ops)],
+			Src:    src % 16, Dst: dst % 16,
+			As: as % 4, Ad: ad % 2,
+		}
+		ins.HasSrcExt = SrcNeedsExt(ins.Src, ins.As)
+		ins.HasDstExt = DstNeedsExt(ins.Ad)
+		words, err := ins.Encode()
+		if err != nil {
+			return false
+		}
+		dec := Decode(words[0])
+		return dec.HasSrcExt == ins.HasSrcExt && dec.HasDstExt == ins.HasDstExt &&
+			dec.NumExtWords() == ins.NumExtWords()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

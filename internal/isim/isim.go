@@ -1,0 +1,467 @@
+// Package isim is the behavioral instruction-set simulator for the
+// ULP430: a golden reference model used to differentially validate the
+// gate-level processor (every benchmark runs on both; architectural state
+// and cycle counts must agree), to debug benchmarks, and to provide fast
+// functional runs where gate-level power fidelity is not needed.
+package isim
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/soc"
+)
+
+// Machine is one ULP430 behavioral instance.
+type Machine struct {
+	// R is the register file; R[0] is the PC.
+	R [16]uint16
+	// Halted is set by a write to the HALT register.
+	Halted bool
+	// Cycles accumulates the multi-cycle implementation's cycle cost.
+	Cycles uint64
+	// Insns counts executed instructions.
+	Insns uint64
+	// PortIn supplies values for P1IN reads; nil makes P1IN reads an
+	// error (benchmarks must declare their input channels).
+	PortIn func() uint16
+	// TracePC, when non-nil, receives the PC of every executed
+	// instruction (used by differential tests).
+	TracePC func(pc uint16)
+
+	mem     [1 << 15]uint16 // word-indexed
+	written [1 << 15]bool
+
+	mpyOp1, resLo, resHi uint16
+	wdtCtl, wdtCount     uint16
+	p1out                uint16
+}
+
+// New creates a machine with the image loaded, input regions filled from
+// inputs (word values applied to the declared .input regions in order),
+// and the PC at the reset vector target.
+func New(img *isa.Image, inputs []uint16) (*Machine, error) {
+	m := &Machine{}
+	for addr, w := range img.Words {
+		if addr%2 != 0 {
+			return nil, fmt.Errorf("isim: odd image address %#04x", addr)
+		}
+		m.mem[addr/2] = w
+		m.written[addr/2] = true
+	}
+	k := 0
+	for _, r := range img.Inputs {
+		for i := 0; i < r.Words; i++ {
+			var v uint16
+			if k < len(inputs) {
+				v = inputs[k]
+			}
+			k++
+			m.mem[(r.Addr+uint16(2*i))/2] = v
+		}
+	}
+	m.R[isa.PC] = img.Entry
+	return m, nil
+}
+
+// Mem reads a word of memory directly (for test assertions).
+func (m *Machine) Mem(addr uint16) uint16 { return m.mem[addr/2] }
+
+// P1Out returns the output-port register value.
+func (m *Machine) P1Out() uint16 { return m.p1out }
+
+// WatchdogCount returns the watchdog counter value.
+func (m *Machine) WatchdogCount() uint16 { return m.wdtCount }
+
+func (m *Machine) load(addr uint16) (uint16, error) {
+	if addr%2 != 0 {
+		return 0, fmt.Errorf("isim: unaligned load at %#04x (pc %#04x)", addr, m.R[isa.PC])
+	}
+	switch addr {
+	case soc.WDTCTL:
+		return m.wdtCtl, nil
+	case soc.P1IN:
+		if m.PortIn == nil {
+			return 0, fmt.Errorf("isim: P1IN read with no input source (pc %#04x)", m.R[isa.PC])
+		}
+		return m.PortIn(), nil
+	case soc.P1OUT:
+		return m.p1out, nil
+	case soc.HALTREG:
+		return 0, nil
+	case soc.MPY, soc.MPYS:
+		return m.mpyOp1, nil
+	case soc.OP2:
+		return 0, nil
+	case soc.RESLO:
+		return m.resLo, nil
+	case soc.RESHI:
+		return m.resHi, nil
+	}
+	if !soc.InRAM(addr) && !soc.InROM(addr) {
+		return 0, fmt.Errorf("isim: load from unmapped address %#04x (pc %#04x)", addr, m.R[isa.PC])
+	}
+	if soc.InRAM(addr) && !m.written[addr/2] {
+		return 0, fmt.Errorf("isim: load from uninitialized RAM %#04x (pc %#04x)", addr, m.R[isa.PC])
+	}
+	return m.mem[addr/2], nil
+}
+
+func (m *Machine) store(addr, v uint16) error {
+	if addr%2 != 0 {
+		return fmt.Errorf("isim: unaligned store at %#04x (pc %#04x)", addr, m.R[isa.PC])
+	}
+	switch addr {
+	case soc.WDTCTL:
+		m.wdtCtl = v
+		return nil
+	case soc.P1OUT:
+		m.p1out = v
+		return nil
+	case soc.P1IN:
+		return fmt.Errorf("isim: store to input port (pc %#04x)", m.R[isa.PC])
+	case soc.HALTREG:
+		if v != 0 {
+			m.Halted = true
+		}
+		return nil
+	case soc.MPY, soc.MPYS:
+		m.mpyOp1 = v
+		return nil
+	case soc.OP2:
+		p := uint32(m.mpyOp1) * uint32(v)
+		m.resLo = uint16(p)
+		m.resHi = uint16(p >> 16)
+		return nil
+	case soc.RESLO, soc.RESHI:
+		return fmt.Errorf("isim: multiplier result registers are read-only (pc %#04x)", m.R[isa.PC])
+	}
+	if !soc.InRAM(addr) {
+		return fmt.Errorf("isim: store to non-RAM address %#04x (pc %#04x)", addr, m.R[isa.PC])
+	}
+	m.mem[addr/2] = v
+	m.written[addr/2] = true
+	return nil
+}
+
+// flags applies Z/N/C/V updates to SR.
+func (m *Machine) setFlags(c, z, n, v bool) {
+	sr := m.R[isa.SR] &^ (isa.FlagC | isa.FlagZ | isa.FlagN | isa.FlagV)
+	if c {
+		sr |= isa.FlagC
+	}
+	if z {
+		sr |= isa.FlagZ
+	}
+	if n {
+		sr |= isa.FlagN
+	}
+	if v {
+		sr |= isa.FlagV
+	}
+	m.R[isa.SR] = sr
+}
+
+func (m *Machine) flag(bit uint16) bool { return m.R[isa.SR]&bit != 0 }
+
+// addWithFlags computes a+b+cin and the MSP430 flags.
+func addWithFlags(a, b, cin uint16) (r uint16, c, z, n, v bool) {
+	sum := uint32(a) + uint32(b) + uint32(cin)
+	r = uint16(sum)
+	c = sum > 0xFFFF
+	z = r == 0
+	n = r&0x8000 != 0
+	v = (a&0x8000 == b&0x8000) && (r&0x8000 != a&0x8000)
+	return
+}
+
+// fetchWord reads the word at PC and advances PC by 2.
+func (m *Machine) fetchWord() (uint16, error) {
+	w, err := m.load(m.R[isa.PC])
+	if err != nil {
+		return 0, err
+	}
+	m.R[isa.PC] += 2
+	return w, nil
+}
+
+// srcOperand resolves the source operand (register reg, mode as),
+// consuming extension words and applying autoincrement. It returns the
+// value and, for memory operands, their address.
+func (m *Machine) srcOperand(reg, as uint8) (val uint16, err error) {
+	if c, ok := isa.ConstGen(reg, as); ok {
+		return c, nil
+	}
+	switch as {
+	case isa.AmReg:
+		return m.R[reg], nil
+	case isa.AmIndexed:
+		off, err := m.fetchWord()
+		if err != nil {
+			return 0, err
+		}
+		base := m.R[reg]
+		if reg == isa.SR { // absolute
+			base = 0
+		}
+		return m.load(base + off)
+	case isa.AmIndirect:
+		return m.load(m.R[reg])
+	case isa.AmIndirectInc:
+		if reg == isa.PC { // immediate
+			return m.fetchWord()
+		}
+		v, err := m.load(m.R[reg])
+		if err != nil {
+			return 0, err
+		}
+		m.R[reg] += 2
+		return v, nil
+	}
+	return 0, fmt.Errorf("isim: bad addressing mode %d", as)
+}
+
+// Step executes one instruction.
+func (m *Machine) Step() error {
+	if m.Halted {
+		return nil
+	}
+	pc0 := m.R[isa.PC]
+	if m.TracePC != nil {
+		m.TracePC(pc0)
+	}
+	w, err := m.fetchWord()
+	if err != nil {
+		return err
+	}
+	ins := isa.Decode(w)
+	if ins.Format == isa.FmtIllegal {
+		return fmt.Errorf("isim: illegal instruction %#04x at %#04x", w, pc0)
+	}
+	m.Insns++
+	m.Cycles += uint64(cyclesOf(ins))
+	m.tickWatchdog(cyclesOf(ins))
+
+	switch ins.Format {
+	case isa.FmtJump:
+		taken := false
+		switch ins.Op {
+		case isa.JNE:
+			taken = !m.flag(isa.FlagZ)
+		case isa.JEQ:
+			taken = m.flag(isa.FlagZ)
+		case isa.JNC:
+			taken = !m.flag(isa.FlagC)
+		case isa.JC:
+			taken = m.flag(isa.FlagC)
+		case isa.JN:
+			taken = m.flag(isa.FlagN)
+		case isa.JGE:
+			taken = m.flag(isa.FlagN) == m.flag(isa.FlagV)
+		case isa.JL:
+			taken = m.flag(isa.FlagN) != m.flag(isa.FlagV)
+		case isa.JMP:
+			taken = true
+		}
+		if taken {
+			m.R[isa.PC] += uint16(2 * ins.Off)
+		}
+		return nil
+
+	case isa.FmtII:
+		return m.execFmtII(ins)
+
+	case isa.FmtI:
+		return m.execFmtI(ins)
+	}
+	return nil
+}
+
+// cyclesOf returns the cycle cost; extension-word presence is already in
+// the decoded instruction.
+func cyclesOf(ins isa.Instr) int { return ins.Cycles() }
+
+func (m *Machine) tickWatchdog(n int) {
+	if m.wdtCtl&soc.WDTHold == 0 {
+		m.wdtCount += uint16(n)
+	}
+}
+
+func (m *Machine) execFmtI(ins isa.Instr) error {
+	srcVal, err := m.srcOperand(ins.Src, ins.As)
+	if err != nil {
+		return err
+	}
+	// Destination resolution.
+	var dstAddr uint16
+	var dstVal uint16
+	if ins.Ad == 1 {
+		off, err := m.fetchWord()
+		if err != nil {
+			return err
+		}
+		base := m.R[ins.Dst]
+		if ins.Dst == isa.SR { // absolute
+			base = 0
+		}
+		dstAddr = base + off
+		if isa.ReadsDst(ins.Op) {
+			dstVal, err = m.load(dstAddr)
+			if err != nil {
+				return err
+			}
+		}
+	} else {
+		dstVal = m.R[ins.Dst]
+	}
+
+	var res uint16
+	write := isa.WritesDst(ins.Op)
+	switch ins.Op {
+	case isa.MOV:
+		res = srcVal
+	case isa.ADD:
+		var c, z, n, v bool
+		res, c, z, n, v = addWithFlags(dstVal, srcVal, 0)
+		m.setFlags(c, z, n, v)
+	case isa.ADDC:
+		cin := uint16(0)
+		if m.flag(isa.FlagC) {
+			cin = 1
+		}
+		var c, z, n, v bool
+		res, c, z, n, v = addWithFlags(dstVal, srcVal, cin)
+		m.setFlags(c, z, n, v)
+	case isa.SUB, isa.CMP:
+		var c, z, n, v bool
+		res, c, z, n, v = addWithFlags(dstVal, ^srcVal, 1)
+		m.setFlags(c, z, n, v)
+	case isa.SUBC:
+		cin := uint16(0)
+		if m.flag(isa.FlagC) {
+			cin = 1
+		}
+		var c, z, n, v bool
+		res, c, z, n, v = addWithFlags(dstVal, ^srcVal, cin)
+		m.setFlags(c, z, n, v)
+	case isa.BIT, isa.AND:
+		res = srcVal & dstVal
+		m.setFlags(res != 0, res == 0, res&0x8000 != 0, false)
+	case isa.BIC:
+		res = ^srcVal & dstVal
+	case isa.BIS:
+		res = srcVal | dstVal
+	case isa.XOR:
+		res = srcVal ^ dstVal
+		m.setFlags(res != 0, res == 0, res&0x8000 != 0,
+			srcVal&0x8000 != 0 && dstVal&0x8000 != 0)
+	default:
+		return fmt.Errorf("isim: unhandled op %v", ins.Op)
+	}
+	if !write {
+		return nil
+	}
+	if ins.Ad == 1 {
+		return m.store(dstAddr, res)
+	}
+	m.R[ins.Dst] = res
+	return nil
+}
+
+func (m *Machine) execFmtII(ins isa.Instr) error {
+	// Operand (in the "dst" field, addressed by As).
+	var addr uint16
+	var val uint16
+	var inMem bool
+	var err error
+	switch ins.Op {
+	case isa.PUSH, isa.CALL:
+		val, err = m.srcOperand(ins.Dst, ins.As)
+		if err != nil {
+			return err
+		}
+	default:
+		if ins.As == isa.AmReg {
+			val = m.R[ins.Dst]
+		} else {
+			inMem = true
+			switch ins.As {
+			case isa.AmIndexed:
+				off, ferr := m.fetchWord()
+				if ferr != nil {
+					return ferr
+				}
+				base := m.R[ins.Dst]
+				if ins.Dst == isa.SR {
+					base = 0
+				}
+				addr = base + off
+			case isa.AmIndirect:
+				addr = m.R[ins.Dst]
+			case isa.AmIndirectInc:
+				addr = m.R[ins.Dst]
+				m.R[ins.Dst] += 2
+			}
+			val, err = m.load(addr)
+			if err != nil {
+				return err
+			}
+		}
+	}
+
+	writeBack := func(res uint16) error {
+		if inMem {
+			return m.store(addr, res)
+		}
+		m.R[ins.Dst] = res
+		return nil
+	}
+
+	switch ins.Op {
+	case isa.RRC:
+		cin := uint16(0)
+		if m.flag(isa.FlagC) {
+			cin = 0x8000
+		}
+		res := val>>1 | cin
+		m.setFlags(val&1 != 0, res == 0, res&0x8000 != 0, false)
+		return writeBack(res)
+	case isa.RRA:
+		res := val>>1 | val&0x8000
+		m.setFlags(val&1 != 0, res == 0, res&0x8000 != 0, false)
+		return writeBack(res)
+	case isa.SWPB:
+		return writeBack(val<<8 | val>>8)
+	case isa.SXT:
+		res := val & 0xFF
+		if res&0x80 != 0 {
+			res |= 0xFF00
+		}
+		m.setFlags(res != 0, res == 0, res&0x8000 != 0, false)
+		return writeBack(res)
+	case isa.PUSH:
+		m.R[isa.SP] -= 2
+		return m.store(m.R[isa.SP], val)
+	case isa.CALL:
+		m.R[isa.SP] -= 2
+		if err := m.store(m.R[isa.SP], m.R[isa.PC]); err != nil {
+			return err
+		}
+		m.R[isa.PC] = val
+		return nil
+	}
+	return fmt.Errorf("isim: unhandled op %v", ins.Op)
+}
+
+// Run executes until halt or maxInsns instructions, whichever first.
+func (m *Machine) Run(maxInsns int) error {
+	for i := 0; i < maxInsns && !m.Halted; i++ {
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	if !m.Halted {
+		return fmt.Errorf("isim: did not halt within %d instructions", maxInsns)
+	}
+	return nil
+}

@@ -1,0 +1,361 @@
+package isim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func run(t *testing.T, src string, inputs []uint16) *Machine {
+	t.Helper()
+	img, err := isa.Assemble("t", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m, err := New(img, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(100000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m
+}
+
+const halt = `
+    mov #1, &0x0126
+spin: jmp spin
+`
+
+func TestArithmeticAndFlags(t *testing.T) {
+	m := run(t, `
+.org 0xf000
+.entry main
+main:
+    mov #100, r4
+    add #55, r4      ; r4 = 155
+    sub #56, r4      ; r4 = 99
+    mov #0xffff, r5
+    add #1, r5       ; r5 = 0, C=1, Z=1
+    jc carry_ok
+    mov #0xbad, &0x0200
+carry_ok:
+    adc_r6:
+    mov #0, r6
+    addc #0, r6      ; r6 = C = 1
+    mov #0x7fff, r7
+    add #1, r7       ; overflow: V=1, N=1
+`+halt, nil)
+	if m.R[4] != 99 {
+		t.Errorf("r4 = %d", m.R[4])
+	}
+	if m.R[6] != 1 {
+		t.Errorf("r6 (carry) = %d", m.R[6])
+	}
+	if m.R[7] != 0x8000 {
+		t.Errorf("r7 = %#x", m.R[7])
+	}
+	if m.Mem(0x0200) == 0xbad {
+		t.Error("carry branch not taken")
+	}
+	if !m.flag(isa.FlagV) || !m.flag(isa.FlagN) {
+		t.Error("overflow flags not set")
+	}
+}
+
+func TestLogicOps(t *testing.T) {
+	m := run(t, `
+.org 0xf000
+.entry main
+main:
+    mov #0x0f0f, r4
+    mov #0x00ff, r5
+    and r5, r4       ; 0x000f
+    mov #0x0f0f, r6
+    bis r5, r6       ; 0x0fff
+    mov #0x0f0f, r7
+    xor r5, r7       ; 0x0ff0
+    mov #0x0f0f, r8
+    bic r5, r8       ; 0x0f00
+    mov #0x0f0f, r9
+    bit #0x0f00, r9  ; nonzero -> C=1, Z=0
+`+halt, nil)
+	if m.R[4] != 0x000F || m.R[6] != 0x0FFF || m.R[7] != 0x0FF0 || m.R[8] != 0x0F00 {
+		t.Errorf("logic results: %#x %#x %#x %#x", m.R[4], m.R[6], m.R[7], m.R[8])
+	}
+	if !m.flag(isa.FlagC) || m.flag(isa.FlagZ) {
+		t.Error("BIT flags wrong")
+	}
+}
+
+func TestShiftsAndByteOps(t *testing.T) {
+	m := run(t, `
+.org 0xf000
+.entry main
+main:
+    mov #0x8005, r4
+    rra r4           ; 0xc002, C=1
+    mov #0x8005, r5
+    clrc
+    rrc r5           ; 0x4002, C=1
+    rrc r5           ; 0xa001 (C shifts in)
+    mov #0x1234, r6
+    swpb r6          ; 0x3412
+    mov #0x0080, r7
+    sxt r7           ; 0xff80
+`+halt, nil)
+	if m.R[4] != 0xC002 {
+		t.Errorf("rra: %#x", m.R[4])
+	}
+	if m.R[5] != 0xA001 {
+		t.Errorf("rrc: %#x", m.R[5])
+	}
+	if m.R[6] != 0x3412 {
+		t.Errorf("swpb: %#x", m.R[6])
+	}
+	if m.R[7] != 0xFF80 {
+		t.Errorf("sxt: %#x", m.R[7])
+	}
+}
+
+func TestMemoryAddressingModes(t *testing.T) {
+	m := run(t, `
+.equ RAM, 0x0200
+.org RAM
+arr: .word 10, 20, 30, 40
+dst: .space 4
+.org 0xf000
+.entry main
+main:
+    mov #arr, r4
+    mov @r4+, r5        ; 10
+    mov @r4+, r6        ; 20
+    mov 2(r4), r7       ; arr[3] = 40
+    mov &arr, r8        ; 10
+    mov r5, &dst        ; dst[0] = 10
+    mov r7, dst+2       ; dst[1] = 40 (bare = absolute)
+    mov #dst, r9
+    mov r6, 4(r9)       ; dst[2] = 20
+`+halt, nil)
+	if m.R[5] != 10 || m.R[6] != 20 || m.R[7] != 40 || m.R[8] != 10 {
+		t.Errorf("loads: %d %d %d %d", m.R[5], m.R[6], m.R[7], m.R[8])
+	}
+	dst := m.Mem(0x0208)
+	if dst != 10 || m.Mem(0x020A) != 40 || m.Mem(0x020C) != 20 {
+		t.Errorf("stores: %d %d %d", dst, m.Mem(0x020A), m.Mem(0x020C))
+	}
+}
+
+func TestStackCallRet(t *testing.T) {
+	m := run(t, `
+.org 0xf000
+.entry main
+main:
+    mov #0x0a00, sp
+    mov #3, r4
+    push r4
+    mov #7, r4
+    call #double
+    pop r5           ; 3
+    mov r4, r6       ; 14
+`+halt+`
+double:
+    add r4, r4
+    ret
+`, nil)
+	if m.R[6] != 14 {
+		t.Errorf("call result: %d", m.R[6])
+	}
+	if m.R[5] != 3 {
+		t.Errorf("pop: %d", m.R[5])
+	}
+	if m.R[isa.SP] != 0x0A00 {
+		t.Errorf("sp not balanced: %#x", m.R[isa.SP])
+	}
+}
+
+func TestConditionalJumps(t *testing.T) {
+	m := run(t, `
+.org 0xf000
+.entry main
+main:
+    mov #0, r10
+    ; signed comparison: -5 < 3
+    mov #-5, r4
+    cmp #3, r4       ; r4 - 3
+    jl lt_ok
+    jmp fail
+lt_ok:
+    bis #1, r10
+    ; unsigned: 0xfffb >= 3
+    cmp #3, r4
+    jhs hs_ok
+    jmp fail
+hs_ok:
+    bis #2, r10
+    ; equality
+    mov #9, r5
+    cmp #9, r5
+    jeq eq_ok
+    jmp fail
+eq_ok:
+    bis #4, r10
+    ; jge: 3 >= 3
+    mov #3, r6
+    cmp #3, r6
+    jge ge_ok
+    jmp fail
+ge_ok:
+    bis #8, r10
+    ; jn: negative result
+    mov #1, r7
+    sub #2, r7
+    jn n_ok
+    jmp fail
+n_ok:
+    bis #16, r10
+`+halt+`
+fail:
+    mov #1, &0x0126
+spin2: jmp spin2
+`, nil)
+	if m.R[10] != 31 {
+		t.Errorf("jump ladder r10 = %#x, want 0x1f", m.R[10])
+	}
+}
+
+func TestHardwareMultiplier(t *testing.T) {
+	m := run(t, `
+.org 0xf000
+.entry main
+main:
+    mov #1234, &0x0130   ; MPY
+    mov #567, &0x0138    ; OP2 triggers
+    mov &0x013a, r4      ; RESLO
+    mov &0x013c, r5      ; RESHI
+`+halt, nil)
+	p := uint32(1234) * 567
+	if m.R[4] != uint16(p) || m.R[5] != uint16(p>>16) {
+		t.Errorf("mult: lo=%#x hi=%#x want %#x", m.R[4], m.R[5], p)
+	}
+}
+
+func TestInputRegions(t *testing.T) {
+	m := run(t, `
+.org 0x0200
+vals: .input 3
+.org 0xf000
+.entry main
+main:
+    mov &vals, r4
+    mov &vals+2, r5
+    mov &vals+4, r6
+`+halt, []uint16{111, 222, 333})
+	if m.R[4] != 111 || m.R[5] != 222 || m.R[6] != 333 {
+		t.Errorf("inputs: %d %d %d", m.R[4], m.R[5], m.R[6])
+	}
+}
+
+func TestPortInput(t *testing.T) {
+	vals := []uint16{5, 6}
+	i := 0
+	img, err := isa.Assemble("t", `
+.org 0xf000
+.entry main
+main:
+    mov &0x0122, r4
+    mov &0x0122, r5
+    mov r4, &0x0124
+`+halt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(img, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.PortIn = func() uint16 { v := vals[i%2]; i++; return v }
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if m.R[4] != 5 || m.R[5] != 6 || m.P1Out() != 5 {
+		t.Errorf("port: %d %d out %d", m.R[4], m.R[5], m.P1Out())
+	}
+}
+
+func TestWatchdog(t *testing.T) {
+	m := run(t, `
+.org 0xf000
+.entry main
+main:
+    nop
+    nop
+    mov #0x0080, &0x0120  ; hold watchdog
+    nop
+    nop
+`+halt, nil)
+	if m.WatchdogCount() == 0 {
+		t.Error("watchdog should count before hold")
+	}
+	c := m.WatchdogCount()
+	// counting stopped: count only reflects cycles before the hold took
+	// effect (2 nops + the store itself).
+	if c > 20 {
+		t.Errorf("watchdog kept counting: %d", c)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	cases := map[string]string{
+		"uninit RAM":  ".org 0xf000\n.entry main\nmain: mov &0x0300, r4\n" + halt,
+		"store ROM":   ".org 0xf000\n.entry main\nmain: mov r4, &0xf000\n" + halt,
+		"unmapped":    ".org 0xf000\n.entry main\nmain: mov &0x0100, r4\n" + halt,
+		"port no src": ".org 0xf000\n.entry main\nmain: mov &0x0122, r4\n" + halt,
+	}
+	for name, src := range cases {
+		img, err := isa.Assemble("t", src)
+		if err != nil {
+			t.Fatalf("%s: assemble: %v", name, err)
+		}
+		m, err := New(img, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(1000); err == nil {
+			t.Errorf("%s: expected runtime error", name)
+		}
+	}
+}
+
+func TestNoHaltTimesOut(t *testing.T) {
+	img, _ := isa.Assemble("t", ".org 0xf000\n.entry main\nmain: jmp main\n")
+	m, _ := New(img, nil)
+	err := m.Run(100)
+	if err == nil || !strings.Contains(err.Error(), "did not halt") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCycleAccounting(t *testing.T) {
+	m := run(t, `
+.org 0xf000
+.entry main
+main:
+    mov r4, r5       ; 2 cycles
+    mov #100, r5     ; 3
+    nop              ; 2 (constant generator)
+`+halt, nil)
+	// halt block: mov #1,&0x0126 = 1(F)+1(SOFF imm)... #1 is CG, dst
+	// absolute: FETCH+DOFF+DST_WR+EXEC = 5; spin jmp = 2.
+	// halt block: mov #1,&0x0126 — #1 is the constant generator, the
+	// absolute destination adds DOFF_RD + DST_WR (MOV skips the dst
+	// read): FETCH+EXEC+DOFF+WR = 4 cycles. The spin jmp never executes
+	// (Run observes Halted first). Total: 2+3+2+4 = 11.
+	if m.Cycles != 11 {
+		t.Errorf("cycles = %d, want 11", m.Cycles)
+	}
+	if m.Insns != 4 {
+		t.Errorf("insns = %d, want 4", m.Insns)
+	}
+}

@@ -1,0 +1,252 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTritBasics(t *testing.T) {
+	if !H.Known() || !L.Known() || X.Known() {
+		t.Fatal("Known misclassifies")
+	}
+	if H.Bit() != 1 || L.Bit() != 0 {
+		t.Fatal("Bit wrong")
+	}
+	if FromBool(true) != H || FromBool(false) != L {
+		t.Fatal("FromBool wrong")
+	}
+	if FromBit(3) != H || FromBit(2) != L {
+		t.Fatal("FromBit wrong")
+	}
+	if L.String() != "0" || H.String() != "1" || X.String() != "x" {
+		t.Fatal("String wrong")
+	}
+}
+
+func TestBitPanicsOnX(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	_ = X.Bit()
+}
+
+func TestParseTrit(t *testing.T) {
+	for _, tc := range []struct {
+		c    byte
+		want Trit
+	}{{'0', L}, {'1', H}, {'x', X}, {'X', X}, {'z', X}} {
+		got, err := ParseTrit(tc.c)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseTrit(%q) = %v, %v", tc.c, got, err)
+		}
+	}
+	if _, err := ParseTrit('q'); err == nil {
+		t.Error("expected error for 'q'")
+	}
+}
+
+// Truth tables for all two-input ops over {0,1,X}.
+func TestTruthTables(t *testing.T) {
+	vals := []Trit{L, H, X}
+	type tab struct {
+		name string
+		f    func(a, b Trit) Trit
+		// rows indexed [a][b]
+		want [3][3]Trit
+	}
+	tabs := []tab{
+		{"And", And, [3][3]Trit{{L, L, L}, {L, H, X}, {L, X, X}}},
+		{"Or", Or, [3][3]Trit{{L, H, X}, {H, H, H}, {X, H, X}}},
+		{"Xor", Xor, [3][3]Trit{{L, H, X}, {H, L, X}, {X, X, X}}},
+		{"Nand", Nand, [3][3]Trit{{H, H, H}, {H, L, X}, {H, X, X}}},
+		{"Nor", Nor, [3][3]Trit{{H, L, X}, {L, L, L}, {X, L, X}}},
+		{"Xnor", Xnor, [3][3]Trit{{H, L, X}, {L, H, X}, {X, X, X}}},
+	}
+	for _, tb := range tabs {
+		for i, a := range vals {
+			for j, b := range vals {
+				if got := tb.f(a, b); got != tb.want[i][j] {
+					t.Errorf("%s(%v,%v) = %v, want %v", tb.name, a, b, got, tb.want[i][j])
+				}
+			}
+		}
+	}
+	if Not(L) != H || Not(H) != L || Not(X) != X {
+		t.Error("Not wrong")
+	}
+}
+
+func TestMux(t *testing.T) {
+	if Mux(L, H, L) != H || Mux(H, H, L) != L {
+		t.Fatal("mux select wrong")
+	}
+	// X select: agree -> known, disagree -> X
+	if Mux(X, H, H) != H || Mux(X, L, L) != L {
+		t.Fatal("mux X-select agreement wrong")
+	}
+	if Mux(X, H, L) != X || Mux(X, X, X) != X || Mux(X, H, X) != X {
+		t.Fatal("mux X-select disagreement wrong")
+	}
+}
+
+// Property: all gate functions are monotone in the information order:
+// refining an X input to 0 or 1 must produce an output that refines the
+// X-input output. This is the soundness core of the whole analysis.
+func TestMonotonicityProperty(t *testing.T) {
+	refines := func(c, s Trit) bool { return s == X || s == c }
+	ops := map[string]func(a, b Trit) Trit{
+		"And": And, "Or": Or, "Xor": Xor, "Nand": Nand, "Nor": Nor, "Xnor": Xnor,
+	}
+	vals := []Trit{L, H, X}
+	concrete := []Trit{L, H}
+	for name, f := range ops {
+		for _, a := range vals {
+			for _, b := range vals {
+				sym := f(a, b)
+				// enumerate all concretizations
+				as := concrete
+				if a != X {
+					as = []Trit{a}
+				}
+				bs := concrete
+				if b != X {
+					bs = []Trit{b}
+				}
+				for _, ca := range as {
+					for _, cb := range bs {
+						if got := f(ca, cb); !refines(got, sym) {
+							t.Errorf("%s not monotone: f(%v,%v)=%v but f(%v,%v)=%v", name, a, b, sym, ca, cb, got)
+						}
+					}
+				}
+			}
+		}
+	}
+	// Mux too.
+	for _, s := range vals {
+		for _, a := range vals {
+			for _, b := range vals {
+				sym := Mux(s, a, b)
+				ss := concrete
+				if s != X {
+					ss = []Trit{s}
+				}
+				as := concrete
+				if a != X {
+					as = []Trit{a}
+				}
+				bs := concrete
+				if b != X {
+					bs = []Trit{b}
+				}
+				for _, cs := range ss {
+					for _, ca := range as {
+						for _, cb := range bs {
+							if got := Mux(cs, ca, cb); !refines(got, sym) {
+								t.Errorf("Mux not monotone at (%v,%v,%v)", s, a, b)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWordRoundTrip(t *testing.T) {
+	f := func(v uint16) bool {
+		w := FromUint(uint64(v), 16)
+		got, ok := w.Uint()
+		return ok && got == uint64(v) && w.Known() && !w.HasX()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWordStringParse(t *testing.T) {
+	w, err := ParseWord("10x1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 4 || w[0] != H || w[1] != X || w[2] != L || w[3] != H {
+		t.Fatalf("parse wrong: %v", w)
+	}
+	if w.String() != "10x1" {
+		t.Fatalf("String = %q", w.String())
+	}
+	if _, err := ParseWord("10q1"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestWordHelpers(t *testing.T) {
+	x := AllX(8)
+	if x.Known() || !x.HasX() || len(x) != 8 {
+		t.Fatal("AllX wrong")
+	}
+	if _, ok := x.Uint(); ok {
+		t.Fatal("Uint on X should fail")
+	}
+	w := FromUint(0xA5, 8)
+	c := w.Clone()
+	c[0] = X
+	if w[0] == X {
+		t.Fatal("Clone aliases")
+	}
+	if !w.Equal(FromUint(0xA5, 8)) || w.Equal(c) || w.Equal(FromUint(0xA5, 9)) {
+		t.Fatal("Equal wrong")
+	}
+	if w.MustUint() != 0xA5 {
+		t.Fatal("MustUint wrong")
+	}
+}
+
+func TestMustUintPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AllX(4).MustUint()
+}
+
+func TestRefines(t *testing.T) {
+	s, _ := ParseWord("1x0x")
+	for _, tc := range []struct {
+		c    string
+		want bool
+	}{
+		{"1000", true}, {"1100", true}, {"1001", true}, {"1101", true},
+		{"0000", false}, {"1010", false},
+	} {
+		c, _ := ParseWord(tc.c)
+		if got := Refines(c, s); got != tc.want {
+			t.Errorf("Refines(%s, %s) = %v, want %v", tc.c, s, got, tc.want)
+		}
+	}
+	// non-concrete c never refines
+	if Refines(s, s) {
+		t.Error("X word should not refine")
+	}
+	if Refines(FromUint(0, 3), FromUint(0, 4)) {
+		t.Error("length mismatch should not refine")
+	}
+}
+
+// Property: NewWord fill semantics.
+func TestNewWordProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		m := int(n%64) + 1
+		w0 := NewWord(m, L)
+		w1 := NewWord(m, H)
+		v0, ok0 := w0.Uint()
+		v1, ok1 := w1.Uint()
+		return ok0 && v0 == 0 && ok1 && v1 == (uint64(1)<<uint(m))-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

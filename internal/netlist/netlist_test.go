@@ -1,0 +1,310 @@
+package netlist
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+)
+
+// buildToy constructs a tiny 1-bit toggler: q' = q XOR en, with en a
+// primary input, plus a tie and a buffered output.
+func buildToy(t *testing.T) *Netlist {
+	t.Helper()
+	n := New("toy")
+	en := n.NewNet("en")
+	n.MarkInput(en)
+	q := n.NewNet("q")
+	d := n.NewNet("d")
+	out := n.NewNet("out")
+	zero := n.NewNet("zero")
+	n.AddCell(cell.Xor2, "core", "x1", d, q, en)
+	n.AddCell(cell.Dff, "core", "q_reg", q, d)
+	n.AddCell(cell.Buf, "io", "ob", out, q)
+	n.AddCell(cell.Tie0, "io", "t0", zero)
+	n.DefinePort("en", []NetID{en})
+	n.DefinePort("out", []NetID{out})
+	if err := n.Build(); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return n
+}
+
+func TestBuildToy(t *testing.T) {
+	n := buildToy(t)
+	if n.NumCells() != 4 || n.NumNets() != 5 {
+		t.Fatalf("cells=%d nets=%d", n.NumCells(), n.NumNets())
+	}
+	if len(n.Sequential()) != 1 {
+		t.Fatalf("seq=%d", len(n.Sequential()))
+	}
+	if !n.Built() {
+		t.Fatal("not built")
+	}
+	// The XOR depends on a DFF output and a PI: level 0. Buf too.
+	if len(n.Levels()) != 1 {
+		t.Fatalf("levels=%d", len(n.Levels()))
+	}
+	if got := len(n.Port("en")); got != 1 {
+		t.Fatalf("port en size %d", got)
+	}
+	if n.Port("nope") != nil {
+		t.Fatal("undefined port should be nil")
+	}
+}
+
+func TestLevelization(t *testing.T) {
+	// Chain: a -> inv -> inv -> inv; three levels.
+	n := New("chain")
+	a := n.NewNet("a")
+	n.MarkInput(a)
+	b := n.NewNet("b")
+	c := n.NewNet("c")
+	d := n.NewNet("d")
+	n.AddCell(cell.Inv, "m", "i1", b, a)
+	n.AddCell(cell.Inv, "m", "i2", c, b)
+	n.AddCell(cell.Inv, "m", "i3", d, c)
+	if err := n.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.Levels()) != 3 {
+		t.Fatalf("levels=%d, want 3", len(n.Levels()))
+	}
+	// Check ordering: each level's cells only read nets driven by earlier
+	// levels or inputs.
+	seen := map[NetID]bool{a: true}
+	for _, level := range n.Levels() {
+		outs := []NetID{}
+		for _, ci := range level {
+			cc := n.Cell(ci)
+			for pin := 0; pin < cc.Kind.NumInputs(); pin++ {
+				if !seen[cc.In[pin]] {
+					t.Fatalf("cell %s reads not-yet-driven net", cc.Name)
+				}
+			}
+			outs = append(outs, cc.Out)
+		}
+		for _, o := range outs {
+			seen[o] = true
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	t.Run("multiply driven", func(t *testing.T) {
+		n := New("bad")
+		a := n.NewNet("a")
+		n.MarkInput(a)
+		b := n.NewNet("b")
+		n.AddCell(cell.Inv, "m", "i1", b, a)
+		n.AddCell(cell.Buf, "m", "i2", b, a)
+		if err := n.Build(); err == nil || !strings.Contains(err.Error(), "multiply driven") {
+			t.Fatalf("err=%v", err)
+		}
+	})
+	t.Run("undriven", func(t *testing.T) {
+		n := New("bad")
+		a := n.NewNet("a")
+		b := n.NewNet("b")
+		n.AddCell(cell.Inv, "m", "i1", b, a)
+		if err := n.Build(); err == nil || !strings.Contains(err.Error(), "no driver") {
+			t.Fatalf("err=%v", err)
+		}
+	})
+	t.Run("comb cycle", func(t *testing.T) {
+		n := New("bad")
+		a := n.NewNet("a")
+		b := n.NewNet("b")
+		n.AddCell(cell.Inv, "m", "i1", b, a)
+		n.AddCell(cell.Inv, "m", "i2", a, b)
+		if err := n.Build(); err == nil || !strings.Contains(err.Error(), "cycle") {
+			t.Fatalf("err=%v", err)
+		}
+	})
+	t.Run("input driven", func(t *testing.T) {
+		n := New("bad")
+		a := n.NewNet("a")
+		n.MarkInput(a)
+		b := n.NewNet("b")
+		n.MarkInput(b)
+		n.AddCell(cell.Inv, "m", "i1", b, a)
+		if err := n.Build(); err == nil || !strings.Contains(err.Error(), "primary input") {
+			t.Fatalf("err=%v", err)
+		}
+	})
+	t.Run("seq loop ok", func(t *testing.T) {
+		// A DFF in the loop breaks the combinational cycle: must build.
+		n := New("ok")
+		q := n.NewNet("q")
+		d := n.NewNet("d")
+		n.AddCell(cell.Inv, "m", "i1", d, q)
+		n.AddCell(cell.Dff, "m", "q_reg", q, d)
+		if err := n.Build(); err != nil {
+			t.Fatalf("seq loop should build: %v", err)
+		}
+	})
+}
+
+func TestAddCellArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n := New("bad")
+	a := n.NewNet("a")
+	b := n.NewNet("b")
+	n.AddCell(cell.Nand2, "m", "g", b, a) // needs 2 inputs
+}
+
+func TestStats(t *testing.T) {
+	n := buildToy(t)
+	s := n.Stats(cell.ULP65())
+	if s.Cells != 4 || s.Seq != 1 || s.Nets != 5 {
+		t.Fatalf("stats %+v", s)
+	}
+	if s.ByModule["core"] != 2 || s.ByModule["io"] != 2 {
+		t.Fatalf("by module %v", s.ByModule)
+	}
+	if s.ByKind["XOR2"] != 1 || s.ByKind["DFF"] != 1 {
+		t.Fatalf("by kind %v", s.ByKind)
+	}
+	if s.AreaUM2 <= 0 {
+		t.Fatal("area must be positive")
+	}
+	got := SortedModuleCounts(s)
+	if len(got) != 2 || got[0] != "core:2" || got[1] != "io:2" {
+		t.Fatalf("SortedModuleCounts = %v", got)
+	}
+}
+
+func TestModuleHierarchyGrouping(t *testing.T) {
+	n := New("m")
+	a := n.NewNet("a")
+	n.MarkInput(a)
+	b := n.NewNet("b")
+	c := n.NewNet("c")
+	n.AddCell(cell.Inv, "exec_unit.alu", "i1", b, a)
+	n.AddCell(cell.Inv, "exec_unit.register_file", "i2", c, b)
+	if err := n.Build(); err != nil {
+		t.Fatal(err)
+	}
+	s := n.Stats(cell.ULP65())
+	if s.ByModule["exec_unit"] != 2 {
+		t.Fatalf("hierarchical paths should group under top module: %v", s.ByModule)
+	}
+	if len(n.Modules()) != 1 || n.Modules()[0] != "exec_unit" {
+		t.Fatalf("Modules() = %v", n.Modules())
+	}
+	if n.ModuleIndex(0) != 0 || n.ModuleIndex(1) != 0 {
+		t.Fatal("ModuleIndex wrong")
+	}
+}
+
+func TestVerilogRoundTrip(t *testing.T) {
+	n := buildToy(t)
+	var buf bytes.Buffer
+	if err := n.WriteVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{"module toy", "XOR2", "DFF", "(* module = \"core\" *)", "endmodule", "// port en"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("verilog output missing %q:\n%s", want, text)
+		}
+	}
+	p, err := ParseVerilog(&buf)
+	if err != nil {
+		t.Fatalf("ParseVerilog: %v", err)
+	}
+	if p.Name != "toy" || p.NumCells() != n.NumCells() {
+		t.Fatalf("round trip mismatch: %s %d", p.Name, p.NumCells())
+	}
+	// Cell-by-cell comparison via name -> (kind, module, net names).
+	type sig struct {
+		kind   cell.Kind
+		module string
+		out    string
+		ins    [3]string
+	}
+	sigOf := func(nl *Netlist, c *Cell) sig {
+		s := sig{kind: c.Kind, module: c.Module, out: nl.NetName(c.Out)}
+		for pin := 0; pin < c.Kind.NumInputs(); pin++ {
+			s.ins[pin] = nl.NetName(c.In[pin])
+		}
+		return s
+	}
+	orig := map[string]sig{}
+	for i := 0; i < n.NumCells(); i++ {
+		c := n.Cell(CellID(i))
+		orig[c.Name] = sigOf(n, c)
+	}
+	for i := 0; i < p.NumCells(); i++ {
+		c := p.Cell(CellID(i))
+		if got, want := sigOf(p, c), orig[c.Name]; got != want {
+			t.Fatalf("cell %s mismatch: got %+v want %+v", c.Name, got, want)
+		}
+	}
+	// Ports survive.
+	if len(p.Port("en")) != 1 || len(p.Port("out")) != 1 {
+		t.Fatal("ports lost in round trip")
+	}
+	// Inputs survive.
+	if len(p.Inputs()) != len(n.Inputs()) {
+		t.Fatal("inputs lost")
+	}
+	// Second round trip is stable.
+	var buf2, buf3 bytes.Buffer
+	if err := p.WriteVerilog(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	text2 := buf2.String()
+	p2, err := ParseVerilog(strings.NewReader(text2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.WriteVerilog(&buf3); err != nil {
+		t.Fatal(err)
+	}
+	if text2 != buf3.String() {
+		t.Fatal("verilog writer not stable across round trips")
+	}
+}
+
+func TestParseVerilogErrors(t *testing.T) {
+	cases := map[string]string{
+		"no module":    "wire a;\n",
+		"bad instance": "module m ();\nFOO u1 (.Y(a));\nendmodule\n",
+		"missing pin":  "module m (clk, a);\ninput a;\nwire b;\nNAND2 g (.Y(b), .A(a));\nendmodule\n",
+		"bad port":     "module m (clk);\n// port p = nosuch\nendmodule\n",
+	}
+	for name, src := range cases {
+		if _, err := ParseVerilog(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestEscapedIdentifiers(t *testing.T) {
+	n := New("esc")
+	a := n.NewNet("bus[3]") // needs escaping
+	n.MarkInput(a)
+	b := n.NewNet("weird.name")
+	n.AddCell(cell.Inv, "top", "inv[0]", b, a)
+	if err := n.Build(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n.WriteVerilog(&buf); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParseVerilog(&buf)
+	if err != nil {
+		t.Fatalf("ParseVerilog: %v\n%s", err, buf.String())
+	}
+	if p.NetName(p.Cell(0).In[0]) != "bus[3]" || p.NetName(p.Cell(0).Out) != "weird.name" {
+		t.Fatalf("escaped identifiers mangled: %q %q",
+			p.NetName(p.Cell(0).In[0]), p.NetName(p.Cell(0).Out))
+	}
+}

@@ -1,0 +1,358 @@
+// Package opt implements the peak-power software optimizations of
+// Sections 3.5 and 5.1: source-to-source transforms, guided by the COI
+// (cycle-of-interest) analysis, that replace instruction sequences
+// causing power spikes with lower-instantaneous-activity equivalents:
+//
+//   - OPT1 (register-indexed loads): `mov x(rN), dst` splits its source
+//     micro-operations across instructions — compute the address into a
+//     free register, then load register-indirect.
+//   - OPT2 (POP): `pop rD` (= mov @sp+, rD) splits into the data move and
+//     the stack-pointer increment, so bus activity and the incrementer do
+//     not fire in the same instruction.
+//   - OPT3 (multiplier overlap): insert a NOP after the OP2 write, so the
+//     multiplier array's active cycle overlaps the cheapest possible core
+//     activity instead of the next instruction's fetch/decode.
+//
+// Both splits clobber status flags the originals preserved, so applying
+// a transform is paired with differential verification on the behavioral
+// reference (VerifyEquivalent): the paper's workflow of "apply only the
+// optimizations that are guaranteed to reduce peak power" with
+// correctness checked by re-running the analysis.
+package opt
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/isa"
+	"repro/internal/isim"
+)
+
+// Result reports one transform application.
+type Result struct {
+	// Name is the transform's name (OPT1/OPT2/OPT3).
+	Name string
+	// Applied is the number of rewritten sites.
+	Applied int
+	// Source is the transformed program text.
+	Source string
+}
+
+// line splits an assembly line into (label, stmt, comment-preserved body).
+func splitLabel(l string) (label, rest string) {
+	code := l
+	if i := strings.IndexByte(code, ';'); i >= 0 {
+		code = code[:i]
+	}
+	if i := strings.IndexByte(code, ':'); i >= 0 {
+		head := strings.TrimSpace(code[:i])
+		if head != "" && !strings.ContainsAny(head, " \t") {
+			return code[:i+1], l[len(code[:i+1]):]
+		}
+	}
+	return "", l
+}
+
+// fields extracts (mnemonic, operands) from a statement, stripping
+// comments.
+func fields(stmt string) (mnem string, ops []string) {
+	code := stmt
+	if i := strings.IndexByte(code, ';'); i >= 0 {
+		code = code[:i]
+	}
+	code = strings.TrimSpace(code)
+	if code == "" || strings.HasPrefix(code, ".") {
+		return "", nil
+	}
+	parts := strings.SplitN(code, " ", 2)
+	mnem = strings.ToLower(parts[0])
+	if len(parts) == 2 {
+		for _, f := range splitTop(parts[1]) {
+			ops = append(ops, strings.TrimSpace(f))
+		}
+	}
+	return mnem, ops
+}
+
+func splitTop(s string) []string {
+	var parts []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case ',':
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(parts, s[start:])
+}
+
+// usedRegs scans a program for general-purpose register usage.
+func usedRegs(src string) map[int]bool {
+	used := make(map[int]bool)
+	low := strings.ToLower(src)
+	for r := 4; r <= 15; r++ {
+		tok := fmt.Sprintf("r%d", r)
+		for i := 0; i+len(tok) <= len(low); i++ {
+			if !strings.HasPrefix(low[i:], tok) {
+				continue
+			}
+			// token boundaries: not preceded/followed by ident chars
+			if i > 0 && isWordChar(low[i-1]) {
+				continue
+			}
+			end := i + len(tok)
+			if end < len(low) && (isWordChar(low[end]) || low[end] >= '0' && low[end] <= '9') {
+				continue
+			}
+			used[r] = true
+		}
+	}
+	return used
+}
+
+func isWordChar(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= '0' && c <= '9'
+}
+
+// freeReg picks an unused general-purpose register, or -1.
+func freeReg(src string) int {
+	used := usedRegs(src)
+	for r := 15; r >= 4; r-- {
+		if !used[r] {
+			return r
+		}
+	}
+	return -1
+}
+
+func isReg(op string) bool {
+	op = strings.ToLower(op)
+	if op == "sp" || op == "pc" || op == "sr" || op == "cg" {
+		return true
+	}
+	if len(op) >= 2 && op[0] == 'r' {
+		for i := 1; i < len(op); i++ {
+			if op[i] < '0' || op[i] > '9' {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// isIndexedLoadSrc matches `expr(rN)` sources whose base is a general
+// register (not the stack pointer, whose indexed loads address locals).
+func isIndexedLoadSrc(op string) (expr, base string, ok bool) {
+	if !strings.HasSuffix(op, ")") {
+		return "", "", false
+	}
+	lp := strings.IndexByte(op, '(')
+	if lp <= 0 { // require a non-empty index expression
+		return "", "", false
+	}
+	base = strings.ToLower(strings.TrimSpace(op[lp+1 : len(op)-1]))
+	if !strings.HasPrefix(base, "r") || !isReg(base) {
+		return "", "", false
+	}
+	return strings.TrimSpace(op[:lp]), base, true
+}
+
+// OPT1 rewrites register-indexed loads through a free register.
+func OPT1(src string) Result {
+	rT := freeReg(src)
+	if rT < 0 {
+		return Result{Name: "OPT1", Source: src}
+	}
+	tmp := fmt.Sprintf("r%d", rT)
+	lines := strings.Split(src, "\n")
+	var out []string
+	applied := 0
+	for _, l := range lines {
+		label, rest := splitLabel(l)
+		mnem, ops := fields(rest)
+		if mnem == "mov" && len(ops) == 2 {
+			if expr, base, ok := isIndexedLoadSrc(ops[0]); ok && !strings.HasPrefix(ops[1], "#") {
+				if label != "" {
+					out = append(out, label)
+				}
+				out = append(out,
+					fmt.Sprintf("    mov %s, %s ; OPT1", base, tmp),
+					fmt.Sprintf("    add #%s, %s ; OPT1", expr, tmp),
+					fmt.Sprintf("    mov @%s, %s ; OPT1", tmp, ops[1]))
+				applied++
+				continue
+			}
+		}
+		out = append(out, l)
+	}
+	return Result{Name: "OPT1", Applied: applied, Source: strings.Join(out, "\n")}
+}
+
+// OPT2 splits POP into its micro-operations.
+func OPT2(src string) Result {
+	lines := strings.Split(src, "\n")
+	var out []string
+	applied := 0
+	for _, l := range lines {
+		label, rest := splitLabel(l)
+		mnem, ops := fields(rest)
+		if mnem == "pop" && len(ops) == 1 && isReg(ops[0]) {
+			if label != "" {
+				out = append(out, label)
+			}
+			out = append(out,
+				fmt.Sprintf("    mov @sp, %s ; OPT2", ops[0]),
+				"    add #2, sp ; OPT2")
+			applied++
+			continue
+		}
+		out = append(out, l)
+	}
+	return Result{Name: "OPT2", Applied: applied, Source: strings.Join(out, "\n")}
+}
+
+// OPT3 inserts a NOP after every multiplier OP2 write whose successor is
+// not already a NOP, so the multiplier's active cycle coincides with
+// minimal core activity.
+func OPT3(src string) Result {
+	lines := strings.Split(src, "\n")
+	var out []string
+	applied := 0
+	for i, l := range lines {
+		out = append(out, l)
+		_, rest := splitLabel(l)
+		mnem, ops := fields(rest)
+		if mnem == "mov" && len(ops) == 2 && strings.Contains(strings.ToLower(ops[1]), "0x0138") {
+			nextIsNop := false
+			if i+1 < len(lines) {
+				_, nrest := splitLabel(lines[i+1])
+				nm, _ := fields(nrest)
+				nextIsNop = nm == "nop"
+			}
+			if !nextIsNop {
+				out = append(out, "    nop ; OPT3")
+				applied++
+			}
+		}
+	}
+	return Result{Name: "OPT3", Applied: applied, Source: strings.Join(out, "\n")}
+}
+
+// ApplyAll applies OPT1, OPT2, and OPT3 in sequence.
+func ApplyAll(src string) (string, map[string]int) {
+	counts := make(map[string]int)
+	for _, f := range []func(string) Result{OPT1, OPT2, OPT3} {
+		r := f(src)
+		src = r.Source
+		counts[r.Name] = r.Applied
+	}
+	return src, counts
+}
+
+// VerifyEquivalent checks that the transformed program computes the same
+// results as the original on the behavioral reference, over `sets` drawn
+// input sets: same final RAM contents, same output port, both halting.
+// The transforms clobber flags the originals preserved; this differential
+// check is the guard that keeps only semantics-preserving rewrites.
+func VerifyEquivalent(b *bench.Benchmark, newSrc string, sets int, seed int64) error {
+	origImg, err := b.Image()
+	if err != nil {
+		return err
+	}
+	newImg, err := isa.Assemble(b.Name+"-opt", newSrc)
+	if err != nil {
+		return fmt.Errorf("opt: transformed program does not assemble: %w", err)
+	}
+	for i := 0; i < sets; i++ {
+		r1 := rand.New(rand.NewSource(seed + int64(i)))
+		r2 := rand.New(rand.NewSource(seed + int64(i)))
+		inputs1 := b.GenInputs(r1)
+		inputs2 := b.GenInputs(r2)
+		m1, err := isim.New(origImg, inputs1)
+		if err != nil {
+			return err
+		}
+		m2, err := isim.New(newImg, inputs2)
+		if err != nil {
+			return err
+		}
+		if b.UsesPort {
+			m1.PortIn = b.GenPort(r1)
+			m2.PortIn = b.GenPort(r2)
+		}
+		if err := m1.Run(500000); err != nil {
+			return fmt.Errorf("opt: original: %w", err)
+		}
+		if err := m2.Run(500000); err != nil {
+			return fmt.Errorf("opt: transformed: %w", err)
+		}
+		for addr := uint16(0x0200); addr < 0x0A00; addr += 2 {
+			// Skip stack-region scratch: compare only words below the
+			// initial stack that either program wrote.
+			if m1.Mem(addr) != m2.Mem(addr) {
+				return fmt.Errorf("opt: set %d: mem[%#04x] differs: %#04x vs %#04x",
+					i, addr, m1.Mem(addr), m2.Mem(addr))
+			}
+		}
+		if m1.P1Out() != m2.P1Out() {
+			return fmt.Errorf("opt: set %d: port output differs", i)
+		}
+	}
+	return nil
+}
+
+// Overhead compares instruction-count cost of a transformed program.
+type Overhead struct {
+	// OrigCycles and NewCycles are reference-model cycle counts.
+	OrigCycles, NewCycles uint64
+	// PerfDegradationPct = (new-orig)/orig × 100.
+	PerfDegradationPct float64
+}
+
+// MeasureOverhead runs both versions on the reference model with one
+// input set and reports the performance cost (Figure 5.6's x-axis data).
+func MeasureOverhead(b *bench.Benchmark, newSrc string, seed int64) (Overhead, error) {
+	origImg, err := b.Image()
+	if err != nil {
+		return Overhead{}, err
+	}
+	newImg, err := isa.Assemble(b.Name+"-opt", newSrc)
+	if err != nil {
+		return Overhead{}, err
+	}
+	r1 := rand.New(rand.NewSource(seed))
+	r2 := rand.New(rand.NewSource(seed))
+	m1, err := isim.New(origImg, b.GenInputs(r1))
+	if err != nil {
+		return Overhead{}, err
+	}
+	m2, err := isim.New(newImg, b.GenInputs(r2))
+	if err != nil {
+		return Overhead{}, err
+	}
+	if b.UsesPort {
+		m1.PortIn = b.GenPort(r1)
+		m2.PortIn = b.GenPort(r2)
+	}
+	if err := m1.Run(500000); err != nil {
+		return Overhead{}, err
+	}
+	if err := m2.Run(500000); err != nil {
+		return Overhead{}, err
+	}
+	ov := Overhead{OrigCycles: m1.Cycles, NewCycles: m2.Cycles}
+	if m1.Cycles > 0 {
+		ov.PerfDegradationPct = 100 * (float64(m2.Cycles) - float64(m1.Cycles)) / float64(m1.Cycles)
+	}
+	return ov, nil
+}

@@ -1,0 +1,155 @@
+package opt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func TestOPT1RewritesIndexedLoads(t *testing.T) {
+	b := bench.ByName("binSearch")
+	r := OPT1(b.Source)
+	if r.Applied == 0 {
+		t.Fatal("binSearch has an indexed load; OPT1 should fire")
+	}
+	if !strings.Contains(r.Source, "; OPT1") {
+		t.Fatal("transform marker missing")
+	}
+	if strings.Contains(r.Source, "tab(r7)") {
+		t.Fatal("indexed load survived")
+	}
+	if err := VerifyEquivalent(b, r.Source, 6, 11); err != nil {
+		t.Fatalf("OPT1 broke binSearch: %v", err)
+	}
+}
+
+func TestOPT1NeedsFreeRegister(t *testing.T) {
+	// FFT uses r4..r15: no free register, transform must decline.
+	b := bench.ByName("FFT")
+	r := OPT1(b.Source)
+	if r.Applied != 0 {
+		t.Fatalf("FFT has no free register; OPT1 applied %d sites", r.Applied)
+	}
+	if r.Source != b.Source {
+		t.Fatal("source must be unchanged")
+	}
+}
+
+func TestOPT1SkipsStores(t *testing.T) {
+	src := `
+.org 0xf000
+.entry main
+main:
+    mov r4, 2(r5)    ; store: not a load
+    mov #1, &0x0126
+spin: jmp spin
+`
+	r := OPT1(src)
+	if r.Applied != 0 {
+		t.Fatal("OPT1 must not rewrite indexed stores")
+	}
+}
+
+func TestOPT2SplitsPop(t *testing.T) {
+	b := bench.ByName("rle")
+	r := OPT2(b.Source)
+	if r.Applied != 1 {
+		t.Fatalf("rle has one pop; applied=%d", r.Applied)
+	}
+	if !strings.Contains(r.Source, "mov @sp, r8 ; OPT2") ||
+		!strings.Contains(r.Source, "add #2, sp ; OPT2") {
+		t.Fatalf("split missing:\n%s", r.Source)
+	}
+	if err := VerifyEquivalent(b, r.Source, 6, 5); err != nil {
+		t.Fatalf("OPT2 broke rle: %v", err)
+	}
+}
+
+func TestOPT3InsertsNopAfterOP2(t *testing.T) {
+	for _, name := range []string{"mult", "intFilt", "autoCorr", "FFT", "PI"} {
+		b := bench.ByName(name)
+		r := OPT3(b.Source)
+		if r.Applied == 0 {
+			t.Errorf("%s writes OP2; OPT3 should fire", name)
+			continue
+		}
+		if err := VerifyEquivalent(b, r.Source, 4, 3); err != nil {
+			t.Errorf("OPT3 broke %s: %v", name, err)
+		}
+	}
+	// Idempotence: a second application finds the NOPs already present.
+	b := bench.ByName("mult")
+	once := OPT3(b.Source)
+	twice := OPT3(once.Source)
+	if twice.Applied != 0 {
+		t.Error("OPT3 must be idempotent")
+	}
+}
+
+func TestOPT3SkipsNonMultiplier(t *testing.T) {
+	b := bench.ByName("tea8")
+	r := OPT3(b.Source)
+	if r.Applied != 0 {
+		t.Fatal("tea8 has no multiplier writes")
+	}
+}
+
+func TestApplyAllOnWholeSuite(t *testing.T) {
+	anyApplied := false
+	for _, b := range bench.All() {
+		newSrc, counts := ApplyAll(b.Source)
+		total := counts["OPT1"] + counts["OPT2"] + counts["OPT3"]
+		if total > 0 {
+			anyApplied = true
+			if err := VerifyEquivalent(b, newSrc, 4, 17); err != nil {
+				t.Errorf("%s: combined transforms broke semantics: %v", b.Name, err)
+			}
+		} else if newSrc != b.Source {
+			t.Errorf("%s: no transforms but source changed", b.Name)
+		}
+	}
+	if !anyApplied {
+		t.Fatal("no transform fired on the whole suite")
+	}
+}
+
+func TestMeasureOverhead(t *testing.T) {
+	b := bench.ByName("mult")
+	r := OPT3(b.Source)
+	ov, err := MeasureOverhead(b, r.Source, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.NewCycles <= ov.OrigCycles {
+		t.Fatalf("inserting NOPs must cost cycles: %d -> %d", ov.OrigCycles, ov.NewCycles)
+	}
+	if ov.PerfDegradationPct <= 0 || ov.PerfDegradationPct > 25 {
+		t.Fatalf("implausible degradation %.1f%%", ov.PerfDegradationPct)
+	}
+}
+
+func TestVerifyCatchesBreakage(t *testing.T) {
+	b := bench.ByName("intAVG")
+	broken := strings.Replace(b.Source, "add @r4+, r8", "add @r4+, r9", 1)
+	if broken == b.Source {
+		t.Fatal("test setup: pattern not found")
+	}
+	if err := VerifyEquivalent(b, broken, 4, 29); err == nil {
+		t.Fatal("verification must catch a broken rewrite")
+	}
+}
+
+func TestFreeRegScan(t *testing.T) {
+	if r := freeReg("mov r4, r5\nadd r15, r6"); r == 4 || r == 5 || r == 6 || r == 15 {
+		t.Fatalf("freeReg picked a used register r%d", r)
+	}
+	all := "r4 r5 r6 r7 r8 r9 r10 r11 r12 r13 r14 r15"
+	if r := freeReg(all); r != -1 {
+		t.Fatalf("freeReg should fail, got r%d", r)
+	}
+	// r1 vs r10/r11... prefix confusion: r1 alone leaves r10+ free.
+	if u := usedRegs("mov r1, r4"); u[10] || u[14] || !u[4] {
+		t.Fatalf("token-boundary scan wrong: %v", u)
+	}
+}

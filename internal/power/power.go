@@ -1,0 +1,331 @@
+// Package power implements the paper's input-independent peak power
+// computation (Algorithm 2) and the supporting activity-based power
+// analysis: per-cycle power bounds over three-valued activity, per-module
+// breakdowns, cycle-of-interest (COI) attribution, and the literal
+// even/odd VCD construction.
+//
+// The streaming form used during symbolic exploration computes, for every
+// cycle, the maximum power consistent with the cycle's activity
+// annotation: gates with known values contribute their actual transition
+// energy; gates marked active whose values involve X contribute the
+// worst-case transition consistent with the known endpoint (both-X gates
+// contribute the standard-cell library's maximum-power transition —
+// Algorithm 2's maxTransition lookup). Gates holding a temporally
+// constant X (not marked active) contribute nothing: that is the
+// tightness the activity analysis buys.
+//
+// The literal Algorithm 2 — materialize an even-maximizing and an
+// odd-maximizing VCD, run power analysis on each, interleave — is
+// implemented in algorithm2.go over captured windows; a property test
+// asserts it agrees with the streaming form cycle for cycle.
+package power
+
+import (
+	"repro/internal/cell"
+	"repro/internal/gsim"
+	"repro/internal/isa"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/ulp430"
+)
+
+// Model is an operating point for power analysis.
+type Model struct {
+	// Lib is the characterized cell library.
+	Lib *cell.Library
+	// ClockHz is the clock frequency.
+	ClockHz float64
+}
+
+// PowerMW converts a per-cycle energy in femtojoules to milliwatts at the
+// model's clock.
+func (m Model) PowerMW(energyFJ float64) float64 {
+	return energyFJ * m.ClockHz * 1e-12
+}
+
+// EnergyJ converts a per-cycle energy in femtojoules to joules.
+func (m Model) EnergyJ(energyFJ float64) float64 { return energyFJ * 1e-15 }
+
+// LeakageMW returns the design's total leakage power in milliwatts.
+func (m Model) LeakageMW(nl *netlist.Netlist) float64 {
+	total := 0.0
+	for ci := 0; ci < nl.NumCells(); ci++ {
+		total += m.Lib.Params(nl.Cell(netlist.CellID(ci)).Kind).LeakageNW
+	}
+	return total * 1e-6
+}
+
+// cellBoundFJ returns the maximum energy cell kind k can dissipate in a
+// cycle with previous/current output values prev/cur and activity flag
+// act (excluding the clock pin).
+func cellBoundFJ(lib *cell.Library, k cell.Kind, prev, cur logic.Trit, act bool) float64 {
+	if prev.Known() && cur.Known() {
+		if prev != cur {
+			return lib.TransitionEnergy(k, prev, cur)
+		}
+		return 0
+	}
+	if !act {
+		return 0 // temporally constant unknown: cannot toggle
+	}
+	switch {
+	case prev == logic.X && cur == logic.X:
+		_, _, e := lib.MaxTransition(k)
+		return e
+	case cur == logic.X:
+		// Assume it left the known previous value.
+		if prev == logic.L {
+			return lib.Params(k).EnergyRise
+		}
+		return lib.Params(k).EnergyFall
+	default: // prev == X, cur known
+		if cur == logic.H {
+			return lib.Params(k).EnergyRise
+		}
+		return lib.Params(k).EnergyFall
+	}
+}
+
+// CycleBoundFJ computes the cycle's maximum dynamic energy in
+// femtojoules. If byModule is non-nil it must have length
+// len(nl.Modules()) and receives the per-module split.
+func CycleBoundFJ(sim *gsim.Simulator, byModule []float64) float64 {
+	nl := sim.Netlist()
+	lib := sim.Library()
+	if byModule != nil {
+		for i := range byModule {
+			byModule[i] = 0
+		}
+	}
+	total := 0.0
+	for ci := 0; ci < nl.NumCells(); ci++ {
+		c := nl.Cell(netlist.CellID(ci))
+		e := cellBoundFJ(lib, c.Kind, sim.PrevVal(c.Out), sim.Val(c.Out), sim.Active(c.Out))
+		e += lib.Params(c.Kind).EnergyClk
+		total += e
+		if byModule != nil {
+			byModule[nl.ModuleIndex(netlist.CellID(ci))] += e
+		}
+	}
+	return total
+}
+
+// Peak records one cycle of interest: a local power maximum with its
+// microarchitectural attribution (Figure 3.6).
+type Peak struct {
+	// PowerMW is the bounded power of the cycle.
+	PowerMW float64
+	// PathPos is the cycle's position along its exploration path.
+	PathPos int
+	// FetchAddr is the address of the instruction in flight; PrevFetch
+	// the one before it (the shallow "pipeline" of the multi-cycle core).
+	FetchAddr, PrevFetch uint16
+	// State is the controller state name at the peak.
+	State string
+	// ByModuleMW is the per-module power split (indexed like
+	// Netlist.Modules()).
+	ByModuleMW []float64
+	// ActiveCells is the set of cells active in the peak cycle (recorded
+	// for the global best peak only).
+	ActiveCells []netlist.CellID
+}
+
+// Sink is the symx.Sink that performs streaming peak-power analysis
+// during symbolic exploration. It also serves concrete runs (no X values
+// present reduces the bound to exact measured power).
+type Sink struct {
+	// Trace is the per-cycle power bound (mW, leakage included) along the
+	// current exploration path.
+	Trace []float64
+	// WarmupCycles suppresses peak/COI/activity-union tracking for the
+	// first cycles of the run: the reset transient and the common
+	// watchdog/stack prologue are identical for every application, and
+	// the paper's measurements characterize steady-state application
+	// execution. The power trace itself still records every cycle.
+	WarmupCycles int
+	// UnionActive marks cells active in at least one explored cycle —
+	// the "potentially toggled" set of Figures 1.5 and 3.4.
+	UnionActive []bool
+	// Best is the global peak across all explored cycles.
+	Best Peak
+	// TopK holds the highest-power cycles with distinct fetch addresses
+	// (COI candidates), sorted descending.
+	TopK []Peak
+
+	model   Model
+	nl      *netlist.Netlist
+	img     *isa.Image
+	k       int
+	modBuf  []float64
+	leakMW  float64
+	fetches []fetchCtx
+
+	stateNets []netlist.NetID
+	mabNets   []netlist.NetID
+	lastState string
+}
+
+type fetchCtx struct {
+	fetch, prev uint16
+}
+
+// DefaultWarmup covers the boot sequence and the shared watchdog/stack
+// prologue (see Sink.WarmupCycles).
+const DefaultWarmup = 12
+
+// NewSink creates a power sink for the given system/model; k bounds the
+// COI list length.
+func NewSink(sys *ulp430.System, model Model, img *isa.Image, k int) *Sink {
+	nl := sys.Sim.Netlist()
+	return &Sink{
+		WarmupCycles: DefaultWarmup,
+		model:        model,
+		nl:           nl,
+		img:          img,
+		k:            k,
+		UnionActive:  make([]bool, nl.NumCells()),
+		modBuf:       make([]float64, len(nl.Modules())),
+		leakMW:       model.LeakageMW(nl),
+		stateNets:    nl.Port("state"),
+		mabNets:      nl.Port("mab"),
+	}
+}
+
+// Modules returns the module names indexing Peak.ByModuleMW.
+func (s *Sink) Modules() []string { return s.nl.Modules() }
+
+// OnCycle implements symx.Sink.
+func (s *Sink) OnCycle(sys *ulp430.System) {
+	sim := sys.Sim
+	s.refreshState(sim)
+	eFJ := CycleBoundFJ(sim, s.modBuf)
+	p := s.model.PowerMW(eFJ) + s.leakMW
+	pos := len(s.Trace)
+	s.Trace = append(s.Trace, p)
+
+	// Track the instruction in flight.
+	var fc fetchCtx
+	if pos > 0 {
+		fc = s.fetches[pos-1]
+	}
+	if sim.Val(s.stateNets[ulp430.StFetch]) == logic.H {
+		if a, ok := sim.Port("mab").Uint(); ok {
+			fc.prev = fc.fetch
+			fc.fetch = uint16(a)
+		}
+	}
+	s.fetches = append(s.fetches, fc)
+	if pos < s.WarmupCycles {
+		return
+	}
+
+	// Union of active cells.
+	for ci := 0; ci < s.nl.NumCells(); ci++ {
+		if sim.Active(s.nl.Cell(netlist.CellID(ci)).Out) {
+			s.UnionActive[ci] = true
+		}
+	}
+
+	if p > s.Best.PowerMW {
+		s.Best = s.makePeak(p, pos, fc, true, sim)
+	}
+	s.insertTopK(s.makePeak(p, pos, fc, false, nil))
+}
+
+func (s *Sink) makePeak(p float64, pos int, fc fetchCtx, withCells bool, sim *gsim.Simulator) Peak {
+	pk := Peak{
+		PowerMW:    p,
+		PathPos:    pos,
+		FetchAddr:  fc.fetch,
+		PrevFetch:  fc.prev,
+		State:      s.stateName(),
+		ByModuleMW: make([]float64, len(s.modBuf)),
+	}
+	for i, e := range s.modBuf {
+		pk.ByModuleMW[i] = s.model.PowerMW(e)
+	}
+	if withCells && sim != nil {
+		pk.ActiveCells = sim.ActiveCells(nil)
+	}
+	return pk
+}
+
+func (s *Sink) stateName() string { return s.lastState }
+
+// refreshState derives the controller state name from the one-hot state
+// port; called once per OnCycle before peaks are recorded.
+func (s *Sink) refreshState(sim *gsim.Simulator) {
+	for i, id := range s.stateNets {
+		if sim.Val(id) == logic.H {
+			s.lastState = ulp430.StateName(i)
+			return
+		}
+	}
+	s.lastState = "?"
+}
+
+func (s *Sink) insertTopK(pk Peak) {
+	if s.k <= 0 {
+		return
+	}
+	// Keep at most one entry per fetch address.
+	for i := range s.TopK {
+		if s.TopK[i].FetchAddr == pk.FetchAddr {
+			if pk.PowerMW > s.TopK[i].PowerMW {
+				s.TopK[i] = pk
+				s.bubble(i)
+			}
+			return
+		}
+	}
+	if len(s.TopK) < s.k {
+		s.TopK = append(s.TopK, pk)
+		s.bubble(len(s.TopK) - 1)
+		return
+	}
+	if pk.PowerMW > s.TopK[len(s.TopK)-1].PowerMW {
+		s.TopK[len(s.TopK)-1] = pk
+		s.bubble(len(s.TopK) - 1)
+	}
+}
+
+func (s *Sink) bubble(i int) {
+	for i > 0 && s.TopK[i].PowerMW > s.TopK[i-1].PowerMW {
+		s.TopK[i], s.TopK[i-1] = s.TopK[i-1], s.TopK[i]
+		i--
+	}
+}
+
+// Pos implements symx.Sink.
+func (s *Sink) Pos() int { return len(s.Trace) }
+
+// Rewind implements symx.Sink.
+func (s *Sink) Rewind(pos int) {
+	s.Trace = s.Trace[:pos]
+	s.fetches = s.fetches[:pos]
+}
+
+// Segment implements symx.Sink: the payload is the per-cycle power bound
+// (mW) of the segment.
+func (s *Sink) Segment(from int) interface{} {
+	return append([]float64(nil), s.Trace[from:]...)
+}
+
+// PeakMW returns the global peak power bound.
+func (s *Sink) PeakMW() float64 { return s.Best.PowerMW }
+
+// Instruction renders the mnemonic of a peak's in-flight instruction.
+func (s *Sink) Instruction(pk Peak) string {
+	if s.img == nil {
+		return "?"
+	}
+	return isa.Mnemonic(s.img, pk.FetchAddr)
+}
+
+// PrevInstruction renders the mnemonic of the preceding instruction.
+func (s *Sink) PrevInstruction(pk Peak) string {
+	if s.img == nil {
+		return "?"
+	}
+	return isa.Mnemonic(s.img, pk.PrevFetch)
+}

@@ -1,0 +1,141 @@
+// Package sizing models how peak power and energy requirements translate
+// into energy-harvester and battery sizes for the three ULP system
+// classes of Chapter 1 (Type 1: harvester-powered; Type 2:
+// harvester-charged battery; Type 3: battery-powered), and computes the
+// reduction tables of Section 5 (Tables 5.1 and 5.2).
+package sizing
+
+// Battery characterizes one battery chemistry (Table 1.1).
+type Battery struct {
+	// Type is the chemistry name.
+	Type string
+	// SpecificEnergyJG is specific energy in J/g.
+	SpecificEnergyJG float64
+	// EnergyDensityMJL is energy density in MJ/L.
+	EnergyDensityMJL float64
+}
+
+// Batteries returns Table 1.1.
+func Batteries() []Battery {
+	return []Battery{
+		{"Li-ion", 460, 1.152},
+		{"Alkaline", 400, 0.331},
+		{"Carbon-zinc", 130, 1.080},
+		{"Ni-MH", 340, 0.504},
+		{"Ni-cad", 140, 0.828},
+		{"Lead-acid", 146, 0.360},
+	}
+}
+
+// Harvester characterizes one harvesting technology (Table 1.2).
+type Harvester struct {
+	// Type is the harvester technology.
+	Type string
+	// PowerDensityMWCM2 is power density in mW/cm².
+	PowerDensityMWCM2 float64
+}
+
+// Harvesters returns Table 1.2.
+func Harvesters() []Harvester {
+	return []Harvester{
+		{"Photovoltaic (sun)", 100},
+		{"Photovoltaic (indoor)", 0.1},
+		{"Thermoelectric", 0.06},
+		{"Ambient airflow", 1},
+	}
+}
+
+// ReductionPct returns the percentage reduction in a component sized by a
+// requirement, when the processor's requirement drops from base to ours
+// and the processor contributes fraction contrib (0..1) of the system
+// requirement: contrib × (base-ours)/base × 100. This is the model behind
+// Tables 5.1 (harvester area vs peak power) and 5.2 (battery volume vs
+// peak energy).
+func ReductionPct(contrib, base, ours float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return contrib * (base - ours) / base * 100
+}
+
+// Contributions are the processor-share columns of Tables 5.1/5.2.
+var Contributions = []float64{0.10, 0.25, 0.50, 0.75, 0.90, 1.00}
+
+// ReductionRow computes one table row across the standard contribution
+// columns.
+func ReductionRow(base, ours float64) []float64 {
+	out := make([]float64, len(Contributions))
+	for i, c := range Contributions {
+		out[i] = ReductionPct(c, base, ours)
+	}
+	return out
+}
+
+// HarvesterAreaCM2 sizes a Type 1 harvester for a peak power requirement.
+func HarvesterAreaCM2(peakPowerMW float64, h Harvester) float64 {
+	return peakPowerMW / h.PowerDensityMWCM2
+}
+
+// BatteryVolumeMM3 sizes a battery for a total energy requirement in
+// joules (volume in mm³; 1 MJ/L = 1 J/mm³).
+func BatteryVolumeMM3(energyJ float64, b Battery) float64 {
+	return energyJ / b.EnergyDensityMJL
+}
+
+// BatteryMassG sizes a battery by mass for a total energy requirement.
+func BatteryMassG(energyJ float64, b Battery) float64 {
+	return energyJ / b.SpecificEnergyJG
+}
+
+// ReferenceNode is the eZ430-RF2500-SEH-class sensor node of Figure 1.2
+// used in the paper's worked example (harvester area 32.6 cm², battery
+// volume 6.95 mm³, thin-film battery 5.7 mm × 6.1 mm × 200 µm).
+type ReferenceNode struct {
+	// HarvesterAreaCM2 is the solar cell area.
+	HarvesterAreaCM2 float64
+	// BatteryVolumeMM3 is the storage volume.
+	BatteryVolumeMM3 float64
+	// BatteryAreaMM2 is the thin-film battery footprint.
+	BatteryAreaMM2 float64
+}
+
+// Reference returns the paper's example node.
+func Reference() ReferenceNode {
+	return ReferenceNode{HarvesterAreaCM2: 32.6, BatteryVolumeMM3: 6.95, BatteryAreaMM2: 34.77}
+}
+
+// HarvesterSavingCM2 returns the harvester-area saving on the reference
+// node when the processor peak-power requirement drops from base to ours
+// and the processor dominates the node's peak power.
+func (n ReferenceNode) HarvesterSavingCM2(base, ours float64) float64 {
+	return n.HarvesterAreaCM2 * ReductionPct(1.0, base, ours) / 100
+}
+
+// BatterySavingMM3 returns the battery-volume saving on the reference
+// node when the processor peak-energy requirement drops from base to
+// ours.
+func (n ReferenceNode) BatterySavingMM3(base, ours float64) float64 {
+	return n.BatteryVolumeMM3 * ReductionPct(1.0, base, ours) / 100
+}
+
+// MicroarchRow is one row of Table 6.1 (microarchitectural features of
+// recent embedded processors).
+type MicroarchRow struct {
+	Processor       string
+	BranchPredictor bool
+	Cache           bool
+}
+
+// MicroarchTable returns Table 6.1.
+func MicroarchTable() []MicroarchRow {
+	return []MicroarchRow{
+		{"ARM Cortex-M0", false, false},
+		{"ARM Cortex-M3", true, false},
+		{"Atmel ATxmega128A4", false, false},
+		{"Freescale/NXP MC13224v", false, false},
+		{"Intel Quark-D1000", true, true},
+		{"Jennic/NXP JN5169", false, false},
+		{"SiLab Si2012", false, false},
+		{"TI MSP430", false, false},
+	}
+}

@@ -1,0 +1,125 @@
+package sizing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestTables1_1And1_2(t *testing.T) {
+	bats := Batteries()
+	if len(bats) != 6 || bats[0].Type != "Li-ion" || bats[0].SpecificEnergyJG != 460 {
+		t.Fatalf("Table 1.1 wrong: %+v", bats)
+	}
+	hs := Harvesters()
+	if len(hs) != 4 || hs[0].PowerDensityMWCM2 != 100 {
+		t.Fatalf("Table 1.2 wrong: %+v", hs)
+	}
+	// Indoor PV is 1000x weaker than direct sun.
+	if hs[1].PowerDensityMWCM2 != 0.1 {
+		t.Fatalf("indoor PV density: %v", hs[1])
+	}
+}
+
+func TestReductionPct(t *testing.T) {
+	// 15% lower requirement at full contribution -> 15% smaller harvester.
+	if got := ReductionPct(1.0, 100, 85); math.Abs(got-15) > 1e-12 {
+		t.Fatalf("got %v", got)
+	}
+	// Linear in contribution (the structure of Tables 5.1/5.2).
+	if got := ReductionPct(0.10, 100, 85); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("got %v", got)
+	}
+	if ReductionPct(0.5, 0, 10) != 0 {
+		t.Fatal("zero baseline must not divide")
+	}
+}
+
+func TestReductionRowShape(t *testing.T) {
+	row := ReductionRow(2.0, 1.7) // 15% lower
+	if len(row) != 6 {
+		t.Fatalf("want 6 columns, got %d", len(row))
+	}
+	for i := 1; i < len(row); i++ {
+		if row[i] <= row[i-1] {
+			t.Fatal("row must increase with contribution")
+		}
+	}
+	if math.Abs(row[5]-15.0) > 1e-9 {
+		t.Fatalf("100%% column = %v, want 15", row[5])
+	}
+	// Paper's Table 5.1 structure: 10% column is a tenth of the 100% one.
+	if math.Abs(row[0]-row[5]/10) > 1e-9 {
+		t.Fatal("columns must scale linearly")
+	}
+}
+
+func TestComponentSizing(t *testing.T) {
+	sun := Harvesters()[0]
+	if a := HarvesterAreaCM2(100, sun); a != 1.0 {
+		t.Fatalf("100 mW on direct sun: %v cm²", a)
+	}
+	li := Batteries()[0]
+	if v := BatteryVolumeMM3(1.152, li); math.Abs(v-1.0) > 1e-12 {
+		t.Fatalf("1.152 J in Li-ion: %v mm³", v)
+	}
+	if m := BatteryMassG(460, li); math.Abs(m-1.0) > 1e-12 {
+		t.Fatalf("460 J in Li-ion: %v g", m)
+	}
+}
+
+func TestReferenceNodeSavings(t *testing.T) {
+	n := Reference()
+	if n.HarvesterAreaCM2 != 32.6 || n.BatteryVolumeMM3 != 6.95 {
+		t.Fatalf("reference node: %+v", n)
+	}
+	// The paper's worked example: ~15% peak-power reduction vs GB-input
+	// profiling gives 4.87 cm² of the 32.6 cm² harvester back.
+	saving := n.HarvesterSavingCM2(1.0, 1.0-0.1494)
+	if math.Abs(saving-4.87) > 0.01 {
+		t.Fatalf("harvester saving %v cm², want ~4.87", saving)
+	}
+	bat := n.BatterySavingMM3(1.0, 1.0-0.0604)
+	if bat <= 0 || bat > n.BatteryVolumeMM3 {
+		t.Fatalf("battery saving %v mm³", bat)
+	}
+}
+
+func TestMicroarchTable(t *testing.T) {
+	rows := MicroarchTable()
+	if len(rows) != 8 {
+		t.Fatalf("Table 6.1 has 8 rows, got %d", len(rows))
+	}
+	// MSP430: no branch predictor, no cache (the fit for the technique).
+	last := rows[len(rows)-1]
+	if last.Processor != "TI MSP430" || last.BranchPredictor || last.Cache {
+		t.Fatalf("MSP430 row wrong: %+v", last)
+	}
+	// Quark is the complex outlier.
+	for _, r := range rows {
+		if r.Processor == "Intel Quark-D1000" && (!r.BranchPredictor || !r.Cache) {
+			t.Fatal("Quark row wrong")
+		}
+	}
+}
+
+// Property: reductions are bounded by the contribution percentage and
+// positive exactly when our requirement beats the baseline.
+func TestReductionProperties(t *testing.T) {
+	f := func(c8, base16, ours16 uint16) bool {
+		c := float64(c8%101) / 100
+		base := 0.1 + float64(base16%1000)/100
+		ours := 0.1 + float64(ours16%1000)/100
+		got := ReductionPct(c, base, ours)
+		if ours < base && got < 0 {
+			return false
+		}
+		if ours > base && got > 0 {
+			return false
+		}
+		return math.Abs(got) <= c*100+1e-9 || ours > 2*base
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,67 @@
+// Package soc pins down the ULP430 system-on-chip memory map shared by
+// the behavioral reference simulator (isim), the gate-level system
+// (ulp430), and the benchmarks. The layout mirrors a small MSP430-class
+// microcontroller: low peripheral space, 2 KiB of SRAM, 4 KiB of program
+// ROM, and a reset vector at the top of the address space.
+package soc
+
+// Memory regions (byte addresses; all accesses are word-aligned).
+const (
+	// RAMStart is the first byte of SRAM.
+	RAMStart = 0x0200
+	// RAMEnd is one past the last byte of SRAM (2 KiB).
+	RAMEnd = 0x0A00
+	// ROMStart is the first byte of program ROM.
+	ROMStart = 0xF000
+	// ROMEnd is one past the last byte of ROM (the vector area is inside).
+	ROMEnd = 0x10000
+	// StackTop is the conventional initial stack pointer.
+	StackTop = RAMEnd
+)
+
+// Peripheral registers.
+const (
+	// WDTCTL is the watchdog control register; bit 7 (WDTHOLD) stops the
+	// free-running watchdog counter.
+	WDTCTL = 0x0120
+	// P1IN is the input port: reads return external input (X under
+	// symbolic simulation — the paper's "set all peripheral port inputs
+	// to Xs", Algorithm 1 line 11).
+	P1IN = 0x0122
+	// P1OUT is the output port register.
+	P1OUT = 0x0124
+	// HALTREG ends simulation when written with a non-zero value; it is
+	// the SoC's "end of application" signal (Algorithm 1's END marker).
+	HALTREG = 0x0126
+	// MPY is the hardware multiplier's first operand (unsigned multiply).
+	MPY = 0x0130
+	// MPYS aliases MPY (the signed-multiply register of the MSP430
+	// multiplier; this implementation treats it as unsigned — documented
+	// simplification, the benchmarks use unsigned multiplies).
+	MPYS = 0x0132
+	// OP2 is the multiplier's second operand; writing it triggers the
+	// multiplication.
+	OP2 = 0x0138
+	// RESLO holds the low 16 bits of the product.
+	RESLO = 0x013A
+	// RESHI holds the high 16 bits of the product.
+	RESHI = 0x013C
+)
+
+// WDTHold is the WDTCTL bit that freezes the watchdog counter.
+const WDTHold = 0x0080
+
+// InRAM reports whether byte address a lies in SRAM.
+func InRAM(a uint16) bool { return a >= RAMStart && a < RAMEnd }
+
+// InROM reports whether byte address a lies in program ROM.
+func InROM(a uint16) bool { return a >= ROMStart }
+
+// IsPeripheral reports whether byte address a is a peripheral register.
+func IsPeripheral(a uint16) bool {
+	switch a {
+	case WDTCTL, P1IN, P1OUT, HALTREG, MPY, MPYS, OP2, RESLO, RESHI:
+		return true
+	}
+	return false
+}

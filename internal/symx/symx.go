@@ -1,0 +1,271 @@
+// Package symx implements Algorithm 1 of the paper: input-independent
+// gate activity analysis by symbolic simulation of an application binary
+// on the gate-level processor netlist.
+//
+// The engine drives a ulp430.System in SymbolicInputs mode. Unknown (X)
+// values propagate from input regions and port reads; when an X reaches
+// the jump-condition logic (the paper's "X propagates to the inputs of
+// the program counter"), the engine forks: it rewinds one cycle, forces
+// the condition each way in turn, and explores both successors
+// depth-first, exactly as Algorithm 1's stack of un-processed execution
+// paths. A fork whose pre-branch processor state (flip-flops + RAM) has
+// been seen before is not re-explored — the merging rule that lets the
+// analysis terminate on input-dependent loops.
+//
+// The result is the annotated symbolic execution tree: segments of
+// straight-line cycles whose per-cycle observations are collected by a
+// caller-supplied Sink (package power provides the peak-power sink), and
+// branch/end/merge terminals.
+package symx
+
+import (
+	"fmt"
+
+	"repro/internal/ulp430"
+)
+
+// Sink observes every simulated cycle along the current path, with
+// rewind support for depth-first exploration. Positions are cycle counts
+// along the current root-to-here path.
+type Sink interface {
+	// OnCycle is called after each simulated cycle (the system is settled).
+	OnCycle(sys *ulp430.System)
+	// Pos returns the current path position (cycles since the root).
+	Pos() int
+	// Rewind discards observations at positions >= pos.
+	Rewind(pos int)
+	// Segment extracts the payload of the half-open range [from, Pos()),
+	// to be stored on the tree node covering it.
+	Segment(from int) interface{}
+}
+
+// NodeKind classifies how a tree segment terminates.
+type NodeKind uint8
+
+const (
+	// KindBranch ends at an input-dependent conditional jump; Taken and
+	// NotTaken are its children.
+	KindBranch NodeKind = iota
+	// KindEnd ends with the application halting.
+	KindEnd
+	// KindMerge ends because the pre-branch state was already explored;
+	// MergeTo is the equivalent branch node.
+	KindMerge
+)
+
+// Node is one segment of the symbolic execution tree: Len straight-line
+// cycles followed by a terminal.
+type Node struct {
+	// ID is the node's index in Tree.Nodes.
+	ID int
+	// Len is the number of cycles in the segment.
+	Len int
+	// Data is the sink payload for this segment.
+	Data interface{}
+	// Kind is the terminal classification.
+	Kind NodeKind
+	// BranchPC is the address of the forking jump (KindBranch/KindMerge).
+	BranchPC uint16
+	// Taken and NotTaken are the successors of a KindBranch node. The
+	// branch EXEC cycle itself is the first cycle of each child segment.
+	Taken, NotTaken *Node
+	// MergeTo is the already-explored branch node (KindMerge).
+	MergeTo *Node
+}
+
+// Tree is the symbolic execution tree of one application.
+type Tree struct {
+	// Root is the entry segment (starts at the first cycle after reset).
+	Root *Node
+	// Nodes lists all segments in creation order.
+	Nodes []*Node
+	// Paths counts explored terminals (KindEnd + KindMerge).
+	Paths int
+	// Cycles counts total simulated cycles (including re-simulated fork
+	// cycles once per direction).
+	Cycles int
+}
+
+// Options bound the exploration.
+type Options struct {
+	// MaxCycles caps total simulated cycles (default 2,000,000).
+	MaxCycles int
+	// MaxNodes caps tree nodes (default 10,000).
+	MaxNodes int
+	// DisableMerge turns off Algorithm 1's seen-state path merging —
+	// exploration degenerates to a pure tree. Only useful for the
+	// ablation study quantifying what merging saves; input-dependent
+	// wait loops will not terminate with merging disabled.
+	DisableMerge bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 2_000_000
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 10_000
+	}
+	return o
+}
+
+type pendingFork struct {
+	snap    *ulp430.SysSnapshot // state before the branch EXEC cycle
+	sinkPos int
+	branch  *Node
+	dir     bool // direction still to explore
+}
+
+// Explore runs Algorithm 1 to completion. The system must be freshly
+// created in SymbolicInputs mode; Explore performs the reset itself.
+func Explore(sys *ulp430.System, sink Sink, opts Options) (*Tree, error) {
+	opts = opts.withDefaults()
+	sys.Reset()
+
+	tree := &Tree{}
+	newNode := func() *Node {
+		n := &Node{ID: len(tree.Nodes)}
+		tree.Nodes = append(tree.Nodes, n)
+		return n
+	}
+	tree.Root = newNode()
+
+	seen := make(map[uint64]*Node)
+	var stack []pendingFork
+
+	cur := tree.Root
+	segStart := sink.Pos()
+
+	// Rolling one-cycle-back snapshot (reused buffers, cloned only at
+	// fork points).
+	roll := &ulp430.SysSnapshot{}
+
+	finishSegment := func(kind NodeKind) {
+		cur.Kind = kind
+		cur.Len = sink.Pos() - segStart
+		cur.Data = sink.Segment(segStart)
+	}
+
+	// pop resumes the next pending fork direction, or returns false.
+	pop := func() bool {
+		for len(stack) > 0 {
+			pf := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			sys.Restore(pf.snap)
+			sink.Rewind(pf.sinkPos)
+			sys.ForceBranch(pf.dir)
+			sys.Step()
+			sys.ClearForce()
+			tree.Cycles++
+			sink.OnCycle(sys)
+			child := newNode()
+			if pf.dir {
+				pf.branch.Taken = child
+			} else {
+				pf.branch.NotTaken = child
+			}
+			cur = child
+			segStart = pf.sinkPos
+			return true
+		}
+		return false
+	}
+
+	for {
+		if err := sys.Err(); err != nil {
+			return nil, err
+		}
+		if sys.Halted() {
+			finishSegment(KindEnd)
+			tree.Paths++
+			if !pop() {
+				return tree, nil
+			}
+			continue
+		}
+		if tree.Cycles >= opts.MaxCycles {
+			return nil, fmt.Errorf("symx: exceeded %d cycles (unbounded exploration? add smaller inputs or check for un-merged input-dependent loops)", opts.MaxCycles)
+		}
+		if len(tree.Nodes) >= opts.MaxNodes {
+			return nil, fmt.Errorf("symx: exceeded %d tree nodes", opts.MaxNodes)
+		}
+
+		sys.SnapshotInto(roll)
+		sys.Step()
+		tree.Cycles++
+
+		if sys.JumpCondUnknown() {
+			// The cycle just simulated is the EXEC of an input-dependent
+			// jump: rewind it; this segment terminates at a branch.
+			sys.Restore(roll)
+			pc, _ := sys.PC()
+			key := sys.StateHash()
+			if prior, ok := seen[key]; ok && !opts.DisableMerge {
+				finishSegment(KindMerge)
+				cur.BranchPC = pc
+				cur.MergeTo = prior
+				tree.Paths++
+				if !pop() {
+					return tree, nil
+				}
+				continue
+			}
+			finishSegment(KindBranch)
+			cur.BranchPC = pc
+			seen[key] = cur
+			branch := cur
+
+			snap := roll.Clone()
+			stack = append(stack, pendingFork{
+				snap: snap, sinkPos: sink.Pos(), branch: branch, dir: true,
+			})
+			// Continue depth-first down the not-taken direction.
+			sys.ForceBranch(false)
+			sys.Step()
+			sys.ClearForce()
+			tree.Cycles++
+			sink.OnCycle(sys)
+			child := newNode()
+			branch.NotTaken = child
+			cur = child
+			segStart = sink.Pos() - 1
+			continue
+		}
+
+		sink.OnCycle(sys)
+
+		// A fully unknown PC that is not a forkable jump condition means
+		// an input-dependent computed branch target — out of scope for
+		// the fork rule, and an analysis error rather than silence.
+		if w := sys.Sim.Port("pc"); w.HasX() {
+			return nil, fmt.Errorf("symx: PC became X at cycle %d — input-dependent branch target (computed jump/call on input data) is not supported", sys.Sim.Cycle())
+		}
+	}
+}
+
+// CountKind returns the number of nodes with the given kind.
+func (t *Tree) CountKind(k NodeKind) int {
+	n := 0
+	for _, nd := range t.Nodes {
+		if nd.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Walk visits every node (parents before children).
+func (t *Tree) Walk(f func(*Node)) {
+	var rec func(*Node)
+	visited := make(map[int]bool)
+	rec = func(n *Node) {
+		if n == nil || visited[n.ID] {
+			return
+		}
+		visited[n.ID] = true
+		f(n)
+		rec(n.NotTaken)
+		rec(n.Taken)
+	}
+	rec(t.Root)
+}

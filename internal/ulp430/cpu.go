@@ -1,0 +1,486 @@
+// Package ulp430 contains the gate-level ULP430 processor — the
+// silicon-proven-class design under analysis — and the System harness
+// that couples it to behavioral memory for simulation.
+//
+// The processor is a multi-cycle, 16-bit, MSP430-ISA-subset core built
+// structurally from ULP65 standard cells, organised into the same
+// microarchitectural modules the paper reports in its breakdowns
+// (Figure 3.6): frontend (fetch, decode, state machine, PC), exec_unit
+// (register file, ALU, status register), mem_backbone (bus registers,
+// address adder, read-data routing), multiplier (memory-mapped 16x16
+// array multiplier), watchdog, sfr (P1OUT, halt), dbg, and clk_module.
+//
+// Bus protocol (registered, one access per cycle): during a cycle with
+// men=1 the memory observes mab/mwr/mdb_out (all flip-flop outputs) and
+// drives mdb_in combinationally; a consuming state captures the data at
+// the cycle's end. The state machine:
+//
+//	BOOT → FETCH → [SOFF] → [SRC_RD] → [DOFF] → [DST_RD] → EXEC → [WR] → FETCH
+//
+// matching the cycle model of isa.Instr.Cycles exactly (asserted by the
+// differential tests against the behavioral reference).
+package ulp430
+
+import (
+	"repro/internal/circuit"
+	"repro/internal/netlist"
+	"repro/internal/soc"
+)
+
+// State-machine one-hot bit indices (exported for COI reporting).
+const (
+	StBoot = iota
+	StFetch
+	StSoff
+	StSrcRd
+	StDoff
+	StDstRd
+	StExec
+	StWr
+	NumStates
+)
+
+// StateName returns a short name for a state index.
+func StateName(i int) string {
+	return [...]string{"BOOT", "FETCH", "SOFF", "SRC_RD", "DOFF", "DST_RD", "EXEC", "WR"}[i]
+}
+
+// BuildCPU constructs the gate-level ULP430 netlist.
+func BuildCPU() (*netlist.Netlist, error) {
+	b := circuit.NewBuilder("ulp430")
+	fe := b.InModule("frontend")
+	ex := b.InModule("exec_unit")
+	alu := b.InModule("exec_unit.alu")
+	rf := b.InModule("exec_unit.register_file")
+	mb := b.InModule("mem_backbone")
+	mul := b.InModule("multiplier")
+	wdg := b.InModule("watchdog")
+	sfr := b.InModule("sfr")
+	dbg := b.InModule("dbg")
+
+	one := b.One()
+	zero := b.Zero()
+	zero16 := b.Const(0, 16)
+
+	// --- primary inputs -------------------------------------------------
+	rst := b.InputBit("rst")
+	mdbIn := b.Input("mdb_in", 16)
+	brForceEn := b.InputBit("br_force_en")
+	brForceVal := b.InputBit("br_force_val")
+
+	// --- registers declared up front (feedback) --------------------------
+	pc := fe.Reg("pc", 16)
+	ir := fe.Reg("ir", 16)
+	state := fe.Reg("state", NumStates)
+	sr := ex.Reg("sr", 16)
+	srcReg := ex.Reg("srcreg", 16)
+	dstReg := ex.Reg("dstreg", 16)
+	dstAddr := mb.Reg("dstaddr", 16)
+	mab := mb.Reg("mab", 16)
+	mdbOut := mb.Reg("mdb_out", 16)
+	men := mb.Reg("men", 1)
+	mwr := mb.Reg("mwr", 1)
+
+	// Register file: R1 (SP) and R4..R15. R0/R2/R3 are architectural
+	// (PC/SR/constant generator).
+	rfRegs := make(map[int]*circuit.Reg)
+	for _, r := range []int{1, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15} {
+		rfRegs[r] = rf.Reg(regName(r), 16)
+	}
+
+	st := state.Q
+	stBoot, stFetch, stSoff, stSrcRd := st[StBoot], st[StFetch], st[StSoff], st[StSrcRd]
+	stDoff, stDstRd, stExec, stWr := st[StDoff], st[StDstRd], st[StExec], st[StWr]
+
+	// --- peripheral registers -------------------------------------------
+	wdtCtl := wdg.Reg("wdtctl", 16)
+	wdtCnt := wdg.Reg("wdtcnt", 16)
+	p1out := sfr.Reg("p1out", 16)
+	haltR := sfr.Reg("halt", 1)
+	op1 := mul.Reg("op1", 16)
+	op2 := mul.Reg("op2", 16)
+	resLo := mul.Reg("reslo", 16)
+	resHi := mul.Reg("reshi", 16)
+	mulGo := mul.Reg("mul_go", 1)
+
+	// --- read-data routing (mem_backbone) --------------------------------
+	// rdata = internal peripheral data when mab addresses an internal
+	// register, else the external memory bus.
+	mabIs := func(addr uint16) netlist.NetID { return mb.EqualConst(mab.Q, uint64(addr)) }
+	isWDTCTL := mabIs(soc.WDTCTL)
+	isP1OUT := mabIs(soc.P1OUT)
+	isHALT := mabIs(soc.HALTREG)
+	isMPY := mb.Or(mabIs(soc.MPY), mabIs(soc.MPYS))
+	isOP2 := mabIs(soc.OP2)
+	isRESLO := mabIs(soc.RESLO)
+	isRESHI := mabIs(soc.RESHI)
+	isPeriph := mb.OrN(isWDTCTL, isP1OUT, isHALT, isMPY, isOP2, isRESLO, isRESHI)
+
+	periphData := zero16
+	periphData = mb.MuxV(isWDTCTL, periphData, wdtCtl.Q)
+	periphData = mb.MuxV(isP1OUT, periphData, p1out.Q)
+	periphData = mb.MuxV(isMPY, periphData, op1.Q)
+	periphData = mb.MuxV(isRESLO, periphData, resLo.Q)
+	periphData = mb.MuxV(isRESHI, periphData, resHi.Q)
+	rdata := mb.MuxV(isPeriph, mdbIn, periphData)
+
+	// --- instruction decode (frontend) ------------------------------------
+	// During FETCH the instruction flows straight from rdata; afterwards
+	// it is held in IR.
+	iw := fe.MuxV(stFetch, ir.Q, rdata)
+	top := iw[12:16]
+	isJump := fe.AndN(fe.Not(iw[15]), fe.Not(iw[14]), iw[13])
+	isFmt2 := fe.AndN(fe.Not(iw[15]), fe.Not(iw[14]), fe.Not(iw[13]), iw[12], fe.Not(iw[11]), fe.Not(iw[10]))
+	isFmt1 := fe.Or(iw[15], iw[14])
+
+	opIs := func(v uint64) netlist.NetID { return fe.And(isFmt1, fe.EqualConst(top, v)) }
+	isMOV := opIs(0x4)
+	isADD := opIs(0x5)
+	isADDC := opIs(0x6)
+	isSUBC := opIs(0x7)
+	isSUB := opIs(0x8)
+	isCMP := opIs(0x9)
+	isBIT := opIs(0xB)
+	isBIC := opIs(0xC)
+	isBIS := opIs(0xD)
+	isXOR := opIs(0xE)
+	isAND := opIs(0xF)
+
+	op2f := iw[7:10]
+	fmt2Is := func(v uint64) netlist.NetID { return fe.And(isFmt2, fe.EqualConst(op2f, v)) }
+	isRRC := fmt2Is(0)
+	isSWPB := fmt2Is(1)
+	isRRA := fmt2Is(2)
+	isSXT := fmt2Is(3)
+	isPUSH := fmt2Is(4)
+	isCALL := fmt2Is(5)
+	isPushCall := fe.Or(isPUSH, isCALL)
+
+	srcF := iw[8:12]
+	dstF := iw[0:4]
+	as0, as1 := iw[4], iw[5]
+	ad := iw[7]
+
+	// Effective source-operand register field: Format II operands live in
+	// the dst field. Operand-flow signals are gated to operand-carrying
+	// formats — for jumps the As/Ad bit positions hold offset bits.
+	isOperand := fe.Or(isFmt1, isFmt2)
+	effSrcR := fe.MuxV(isFmt2, srcF, dstF)
+	srcIsR3 := fe.EqualConst(effSrcR, 3)
+	srcIsR2 := fe.EqualConst(effSrcR, 2)
+	srcIsR0 := fe.EqualConst(effSrcR, 0)
+	isCGsrc := fe.Or(srcIsR3, fe.And(srcIsR2, as1))
+	srcIsImm := fe.AndN(as1, as0, srcIsR0)
+	srcIsAbs := fe.AndN(fe.Not(as1), as0, srcIsR2)
+	needSOFF := fe.And(isOperand,
+		fe.Or(fe.AndN(fe.Not(as1), as0, fe.Not(srcIsR3)), srcIsImm))
+	srcMemDirect := fe.AndN(isOperand, as1, fe.Not(isCGsrc), fe.Not(srcIsImm))
+	srcFromMem := fe.Or(fe.And(needSOFF, fe.Not(srcIsImm)), srcMemDirect)
+	autoInc := fe.AndN(isOperand, as1, as0, fe.Not(isCGsrc), fe.Not(srcIsImm))
+
+	needDOFF := fe.And(isFmt1, ad)
+	dstIsR2 := fe.EqualConst(dstF, 2)
+	dstIsAbs := fe.And(needDOFF, dstIsR2)
+	needDSTRD := fe.And(needDOFF, fe.Not(isMOV))
+	fmt2WB := fe.AndN(isFmt2, fe.Not(isPushCall), fe.Or(as1, as0))
+	fmt1WR := fe.AndN(needDOFF, fe.Not(isCMP), fe.Not(isBIT))
+	needWR := fe.OrN(fmt1WR, isPushCall, fmt2WB)
+	regWrEXEC := fe.Or(
+		fe.AndN(isFmt1, fe.Not(ad), fe.Not(isCMP), fe.Not(isBIT)),
+		fe.AndN(isFmt2, fe.Not(isPushCall), fe.Not(as1), fe.Not(as0)))
+	writesFlags := fe.OrN(isADD, isADDC, isSUB, isSUBC, isCMP, isBIT, isXOR, isAND, isRRC, isRRA, isSXT)
+	dstIsPC := fe.And(fe.EqualConst(dstF, 0), regWrEXEC)
+	dstIsSR := fe.And(dstIsR2, regWrEXEC)
+
+	// --- next-state logic --------------------------------------------------
+	goSOFF := fe.And(stFetch, needSOFF)
+	goSRCRD := fe.Or(fe.And(stFetch, srcMemDirect), fe.And(stSoff, fe.Not(srcIsImm)))
+	goDOFF := fe.And(needDOFF, fe.OrN(
+		fe.AndN(stFetch, fe.Not(needSOFF), fe.Not(srcMemDirect)),
+		fe.And(stSoff, srcIsImm),
+		stSrcRd))
+	goDSTRD := fe.And(stDoff, needDSTRD)
+	goEXEC := fe.OrN(
+		fe.AndN(stFetch, fe.Not(needSOFF), fe.Not(srcMemDirect), fe.Not(needDOFF)),
+		fe.AndN(stSoff, srcIsImm, fe.Not(needDOFF)),
+		fe.And(stSrcRd, fe.Not(needDOFF)),
+		fe.And(stDoff, fe.Not(needDSTRD)),
+		stDstRd)
+	goWR := fe.And(stExec, needWR)
+	goFETCH := fe.OrN(stBoot, fe.And(stExec, fe.Not(needWR)), stWr)
+
+	// State register: BOOT is set while rst is high; the others reset low.
+	fe.DriveReg(state, []netlist.NetID{
+		rst, // BOOT
+		fe.And(goFETCH, fe.Not(rst)),
+		fe.And(goSOFF, fe.Not(rst)),
+		fe.And(goSRCRD, fe.Not(rst)),
+		fe.And(goDOFF, fe.Not(rst)),
+		fe.And(goDSTRD, fe.Not(rst)),
+		fe.And(goEXEC, fe.Not(rst)),
+		fe.And(goWR, fe.Not(rst)),
+	}, netlist.None, netlist.None)
+
+	// --- register-file read ports -----------------------------------------
+	rfOptions := make([][]netlist.NetID, 16)
+	rfOptions[0] = pc.Q
+	rfOptions[1] = rfRegs[1].Q
+	rfOptions[2] = sr.Q
+	rfOptions[3] = zero16
+	for r := 4; r <= 15; r++ {
+		rfOptions[r] = rfRegs[r].Q
+	}
+	rfSrc := rf.MuxTree(srcF, rfOptions)
+	rfDst := rf.MuxTree(dstF, rfOptions)
+	spQ := rfRegs[1].Q
+
+	// Effective base register value for operand addressing.
+	effBase := fe.MuxV(isFmt2, rfSrc, rfDst)
+
+	// --- address adder (mem_backbone) ---------------------------------------
+	// A operand: SOFF: operand base (0 for absolute); DOFF: dst base (0 for
+	// absolute); SRC_RD: base (autoincrement); EXEC: PC (jump) or SP
+	// (push/call).
+	aSoff := mb.MuxV(srcIsAbs, effBase, zero16)
+	aDoff := mb.MuxV(dstIsAbs, rfDst, zero16)
+	aExec := mb.MuxV(isJump, spQ, pc.Q)
+	addrA := mb.MuxV(stSoff, mb.MuxV(stDoff, mb.MuxV(stSrcRd, aExec, effBase), aDoff), aSoff)
+	// B operand: offsets from memory, +2 for autoincrement, -2 for stack
+	// pushes, or the doubled sign-extended jump offset.
+	off2x := make([]netlist.NetID, 16)
+	off2x[0] = zero
+	for i := 1; i <= 10; i++ {
+		off2x[i] = iw[i-1]
+	}
+	for i := 11; i < 16; i++ {
+		off2x[i] = iw[9]
+	}
+	bExec := mb.MuxV(isJump, mb.Const(0xFFFE, 16), off2x)
+	bSrcRd := mb.Const(2, 16)
+	addrB := mb.MuxV(stSoff, mb.MuxV(stDoff, mb.MuxV(stSrcRd, bExec, bSrcRd), rdata), rdata)
+	adderOut, _ := mb.Adder(addrA, addrB, zero)
+
+	// PC incrementer (dedicated, frontend).
+	pcInc := fe.Inc(pc.Q, 2)
+
+	// --- constant generator -------------------------------------------------
+	// R3: 0, 1, 2, -1 by As; R2 (As=10/11): 4, 8.
+	cgR3 := fe.MuxV(as1,
+		fe.MuxV(as0, fe.Const(0, 16), fe.Const(1, 16)),
+		fe.MuxV(as0, fe.Const(2, 16), fe.Const(0xFFFF, 16)))
+	cgR2 := fe.MuxV(as0, fe.Const(4, 16), fe.Const(8, 16))
+	cgVal := fe.MuxV(srcIsR3, cgR2, cgR3)
+
+	// --- ALU (exec_unit.alu) -------------------------------------------------
+	srcVal := alu.MuxV(isCGsrc,
+		alu.MuxV(alu.Or(srcFromMem, srcIsImm),
+			alu.MuxV(isFmt2, rfSrc, rfDst),
+			srcReg.Q),
+		cgVal)
+	dstVal := alu.MuxV(isFmt1,
+		alu.MuxV(alu.Or(as1, as0), rfDst, srcReg.Q), // Format II operand
+		alu.MuxV(ad, rfDst, dstReg.Q))
+
+	flagC, flagZ, flagN, flagV := sr.Q[0], sr.Q[1], sr.Q[2], sr.Q[8]
+
+	isSubLike := alu.OrN(isSUB, isSUBC, isCMP)
+	isAddLike := alu.OrN(isADD, isADDC, isSUB, isSUBC, isCMP)
+	aluB := alu.MuxV(isSubLike, srcVal, alu.NotV(srcVal))
+	cin := alu.Mux(alu.Or(isSUB, isCMP),
+		alu.Mux(alu.Or(isADDC, isSUBC), zero, flagC),
+		one)
+	sum, couts := alu.Adder(dstVal, aluB, cin)
+	coutMSB := couts[15]
+	ovf := alu.And(alu.Xnor(dstVal[15], aluB[15]), alu.Xor(sum[15], dstVal[15]))
+
+	andRes := alu.AndV(srcVal, dstVal)
+	bicRes := alu.AndV(alu.NotV(srcVal), dstVal)
+	bisRes := alu.OrV(srcVal, dstVal)
+	xorRes := alu.XorV(srcVal, dstVal)
+
+	// Shifter results (wiring only).
+	rrcRes := append(append([]netlist.NetID{}, dstVal[1:16]...), flagC)
+	rraRes := append(append([]netlist.NetID{}, dstVal[1:16]...), dstVal[15])
+	swpbRes := append(append([]netlist.NetID{}, dstVal[8:16]...), dstVal[0:8]...)
+	sxtRes := make([]netlist.NetID, 16)
+	copy(sxtRes, dstVal[0:8])
+	for i := 8; i < 16; i++ {
+		sxtRes[i] = dstVal[7]
+	}
+
+	result := srcVal // MOV and PUSH/CALL pass the source through
+	result = alu.MuxV(isAddLike, result, sum)
+	result = alu.MuxV(alu.Or(isAND, isBIT), result, andRes)
+	result = alu.MuxV(isBIC, result, bicRes)
+	result = alu.MuxV(isBIS, result, bisRes)
+	result = alu.MuxV(isXOR, result, xorRes)
+	result = alu.MuxV(isRRC, result, rrcRes)
+	result = alu.MuxV(isRRA, result, rraRes)
+	result = alu.MuxV(isSWPB, result, swpbRes)
+	result = alu.MuxV(isSXT, result, sxtRes)
+
+	zNew := alu.IsZero(result)
+	nNew := result[15]
+	logicFlag := alu.OrN(isAND, isBIT, isXOR, isSXT)
+	cNew := alu.Mux(isAddLike,
+		alu.Mux(alu.Or(isRRC, isRRA),
+			alu.Mux(logicFlag, flagC, alu.Not(zNew)),
+			dstVal[0]),
+		coutMSB)
+	vNew := alu.Mux(isAddLike,
+		alu.Mux(isXOR, zero, alu.And(srcVal[15], dstVal[15])),
+		ovf)
+
+	// --- jump condition (frontend) -------------------------------------------
+	cond := iw[10:13]
+	jeqT := flagZ
+	jneT := fe.Not(flagZ)
+	jcT := flagC
+	jncT := fe.Not(flagC)
+	jnT := flagN
+	jgeT := fe.Xnor(flagN, flagV)
+	jlT := fe.Xor(flagN, flagV)
+	takenRaw := fe.MuxTree(cond, [][]netlist.NetID{
+		{jneT}, {jeqT}, {jncT}, {jcT}, {jnT}, {jgeT}, {jlT}, {one},
+	})[0]
+	taken := fe.Mux(brForceEn, takenRaw, brForceVal)
+	jumpExec := fe.And(stExec, isJump)
+
+	// --- PC update -------------------------------------------------------------
+	pcExec := fe.MuxV(isJump,
+		fe.MuxV(dstIsPC, pc.Q, result),
+		fe.MuxV(taken, pc.Q, adderOut))
+	pcWr := fe.MuxV(isCALL, pc.Q, srcReg.Q)
+	pcIn := pc.Q
+	pcIn = fe.MuxV(fe.OrN(stFetch, stSoff, stDoff), pcIn, pcInc)
+	pcIn = fe.MuxV(stExec, pcIn, pcExec)
+	pcIn = fe.MuxV(stWr, pcIn, pcWr)
+	pcIn = fe.MuxV(stBoot, pcIn, rdata)
+	fe.DriveReg(pc, pcIn, netlist.None, netlist.None)
+
+	// IR loads during FETCH.
+	fe.DriveReg(ir, rdata, netlist.None, stFetch)
+
+	// SRCREG: immediate at SOFF, memory data at SRC_RD, call target at EXEC.
+	srcRegIn := rdata
+	srcRegIn = ex.MuxV(ex.And(stExec, isCALL), srcRegIn, srcVal)
+	srcRegEn := ex.OrN(ex.And(stSoff, srcIsImm), stSrcRd, ex.And(stExec, isCALL))
+	ex.DriveReg(srcReg, srcRegIn, netlist.None, srcRegEn)
+
+	// DSTREG: memory data at DST_RD.
+	ex.DriveReg(dstReg, rdata, netlist.None, stDstRd)
+
+	// DSTADDR: computed destination address at DOFF; operand address (for
+	// Format II write-back) at SRC_RD.
+	dstAddrIn := mb.MuxV(stDoff, mab.Q, adderOut)
+	dstAddrEn := mb.Or(stDoff, mb.And(stSrcRd, fmt2WB))
+	mb.DriveReg(dstAddr, dstAddrIn, netlist.None, dstAddrEn)
+
+	// --- status register --------------------------------------------------------
+	srFlags := make([]netlist.NetID, 16)
+	copy(srFlags, sr.Q)
+	srFlags[0] = cNew
+	srFlags[1] = zNew
+	srFlags[2] = nNew
+	srFlags[8] = vNew
+	srIn := sr.Q
+	srIn = ex.MuxV(ex.AndN(stExec, writesFlags), srIn, srFlags)
+	srIn = ex.MuxV(ex.And(stExec, dstIsSR), srIn, result)
+	ex.DriveReg(sr, srIn, rst, netlist.None)
+
+	// --- register-file write port -------------------------------------------------
+	wrIdx := rf.MuxV(stSrcRd, rf.MuxV(isPushCall, dstF, rf.Const(1, 4)), effSrcR)
+	wrData := rf.MuxV(rf.And(stExec, rf.Not(isPushCall)), adderOut, result)
+	wrEn := rf.OrN(
+		rf.And(stSrcRd, autoInc),
+		rf.And(stExec, regWrEXEC),
+		rf.And(stExec, isPushCall))
+	wrDec := rf.Decoder(wrIdx, wrEn)
+	for r, reg := range rfRegs {
+		rf.DriveReg(reg, wrData, netlist.None, wrDec[r])
+	}
+
+	// --- memory interface registers -------------------------------------------------
+	mabNext := pc.Q // EXEC and default: hold at PC to minimize toggling
+	mabNext = mb.MuxV(goFETCH, mabNext, pcIn)
+	// Extension-word reads address the *next* PC value: coming from FETCH
+	// the PC increments past the opcode; coming from SRC_RD it already
+	// points at the destination extension word and holds.
+	mabNext = mb.MuxV(mb.Or(goSOFF, goDOFF), mabNext, pcIn)
+	mabNext = mb.MuxV(goSRCRD, mabNext, mb.MuxV(stFetch, adderOut, effBase))
+	mabNext = mb.MuxV(goDSTRD, mabNext, adderOut)
+	mabNext = mb.MuxV(goWR, mabNext, mb.MuxV(isPushCall, dstAddr.Q, adderOut))
+	mabIn := mb.MuxV(rst, mabNext, mb.Const(soc.ROMEnd-2, 16))
+	mb.DriveReg(mab, mabIn, netlist.None, netlist.None)
+
+	menIn := mb.Or(rst, mb.Not(goEXEC))
+	mb.DriveReg(men, []netlist.NetID{menIn}, netlist.None, netlist.None)
+	mb.DriveReg(mwr, []netlist.NetID{mb.And(goWR, mb.Not(rst))}, netlist.None, netlist.None)
+
+	wdataIn := mb.MuxV(isPUSH, mb.MuxV(isCALL, result, pc.Q), srcVal)
+	mb.DriveReg(mdbOut, wdataIn, netlist.None, mb.And(stExec, needWR))
+
+	// --- peripherals ------------------------------------------------------------------
+	wrStrobe := mwr.Q[0]
+	wrWDT := wdg.And(wrStrobe, isWDTCTL)
+	wdg.DriveReg(wdtCtl, mdbOut.Q, rst, wrWDT)
+	wdtHold := wdtCtl.Q[7]
+	wdg.DriveReg(wdtCnt, wdg.Inc(wdtCnt.Q, 1), rst, wdg.Not(wdtHold))
+
+	wrP1 := sfr.And(wrStrobe, isP1OUT)
+	sfr.DriveReg(p1out, mdbOut.Q, rst, wrP1)
+	wrHalt := sfr.And(wrStrobe, isHALT)
+	haltSet := sfr.And(wrHalt, sfr.OrN(mdbOut.Q...))
+	sfr.DriveReg(haltR, []netlist.NetID{sfr.Or(haltR.Q[0], haltSet)}, rst, netlist.None)
+
+	wrOP1 := mul.And(wrStrobe, isMPY)
+	mul.DriveReg(op1, mdbOut.Q, netlist.None, wrOP1)
+	wrOP2 := mul.And(wrStrobe, isOP2)
+	mul.DriveReg(op2, mdbOut.Q, netlist.None, wrOP2)
+	mul.DriveReg(mulGo, []netlist.NetID{wrOP2}, rst, netlist.None)
+	product := mul.Multiplier(op1.Q, op2.Q)
+	mul.DriveReg(resLo, product[0:16], netlist.None, mulGo.Q[0])
+	mul.DriveReg(resHi, product[16:32], netlist.None, mulGo.Q[0])
+
+	// dbg: idle debug-interface registers (present in the breakdown,
+	// inactive during normal runs).
+	dbgCtl := dbg.Reg("dbg_ctl", 16)
+	dbg.DriveReg(dbgCtl, dbgCtl.Q, rst, dbg.Zero())
+	dbgStat := dbg.Reg("dbg_stat", 8)
+	dbg.DriveReg(dbgStat, dbgStat.Q, rst, dbg.Zero())
+
+	// Clock tree trunk.
+	b.ClockBuffers(24, rst)
+
+	// --- ports ---------------------------------------------------------------------------
+	b.Output("mab", mab.Q)
+	b.Output("mdb_out", mdbOut.Q)
+	b.Output("men", men.Q)
+	b.Output("mwr", mwr.Q)
+	b.Output("halt", haltR.Q)
+	b.Output("pc", pc.Q)
+	b.Output("ir", ir.Q)
+	b.Output("state", state.Q)
+	b.Output("sr", sr.Q)
+	b.Output("p1out", p1out.Q)
+	b.Output("wdtcnt", wdtCnt.Q)
+	b.Output("reslo", resLo.Q)
+	b.Output("reshi", resHi.Q)
+	b.Output("jump_exec", []netlist.NetID{jumpExec})
+	b.Output("jump_taken", []netlist.NetID{taken})
+	b.Output("sp", spQ)
+	for r := 4; r <= 15; r++ {
+		b.Output(regName(r), rfRegs[r].Q)
+	}
+
+	if err := b.N.Build(); err != nil {
+		return nil, err
+	}
+	return b.N, nil
+}
+
+func regName(r int) string {
+	return map[int]string{1: "sp_r1", 4: "r4", 5: "r5", 6: "r6", 7: "r7",
+		8: "r8", 9: "r9", 10: "r10", 11: "r11", 12: "r12", 13: "r13",
+		14: "r14", 15: "r15"}[r]
+}

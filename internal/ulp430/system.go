@@ -1,0 +1,405 @@
+package ulp430
+
+import (
+	"fmt"
+
+	"repro/internal/cell"
+	"repro/internal/gsim"
+	"repro/internal/isa"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+	"repro/internal/soc"
+)
+
+// memWord stores one 16-bit memory word in the three-valued domain as two
+// bit-planes: bit i is X when xmask bit i is set, else val bit i.
+type memWord struct {
+	val   uint16
+	xmask uint16
+}
+
+var allXWord = memWord{0, 0xFFFF}
+
+func wordFromLogic(w logic.Word) memWord {
+	var m memWord
+	for i, t := range w {
+		switch t {
+		case logic.H:
+			m.val |= 1 << uint(i)
+		case logic.X:
+			m.xmask |= 1 << uint(i)
+		}
+	}
+	return m
+}
+
+func (m memWord) toLogic(dst logic.Word) {
+	for i := range dst {
+		switch {
+		case m.xmask>>uint(i)&1 == 1:
+			dst[i] = logic.X
+		case m.val>>uint(i)&1 == 1:
+			dst[i] = logic.H
+		default:
+			dst[i] = logic.L
+		}
+	}
+}
+
+// InputMode selects how application inputs are materialized.
+type InputMode int
+
+const (
+	// SymbolicInputs drives every input region word and P1IN read with X
+	// — Algorithm 1's input-independent mode.
+	SymbolicInputs InputMode = iota
+	// ConcreteInputs fills input regions from a vector and P1IN from a
+	// callback — the profiling ("input-based") mode.
+	ConcreteInputs
+)
+
+// System couples the gate-level CPU to behavioral memory and exposes the
+// simulation controls the analyses need: reset, stepping, halting,
+// branch forcing, snapshot/restore (with an O(1)-per-cycle memory undo
+// journal), and architectural state inspection.
+type System struct {
+	// Sim is the underlying gate-level simulator.
+	Sim *gsim.Simulator
+
+	img  *isa.Image
+	mode InputMode
+	// PortIn supplies P1IN words in concrete mode; nil reads as zero.
+	PortIn func() uint16
+
+	mem     []memWord // 32768 words
+	journal []journalEntry
+
+	// Cached port nets.
+	mabNets, mdbInNets, mdbOutNets  []netlist.NetID
+	menNet, mwrNet, rstNet, haltNet netlist.NetID
+	jumpExecNet, jumpTakenNet       netlist.NetID
+	brForceEnNet, brForceValNet     netlist.NetID
+	errState                        error
+	lastDin                         memWord
+	scratch                         logic.Word
+}
+
+type journalEntry struct {
+	idx int32
+	old memWord
+}
+
+// NewSystem builds (or reuses) a CPU netlist and loads the image. Pass a
+// prebuilt netlist to share it across systems (it is read-only during
+// simulation); pass nil to build a fresh one.
+func NewSystem(n *netlist.Netlist, lib *cell.Library, img *isa.Image, mode InputMode, inputs []uint16) (*System, error) {
+	if n == nil {
+		var err error
+		n, err = BuildCPU()
+		if err != nil {
+			return nil, err
+		}
+	}
+	s := &System{
+		img:     img,
+		mode:    mode,
+		mem:     make([]memWord, 1<<15),
+		scratch: make(logic.Word, 16),
+	}
+	s.Sim = gsim.New(n, lib, s)
+	s.mabNets = n.Port("mab")
+	s.mdbInNets = n.Port("mdb_in")
+	s.mdbOutNets = n.Port("mdb_out")
+	s.menNet = n.Port("men")[0]
+	s.mwrNet = n.Port("mwr")[0]
+	s.rstNet = n.Port("rst")[0]
+	s.haltNet = n.Port("halt")[0]
+	s.jumpExecNet = n.Port("jump_exec")[0]
+	s.jumpTakenNet = n.Port("jump_taken")[0]
+	s.brForceEnNet = n.Port("br_force_en")[0]
+	s.brForceValNet = n.Port("br_force_val")[0]
+
+	// All memory starts as X (the paper's initial condition), then the
+	// binary is loaded and inputs are materialized per mode.
+	for i := range s.mem {
+		s.mem[i] = allXWord
+	}
+	for addr, w := range img.Words {
+		if addr%2 != 0 {
+			return nil, fmt.Errorf("ulp430: odd image address %#04x", addr)
+		}
+		s.mem[addr/2] = memWord{val: w}
+	}
+	k := 0
+	for _, r := range img.Inputs {
+		for i := 0; i < r.Words; i++ {
+			idx := (r.Addr + uint16(2*i)) / 2
+			switch mode {
+			case SymbolicInputs:
+				s.mem[idx] = allXWord
+			case ConcreteInputs:
+				var v uint16
+				if k < len(inputs) {
+					v = inputs[k]
+				}
+				s.mem[idx] = memWord{val: v}
+			}
+			k++
+		}
+	}
+	return s, nil
+}
+
+// Image returns the loaded binary.
+func (s *System) Image() *isa.Image { return s.img }
+
+// Err returns the first bus-protocol error (write to X address, store to
+// ROM, access to unmapped space), or nil.
+func (s *System) Err() error { return s.errState }
+
+func (s *System) setErr(format string, args ...interface{}) {
+	if s.errState == nil {
+		s.errState = fmt.Errorf(format, args...)
+	}
+}
+
+// Reset holds reset for two cycles and releases it.
+func (s *System) Reset() {
+	s.Sim.SetNet(s.rstNet, logic.H)
+	s.Sim.SetNet(s.brForceEnNet, logic.L)
+	s.Sim.SetNet(s.brForceValNet, logic.L)
+	s.Sim.Step()
+	s.Sim.Step()
+	s.Sim.SetNet(s.rstNet, logic.L)
+}
+
+// Step advances one clock cycle.
+func (s *System) Step() { s.Sim.Step() }
+
+// Halted reports whether the program has written the halt register.
+func (s *System) Halted() bool { return s.Sim.Val(s.haltNet) == logic.H }
+
+// JumpCondUnknown reports whether the current cycle is the EXEC cycle of
+// a conditional jump whose condition is X — the fork point of Algorithm 1
+// ("if an X symbol propagates to the inputs of the program counter").
+func (s *System) JumpCondUnknown() bool {
+	return s.Sim.Val(s.jumpExecNet) == logic.H && s.Sim.Val(s.jumpTakenNet) == logic.X
+}
+
+// ForceBranch arranges for the *next* evaluation of the jump condition to
+// be forced to v; used by the symbolic engine when re-simulating a forked
+// EXEC cycle. ClearForce removes the override.
+func (s *System) ForceBranch(v bool) {
+	s.Sim.SetNet(s.brForceEnNet, logic.H)
+	s.Sim.SetNet(s.brForceValNet, logic.FromBool(v))
+}
+
+// ClearForce removes the branch override.
+func (s *System) ClearForce() {
+	s.Sim.SetNet(s.brForceEnNet, logic.L)
+	s.Sim.SetNet(s.brForceValNet, logic.L)
+}
+
+// PC returns the architectural program counter; ok is false if any bit is
+// X.
+func (s *System) PC() (uint16, bool) {
+	v, ok := s.Sim.Port("pc").Uint()
+	return uint16(v), ok
+}
+
+// Reg returns an architectural register value by number (1, 4..15), plus
+// PC (0) and SR (2).
+func (s *System) Reg(r int) (uint16, bool) {
+	var name string
+	switch r {
+	case 0:
+		name = "pc"
+	case 1:
+		name = "sp"
+	case 2:
+		name = "sr"
+	default:
+		name = fmt.Sprintf("r%d", r)
+	}
+	v, ok := s.Sim.Port(name).Uint()
+	return uint16(v), ok
+}
+
+// MemWord returns the current contents of a memory word as a logic.Word.
+func (s *System) MemWord(addr uint16) logic.Word {
+	w := make(logic.Word, 16)
+	s.mem[addr/2].toLogic(w)
+	return w
+}
+
+// Tick implements gsim.Bus: it services the registered memory access of
+// the cycle in flight.
+func (s *System) Tick(sim *gsim.Simulator) {
+	if sim.Val(s.menNet) != logic.H {
+		return // no access: hold mdb_in to minimize bus toggling
+	}
+	addrW := sim.Port("mab")
+	wr := sim.Val(s.mwrNet)
+	addr64, addrKnown := addrW.Uint()
+	addr := uint16(addr64)
+
+	if wr == logic.H {
+		if !addrKnown {
+			s.setErr("ulp430: memory write with unknown (X) address at cycle %d — input-dependent store address; the analysis cannot bound this program", sim.Cycle())
+			return
+		}
+		if soc.IsPeripheral(addr) {
+			return // handled by gate-level peripheral logic
+		}
+		if !soc.InRAM(addr) {
+			s.setErr("ulp430: store to non-RAM address %#04x at cycle %d", addr, sim.Cycle())
+			return
+		}
+		data := wordFromLogic(sim.Port("mdb_out"))
+		idx := int32(addr / 2)
+		s.journal = append(s.journal, journalEntry{idx: idx, old: s.mem[idx]})
+		s.mem[idx] = data
+		return
+	}
+	if wr == logic.X {
+		s.setErr("ulp430: memory access with unknown write strobe at cycle %d", sim.Cycle())
+		return
+	}
+
+	// Read.
+	var out memWord
+	switch {
+	case !addrKnown:
+		out = allXWord
+	case addr == soc.P1IN:
+		if s.mode == SymbolicInputs {
+			out = allXWord
+		} else if s.PortIn != nil {
+			out = memWord{val: s.PortIn()}
+		} else {
+			out = memWord{val: 0}
+		}
+	case soc.IsPeripheral(addr):
+		out = memWord{val: 0} // internal logic supplies the data
+	case soc.InRAM(addr) || soc.InROM(addr):
+		out = s.mem[addr/2]
+	default:
+		s.setErr("ulp430: load from unmapped address %#04x at cycle %d", addr, sim.Cycle())
+		out = allXWord
+	}
+	if out != s.lastDin {
+		s.lastDin = out
+		out.toLogic(s.scratch)
+		for i, id := range s.mdbInNets {
+			sim.SetNet(id, s.scratch[i])
+		}
+	}
+}
+
+// SysSnapshot captures the full system state: simulator nets plus a
+// memory journal position (memory restoration is O(writes since
+// snapshot), not O(memory size)).
+type SysSnapshot struct {
+	sim     *gsim.Snapshot
+	journal int
+	lastDin memWord
+	err     error
+}
+
+// Snapshot captures the current state. Snapshots form a LIFO discipline
+// with Restore (depth-first exploration): restoring an older snapshot
+// invalidates newer ones.
+func (s *System) Snapshot() *SysSnapshot {
+	sn := &SysSnapshot{}
+	s.SnapshotInto(sn)
+	return sn
+}
+
+// SnapshotInto captures the current state into sn, reusing its buffers.
+func (s *System) SnapshotInto(sn *SysSnapshot) {
+	if sn.sim == nil {
+		sn.sim = &gsim.Snapshot{}
+	}
+	s.Sim.SnapshotInto(sn.sim)
+	sn.journal = len(s.journal)
+	sn.lastDin = s.lastDin
+	sn.err = s.errState
+}
+
+// Clone returns an independent deep copy of a snapshot (needed when a
+// rolling snapshot buffer must be retained across further reuse).
+func (sn *SysSnapshot) Clone() *SysSnapshot {
+	c := &SysSnapshot{
+		sim: &gsim.Snapshot{
+			Vals:  append([]logic.Trit(nil), sn.sim.Vals...),
+			Prev:  append([]logic.Trit(nil), sn.sim.Prev...),
+			Cycle: sn.sim.Cycle,
+		},
+		journal: sn.journal,
+		lastDin: sn.lastDin,
+		err:     sn.err,
+	}
+	c.sim.Staged = append(c.sim.Staged[:0], sn.sim.Staged...)
+	return c
+}
+
+// Restore rewinds to a snapshot taken earlier on this path.
+func (s *System) Restore(sn *SysSnapshot) {
+	if sn.journal > len(s.journal) {
+		panic("ulp430: restoring a snapshot newer than current state")
+	}
+	for i := len(s.journal) - 1; i >= sn.journal; i-- {
+		e := s.journal[i]
+		s.mem[e.idx] = e.old
+	}
+	s.journal = s.journal[:sn.journal]
+	s.Sim.Restore(sn.sim)
+	s.lastDin = sn.lastDin
+	s.errState = sn.err
+}
+
+// MemHash mixes the RAM contents (the part of memory that changes) into
+// the state hash used for execution-tree merging.
+func (s *System) MemHash() uint64 {
+	h := uint64(1469598103934665603)
+	lo := int32(soc.RAMStart / 2)
+	hi := int32(soc.RAMEnd / 2)
+	for i := lo; i < hi; i++ {
+		w := s.mem[i]
+		h ^= uint64(w.val) | uint64(w.xmask)<<16
+		h *= 1099511628211
+	}
+	return h
+}
+
+// StateHash combines flip-flop state and RAM contents — Algorithm 1's
+// "the processor state is the same as it was when the branch was
+// previously encountered".
+func (s *System) StateHash() uint64 {
+	h := s.Sim.StateHash()
+	h ^= s.MemHash()
+	h *= 1099511628211
+	return h
+}
+
+// RunToHalt drives the system (after Reset) until the halt register is
+// set, an error occurs, or maxCycles elapse. It requires fully concrete
+// execution (it refuses to run past an unknown branch condition).
+func (s *System) RunToHalt(maxCycles int) error {
+	for i := 0; i < maxCycles; i++ {
+		if s.Halted() {
+			return nil
+		}
+		if err := s.Err(); err != nil {
+			return err
+		}
+		if s.JumpCondUnknown() {
+			return fmt.Errorf("ulp430: unknown branch condition at cycle %d (symbolic execution required)", s.Sim.Cycle())
+		}
+		s.Step()
+	}
+	if s.Halted() {
+		return nil
+	}
+	return fmt.Errorf("ulp430: did not halt within %d cycles", maxCycles)
+}

@@ -1,0 +1,189 @@
+// Package vcd implements a value-change-dump (IEEE 1364 subset) writer
+// and parser over the three-valued logic domain. Algorithm 2 of the paper
+// materializes two VCD files — one maximizing power in even cycles, one in
+// odd cycles — and feeds them to activity-based power analysis; this
+// package provides that interchange format.
+package vcd
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/logic"
+)
+
+// Writer emits a VCD stream for a fixed set of scalar signals.
+type Writer struct {
+	w       *bufio.Writer
+	ids     []string
+	names   []string
+	last    []logic.Trit
+	started bool
+	err     error
+}
+
+// NewWriter creates a VCD writer for the named signals, with the given
+// timescale string (e.g. "10ns" for a 100 MHz clock).
+func NewWriter(w io.Writer, module, timescale string, names []string) *Writer {
+	vw := &Writer{
+		w:     bufio.NewWriter(w),
+		names: names,
+		ids:   make([]string, len(names)),
+		last:  make([]logic.Trit, len(names)),
+	}
+	for i := range vw.last {
+		vw.last[i] = 0xFF // sentinel: force first dump
+	}
+	for i := range names {
+		vw.ids[i] = idCode(i)
+	}
+	fmt.Fprintf(vw.w, "$date ulppeak $end\n$version ulppeak vcd 1.0 $end\n")
+	fmt.Fprintf(vw.w, "$timescale %s $end\n", timescale)
+	fmt.Fprintf(vw.w, "$scope module %s $end\n", module)
+	for i, n := range names {
+		fmt.Fprintf(vw.w, "$var wire 1 %s %s $end\n", vw.ids[i], n)
+	}
+	fmt.Fprintf(vw.w, "$upscope $end\n$enddefinitions $end\n")
+	return vw
+}
+
+// idCode generates compact VCD identifier codes (printable ASCII 33..126).
+func idCode(i int) string {
+	var sb strings.Builder
+	for {
+		sb.WriteByte(byte(33 + i%94))
+		i /= 94
+		if i == 0 {
+			break
+		}
+		i--
+	}
+	return sb.String()
+}
+
+// Tick records the signal values at time t (one entry per signal, in the
+// order given to NewWriter); only changed values are emitted.
+func (vw *Writer) Tick(t uint64, vals []logic.Trit) {
+	if vw.err != nil {
+		return
+	}
+	if len(vals) != len(vw.ids) {
+		vw.err = fmt.Errorf("vcd: Tick with %d values, want %d", len(vals), len(vw.ids))
+		return
+	}
+	wroteTime := false
+	for i, v := range vals {
+		if v == vw.last[i] {
+			continue
+		}
+		if !wroteTime {
+			fmt.Fprintf(vw.w, "#%d\n", t)
+			wroteTime = true
+		}
+		fmt.Fprintf(vw.w, "%c%s\n", v.Rune(), vw.ids[i])
+		vw.last[i] = v
+	}
+	vw.started = true
+}
+
+// Close flushes the stream and returns any accumulated error.
+func (vw *Writer) Close() error {
+	if vw.err != nil {
+		return vw.err
+	}
+	return vw.w.Flush()
+}
+
+// Dump is a parsed VCD: per-signal sampled values at each recorded time.
+type Dump struct {
+	// Names are the declared signal names in declaration order.
+	Names []string
+	// Times are the recorded timestamps in ascending order.
+	Times []uint64
+	// Values[t][i] is signal i's value at Times[t].
+	Values [][]logic.Trit
+}
+
+// Signal returns the index of the named signal, or -1.
+func (d *Dump) Signal(name string) int {
+	for i, n := range d.Names {
+		if n == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Parse reads a VCD stream produced by Writer (scalar signals only).
+func Parse(r io.Reader) (*Dump, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	d := &Dump{}
+	idToIdx := make(map[string]int)
+	cur := []logic.Trit(nil)
+	inDefs := true
+	flushTime := func(t uint64) {
+		d.Times = append(d.Times, t)
+		row := make([]logic.Trit, len(cur))
+		copy(row, cur)
+		d.Values = append(d.Values, row)
+	}
+	var pendingTime uint64
+	havePending := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if inDefs {
+			if strings.HasPrefix(line, "$var ") {
+				f := strings.Fields(line)
+				// $var wire 1 <id> <name> $end
+				if len(f) < 6 {
+					return nil, fmt.Errorf("vcd: malformed $var: %q", line)
+				}
+				idToIdx[f[3]] = len(d.Names)
+				d.Names = append(d.Names, f[4])
+				continue
+			}
+			if strings.HasPrefix(line, "$enddefinitions") {
+				inDefs = false
+				cur = make([]logic.Trit, len(d.Names))
+				for i := range cur {
+					cur[i] = logic.X
+				}
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			var t uint64
+			if _, err := fmt.Sscanf(line, "#%d", &t); err != nil {
+				return nil, fmt.Errorf("vcd: bad timestamp %q", line)
+			}
+			if havePending {
+				flushTime(pendingTime)
+			}
+			pendingTime = t
+			havePending = true
+			continue
+		}
+		v, err := logic.ParseTrit(line[0])
+		if err != nil {
+			return nil, fmt.Errorf("vcd: bad value line %q", line)
+		}
+		idx, ok := idToIdx[line[1:]]
+		if !ok {
+			return nil, fmt.Errorf("vcd: unknown id %q", line[1:])
+		}
+		cur[idx] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if havePending {
+		flushTime(pendingTime)
+	}
+	return d, nil
+}

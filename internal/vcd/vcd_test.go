@@ -1,0 +1,151 @@
+package vcd
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "dut", "10ns", []string{"a", "b", "c"})
+	l, h, x := logic.L, logic.H, logic.X
+	rows := [][]logic.Trit{
+		{l, h, x},
+		{l, h, x}, // no change: no emission, but parse must still see values
+		{h, h, l},
+		{h, l, l},
+	}
+	for i, row := range rows {
+		w.Tick(uint64(i), row)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Names) != 3 || d.Names[0] != "a" {
+		t.Fatalf("names %v", d.Names)
+	}
+	// Times recorded only when something changed: t=0 and t=2,3.
+	if len(d.Times) != 3 || d.Times[0] != 0 || d.Times[1] != 2 || d.Times[2] != 3 {
+		t.Fatalf("times %v", d.Times)
+	}
+	if !wordEq(d.Values[0], rows[0]) || !wordEq(d.Values[1], rows[2]) || !wordEq(d.Values[2], rows[3]) {
+		t.Fatalf("values %v", d.Values)
+	}
+	if d.Signal("b") != 1 || d.Signal("nope") != -1 {
+		t.Fatal("Signal lookup wrong")
+	}
+}
+
+func wordEq(a, b []logic.Trit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestHeaderFormat(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "top", "125ns", []string{"sig"})
+	w.Tick(0, []logic.Trit{logic.H})
+	w.Close()
+	text := buf.String()
+	for _, want := range []string{"$timescale 125ns $end", "$scope module top $end", "$var wire 1 ! sig $end", "$enddefinitions"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestIDCodeUniqueness(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 10000; i++ {
+		id := idCode(i)
+		if seen[id] {
+			t.Fatalf("duplicate id %q at %d", id, i)
+		}
+		seen[id] = true
+		for j := 0; j < len(id); j++ {
+			if id[j] < 33 || id[j] > 126 {
+				t.Fatalf("unprintable id byte %d", id[j])
+			}
+		}
+	}
+}
+
+func TestManySignals(t *testing.T) {
+	names := make([]string, 300)
+	for i := range names {
+		names[i] = strings.Repeat("s", 1) + string(rune('a'+i%26)) + itoa(i)
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "m", "1ns", names)
+	row := make([]logic.Trit, 300)
+	for i := range row {
+		row[i] = logic.Trit(i % 3)
+	}
+	w.Tick(5, row)
+	// flip everything known
+	row2 := make([]logic.Trit, 300)
+	for i := range row {
+		switch row[i] {
+		case logic.L:
+			row2[i] = logic.H
+		case logic.H:
+			row2[i] = logic.L
+		default:
+			row2[i] = logic.X
+		}
+	}
+	w.Tick(6, row2)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Times) != 2 {
+		t.Fatalf("times %v", d.Times)
+	}
+	if !wordEq(d.Values[0], row) || !wordEq(d.Values[1], row2) {
+		t.Fatal("values corrupted with many signals")
+	}
+}
+
+func itoa(i int) string {
+	return string(rune('0'+i/100)) + string(rune('0'+(i/10)%10)) + string(rune('0'+i%10))
+}
+
+func TestTickLengthMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "m", "1ns", []string{"a", "b"})
+	w.Tick(0, []logic.Trit{logic.H})
+	if err := w.Close(); err == nil {
+		t.Fatal("expected error on width mismatch")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"$var wire 1 ! a $end\n$enddefinitions $end\n#notanum\n",
+		"$var wire 1 ! a $end\n$enddefinitions $end\n#0\n1?\n",
+		"$var wire $end\n$enddefinitions $end\n",
+	}
+	for i, src := range bad {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
