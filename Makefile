@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all build vet test race bench ci clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full suite under the race detector — exercises the peakpower
+# package's concurrency contract (shared Analyzer, AnalyzeAll pool).
+race:
+	$(GO) test -race ./...
+
+# The table/figure-regenerating benchmark harness.
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+ci: build vet race
+
+clean:
+	$(GO) clean ./...

@@ -398,7 +398,7 @@ func naiveBound(w *power.Window, m power.Model) float64 {
 }
 
 // BenchmarkAnalyzeSuite measures raw co-analysis throughput over the
-// fast subset (tool-runtime datapoint for EXPERIMENTS.md).
+// fast subset (the tool-runtime datapoint).
 func BenchmarkAnalyzeSuite(b *testing.B) {
 	c := sharedConfig(b)
 	for i := 0; i < b.N; i++ {

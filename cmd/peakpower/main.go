@@ -1,123 +1,213 @@
-// Command peakpower is the co-analysis tool: it takes an application (a
-// built-in benchmark or an assembly file) and reports the guaranteed,
-// input-independent peak power and energy requirements of the ULP430
-// processor running it, with cycle-of-interest attribution.
+// Command peakpower is the co-analysis tool: it takes one or more
+// applications (built-in benchmarks or an assembly file) and reports the
+// guaranteed, input-independent peak power and energy requirements of
+// the ULP430 processor running them, with cycle-of-interest attribution.
 //
 // Usage:
 //
 //	peakpower -bench mult
-//	peakpower -src app.s [-coi 4] [-trace]
+//	peakpower -bench mult,tea8,binSearch   (batch mode, concurrent)
+//	peakpower -src app.s [-coi 4] [-trace] [-timeout 30s] [-progress]
 //	peakpower -dump-netlist ulp430.v
+//
+// Exit codes distinguish the failure class:
+//
+//	1  analysis failed (budget exhausted, unsupported construct, timeout)
+//	2  usage error (bad flags, unknown benchmark)
+//	3  the source file did not assemble
+//	4  file I/O failed (reading -src, writing -dump-netlist)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
+	"strings"
+	"time"
 
-	"repro/internal/bench"
-	"repro/internal/core"
-	"repro/internal/isa"
-	"repro/internal/symx"
+	"repro/peakpower"
+)
+
+// Exit codes (see the command doc).
+const (
+	exitAnalysis = 1
+	exitUsage    = 2
+	exitAssemble = 3
+	exitIO       = 4
 )
 
 func main() {
-	benchName := flag.String("bench", "", "built-in benchmark name (see -list)")
+	benchName := flag.String("bench", "", "built-in benchmark name, or a comma-separated list for batch mode (see -list)")
 	src := flag.String("src", "", "ULP430 assembly file to analyze")
 	list := flag.Bool("list", false, "list built-in benchmarks")
 	coi := flag.Int("coi", 4, "cycles of interest to report")
 	trace := flag.Bool("trace", false, "print the per-cycle peak power trace")
 	dumpNetlist := flag.String("dump-netlist", "", "write the ULP430 gate-level netlist as structural Verilog and exit")
 	maxCycles := flag.Int("max-cycles", 2_000_000, "symbolic exploration cycle budget")
+	timeout := flag.Duration("timeout", 0, "abort analysis after this long (0 = no limit)")
+	progress := flag.Bool("progress", false, "report exploration progress on stderr")
+	workers := flag.Int("workers", 0, "batch-mode worker count (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
-		for _, b := range bench.All() {
+		for _, b := range peakpower.Benchmarks() {
 			fmt.Printf("%-10s %-16s %s\n", b.Name, b.Suite, b.Desc)
 		}
 		return
 	}
 
-	an, err := core.NewAnalyzer()
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	opts := []peakpower.Option{
+		peakpower.WithMaxCycles(*maxCycles),
+		peakpower.WithCOI(*coi),
+	}
+	// An explicit -max-cycles overrides even a benchmark's calibrated
+	// budget; the flag's default only seeds the analyzer-wide default.
+	var callOpts []peakpower.Option
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "max-cycles" {
+			callOpts = append(callOpts, peakpower.WithMaxCycles(*maxCycles))
+		}
+	})
+	if *workers > 0 {
+		opts = append(opts, peakpower.WithWorkers(*workers))
+	}
+	if *progress {
+		opts = append(opts, peakpower.WithProgress(func(p peakpower.Progress) {
+			fmt.Fprintf(os.Stderr, "peakpower: %s: %d cycles, %d nodes, %d paths\n",
+				p.App, p.Cycles, p.Nodes, p.Paths)
+		}, 0))
+	}
+
+	an, err := peakpower.New(opts...)
 	if err != nil {
-		fatal(err)
+		fatal(exitAnalysis, err)
 	}
 
 	if *dumpNetlist != "" {
 		f, err := os.Create(*dumpNetlist)
 		if err != nil {
-			fatal(err)
+			fatal(exitIO, fmt.Errorf("create -dump-netlist %s: %w", *dumpNetlist, err))
 		}
-		if err := an.Netlist.WriteVerilog(f); err != nil {
-			fatal(err)
+		if err := an.WriteVerilog(f); err != nil {
+			fatal(exitIO, fmt.Errorf("write -dump-netlist %s: %w", *dumpNetlist, err))
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			fatal(exitIO, fmt.Errorf("close -dump-netlist %s: %w", *dumpNetlist, err))
 		}
-		st := an.Netlist.Stats(an.Model.Lib)
+		st := an.Stats()
 		fmt.Printf("wrote %s: %d cells (%d flip-flops), %d nets, %.0f um2\n",
 			*dumpNetlist, st.Cells, st.Seq, st.Nets, st.AreaUM2)
 		return
 	}
 
-	var img *isa.Image
-	opts := symx.Options{MaxCycles: *maxCycles}
 	switch {
+	case *benchName != "" && strings.Contains(*benchName, ","):
+		analyzeBatch(ctx, an, strings.Split(*benchName, ","), callOpts)
 	case *benchName != "":
-		b := bench.ByName(*benchName)
-		if b == nil {
-			fatal(fmt.Errorf("unknown benchmark %q (try -list)", *benchName))
-		}
-		img, err = b.Image()
+		res, err := an.AnalyzeBench(ctx, *benchName, callOpts...)
 		if err != nil {
-			fatal(err)
+			fatal(classify(err), err)
 		}
-		if b.MaxCycles > 0 {
-			opts.MaxCycles = b.MaxCycles * 2
-		}
+		report(an, res, *coi, *trace)
 	case *src != "":
 		text, err := os.ReadFile(*src)
 		if err != nil {
-			fatal(err)
+			fatal(exitIO, fmt.Errorf("open -src %s: %w", *src, err))
 		}
-		img, err = isa.Assemble(*src, string(text))
+		res, err := an.Analyze(ctx, *src, string(text))
 		if err != nil {
-			fatal(err)
+			fatal(classify(err), err)
 		}
+		report(an, res, *coi, *trace)
 	default:
-		fatal(fmt.Errorf("need -bench or -src (or -list / -dump-netlist)"))
+		fatal(exitUsage, fmt.Errorf("need -bench or -src (or -list / -dump-netlist)"))
 	}
+}
 
-	req, err := an.Analyze(img, opts)
+// classify maps an analysis error to the command's exit code.
+func classify(err error) int {
+	switch {
+	case errors.Is(err, peakpower.ErrUnknownBench):
+		return exitUsage
+	case errors.Is(err, peakpower.ErrAssemble):
+		return exitAssemble
+	default:
+		return exitAnalysis
+	}
+}
+
+// analyzeBatch runs the comma-separated benchmarks concurrently through
+// the shared analyzer, prints a summary table, and reports the combined
+// multi-programmed requirement.
+func analyzeBatch(ctx context.Context, an *peakpower.Analyzer, names []string, callOpts []peakpower.Option) {
+	var apps []peakpower.App
+	for _, n := range names {
+		if n = strings.TrimSpace(n); n != "" {
+			apps = append(apps, peakpower.App{Bench: n})
+		}
+	}
+	if len(apps) == 0 {
+		fatal(exitUsage, fmt.Errorf("-bench: no benchmark names in list"))
+	}
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "trace" || f.Name == "coi" {
+			fmt.Fprintf(os.Stderr, "peakpower: -%s is ignored in batch mode\n", f.Name)
+		}
+	})
+	start := time.Now()
+	results, err := an.AnalyzeAll(ctx, apps, callOpts...)
 	if err != nil {
-		fatal(err)
+		fatal(classify(err), err)
 	}
+	fmt.Printf("%-12s %12s %14s %16s %8s %10s\n",
+		"application", "peak (mW)", "energy (J)", "NPE (J/cycle)", "paths", "elapsed")
+	for _, r := range results {
+		fmt.Printf("%-12s %12.3f %14.3e %16.3e %8d %10s\n",
+			r.App, r.PeakPowerMW, r.PeakEnergyJ, r.NPEJPerCycle, r.Paths,
+			r.Elapsed.Round(time.Millisecond))
+	}
+	comb, err := peakpower.Combine(results...)
+	if err != nil {
+		fatal(exitAnalysis, err)
+	}
+	fmt.Printf("\ncombined multi-programmed requirement: %.3f mW, %.3e J (%d apps, wall %s)\n",
+		comb.PeakPowerMW, comb.PeakEnergyJ, len(results), time.Since(start).Round(time.Millisecond))
+}
 
-	fmt.Printf("application:          %s\n", img.Name)
-	fmt.Printf("operating point:      %s @ %.0f MHz\n", an.Model.Lib.Name, an.Model.ClockHz/1e6)
-	fmt.Printf("peak power bound:     %.3f mW (guaranteed for all inputs)\n", req.PeakPowerMW)
-	fmt.Printf("peak energy bound:    %.3e J over %.0f cycles\n", req.PeakEnergyJ, req.BoundingCycles)
-	fmt.Printf("normalized peak energy: %.3e J/cycle\n", req.NPEJPerCycle)
-	fmt.Printf("exploration:          %d paths, %d tree nodes, %d simulated cycles\n",
-		req.Paths, req.Nodes, req.SimCycles)
+func report(an *peakpower.Analyzer, res *peakpower.Result, coi int, trace bool) {
+	fmt.Printf("application:          %s\n", res.App)
+	fmt.Printf("operating point:      %s @ %.0f MHz\n", res.Library, res.ClockHz/1e6)
+	fmt.Printf("peak power bound:     %.3f mW (guaranteed for all inputs)\n", res.PeakPowerMW)
+	fmt.Printf("peak energy bound:    %.3e J over %.0f cycles\n", res.PeakEnergyJ, res.BoundingCycles)
+	fmt.Printf("normalized peak energy: %.3e J/cycle\n", res.NPEJPerCycle)
+	fmt.Printf("exploration:          %d paths, %d tree nodes, %d simulated cycles (%s)\n",
+		res.Paths, res.Nodes, res.SimCycles, res.Elapsed.Round(time.Millisecond))
 
 	fmt.Printf("\ncycles of interest (peak power attribution):\n")
-	n := len(req.COIs)
-	if n > *coi {
-		n = *coi
+	att := res.Attribution()
+	if len(att) > coi {
+		att = att[:coi]
 	}
-	for _, pk := range req.COIs[:n] {
+	for _, pk := range att {
 		fmt.Printf("  cycle %-6d %.3f mW  %-8s (after %-8s) state=%-6s",
-			pk.PathPos, pk.PowerMW, isa.Mnemonic(img, pk.FetchAddr),
-			isa.Mnemonic(img, pk.PrevFetch), pk.State)
+			pk.Cycle, pk.PowerMW, pk.Instr, pk.PrevInstr, pk.State)
 		type mp struct {
 			name string
 			mw   float64
 		}
 		var mods []mp
-		for mi, mw := range pk.ByModuleMW {
-			mods = append(mods, mp{req.Modules[mi], mw})
+		for name, mw := range pk.ByModuleMW {
+			mods = append(mods, mp{name, mw})
 		}
 		sort.Slice(mods, func(i, j int) bool { return mods[i].mw > mods[j].mw })
 		for _, m := range mods[:3] {
@@ -126,21 +216,15 @@ func main() {
 		fmt.Println()
 	}
 
-	active := 0
-	for _, a := range req.UnionActive {
-		if a {
-			active++
-		}
-	}
-	fmt.Printf("\npotentially-toggled gates: %d of %d\n", active, len(req.UnionActive))
-	by := c2sorted(an.ActiveByModule(req.UnionActive))
+	fmt.Printf("\npotentially-toggled gates: %d of %d\n", res.ActiveGates(), len(res.UnionActive))
+	by := c2sorted(an.ActiveByModule(res.UnionActive))
 	for _, kv := range by {
 		fmt.Printf("  %-16s %d\n", kv.k, kv.v)
 	}
 
-	if *trace {
+	if trace {
 		fmt.Printf("\nper-cycle peak power trace (mW):\n")
-		for i, p := range req.PeakTrace {
+		for i, p := range res.PeakTrace {
 			fmt.Printf("%d %.4f\n", i, p)
 		}
 	}
@@ -160,7 +244,7 @@ func c2sorted(m map[string]int) []kv {
 	return out
 }
 
-func fatal(err error) {
+func fatal(code int, err error) {
 	fmt.Fprintln(os.Stderr, "peakpower:", err)
-	os.Exit(1)
+	os.Exit(code)
 }

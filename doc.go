@@ -4,9 +4,10 @@
 // co-analysis of an application binary and a ULP processor netlist that
 // produces guaranteed, input-independent peak power and energy bounds.
 //
-// See README.md for the tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for paper-vs-measured results. The benchmark harness in
-// bench_test.go regenerates every table and figure:
+// The public API is package repro/peakpower — a context-aware,
+// option-driven, concurrency-safe Analyzer; start there. See README.md
+// for the tour and DESIGN.md for the system inventory. The benchmark
+// harness in bench_test.go regenerates every table and figure:
 //
 //	go test -bench=. -benchmem
 package repro

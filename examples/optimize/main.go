@@ -6,52 +6,49 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/bench"
-	"repro/internal/core"
-	"repro/internal/isa"
 	"repro/internal/opt"
-	"repro/internal/symx"
+	"repro/peakpower"
 )
 
 func main() {
-	b := bench.ByName("mult")
-	img, err := b.Image()
-	if err != nil {
-		log.Fatal(err)
-	}
-	analyzer, err := core.NewAnalyzer()
+	ctx := context.Background()
+	analyzer, err := peakpower.New()
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	before, err := analyzer.Analyze(img, symx.Options{MaxCycles: b.MaxCycles})
+	before, err := analyzer.AnalyzeBench(ctx, "mult")
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("before: peak %.3f mW\n", before.PeakPowerMW)
 	fmt.Println("cycles of interest:")
-	for _, pk := range before.COIs[:3] {
+	for _, pk := range before.Attribution()[:3] {
 		fmt.Printf("  cycle %-5d %.3f mW during %-6s — top module: %s\n",
-			pk.PathPos, pk.PowerMW, isa.Mnemonic(img, pk.FetchAddr), topModule(before.Modules, pk.ByModuleMW))
+			pk.Cycle, pk.PowerMW, pk.Instr, topModule(pk.ByModuleMW))
 	}
 
 	// The attribution points at multiplier overlap: apply the transforms.
-	newSrc, counts := opt.ApplyAll(b.Source)
+	src, err := peakpower.BenchSource("mult")
+	if err != nil {
+		log.Fatal(err)
+	}
+	newSrc, counts := opt.ApplyAll(src)
 	fmt.Printf("\napplied: OPT1=%d OPT2=%d OPT3=%d sites\n",
 		counts["OPT1"], counts["OPT2"], counts["OPT3"])
+	b := bench.ByName("mult")
 	if err := opt.VerifyEquivalent(b, newSrc, 6, 1); err != nil {
 		log.Fatalf("optimization broke the program: %v", err)
 	}
 	fmt.Println("differential verification: PASS (same outputs on 6 input sets)")
 
-	optImg, err := isa.Assemble("mult-opt", newSrc)
-	if err != nil {
-		log.Fatal(err)
-	}
-	after, err := analyzer.Analyze(optImg, symx.Options{MaxCycles: 2 * b.MaxCycles})
+	after, err := analyzer.Analyze(ctx, "mult-opt", newSrc,
+		peakpower.WithMaxCycles(4*b.MaxCycles))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -66,12 +63,12 @@ func main() {
 		100*(after.PeakEnergyJ/before.PeakEnergyJ-1))
 }
 
-func topModule(names []string, mw []float64) string {
-	best, idx := 0.0, 0
-	for i, v := range mw {
+func topModule(byModule map[string]float64) string {
+	best, name := 0.0, "?"
+	for m, v := range byModule {
 		if v > best {
-			best, idx = v, i
+			best, name = v, m
 		}
 	}
-	return names[idx]
+	return name
 }

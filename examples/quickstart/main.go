@@ -5,12 +5,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/isa"
-	"repro/internal/symx"
+	"repro/peakpower"
 )
 
 // A small sensor kernel: read two input words, combine them, store the
@@ -40,21 +39,18 @@ spin:
 `
 
 func main() {
-	img, err := isa.Assemble("quickstart", app)
+	analyzer, err := peakpower.New()
 	if err != nil {
 		log.Fatal(err)
 	}
-	analyzer, err := core.NewAnalyzer()
+	res, err := analyzer.Analyze(context.Background(), "quickstart", app)
 	if err != nil {
 		log.Fatal(err)
 	}
-	req, err := analyzer.Analyze(img, symx.Options{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("peak power requirement:  %.3f mW (all inputs, all paths)\n", req.PeakPowerMW)
-	fmt.Printf("peak energy requirement: %.3e J (%.0f cycles worst case)\n", req.PeakEnergyJ, req.BoundingCycles)
-	fmt.Printf("explored %d execution paths in %d simulated cycles\n", req.Paths, req.SimCycles)
+	fmt.Printf("peak power requirement:  %.3f mW (all inputs, all paths)\n", res.PeakPowerMW)
+	fmt.Printf("peak energy requirement: %.3e J (%.0f cycles worst case)\n", res.PeakEnergyJ, res.BoundingCycles)
+	fmt.Printf("explored %d execution paths in %d simulated cycles\n", res.Paths, res.SimCycles)
+	best := res.Attribution()[0]
 	fmt.Printf("hottest cycle: %.3f mW during %s in state %s\n",
-		req.Best.PowerMW, isa.Mnemonic(img, req.Best.FetchAddr), req.Best.State)
+		best.PowerMW, best.Instr, best.State)
 }

@@ -6,33 +6,31 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/baseline"
 	"repro/internal/bench"
-	"repro/internal/core"
 	"repro/internal/sizing"
-	"repro/internal/symx"
+	"repro/peakpower"
 )
 
 func main() {
 	// The node runs the tHold benchmark (sensor thresholding) forever in
 	// a compute/sleep cycle.
+	analyzer, err := peakpower.New()
+	if err != nil {
+		log.Fatal(err)
+	}
+	req, err := analyzer.AnalyzeBench(context.Background(), "tHold")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The conventional baseline: guardbanded input-based profiling
+	// (in-repo tooling, via the analyzer's netlist/model escape hatch).
 	b := bench.ByName("tHold")
-	img, err := b.Image()
-	if err != nil {
-		log.Fatal(err)
-	}
-	analyzer, err := core.NewAnalyzer()
-	if err != nil {
-		log.Fatal(err)
-	}
-	req, err := analyzer.Analyze(img, symx.Options{MaxCycles: b.MaxCycles})
-	if err != nil {
-		log.Fatal(err)
-	}
-	prof, err := baseline.Profile(analyzer.Netlist, analyzer.Model, b, 5, 1)
+	prof, err := baseline.Profile(analyzer.Netlist(), analyzer.Model(), b, 5, 1)
 	if err != nil {
 		log.Fatal(err)
 	}

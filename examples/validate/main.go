@@ -6,42 +6,35 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"repro/internal/bench"
-	"repro/internal/core"
-	"repro/internal/symx"
+	"repro/peakpower"
 )
 
 func main() {
-	b := bench.ByName("mult")
-	img, err := b.Image()
+	ctx := context.Background()
+	analyzer, err := peakpower.New()
 	if err != nil {
 		log.Fatal(err)
 	}
-	analyzer, err := core.NewAnalyzer()
+	req, err := analyzer.AnalyzeBench(ctx, "mult")
 	if err != nil {
 		log.Fatal(err)
-	}
-	req, err := analyzer.Analyze(img, symx.Options{MaxCycles: b.MaxCycles})
-	if err != nil {
-		log.Fatal(err)
-	}
-	xset := 0
-	for _, a := range req.UnionActive {
-		if a {
-			xset++
-		}
 	}
 	fmt.Printf("X-based analysis of %s: %d potentially-toggled gates, peak %.3f mW\n",
-		b.Name, xset, req.PeakPowerMW)
+		req.App, req.ActiveGates(), req.PeakPowerMW)
 
+	img := req.Image()
 	r := rand.New(rand.NewSource(7))
 	for set := 1; set <= 5; set++ {
-		inputs := b.GenInputs(r)
-		run, err := analyzer.RunConcrete(img, inputs, nil, 1_000_000)
+		inputs, err := peakpower.BenchInputs("mult", r)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run, err := analyzer.RunConcrete(ctx, img, inputs, nil, 1_000_000)
 		if err != nil {
 			log.Fatal(err)
 		}

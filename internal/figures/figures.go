@@ -2,7 +2,7 @@
 // evaluation (the per-experiment index in DESIGN.md): each Fig*/Table*
 // method computes the experiment's data on the simulated substrate,
 // renders it as text, and returns it in structured form for the
-// benchmark harness and EXPERIMENTS.md bookkeeping.
+// benchmark harness (bench_test.go at the repo root).
 package figures
 
 import (
@@ -12,16 +12,17 @@ import (
 	"math/rand"
 	"sort"
 
+	"context"
+
 	"repro/internal/baseline"
 	"repro/internal/bench"
-	"repro/internal/core"
 	"repro/internal/hwmeas"
 	"repro/internal/isa"
 	"repro/internal/opt"
 	"repro/internal/power"
 	"repro/internal/sizing"
-	"repro/internal/symx"
 	"repro/internal/ulp430"
+	"repro/peakpower"
 )
 
 // Config carries the experimental setup and caches expensive results.
@@ -29,7 +30,7 @@ type Config struct {
 	// Out receives rendered text.
 	Out io.Writer
 	// Analyzer is the 65nm/100MHz analysis setup.
-	Analyzer *core.Analyzer
+	Analyzer *peakpower.Analyzer
 	// Rig is the 130nm/8MHz measurement substitute.
 	Rig *hwmeas.Rig
 	// ProfileRuns is the number of input sets per profiling sweep.
@@ -37,20 +38,20 @@ type Config struct {
 	// Seed fixes all random draws.
 	Seed int64
 
-	reqs     map[string]*core.Requirements
+	reqs     map[string]*peakpower.Result
 	profiles map[string]baseline.ProfileResult
 	stress   *baseline.StressResult
-	optReqs  map[string]*core.Requirements
+	optReqs  map[string]*peakpower.Result
 	optSrcs  map[string]string
 }
 
 // NewConfig builds the shared setup (one CPU netlist for everything).
 func NewConfig(out io.Writer) (*Config, error) {
-	an, err := core.NewAnalyzer()
+	an, err := peakpower.New()
 	if err != nil {
 		return nil, err
 	}
-	rig, err := hwmeas.NewRig(an.Netlist)
+	rig, err := hwmeas.NewRig(an.Netlist())
 	if err != nil {
 		return nil, err
 	}
@@ -60,9 +61,9 @@ func NewConfig(out io.Writer) (*Config, error) {
 		Rig:         rig,
 		ProfileRuns: 5,
 		Seed:        42,
-		reqs:        make(map[string]*core.Requirements),
+		reqs:        make(map[string]*peakpower.Result),
 		profiles:    make(map[string]baseline.ProfileResult),
-		optReqs:     make(map[string]*core.Requirements),
+		optReqs:     make(map[string]*peakpower.Result),
 		optSrcs:     make(map[string]string),
 	}, nil
 }
@@ -74,7 +75,7 @@ func (c *Config) printf(format string, args ...interface{}) {
 }
 
 // Req returns (cached) co-analysis requirements for a benchmark.
-func (c *Config) Req(name string) (*core.Requirements, error) {
+func (c *Config) Req(name string) (*peakpower.Result, error) {
 	if r, ok := c.reqs[name]; ok {
 		return r, nil
 	}
@@ -86,7 +87,8 @@ func (c *Config) Req(name string) (*core.Requirements, error) {
 	if err != nil {
 		return nil, err
 	}
-	r, err := c.Analyzer.Analyze(img, symx.Options{MaxCycles: b.MaxCycles, MaxNodes: 60000})
+	r, err := c.Analyzer.AnalyzeImage(context.Background(), img,
+		peakpower.WithMaxCycles(b.MaxCycles), peakpower.WithMaxNodes(60000))
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +102,7 @@ func (c *Config) Prof(name string) (baseline.ProfileResult, error) {
 		return p, nil
 	}
 	b := bench.ByName(name)
-	p, err := baseline.Profile(c.Analyzer.Netlist, c.Analyzer.Model, b, c.ProfileRuns, c.Seed)
+	p, err := baseline.Profile(c.Analyzer.Netlist(), c.Analyzer.Model(), b, c.ProfileRuns, c.Seed)
 	if err != nil {
 		return ProfileZero, err
 	}
@@ -116,7 +118,7 @@ func (c *Config) Stress() (*baseline.StressResult, error) {
 	if c.stress != nil {
 		return c.stress, nil
 	}
-	res, err := baseline.Stressmark(c.Analyzer.Netlist, c.Analyzer.Model, baseline.StressOptions{Seed: c.Seed})
+	res, err := baseline.Stressmark(c.Analyzer.Netlist(), c.Analyzer.Model(), baseline.StressOptions{Seed: c.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -130,7 +132,7 @@ func (c *Config) Stress() (*baseline.StressResult, error) {
 // of {OPT1, OPT2, OPT3}, verifies each rewrite differentially, re-runs
 // the co-analysis, and keeps the subset with the lowest peak-power bound
 // — falling back to the unmodified program when nothing helps.
-func (c *Config) OptReq(name string) (*core.Requirements, string, error) {
+func (c *Config) OptReq(name string) (*peakpower.Result, string, error) {
 	if r, ok := c.optReqs[name]; ok {
 		return r, c.optSrcs[name], nil
 	}
@@ -163,7 +165,8 @@ func (c *Config) OptReq(name string) (*core.Requirements, string, error) {
 		if err != nil {
 			return nil, "", err
 		}
-		r, err := c.Analyzer.Analyze(img, symx.Options{MaxCycles: 2 * b.MaxCycles, MaxNodes: 120000})
+		r, err := c.Analyzer.AnalyzeImage(context.Background(), img,
+			peakpower.WithMaxCycles(2*b.MaxCycles), peakpower.WithMaxNodes(120000))
 		if err != nil {
 			return nil, "", err
 		}
@@ -264,7 +267,7 @@ func (c *Config) Fig15() (tholdCount, piCount int, err error) {
 	c.printf("Figure 1.5 — active gates at the peak cycle (application-specific activity)\n")
 	for _, e := range []struct {
 		name string
-		req  *core.Requirements
+		req  *peakpower.Result
 	}{{"tHold", rt}, {"PI", rp}} {
 		by := c.Analyzer.ActiveCellsByModule(e.req.Best.ActiveCells)
 		total := len(e.req.Best.ActiveCells)
@@ -320,7 +323,7 @@ func (c *Config) Fig34(name string, lowInputs, highInputs []uint16) (Fig34Result
 	res := Fig34Result{}
 	c.printf("Figure 3.4 — toggled-gate containment for %s\n", name)
 	for _, in := range [][]uint16{lowInputs, highInputs} {
-		run, err := c.Analyzer.RunConcrete(img, in, nil, 2_000_000)
+		run, err := c.Analyzer.RunConcrete(context.Background(), img, in, nil, 2_000_000)
 		if err != nil {
 			return res, err
 		}
@@ -360,7 +363,7 @@ func (c *Config) Fig35() (xTrace, inTrace []float64, err error) {
 	}
 	b := bench.ByName("mult")
 	img, _ := b.Image()
-	run, err := c.Analyzer.RunConcrete(img, []uint16{0xFFFF, 0xAAAA, 0x1234, 0x8001, 0x7FFF, 0x5555, 0xF0F0, 0x0F0F}, nil, 1_000_000)
+	run, err := c.Analyzer.RunConcrete(context.Background(), img, []uint16{0xFFFF, 0xAAAA, 0x1234, 0x8001, 0x7FFF, 0x5555, 0xF0F0, 0x0F0F}, nil, 1_000_000)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -438,7 +441,7 @@ type Fig51Row struct {
 
 // Fig51 reproduces Figure 5.1: peak power requirements by technique.
 func (c *Config) Fig51(names []string) ([]Fig51Row, Aggregates, error) {
-	design := baseline.DesignToolPeakMW(c.Analyzer.Netlist, c.Analyzer.Model, baseline.DefaultToggleRate)
+	design := baseline.DesignToolPeakMW(c.Analyzer.Netlist(), c.Analyzer.Model(), baseline.DefaultToggleRate)
 	st, err := c.Stress()
 	if err != nil {
 		return nil, Aggregates{}, err
@@ -505,7 +508,7 @@ type Fig52Row struct {
 
 // Fig52 reproduces Figure 5.2: normalized peak energy by technique.
 func (c *Config) Fig52(names []string) ([]Fig52Row, Aggregates, error) {
-	design := baseline.DesignToolNPE(c.Analyzer.Netlist, c.Analyzer.Model, baseline.DefaultToggleRate)
+	design := baseline.DesignToolNPE(c.Analyzer.Netlist(), c.Analyzer.Model(), baseline.DefaultToggleRate)
 	st, err := c.Stress()
 	if err != nil {
 		return nil, Aggregates{}, err
@@ -727,7 +730,7 @@ spin: jmp spin
 	if err != nil {
 		return err
 	}
-	sys, err := ulp430.NewSystem(c.Analyzer.Netlist, c.Analyzer.Model.Lib, img, ulp430.SymbolicInputs, nil)
+	sys, err := ulp430.NewSystem(c.Analyzer.Netlist(), c.Analyzer.Model().Lib, img, ulp430.SymbolicInputs, nil)
 	if err != nil {
 		return err
 	}
@@ -736,8 +739,8 @@ spin: jmp spin
 	if err != nil {
 		return err
 	}
-	peak, even, odd := power.AlgorithmTwo(w, c.Analyzer.Model)
-	stream := power.StreamingTrace(w, c.Analyzer.Model)
+	peak, even, odd := power.AlgorithmTwo(w, c.Analyzer.Model())
+	stream := power.StreamingTrace(w, c.Analyzer.Model())
 	c.printf("Figure 3.2 — Algorithm 2 even/odd assignment on a live window\n")
 	c.printf("  interleaved peak: %s\n", sparkline(peak[1:], 29))
 	c.printf("  streaming bound:  %s\n", sparkline(stream[1:], 29))
@@ -752,7 +755,7 @@ spin: jmp spin
 }
 
 // EnergyCrossCheck verifies that a benchmark's concrete energy stays
-// within its bound — data backing EXPERIMENTS.md.
+// within its bound — data backing the paper-vs-measured comparison.
 func (c *Config) EnergyCrossCheck(name string) (boundJ, concreteJ float64, err error) {
 	r, err := c.Req(name)
 	if err != nil {
@@ -769,7 +772,7 @@ func (c *Config) EnergyCrossCheck(name string) (boundJ, concreteJ float64, err e
 	if b.UsesPort {
 		portIn = b.GenPort(rr)
 	}
-	run, err := c.Analyzer.RunConcrete(img, inputs, portIn, 2_000_000)
+	run, err := c.Analyzer.RunConcrete(context.Background(), img, inputs, portIn, 2_000_000)
 	if err != nil {
 		return 0, 0, err
 	}

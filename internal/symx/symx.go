@@ -19,9 +19,20 @@
 package symx
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/ulp430"
+)
+
+// Budget exhaustion sentinels, matchable with errors.Is. Explore wraps
+// them with the concrete limit and a diagnosis.
+var (
+	// ErrCycleBudget reports that exploration exceeded Options.MaxCycles.
+	ErrCycleBudget = errors.New("cycle budget exhausted")
+	// ErrNodeBudget reports that the tree exceeded Options.MaxNodes.
+	ErrNodeBudget = errors.New("node budget exhausted")
 )
 
 // Sink observes every simulated cycle along the current path, with
@@ -86,6 +97,17 @@ type Tree struct {
 	Cycles int
 }
 
+// Progress is a snapshot of exploration statistics, delivered to the
+// Options.Progress hook.
+type Progress struct {
+	// Cycles is the total simulated cycle count so far.
+	Cycles int
+	// Nodes is the number of tree segments created so far.
+	Nodes int
+	// Paths is the number of explored terminals so far.
+	Paths int
+}
+
 // Options bound the exploration.
 type Options struct {
 	// MaxCycles caps total simulated cycles (default 2,000,000).
@@ -97,7 +119,26 @@ type Options struct {
 	// ablation study quantifying what merging saves; input-dependent
 	// wait loops will not terminate with merging disabled.
 	DisableMerge bool
+	// Ctx, when non-nil, is polled every cancelCheckEvery simulated
+	// cycles; once it is canceled or its deadline passes, Explore
+	// returns promptly with an error wrapping Ctx.Err() (matchable via
+	// errors.Is with context.Canceled / context.DeadlineExceeded).
+	Ctx context.Context
+	// Progress, when non-nil, is called from the exploring goroutine
+	// roughly every ProgressEvery simulated cycles and once when
+	// exploration finishes (on success or failure). It must be fast and
+	// must not call back into the exploration.
+	Progress func(Progress)
+	// ProgressEvery is the Progress reporting period in simulated
+	// cycles (default 8192).
+	ProgressEvery int
 }
+
+// cancelCheckEvery is the context-poll period in simulated cycles. One
+// simulated cycle costs ~0.25 ms of wall time (a full netlist settle),
+// so even a fine period keeps Ctx.Err() invisible in profiles while
+// bounding cancellation latency to a few milliseconds.
+const cancelCheckEvery = 32
 
 func (o Options) withDefaults() Options {
 	if o.MaxCycles == 0 {
@@ -105,6 +146,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxNodes == 0 {
 		o.MaxNodes = 10_000
+	}
+	if o.ProgressEvery <= 0 {
+		o.ProgressEvery = 8192
 	}
 	return o
 }
@@ -123,6 +167,14 @@ func Explore(sys *ulp430.System, sink Sink, opts Options) (*Tree, error) {
 	sys.Reset()
 
 	tree := &Tree{}
+	if opts.Progress != nil {
+		// Final snapshot on every exit path, success or failure.
+		defer func() {
+			opts.Progress(Progress{Cycles: tree.Cycles, Nodes: len(tree.Nodes), Paths: tree.Paths})
+		}()
+	}
+	nextProgress := opts.ProgressEvery
+	nextCancel := cancelCheckEvery
 	newNode := func() *Node {
 		n := &Node{ID: len(tree.Nodes)}
 		tree.Nodes = append(tree.Nodes, n)
@@ -175,6 +227,17 @@ func Explore(sys *ulp430.System, sink Sink, opts Options) (*Tree, error) {
 		if err := sys.Err(); err != nil {
 			return nil, err
 		}
+		if opts.Ctx != nil && tree.Cycles >= nextCancel {
+			nextCancel = tree.Cycles + cancelCheckEvery
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("symx: exploration aborted after %d cycles (%d paths): %w",
+					tree.Cycles, tree.Paths, err)
+			}
+		}
+		if opts.Progress != nil && tree.Cycles >= nextProgress {
+			nextProgress = tree.Cycles + opts.ProgressEvery
+			opts.Progress(Progress{Cycles: tree.Cycles, Nodes: len(tree.Nodes), Paths: tree.Paths})
+		}
 		if sys.Halted() {
 			finishSegment(KindEnd)
 			tree.Paths++
@@ -184,10 +247,10 @@ func Explore(sys *ulp430.System, sink Sink, opts Options) (*Tree, error) {
 			continue
 		}
 		if tree.Cycles >= opts.MaxCycles {
-			return nil, fmt.Errorf("symx: exceeded %d cycles (unbounded exploration? add smaller inputs or check for un-merged input-dependent loops)", opts.MaxCycles)
+			return nil, fmt.Errorf("symx: exceeded %d cycles (unbounded exploration? add smaller inputs or check for un-merged input-dependent loops): %w", opts.MaxCycles, ErrCycleBudget)
 		}
 		if len(tree.Nodes) >= opts.MaxNodes {
-			return nil, fmt.Errorf("symx: exceeded %d tree nodes", opts.MaxNodes)
+			return nil, fmt.Errorf("symx: exceeded %d tree nodes: %w", opts.MaxNodes, ErrNodeBudget)
 		}
 
 		sys.SnapshotInto(roll)

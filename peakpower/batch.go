@@ -1,0 +1,122 @@
+package peakpower
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// App names one application for batch analysis. Exactly one of Bench,
+// Source, or Image selects the binary (checked in that order).
+type App struct {
+	// Name labels the application in results and diagnostics. Optional
+	// for Bench apps (defaults to the benchmark name); required with
+	// Source.
+	Name string
+	// Bench selects a built-in benchmark by name.
+	Bench string
+	// Source is ULP430 assembly text to assemble and analyze.
+	Source string
+	// Image is a pre-assembled binary.
+	Image *Image
+	// Opts are per-application option overrides (applied after the
+	// options passed to AnalyzeAll).
+	Opts []Option
+}
+
+// AnalyzeAll analyzes a batch of applications through a bounded worker
+// pool that shares the analyzer's one-time netlist build — the batch
+// form of the paper's multi-programmed workflow (combine the returned
+// results with Combine for a co-resident requirement).
+//
+// The returned slice is aligned with apps: results[i] is app i's result
+// or nil if it failed. The error is nil only if every app succeeded;
+// otherwise it joins the per-app failures (each wrapping its sentinel
+// class) and ctx.Err() when the batch was cut short. Worker count comes
+// from WithWorkers.
+func (a *Analyzer) AnalyzeAll(ctx context.Context, apps []App, opts ...Option) ([]*Result, error) {
+	cfg := a.resolve(opts)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]*Result, len(apps))
+	errs := make([]error, len(apps))
+
+	workers := cfg.workers
+	if workers > len(apps) {
+		workers = len(apps)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i], errs[i] = a.analyzeApp(ctx, apps[i], opts)
+			}
+		}()
+	}
+	fed := 0
+feed:
+	for i := range apps {
+		select {
+		case idx <- i:
+			fed++
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	var joined []error
+	for i, err := range errs {
+		if err != nil {
+			joined = append(joined, fmt.Errorf("app %d (%s): %w", i, appName(apps[i]), err))
+		}
+	}
+	// Only a batch actually cut short reports the context error; a
+	// deadline lapsing after the last app completed is not a failure.
+	if fed < len(apps) {
+		joined = append(joined, ctx.Err())
+	}
+	return results, errors.Join(joined...)
+}
+
+func appName(app App) string {
+	switch {
+	case app.Name != "":
+		return app.Name
+	case app.Bench != "":
+		return app.Bench
+	case app.Image != nil:
+		return app.Image.Name
+	default:
+		return "?"
+	}
+}
+
+// analyzeApp resolves one App and runs its analysis. callOpts are the
+// batch-level overrides; the app's own Opts come last.
+func (a *Analyzer) analyzeApp(ctx context.Context, app App, callOpts []Option) (*Result, error) {
+	opts := append(append([]Option{}, callOpts...), app.Opts...)
+	switch {
+	case app.Bench != "":
+		return a.AnalyzeBench(ctx, app.Bench, opts...)
+	case app.Source != "":
+		name := app.Name
+		if name == "" {
+			return nil, fmt.Errorf("%w: App.Source requires App.Name", ErrAssemble)
+		}
+		return a.Analyze(ctx, name, app.Source, opts...)
+	case app.Image != nil:
+		return a.AnalyzeImage(ctx, app.Image, opts...)
+	default:
+		return nil, fmt.Errorf("peakpower: empty App (set Bench, Source, or Image)")
+	}
+}

@@ -1,0 +1,149 @@
+package peakpower
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+)
+
+// concurrencyBenches are four quick benchmarks with distinct workloads
+// (multiplier-heavy, shift/XOR, input-dependent control flow).
+var concurrencyBenches = []string{"mult", "tea8", "binSearch", "tHold"}
+
+// TestAnalyzeAllConcurrent runs >=4 concurrent analyses through one
+// shared Analyzer's worker pool and checks the results are identical to
+// sequential analysis — the package's concurrency-safety contract,
+// meaningful under -race.
+func TestAnalyzeAllConcurrent(t *testing.T) {
+	a := analyzer(t)
+	ctx := context.Background()
+
+	want := make(map[string]*Result)
+	for _, name := range concurrencyBenches {
+		r, err := a.AnalyzeBench(ctx, name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[name] = r
+	}
+
+	apps := make([]App, len(concurrencyBenches))
+	for i, name := range concurrencyBenches {
+		apps[i] = App{Bench: name}
+	}
+	results, err := a.AnalyzeAll(ctx, apps, WithWorkers(len(apps)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(apps) {
+		t.Fatalf("got %d results for %d apps", len(results), len(apps))
+	}
+	for i, r := range results {
+		w := want[concurrencyBenches[i]]
+		if r == nil {
+			t.Fatalf("missing result for %s", concurrencyBenches[i])
+		}
+		if r.PeakPowerMW != w.PeakPowerMW || r.PeakEnergyJ != w.PeakEnergyJ || r.Paths != w.Paths {
+			t.Fatalf("%s: concurrent result (%.6f mW, %.6e J, %d paths) != sequential (%.6f mW, %.6e J, %d paths)",
+				r.App, r.PeakPowerMW, r.PeakEnergyJ, r.Paths, w.PeakPowerMW, w.PeakEnergyJ, w.Paths)
+		}
+	}
+}
+
+// TestConcurrentAnalyzeGoroutines hammers one shared Analyzer from raw
+// goroutines (no pool), two per benchmark, again checking determinism.
+func TestConcurrentAnalyzeGoroutines(t *testing.T) {
+	a := analyzer(t)
+	ctx := context.Background()
+
+	type out struct {
+		name string
+		res  *Result
+		err  error
+	}
+	var wg sync.WaitGroup
+	outs := make(chan out, 2*len(concurrencyBenches))
+	for rep := 0; rep < 2; rep++ {
+		for _, name := range concurrencyBenches {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				r, err := a.AnalyzeBench(ctx, name)
+				outs <- out{name, r, err}
+			}(name)
+		}
+	}
+	wg.Wait()
+	close(outs)
+
+	peaks := make(map[string]float64)
+	for o := range outs {
+		if o.err != nil {
+			t.Fatalf("%s: %v", o.name, o.err)
+		}
+		if prev, ok := peaks[o.name]; ok {
+			if math.Abs(prev-o.res.PeakPowerMW) != 0 {
+				t.Fatalf("%s: nondeterministic peak: %.9f vs %.9f", o.name, prev, o.res.PeakPowerMW)
+			}
+		} else {
+			peaks[o.name] = o.res.PeakPowerMW
+		}
+	}
+}
+
+// TestAnalyzeAllPartialFailure checks result/error alignment when one
+// app of a batch fails: good apps still produce results, and the joined
+// error carries the failing app's sentinel class.
+func TestAnalyzeAllPartialFailure(t *testing.T) {
+	a := analyzer(t)
+	results, err := a.AnalyzeAll(context.Background(), []App{
+		{Bench: "mult"},
+		{Bench: "nosuchbench"},
+		{Name: "inline", Source: "definitely not assembly"},
+	})
+	if err == nil {
+		t.Fatal("expected joined error")
+	}
+	if !errors.Is(err, ErrUnknownBench) || !errors.Is(err, ErrAssemble) {
+		t.Fatalf("joined error must carry both sentinel classes: %v", err)
+	}
+	if results[0] == nil || results[0].App != "mult" {
+		t.Fatalf("good app lost its result: %+v", results[0])
+	}
+	if results[1] != nil || results[2] != nil {
+		t.Fatal("failed apps must have nil results")
+	}
+}
+
+// TestAnalyzeAllCanceled checks that canceling the batch context stops
+// feeding work and surfaces the context error.
+func TestAnalyzeAllCanceled(t *testing.T) {
+	a := analyzer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	apps := []App{{Bench: "mult"}, {Bench: "tea8"}, {Bench: "binSearch"}, {Bench: "tHold"}}
+	results, err := a.AnalyzeAll(ctx, apps, WithWorkers(2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	for i, r := range results {
+		if r != nil {
+			t.Fatalf("app %d produced a result under a pre-canceled context", i)
+		}
+	}
+}
+
+// TestAnalyzeAllEmptyApp checks the App validation error.
+func TestAnalyzeAllEmptyApp(t *testing.T) {
+	a := analyzer(t)
+	_, err := a.AnalyzeAll(context.Background(), []App{{}})
+	if err == nil {
+		t.Fatal("empty App must error")
+	}
+	_, err = a.AnalyzeAll(context.Background(), []App{{Source: "mov #1, r4"}})
+	if !errors.Is(err, ErrAssemble) {
+		t.Fatalf("Source without Name must classify as ErrAssemble: %v", err)
+	}
+}

@@ -1,0 +1,74 @@
+package peakpower
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bench"
+)
+
+// BenchInfo describes one built-in benchmark (the paper's Table 4.1
+// suite).
+type BenchInfo struct {
+	// Name is the paper's benchmark name (the AnalyzeBench key).
+	Name string
+	// Suite is the benchmark's group in Table 4.1.
+	Suite string
+	// Desc summarizes the kernel.
+	Desc string
+	// MaxCycles is the benchmark's calibrated exploration budget.
+	MaxCycles int
+}
+
+// Benchmarks lists the built-in suite in the paper's order.
+func Benchmarks() []BenchInfo {
+	all := bench.All()
+	out := make([]BenchInfo, len(all))
+	for i, b := range all {
+		out[i] = BenchInfo{Name: b.Name, Suite: b.Suite, Desc: b.Desc, MaxCycles: b.MaxCycles}
+	}
+	return out
+}
+
+// benchImage resolves a built-in benchmark and its assembled image.
+func benchImage(name string) (*bench.Benchmark, *Image, error) {
+	b := bench.ByName(name)
+	if b == nil {
+		return nil, nil, fmt.Errorf("%w: %q (see Benchmarks)", ErrUnknownBench, name)
+	}
+	img, err := b.Image()
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrAssemble, err)
+	}
+	return b, img, nil
+}
+
+// BenchImage assembles (once) and returns a built-in benchmark's
+// binary. Unknown names wrap ErrUnknownBench.
+func BenchImage(name string) (*Image, error) {
+	_, img, err := benchImage(name)
+	return img, err
+}
+
+// BenchSource returns a built-in benchmark's assembly source — the
+// starting point for optimization experiments.
+func BenchSource(name string) (string, error) {
+	b := bench.ByName(name)
+	if b == nil {
+		return "", fmt.Errorf("%w: %q (see Benchmarks)", ErrUnknownBench, name)
+	}
+	return b.Source, nil
+}
+
+// BenchInputs draws one concrete input set for a built-in benchmark,
+// for profiling and validation runs against RunConcrete.
+func BenchInputs(name string, r *rand.Rand) ([]uint16, error) {
+	b := bench.ByName(name)
+	if b == nil {
+		return nil, fmt.Errorf("%w: %q (see Benchmarks)", ErrUnknownBench, name)
+	}
+	if b.GenInputs == nil {
+		return nil, nil
+	}
+	return b.GenInputs(r), nil
+}

@@ -1,0 +1,47 @@
+// Package peakpower is the public entry point for hardware–software
+// co-analysis: it takes an application binary and the gate-level ULP430
+// processor design and returns guaranteed, input-independent,
+// application-specific peak power and peak energy requirements — the
+// headline contribution of "Determining Application-specific Peak Power
+// and Energy Requirements for Ultra-low Power Processors" (ASPLOS 2017).
+//
+// # Quickstart
+//
+//	a, err := peakpower.New()            // build the ULP430 once
+//	if err != nil { ... }
+//	res, err := a.Analyze(ctx, "app", src)
+//	if err != nil { ... }
+//	fmt.Printf("peak power %.3f mW, peak energy %.3e J\n",
+//		res.PeakPowerMW, res.PeakEnergyJ)
+//
+// # Options
+//
+// New accepts functional options establishing the analyzer's defaults,
+// and every Analyze* method accepts the same options as per-call
+// overrides:
+//
+//   - WithLibrary selects the standard-cell library (default ULP65).
+//   - WithClockHz sets the operating clock (default 100 MHz).
+//   - WithMaxCycles / WithMaxNodes bound the symbolic exploration.
+//   - WithCOI sets how many cycles of interest are attributed.
+//   - WithProgress registers a progress callback for long analyses.
+//   - WithWorkers sets the AnalyzeAll worker-pool size.
+//
+// # Error taxonomy
+//
+// Failures are classified by sentinel errors matchable with errors.Is:
+// ErrAssemble (the source did not assemble), ErrUnknownBench (no such
+// built-in benchmark), ErrCycleBudget and ErrNodeBudget (symbolic
+// exploration exceeded its configured budget). Cancellation and
+// deadlines surface as errors wrapping context.Canceled or
+// context.DeadlineExceeded from the caller's context.
+//
+// # Concurrency
+//
+// An Analyzer is safe for concurrent use: the gate-level netlist is
+// built once, is immutable afterwards, and every analysis simulates on
+// its own private machine state. Run any number of Analyze* calls from
+// different goroutines against one shared Analyzer, or use AnalyzeAll,
+// which batches applications through a bounded worker pool sharing the
+// one-time netlist build.
+package peakpower

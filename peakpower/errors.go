@@ -1,0 +1,24 @@
+package peakpower
+
+import (
+	"errors"
+
+	"repro/internal/symx"
+)
+
+// Sentinel errors classifying analysis failures; match with errors.Is.
+// Returned errors wrap these with the concrete detail (file, limit,
+// benchmark name).
+var (
+	// ErrAssemble reports that application source failed to assemble.
+	ErrAssemble = errors.New("peakpower: assembly failed")
+	// ErrUnknownBench reports a benchmark name not in the built-in suite.
+	ErrUnknownBench = errors.New("peakpower: unknown benchmark")
+	// ErrCycleBudget reports that symbolic exploration exceeded its
+	// simulated-cycle budget (WithMaxCycles). It is the same value the
+	// exploration engine wraps, so it matches however deep the wrap.
+	ErrCycleBudget = symx.ErrCycleBudget
+	// ErrNodeBudget reports that the symbolic execution tree exceeded
+	// its node budget (WithMaxNodes).
+	ErrNodeBudget = symx.ErrNodeBudget
+)

@@ -1,0 +1,134 @@
+package peakpower
+
+import (
+	"runtime"
+
+	"repro/internal/cell"
+)
+
+// Library is a characterized standard-cell library (an alias of the
+// internal representation, so external programs can hold and pass one
+// without importing internal packages).
+type Library = cell.Library
+
+// ULP65 returns the synthetic 65 nm low-power library — the paper's
+// openMSP430-class operating point (1 V / 100 MHz).
+func ULP65() *Library { return cell.ULP65() }
+
+// ULP130 returns the 130 nm variant used by the measurement-rig
+// substitute for the MSP430F1610 experiments (8 MHz operating point).
+func ULP130() *Library { return cell.ULP130() }
+
+// Progress is a snapshot of a running analysis, delivered to the
+// WithProgress callback.
+type Progress struct {
+	// App is the name of the application being analyzed.
+	App string
+	// Cycles is the number of simulated cycles so far.
+	Cycles int
+	// Nodes is the number of execution-tree segments so far.
+	Nodes int
+	// Paths is the number of fully explored paths so far.
+	Paths int
+}
+
+// config is the resolved option set. An Analyzer stores the defaults
+// established at New; each Analyze* call copies them and applies its
+// per-call options on top.
+type config struct {
+	lib           *cell.Library
+	clockHz       float64
+	maxCycles     int
+	maxNodes      int
+	coiK          int
+	progress      func(Progress)
+	progressEvery int
+	workers       int
+}
+
+func defaultConfig() config {
+	return config{
+		lib:       cell.ULP65(),
+		clockHz:   100e6,
+		maxCycles: 2_000_000,
+		maxNodes:  10_000,
+		coiK:      8,
+		workers:   runtime.GOMAXPROCS(0),
+	}
+}
+
+// Option configures an Analyzer (at New) or a single analysis (passed
+// to an Analyze* method, overriding the Analyzer's defaults for that
+// call only).
+type Option func(*config)
+
+// WithLibrary selects the standard-cell library / operating point.
+// Default: ULP65().
+func WithLibrary(lib *Library) Option {
+	return func(c *config) {
+		if lib != nil {
+			c.lib = lib
+		}
+	}
+}
+
+// WithClockHz sets the clock frequency used to convert per-cycle energy
+// to power. Default: 100 MHz.
+func WithClockHz(hz float64) Option {
+	return func(c *config) {
+		if hz > 0 {
+			c.clockHz = hz
+		}
+	}
+}
+
+// WithMaxCycles bounds total simulated cycles per analysis; exceeding
+// it fails the analysis with ErrCycleBudget. Default: 2,000,000.
+func WithMaxCycles(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.maxCycles = n
+		}
+	}
+}
+
+// WithMaxNodes bounds execution-tree segments per analysis; exceeding
+// it fails the analysis with ErrNodeBudget. Default: 10,000.
+func WithMaxNodes(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.maxNodes = n
+		}
+	}
+}
+
+// WithCOI sets how many cycles of interest (peak-power attribution
+// entries) each analysis retains. Default: 8.
+func WithCOI(k int) Option {
+	return func(c *config) {
+		if k >= 0 {
+			c.coiK = k
+		}
+	}
+}
+
+// WithProgress registers a callback invoked from the analyzing
+// goroutine roughly every interval cycles (default 8192 when interval
+// <= 0) and once when the analysis finishes. The callback must be fast,
+// and must be safe for concurrent invocation if the option is used with
+// AnalyzeAll or a shared Analyzer.
+func WithProgress(fn func(Progress), interval int) Option {
+	return func(c *config) {
+		c.progress = fn
+		c.progressEvery = interval
+	}
+}
+
+// WithWorkers sets the AnalyzeAll worker-pool size. Default: GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.workers = n
+		}
+	}
+}

@@ -1,0 +1,287 @@
+package peakpower
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/energy"
+	"repro/internal/isa"
+	"repro/internal/netlist"
+	"repro/internal/power"
+	"repro/internal/symx"
+	"repro/internal/ulp430"
+)
+
+// Image is an assembled application binary (an alias of the internal
+// representation; obtain one from Assemble or BenchImage).
+type Image = isa.Image
+
+// Assemble translates ULP430 assembly source into an application image.
+// name labels the program in diagnostics and results. Failures wrap
+// ErrAssemble.
+func Assemble(name, source string) (*Image, error) {
+	img, err := isa.Assemble(name, source)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrAssemble, err)
+	}
+	return img, nil
+}
+
+// Analyzer binds the gate-level processor design and the default
+// analysis configuration. It is safe for concurrent use: the netlist is
+// built once and never mutated afterwards; every analysis simulates on
+// its own private state.
+type Analyzer struct {
+	nl  *netlist.Netlist
+	def config
+}
+
+// New builds an Analyzer for the ULP430 processor. Options set the
+// analyzer-wide defaults; every Analyze* method accepts the same
+// options as per-call overrides.
+func New(opts ...Option) (*Analyzer, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	nl, err := ulp430.BuildCPU()
+	if err != nil {
+		return nil, fmt.Errorf("peakpower: building ULP430 netlist: %w", err)
+	}
+	return &Analyzer{nl: nl, def: cfg}, nil
+}
+
+// resolve copies the analyzer defaults and applies per-call options.
+func (a *Analyzer) resolve(opts []Option) config {
+	cfg := a.def
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// model returns the power model for a resolved configuration.
+func (cfg config) model() power.Model {
+	return power.Model{Lib: cfg.lib, ClockHz: cfg.clockHz}
+}
+
+// Analyze assembles source and runs the full co-analysis. name labels
+// the application in diagnostics and the Result. Assembly failures wrap
+// ErrAssemble.
+func (a *Analyzer) Analyze(ctx context.Context, name, source string, opts ...Option) (*Result, error) {
+	img, err := Assemble(name, source)
+	if err != nil {
+		return nil, err
+	}
+	return a.AnalyzeImage(ctx, img, opts...)
+}
+
+// AnalyzeImage runs the full co-analysis on an assembled application:
+// symbolic gate-activity analysis (Algorithm 1) drives the streaming
+// peak-power computation (Algorithm 2) over every execution path, and
+// the annotated execution tree yields the peak power requirement, the
+// peak energy requirement, and cycle-of-interest attribution.
+//
+// ctx cancels or bounds the exploration; on cancellation the returned
+// error wraps ctx.Err(). Budget exhaustion wraps ErrCycleBudget or
+// ErrNodeBudget.
+func (a *Analyzer) AnalyzeImage(ctx context.Context, img *Image, opts ...Option) (*Result, error) {
+	cfg := a.resolve(opts)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("peakpower: analysis of %s: %w", img.Name, err)
+	}
+	start := time.Now()
+	model := cfg.model()
+	sys, err := ulp430.NewSystem(a.nl, model.Lib, img, ulp430.SymbolicInputs, nil)
+	if err != nil {
+		return nil, fmt.Errorf("peakpower: preparing %s: %w", img.Name, err)
+	}
+	sink := power.NewSink(sys, model, img, cfg.coiK)
+	sxOpts := symx.Options{
+		MaxCycles:     cfg.maxCycles,
+		MaxNodes:      cfg.maxNodes,
+		Ctx:           ctx,
+		ProgressEvery: cfg.progressEvery,
+	}
+	if cfg.progress != nil {
+		fn, app := cfg.progress, img.Name
+		sxOpts.Progress = func(p symx.Progress) {
+			fn(Progress{App: app, Cycles: p.Cycles, Nodes: p.Nodes, Paths: p.Paths})
+		}
+	}
+	tree, err := symx.Explore(sys, sink, sxOpts)
+	if err != nil {
+		return nil, fmt.Errorf("peakpower: symbolic analysis of %s: %w", img.Name, err)
+	}
+	res, err := energy.PeakEnergy(tree, img, model.ClockHz)
+	if err != nil {
+		return nil, fmt.Errorf("peakpower: peak energy of %s: %w", img.Name, err)
+	}
+	return &Result{
+		App:            img.Name,
+		Library:        model.Lib.Name,
+		ClockHz:        model.ClockHz,
+		PeakPowerMW:    sink.PeakMW(),
+		PeakEnergyJ:    res.EnergyJ,
+		NPEJPerCycle:   res.NPEJPerCycle,
+		BoundingCycles: res.Cycles,
+		PeakTrace:      maxEnergyPathTrace(tree),
+		COIs:           sink.TopK,
+		Best:           sink.Best,
+		UnionActive:    sink.UnionActive,
+		Modules:        sink.Modules(),
+		Paths:          tree.Paths,
+		Nodes:          len(tree.Nodes),
+		SimCycles:      tree.Cycles,
+		Elapsed:        time.Since(start),
+		Tree:           tree,
+		img:            img,
+	}, nil
+}
+
+// AnalyzeBench runs the co-analysis on a built-in benchmark (see
+// Benchmarks). Unknown names wrap ErrUnknownBench. Unless overridden by
+// WithMaxCycles, the benchmark's calibrated cycle budget (doubled for
+// margin) is used.
+func (a *Analyzer) AnalyzeBench(ctx context.Context, name string, opts ...Option) (*Result, error) {
+	b, img, err := benchImage(name)
+	if err != nil {
+		return nil, err
+	}
+	if b.MaxCycles > 0 {
+		opts = append([]Option{WithMaxCycles(2 * b.MaxCycles)}, opts...)
+	}
+	return a.AnalyzeImage(ctx, img, opts...)
+}
+
+// maxEnergyPathTrace concatenates segment traces greedily along the
+// higher-energy child, stopping at merges (one loop pass shown).
+func maxEnergyPathTrace(tree *symx.Tree) []float64 {
+	var out []float64
+	seen := make(map[int]bool)
+	n := tree.Root
+	for n != nil && !seen[n.ID] {
+		seen[n.ID] = true
+		if seg, ok := n.Data.([]float64); ok {
+			out = append(out, seg...)
+		}
+		switch n.Kind {
+		case symx.KindBranch:
+			a, b := n.Taken, n.NotTaken
+			if segSum(a) >= segSum(b) {
+				n = a
+			} else {
+				n = b
+			}
+		case symx.KindMerge:
+			n = n.MergeTo
+		default:
+			n = nil
+		}
+	}
+	return out
+}
+
+func segSum(n *symx.Node) float64 {
+	if n == nil {
+		return -1
+	}
+	seg, ok := n.Data.([]float64)
+	if !ok {
+		return -1
+	}
+	s := 0.0
+	for _, v := range seg {
+		s += v
+	}
+	return s
+}
+
+// concreteCancelEvery is how often (in cycles) RunConcrete polls its
+// context.
+const concreteCancelEvery = 4096
+
+// RunConcrete executes the binary with concrete inputs and measures its
+// power — the "input-based" view used for profiling and validation.
+// portIn, when non-nil, supplies P1IN port reads.
+func (a *Analyzer) RunConcrete(ctx context.Context, img *Image, inputs []uint16, portIn func() uint16, maxCycles int, opts ...Option) (*ConcreteRun, error) {
+	cfg := a.resolve(opts)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	model := cfg.model()
+	sys, err := ulp430.NewSystem(a.nl, model.Lib, img, ulp430.ConcreteInputs, inputs)
+	if err != nil {
+		return nil, fmt.Errorf("peakpower: preparing %s: %w", img.Name, err)
+	}
+	sys.PortIn = portIn
+	sink := power.NewSink(sys, model, img, 0)
+	sys.Reset()
+	for c := 0; c < maxCycles && !sys.Halted(); c++ {
+		if c%concreteCancelEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("peakpower: concrete run of %s aborted after %d cycles: %w", img.Name, c, err)
+			}
+		}
+		sys.Step()
+		sink.OnCycle(sys)
+	}
+	if !sys.Halted() {
+		return nil, fmt.Errorf("peakpower: %s did not halt within %d cycles", img.Name, maxCycles)
+	}
+	if err := sys.Err(); err != nil {
+		return nil, err
+	}
+	run := &ConcreteRun{
+		PeakMW:      sink.PeakMW(),
+		Trace:       sink.Trace,
+		UnionActive: sink.UnionActive,
+	}
+	for _, mw := range sink.Trace {
+		run.EnergyJ += mw * 1e-3 / model.ClockHz
+	}
+	run.NPEJPerCycle = run.EnergyJ / float64(len(sink.Trace))
+	return run, nil
+}
+
+// ActiveByModule counts cells from the given activity set per top-level
+// module — the data behind the activity-profile figures (1.5, 3.4).
+func (a *Analyzer) ActiveByModule(active []bool) map[string]int {
+	out := make(map[string]int)
+	for ci, act := range active {
+		if act {
+			out[a.nl.Modules()[a.nl.ModuleIndex(netlist.CellID(ci))]]++
+		}
+	}
+	return out
+}
+
+// ActiveCellsByModule groups an explicit cell list per module.
+func (a *Analyzer) ActiveCellsByModule(cells []netlist.CellID) map[string]int {
+	out := make(map[string]int)
+	for _, ci := range cells {
+		out[a.nl.Modules()[a.nl.ModuleIndex(ci)]]++
+	}
+	return out
+}
+
+// Netlist exposes the gate-level design under analysis. It must be
+// treated as read-only; it is shared by every concurrent analysis. This
+// is an escape hatch for in-repo tooling (figure generation, baselines,
+// the measurement rig).
+func (a *Analyzer) Netlist() *netlist.Netlist { return a.nl }
+
+// Model returns the analyzer's default power model / operating point.
+func (a *Analyzer) Model() power.Model { return a.def.model() }
+
+// WriteVerilog writes the design as structural Verilog.
+func (a *Analyzer) WriteVerilog(w io.Writer) error { return a.nl.WriteVerilog(w) }
+
+// Stats summarizes the design (cells, flip-flops, nets, area) at the
+// analyzer's default library.
+func (a *Analyzer) Stats() netlist.Stats { return a.nl.Stats(a.def.lib) }

@@ -1,0 +1,176 @@
+package peakpower
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/isa"
+	"repro/internal/power"
+	"repro/internal/symx"
+)
+
+// Result is the co-analysis output for one application: the guaranteed
+// requirements, their attribution, and run metadata.
+type Result struct {
+	// App is the analyzed application's name.
+	App string
+	// Library names the standard-cell library / operating point.
+	Library string
+	// ClockHz is the analysis clock frequency.
+	ClockHz float64
+
+	// PeakPowerMW is the input-independent peak power requirement: no
+	// execution of the application, on any input, can exceed it.
+	PeakPowerMW float64
+	// PeakEnergyJ is the input-independent peak energy requirement (the
+	// maximum-energy execution path, loop bounds applied).
+	PeakEnergyJ float64
+	// NPEJPerCycle is the normalized peak energy (J/cycle): the maximum
+	// average rate at which the application can consume energy.
+	NPEJPerCycle float64
+	// BoundingCycles is the runtime of the bounding path.
+	BoundingCycles float64
+	// PeakTrace is the per-cycle peak-power trace along the
+	// maximum-energy path (Figure 3.3's series).
+	PeakTrace []float64
+	// COIs are the top cycles of interest with microarchitectural
+	// attribution (Figure 3.6), sorted descending by power; COIs[0] is
+	// the global peak. See Attribution for a resolved rendering.
+	COIs []power.Peak
+	// Best is the global peak's full attribution, including the active
+	// cell set (Figures 1.5/3.4).
+	Best power.Peak
+	// UnionActive marks cells that can possibly toggle (per cell index).
+	UnionActive []bool
+	// Modules names the per-module breakdown columns (the index space of
+	// power.Peak.ByModuleMW).
+	Modules []string
+
+	// Paths, Nodes, and SimCycles summarize the exploration.
+	Paths, Nodes, SimCycles int
+	// Elapsed is the wall-clock analysis time.
+	Elapsed time.Duration
+	// Tree is the annotated symbolic execution tree.
+	Tree *symx.Tree
+
+	img *isa.Image
+}
+
+// Image returns the analyzed binary.
+func (r *Result) Image() *Image { return r.img }
+
+// ActiveGates counts the potentially-toggled cells.
+func (r *Result) ActiveGates() int {
+	n := 0
+	for _, a := range r.UnionActive {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// COI is one cycle of interest with its attribution resolved to
+// human-readable form.
+type COI struct {
+	// Cycle is the cycle's position along its exploration path.
+	Cycle int
+	// PowerMW is the cycle's bounded power.
+	PowerMW float64
+	// Instr is the mnemonic of the instruction in flight; PrevInstr the
+	// one before it.
+	Instr, PrevInstr string
+	// State is the controller state name at the peak.
+	State string
+	// ByModuleMW is the per-module power split.
+	ByModuleMW map[string]float64
+}
+
+// Attribution renders the cycles of interest with instruction mnemonics
+// and named module splits; entry 0 is the global peak.
+func (r *Result) Attribution() []COI {
+	out := make([]COI, len(r.COIs))
+	for i, pk := range r.COIs {
+		c := COI{
+			Cycle:      pk.PathPos,
+			PowerMW:    pk.PowerMW,
+			Instr:      r.Mnemonic(pk.FetchAddr),
+			PrevInstr:  r.Mnemonic(pk.PrevFetch),
+			State:      pk.State,
+			ByModuleMW: make(map[string]float64, len(pk.ByModuleMW)),
+		}
+		for mi, mw := range pk.ByModuleMW {
+			c.ByModuleMW[r.Modules[mi]] = mw
+		}
+		out[i] = c
+	}
+	return out
+}
+
+// Mnemonic renders the instruction at an image address.
+func (r *Result) Mnemonic(addr uint16) string {
+	if r.img == nil {
+		return "?"
+	}
+	return isa.Mnemonic(r.img, addr)
+}
+
+// ConcreteRun is an input-based execution's power characterization.
+type ConcreteRun struct {
+	// PeakMW is the run's observed peak power (steady state).
+	PeakMW float64
+	// Trace is the per-cycle power (mW).
+	Trace []float64
+	// EnergyJ integrates the trace.
+	EnergyJ float64
+	// NPEJPerCycle is EnergyJ / cycles.
+	NPEJPerCycle float64
+	// UnionActive marks cells that toggled.
+	UnionActive []bool
+}
+
+// Combine implements the paper's Chapter 6 rule for multi-programmed
+// systems (including dynamic linking): the processor's requirement is
+// the union over all co-resident applications — the maximum of the peak
+// power and energy bounds, and the union of the potentially-toggled
+// sets.
+func Combine(results ...*Result) (*Result, error) {
+	if len(results) == 0 {
+		return nil, fmt.Errorf("peakpower: no results to combine")
+	}
+	out := &Result{
+		App:         "combined",
+		Library:     results[0].Library,
+		ClockHz:     results[0].ClockHz,
+		Modules:     results[0].Modules,
+		UnionActive: make([]bool, len(results[0].UnionActive)),
+	}
+	for _, r := range results {
+		if len(r.UnionActive) != len(out.UnionActive) {
+			return nil, fmt.Errorf("peakpower: results from different designs cannot be combined")
+		}
+		if r.PeakPowerMW > out.PeakPowerMW {
+			out.PeakPowerMW = r.PeakPowerMW
+			out.Best = r.Best
+			out.COIs = r.COIs
+			out.img = r.img
+		}
+		if r.PeakEnergyJ > out.PeakEnergyJ {
+			out.PeakEnergyJ = r.PeakEnergyJ
+			out.BoundingCycles = r.BoundingCycles
+		}
+		if r.NPEJPerCycle > out.NPEJPerCycle {
+			out.NPEJPerCycle = r.NPEJPerCycle
+		}
+		for i, a := range r.UnionActive {
+			if a {
+				out.UnionActive[i] = true
+			}
+		}
+		out.Paths += r.Paths
+		out.Nodes += r.Nodes
+		out.SimCycles += r.SimCycles
+		out.Elapsed += r.Elapsed
+	}
+	return out, nil
+}
