@@ -1,6 +1,12 @@
 GO ?= go
+BENCH_JSON ?= BENCH_$(shell date +%F).json
 
-.PHONY: all build vet test race bench ci clean
+# The bench targets pipe `go test` into benchjson; without pipefail a
+# failing benchmark run would still exit 0 via the converter.
+SHELL := /usr/bin/env bash
+.SHELLFLAGS := -o pipefail -c
+
+.PHONY: all build vet test race bench bench-smoke profile ci clean
 
 all: build vet test
 
@@ -18,11 +24,25 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The table/figure-regenerating benchmark harness.
+# The table/figure-regenerating benchmark harness plus the gate-engine
+# benchmarks; results are captured as a BENCH_*.json trajectory point
+# (see PERFORMANCE.md).
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -run='^$$' . | tee /dev/stderr | $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
+
+# One-iteration smoke form of the same run — CI's per-commit artifact.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' . | tee /dev/stderr | $(GO) run ./cmd/benchjson -out $(BENCH_JSON)
+
+# CPU/heap profile of the packed engine under the end-to-end macro
+# benchmark; the recipe PERFORMANCE.md documents.
+profile:
+	$(GO) test -run='^$$' -bench='BenchmarkEngineCoAnalysis/packed' -benchtime=5x \
+		-cpuprofile=cpu.prof -memprofile=mem.prof .
+	$(GO) tool pprof -top -nodecount=20 cpu.prof
 
 ci: build vet race
 
 clean:
 	$(GO) clean ./...
+	rm -f cpu.prof mem.prof repro.test

@@ -7,6 +7,7 @@ package repro
 // full set is produced by `go run ./cmd/figures`.
 
 import (
+	"context"
 	"io"
 	"sync"
 	"testing"
@@ -14,10 +15,12 @@ import (
 	"repro/internal/bench"
 	"repro/internal/cell"
 	"repro/internal/figures"
+	"repro/internal/gsim"
 	"repro/internal/isa"
 	"repro/internal/power"
 	"repro/internal/symx"
 	"repro/internal/ulp430"
+	"repro/peakpower"
 )
 
 var (
@@ -407,5 +410,107 @@ func BenchmarkAnalyzeSuite(b *testing.B) {
 				b.Fatal(err)
 			}
 		}
+	}
+}
+
+// --- gate-engine benchmarks (PERFORMANCE.md) --------------------------
+
+var engineVariants = []struct {
+	name   string
+	engine gsim.Engine
+}{
+	{"packed", gsim.EnginePacked},
+	{"scalar", gsim.EngineScalar},
+}
+
+// BenchmarkEngineStepConcrete is the settle-loop micro-benchmark: raw
+// Step throughput of each gate engine over a concrete execution of the
+// mult benchmark (restored to the post-reset state whenever it halts).
+func BenchmarkEngineStepConcrete(b *testing.B) {
+	bb := bench.ByName("mult")
+	img, err := bb.Image()
+	if err != nil {
+		b.Fatal(err)
+	}
+	nl, err := ulp430.BuildCPU()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range engineVariants {
+		b.Run(v.name, func(b *testing.B) {
+			sys, err := ulp430.NewSystemEngine(v.engine, nl, cell.ULP65(), img,
+				ulp430.ConcreteInputs, []uint16{3, 5, 7, 2, 1, 9, 4, 8})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys.Reset()
+			snap := sys.Snapshot()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if sys.Halted() {
+					sys.Restore(snap)
+				}
+				sys.Step()
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
+		})
+	}
+}
+
+// BenchmarkEngineExploreSymbolic measures one full symbolic exploration
+// (Algorithm 1 + streaming power sink) per iteration — the co-analysis
+// inner loop, X values in flight.
+func BenchmarkEngineExploreSymbolic(b *testing.B) {
+	bb := bench.ByName("binSearch")
+	img, err := bb.Image()
+	if err != nil {
+		b.Fatal(err)
+	}
+	nl, err := ulp430.BuildCPU()
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := power.Model{Lib: cell.ULP65(), ClockHz: 100e6}
+	for _, v := range engineVariants {
+		b.Run(v.name, func(b *testing.B) {
+			cycles := 0
+			for i := 0; i < b.N; i++ {
+				sys, err := ulp430.NewSystemEngine(v.engine, nl, m.Lib, img, ulp430.SymbolicInputs, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sink := power.NewSink(sys, m, img, 8)
+				tree, err := symx.Explore(sys, sink, symx.Options{MaxCycles: 2 * bb.MaxCycles})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles += tree.Cycles
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/s")
+		})
+	}
+}
+
+// BenchmarkEngineCoAnalysis is the end-to-end macro-benchmark behind
+// PERFORMANCE.md's headline number: a fresh, uncached peakpower
+// co-analysis of three representative Table 4.1 benchmarks per
+// iteration, per engine. The packed/scalar ns/op ratio is the engine
+// speedup.
+func BenchmarkEngineCoAnalysis(b *testing.B) {
+	a, err := peakpower.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	apps := []string{"mult", "tHold", "binSearch"}
+	for _, v := range engineVariants {
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, name := range apps {
+					if _, err := a.AnalyzeBench(context.Background(), name, peakpower.WithEngine(v.engine)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
 	}
 }

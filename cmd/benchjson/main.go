@@ -1,0 +1,126 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// BENCH_*.json document — the repository's benchmark-trajectory record.
+// It parses standard benchmark result lines (name, iterations, then
+// value/unit pairs, including custom ReportMetric units) plus the
+// goos/goarch/pkg/cpu header, and emits one JSON object:
+//
+//	go test -bench=. -benchmem -run='^$' . | go run ./cmd/benchjson -out BENCH_$(date +%F).json
+//
+// The Makefile's bench target wires this up; CI runs the short form and
+// uploads the result as an artifact so the performance trajectory
+// accumulates per commit (see PERFORMANCE.md).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	// Name is the full benchmark name including sub-benchmark path and
+	// the -N GOMAXPROCS suffix, e.g. "BenchmarkEngineCoAnalysis/packed-8".
+	Name string `json:"name"`
+	// Iterations is the measured iteration count (b.N).
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit to value, e.g. "ns/op", "B/op", "cycles/s".
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Document is the emitted file layout.
+type Document struct {
+	// Generated is the emission timestamp (RFC 3339).
+	Generated string `json:"generated"`
+	// Go is the toolchain version that produced the numbers.
+	Go string `json:"go"`
+	// GOOS/GOARCH/CPU/Pkg echo the benchmark header.
+	GOOS   string `json:"goos,omitempty"`
+	GOARCH string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	Pkg    string `json:"pkg,omitempty"`
+	// Benchmarks lists every parsed result line in input order.
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func parseLine(line string) (Result, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Result{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, len(r.Metrics) > 0
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	doc := Document{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Go:        runtime.Version(),
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			doc.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			doc.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "pkg: "):
+			doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+		default:
+			if r, ok := parseLine(line); ok {
+				doc.Benchmarks = append(doc.Benchmarks, r)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(doc.Benchmarks), *out)
+}

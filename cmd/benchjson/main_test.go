@@ -1,0 +1,26 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	r, ok := parseLine("BenchmarkEngineCoAnalysis/packed-8   \t      22\t 103028187 ns/op\t  12 B/op")
+	if !ok {
+		t.Fatal("line should parse")
+	}
+	if r.Name != "BenchmarkEngineCoAnalysis/packed-8" || r.Iterations != 22 {
+		t.Fatalf("parsed %+v", r)
+	}
+	if r.Metrics["ns/op"] != 103028187 || r.Metrics["B/op"] != 12 {
+		t.Fatalf("metrics %+v", r.Metrics)
+	}
+	if _, ok := parseLine("BenchmarkX 	 notanumber 	 1 ns/op"); ok {
+		t.Fatal("bad iteration count should not parse")
+	}
+	if _, ok := parseLine("PASS"); ok {
+		t.Fatal("non-benchmark line should not parse")
+	}
+	r, ok = parseLine("BenchmarkEngineStepConcrete/packed-8 \t 56392\t 55806 ns/op\t 17919 cycles/s")
+	if !ok || r.Metrics["cycles/s"] != 17919 {
+		t.Fatalf("custom metric: %+v ok=%v", r, ok)
+	}
+}

@@ -50,6 +50,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort analysis after this long (0 = no limit)")
 	progress := flag.Bool("progress", false, "report exploration progress on stderr")
 	workers := flag.Int("workers", 0, "batch-mode worker count (0 = GOMAXPROCS)")
+	engine := flag.String("engine", "packed", "gate-level engine: packed (fast) or scalar (reference oracle)")
 	flag.Parse()
 
 	if *list {
@@ -66,9 +67,14 @@ func main() {
 		defer cancel()
 	}
 
+	eng, err := peakpower.ParseEngine(*engine)
+	if err != nil {
+		fatal(exitUsage, err)
+	}
 	opts := []peakpower.Option{
 		peakpower.WithMaxCycles(*maxCycles),
 		peakpower.WithCOI(*coi),
+		peakpower.WithEngine(eng),
 	}
 	// An explicit -max-cycles overrides even a benchmark's calibrated
 	// budget; the flag's default only seeds the analyzer-wide default.

@@ -6,8 +6,15 @@
 //
 // The public API is package repro/peakpower — a context-aware,
 // option-driven, concurrency-safe Analyzer; start there. See README.md
-// for the tour and DESIGN.md for the system inventory. The benchmark
-// harness in bench_test.go regenerates every table and figure:
+// for the tour and DESIGN.md for the system inventory.
+//
+// Analyses run on a bit-packed, levelized gate engine (64 nets per
+// word op, dirty-level skipping; PERFORMANCE.md documents the design
+// and measurements). The original scalar engine is retained as a
+// differential-testing oracle, selectable with peakpower.WithEngine.
+// The benchmark harness in bench_test.go regenerates every table and
+// figure and carries the engine micro/macro benchmarks behind the
+// BENCH_*.json trajectory:
 //
 //	go test -bench=. -benchmem
 package repro

@@ -1,0 +1,57 @@
+package cell
+
+import "repro/internal/logic"
+
+// EvalPlanes is the word-parallel counterpart of Eval: it computes the
+// three-valued output of up to 64 same-kind cells at once over the
+// bit-plane encoding of package logic (value plane / known plane,
+// canonical v&^k == 0). Lane i of the result is Eval applied to lane i
+// of the inputs.
+//
+// For combinational kinds the q planes are ignored; for DFF variants
+// (qv, qk) is the current state and the result is the next-state
+// function, exactly as in Eval. Unused input pins may be passed as
+// (0, 0) — all-X — since, as in Eval, they are ignored.
+func EvalPlanes(kind Kind, av, ak, bv, bk, cv, ck, qv, qk uint64) (v, k uint64) {
+	switch kind {
+	case Tie0:
+		return 0, ^uint64(0)
+	case Tie1:
+		return ^uint64(0), ^uint64(0)
+	case Inv:
+		return logic.PlaneNot(av, ak)
+	case Buf:
+		return av, ak
+	case Nand2:
+		return logic.PlaneNand(av, ak, bv, bk)
+	case Nor2:
+		return logic.PlaneNor(av, ak, bv, bk)
+	case And2:
+		return logic.PlaneAnd(av, ak, bv, bk)
+	case Or2:
+		return logic.PlaneOr(av, ak, bv, bk)
+	case Xor2:
+		return logic.PlaneXor(av, ak, bv, bk)
+	case Xnor2:
+		return logic.PlaneXnor(av, ak, bv, bk)
+	case Mux2:
+		return logic.PlaneMux(av, ak, bv, bk, cv, ck)
+	case Dff:
+		return av, ak
+	case Dffr:
+		// b = RST (sync, active high). Next state is 0 when RST is a
+		// known 1 or D is a known 0 (reset or not, the state becomes 0);
+		// 1 only when RST is a known 0 and D a known 1; else X.
+		zero := bv | (ak &^ av)
+		one := (bk &^ bv) & av
+		return one, one | zero
+	case Dffre:
+		// b = RST, c = EN. The held-or-captured value is Mux(EN, q, D);
+		// then the same reset collapse as Dffr applies to it.
+		mv, mk := logic.PlaneMux(cv, ck, qv, qk, av, ak)
+		zero := bv | (mk &^ mv)
+		one := (bk &^ bv) & mv
+		return one, one | zero
+	}
+	panic("cell: EvalPlanes on invalid kind")
+}

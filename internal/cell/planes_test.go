@@ -1,0 +1,75 @@
+package cell
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// TestEvalPlanesMatchesEvalExhaustive checks EvalPlanes against Eval for
+// every cell kind over every combination of three-valued inputs and
+// state — the packed engine's per-gate semantics are exactly the scalar
+// engine's.
+func TestEvalPlanesMatchesEvalExhaustive(t *testing.T) {
+	trits := []logic.Trit{logic.L, logic.H, logic.X}
+	lanes := []uint{0, 17, 63}
+	for _, kind := range Kinds() {
+		for _, a := range trits {
+			for _, b := range trits {
+				for _, c := range trits {
+					for _, q := range trits {
+						want := Eval(kind, a, b, c, q)
+						for _, bit := range lanes {
+							av, ak := logic.PlaneFromTrit(a)
+							bv, bk := logic.PlaneFromTrit(b)
+							cv, ck := logic.PlaneFromTrit(c)
+							qv, qk := logic.PlaneFromTrit(q)
+							v, k := EvalPlanes(kind,
+								av<<bit, ak<<bit, bv<<bit, bk<<bit,
+								cv<<bit, ck<<bit, qv<<bit, qk<<bit)
+							if v&^k != 0 {
+								t.Fatalf("%v(%v,%v,%v,q=%v): non-canonical planes", kind, a, b, c, q)
+							}
+							if got := logic.TritFromPlane(v, k, bit); got != want {
+								t.Fatalf("%v(%v,%v,%v,q=%v) lane %d = %v, want %v",
+									kind, a, b, c, q, bit, got, want)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEvalPlanesLaneIndependence packs 64 distinct input combinations
+// into one word call and checks each lane individually.
+func TestEvalPlanesLaneIndependence(t *testing.T) {
+	trits := []logic.Trit{logic.L, logic.H, logic.X}
+	var as, bs, cs, qs [64]logic.Trit
+	var av, ak, bv, bk, cv, ck, qv, qk uint64
+	for i := 0; i < 64; i++ {
+		as[i] = trits[i%3]
+		bs[i] = trits[(i/3)%3]
+		cs[i] = trits[(i/9)%3]
+		qs[i] = trits[(i/27)%3]
+		set := func(t logic.Trit, v, k *uint64) {
+			lv, lk := logic.PlaneFromTrit(t)
+			*v |= lv << uint(i)
+			*k |= lk << uint(i)
+		}
+		set(as[i], &av, &ak)
+		set(bs[i], &bv, &bk)
+		set(cs[i], &cv, &ck)
+		set(qs[i], &qv, &qk)
+	}
+	for _, kind := range Kinds() {
+		v, k := EvalPlanes(kind, av, ak, bv, bk, cv, ck, qv, qk)
+		for i := uint(0); i < 64; i++ {
+			want := Eval(kind, as[i], bs[i], cs[i], qs[i])
+			if got := logic.TritFromPlane(v, k, i); got != want {
+				t.Fatalf("%v lane %d: got %v, want %v", kind, i, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package gsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// randomNetlist generates a well-formed random design: a layer of
+// primary inputs and tie cells, a bank of mixed-kind flip-flops, and a
+// sea of combinational cells each reading already-created nets (so the
+// graph is acyclic by construction). Flip-flop inputs are wired last
+// and may close sequential loops through arbitrary logic.
+func randomNetlist(t *testing.T, r *rand.Rand) *netlist.Netlist {
+	t.Helper()
+	n := netlist.New("fuzz")
+
+	numIn := 1 + r.Intn(12)
+	ins := make([]netlist.NetID, numIn)
+	for i := range ins {
+		ins[i] = n.NewNet("")
+		n.MarkInput(ins[i])
+	}
+	nets := append([]netlist.NetID(nil), ins...)
+
+	if r.Intn(2) == 0 {
+		t0 := n.NewNet("")
+		n.AddCell(cell.Tie0, "m0", "", t0)
+		nets = append(nets, t0)
+	}
+	if r.Intn(2) == 0 {
+		t1 := n.NewNet("")
+		n.AddCell(cell.Tie1, "m0", "", t1)
+		nets = append(nets, t1)
+	}
+
+	// Flip-flop outputs come first so combinational logic can read them.
+	seqKinds := []cell.Kind{cell.Dff, cell.Dffr, cell.Dffre}
+	numSeq := r.Intn(10)
+	seqOuts := make([]netlist.NetID, numSeq)
+	seqKind := make([]cell.Kind, numSeq)
+	for i := 0; i < numSeq; i++ {
+		seqOuts[i] = n.NewNet("")
+		seqKind[i] = seqKinds[r.Intn(len(seqKinds))]
+		nets = append(nets, seqOuts[i])
+	}
+
+	combKinds := []cell.Kind{
+		cell.Inv, cell.Buf, cell.Nand2, cell.Nor2, cell.And2,
+		cell.Or2, cell.Xor2, cell.Xnor2, cell.Mux2,
+	}
+	numComb := 5 + r.Intn(120)
+	for i := 0; i < numComb; i++ {
+		k := combKinds[r.Intn(len(combKinds))]
+		pins := make([]netlist.NetID, k.NumInputs())
+		for p := range pins {
+			pins[p] = nets[r.Intn(len(nets))]
+		}
+		out := n.NewNet("")
+		n.AddCell(k, "m"+string(rune('0'+i%4)), "", out, pins...)
+		nets = append(nets, out)
+	}
+
+	for i := 0; i < numSeq; i++ {
+		pins := make([]netlist.NetID, seqKind[i].NumInputs())
+		for p := range pins {
+			pins[p] = nets[r.Intn(len(nets))]
+		}
+		n.AddCell(seqKind[i], "seq", "", seqOuts[i], pins...)
+	}
+
+	n.DefinePort("in", ins)
+	if err := n.Build(); err != nil {
+		t.Fatalf("random netlist build: %v", err)
+	}
+	return n
+}
+
+func randomTrit(r *rand.Rand) logic.Trit {
+	switch r.Intn(4) {
+	case 0:
+		return logic.X // X weighted up: the symbolic regime is the hard one
+	case 1:
+		return logic.H
+	default:
+		return logic.L
+	}
+}
+
+// compareEngines asserts the two simulators agree symbol for symbol on
+// every net's value, previous value, and activity flag, plus the
+// derived state hash and concrete dynamic energy.
+func compareEngines(t *testing.T, n *netlist.Netlist, scalar, packed *Simulator, cycle int) {
+	t.Helper()
+	for id := 0; id < n.NumNets(); id++ {
+		nid := netlist.NetID(id)
+		if sv, pv := scalar.Val(nid), packed.Val(nid); sv != pv {
+			t.Fatalf("cycle %d net %s: scalar val %v, packed val %v", cycle, n.NetName(nid), sv, pv)
+		}
+		if sv, pv := scalar.PrevVal(nid), packed.PrevVal(nid); sv != pv {
+			t.Fatalf("cycle %d net %s: scalar prev %v, packed prev %v", cycle, n.NetName(nid), sv, pv)
+		}
+		if sa, pa := scalar.Active(nid), packed.Active(nid); sa != pa {
+			t.Fatalf("cycle %d net %s (val %v, prev %v): scalar active %v, packed active %v",
+				cycle, n.NetName(nid), scalar.Val(nid), scalar.PrevVal(nid), sa, pa)
+		}
+	}
+	if sh, ph := scalar.StateHash(), packed.StateHash(); sh != ph {
+		t.Fatalf("cycle %d: state hash mismatch %x vs %x", cycle, sh, ph)
+	}
+	if se, pe := scalar.DynamicEnergyFJ(), packed.DynamicEnergyFJ(); se != pe {
+		t.Fatalf("cycle %d: dynamic energy %v vs %v", cycle, se, pe)
+	}
+}
+
+// TestEnginesAgreeOnRandomNetlists is the packed engine's differential
+// property test: many random designs, many cycles of random three-valued
+// stimulus, bit-identical values and activity flags required throughout,
+// including across snapshot/restore rewinds.
+func TestEnginesAgreeOnRandomNetlists(t *testing.T) {
+	designs := 60
+	cycles := 80
+	if testing.Short() {
+		designs, cycles = 15, 40
+	}
+	for d := 0; d < designs; d++ {
+		r := rand.New(rand.NewSource(int64(1_000_003 * (d + 1))))
+		n := randomNetlist(t, r)
+		scalar := NewEngine(n, cell.ULP65(), nil, EngineScalar)
+		packed := NewEngine(n, cell.ULP65(), nil, EnginePacked)
+		ins := n.Port("in")
+
+		var snapS, snapP *Snapshot
+		snapCycle := -1
+		for c := 0; c < cycles; c++ {
+			w := make(logic.Word, len(ins))
+			for i := range w {
+				w[i] = randomTrit(r)
+			}
+			scalar.SetPort("in", w)
+			packed.SetPort("in", w)
+			scalar.Step()
+			packed.Step()
+			compareEngines(t, n, scalar, packed, c)
+
+			switch {
+			case snapS == nil && r.Intn(10) == 0:
+				snapS, snapP = scalar.Snapshot(), packed.Snapshot()
+				snapCycle = c
+			case snapS != nil && r.Intn(12) == 0:
+				scalar.Restore(snapS)
+				packed.Restore(snapP)
+				compareEngines(t, n, scalar, packed, snapCycle)
+				snapS, snapP = nil, nil
+			}
+		}
+	}
+}
+
+// TestEnginesAgreeFromColdStart checks the initial all-X condition and
+// the first settles, where the packed engine must force-evaluate every
+// level (tie-cell constants have no fan-in to dirty).
+func TestEnginesAgreeFromColdStart(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for d := 0; d < 10; d++ {
+		n := randomNetlist(t, r)
+		scalar := NewEngine(n, cell.ULP65(), nil, EngineScalar)
+		packed := NewEngine(n, cell.ULP65(), nil, EnginePacked)
+		// Before any Step both report the all-X initial condition.
+		for id := 0; id < n.NumNets(); id++ {
+			nid := netlist.NetID(id)
+			if scalar.Val(nid) != logic.X || packed.Val(nid) != logic.X {
+				t.Fatalf("net %s not X before first step", n.NetName(nid))
+			}
+		}
+		// No inputs driven at all: constants must still propagate.
+		scalar.Step()
+		packed.Step()
+		compareEngines(t, n, scalar, packed, 0)
+	}
+}
+
+// TestPackedSkipsLevelsOnQuiescentInput pins down the dirty-level
+// scheduler's observable contract: with inputs held constant, a design
+// with no sequential feedback reaches a fixed point and keeps producing
+// values identical to the scalar engine's full re-evaluation.
+func TestPackedSkipsLevelsOnQuiescentInput(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	n := randomNetlist(t, r)
+	scalar := NewEngine(n, cell.ULP65(), nil, EngineScalar)
+	packed := NewEngine(n, cell.ULP65(), nil, EnginePacked)
+	w := make(logic.Word, len(n.Port("in")))
+	for i := range w {
+		w[i] = randomTrit(r)
+	}
+	for c := 0; c < 30; c++ {
+		scalar.SetPort("in", w)
+		packed.SetPort("in", w)
+		scalar.Step()
+		packed.Step()
+		compareEngines(t, n, scalar, packed, c)
+	}
+}
+
+// TestBoundEnergyAfterRestore exercises the packed engine's on-demand
+// energy-bound walk: Restore clears activity flags and invalidates the
+// cached bound, so the next BoundEnergyFJ (before any Step) must take
+// the standalone path and still agree with the scalar engine.
+func TestBoundEnergyAfterRestore(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	n := randomNetlist(t, r)
+	scalar := NewEngine(n, cell.ULP65(), nil, EngineScalar)
+	packed := NewEngine(n, cell.ULP65(), nil, EnginePacked)
+	w := make(logic.Word, len(n.Port("in")))
+	step := func() {
+		for i := range w {
+			w[i] = randomTrit(r)
+		}
+		scalar.SetPort("in", w)
+		packed.SetPort("in", w)
+		scalar.Step()
+		packed.Step()
+	}
+	for c := 0; c < 5; c++ {
+		step()
+	}
+	snapS, snapP := scalar.Snapshot(), packed.Snapshot()
+	for c := 0; c < 5; c++ {
+		step()
+	}
+	// The engines sum identical per-gate energies in different orders
+	// (per-cell vs popcount-grouped), so bounds agree to float
+	// association, not bit-exactly.
+	close := func(a, b float64) bool {
+		return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+	}
+	scalar.Restore(snapS)
+	packed.Restore(snapP)
+	if se, pe := scalar.BoundEnergyFJ(), packed.BoundEnergyFJ(); !close(se, pe) {
+		t.Fatalf("post-restore bound: scalar %v, packed %v", se, pe)
+	}
+	// And the cached path re-engages after the next Step.
+	step()
+	compareEngines(t, n, scalar, packed, 0)
+	if se, pe := scalar.BoundEnergyFJ(), packed.BoundEnergyFJ(); !close(se, pe) {
+		t.Fatalf("post-step bound: scalar %v, packed %v", se, pe)
+	}
+}

@@ -18,6 +18,31 @@
 // Activity follows the paper's definition: a gate is active in a cycle if
 // its output value changed, or if its output is X and it is driven by an
 // active gate (Section 3.1).
+//
+// # Engines
+//
+// Two interchangeable engines implement those semantics behind one
+// Simulator API, selected at construction with NewEngine:
+//
+//   - EnginePacked (the default) holds net state as two bit-planes of
+//     64-bit words (value/known, canonical v&^k == 0) and evaluates the
+//     netlist's PackedPlan: same-kind gate batches, word-parallel
+//     cell.EvalPlanes evaluation, and dirty-level scheduling that skips
+//     any topological level whose fan-in words did not change this
+//     cycle. Activity toggles fall out of a packed XOR of the previous
+//     and current planes; only unchanged-X gates need the per-gate
+//     driven-by-active cascade. Snapshots copy the planes — an eighth
+//     of the scalar state — which is what makes the symbolic engine's
+//     per-cycle rolling snapshot cheap.
+//   - EngineScalar is the straightforward one-Trit-per-net,
+//     one-cell.Eval-per-gate reference implementation. It is retained
+//     as the differential-testing oracle: the property tests in this
+//     package drive random netlists through both engines and require
+//     bit-identical values, activity flags, and state hashes.
+//
+// Both engines are deterministic; a concrete execution is always a
+// refinement of a symbolic one, and the two engines agree symbol for
+// symbol on every net, every cycle.
 package gsim
 
 import (
@@ -27,6 +52,40 @@ import (
 	"repro/internal/logic"
 	"repro/internal/netlist"
 )
+
+// Engine selects the evaluation engine backing a Simulator.
+type Engine uint8
+
+const (
+	// EnginePacked is the bit-packed, levelized, dirty-level-skipping
+	// engine — the default.
+	EnginePacked Engine = iota
+	// EngineScalar is the per-gate reference engine, kept as the
+	// differential-testing oracle.
+	EngineScalar
+)
+
+// String names the engine ("packed" or "scalar").
+func (e Engine) String() string {
+	switch e {
+	case EnginePacked:
+		return "packed"
+	case EngineScalar:
+		return "scalar"
+	}
+	return fmt.Sprintf("Engine(%d)", uint8(e))
+}
+
+// ParseEngine resolves an engine name accepted by String.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "packed":
+		return EnginePacked, nil
+	case "scalar":
+		return EngineScalar, nil
+	}
+	return 0, fmt.Errorf("gsim: unknown engine %q (want packed or scalar)", s)
+}
 
 // Bus services memory/peripheral accesses. Tick is called once per cycle
 // after flip-flops have captured and before combinational settling; it
@@ -43,24 +102,34 @@ type CycleHook func(cycle uint64, s *Simulator)
 
 // Simulator simulates one netlist instance.
 type Simulator struct {
-	n   *netlist.Netlist
-	lib *cell.Library
-	bus Bus
+	n      *netlist.Netlist
+	lib    *cell.Library
+	bus    Bus
+	engine Engine
 
+	// Scalar engine state (EngineScalar only).
 	vals    []logic.Trit
 	prev    []logic.Trit
 	active  []bool
 	prevAct []bool
+	order   []netlist.CellID // combinational cells in topological order
+	seqNx   []logic.Trit
 
-	order []netlist.CellID // combinational cells in topological order
-	seq   []netlist.CellID
-	seqNx []logic.Trit
+	// Packed engine state (EnginePacked only).
+	pk *packedSim
+
+	seq []netlist.CellID
 
 	staged []stagedInput
 	inStep bool
 
 	cycle uint64
 	hooks []CycleHook
+
+	// Per-kind transition-energy tables and the design's total
+	// clock-pin energy, precomputed from lib for BoundEnergyFJ.
+	riseFJ, fallFJ, maxFJ [cell.NumKinds]float64
+	clkTotalFJ            float64
 }
 
 // stagedInput is an input assignment made between Steps; it takes effect
@@ -71,30 +140,53 @@ type stagedInput struct {
 	v  logic.Trit
 }
 
-// New creates a simulator for a built netlist. All nets start at X — the
-// paper's initial condition ("the states of all gates ... are initialized
-// to Xs").
+// New creates a simulator for a built netlist using the default packed
+// engine. All nets start at X — the paper's initial condition ("the
+// states of all gates ... are initialized to Xs").
 func New(n *netlist.Netlist, lib *cell.Library, bus Bus) *Simulator {
+	return NewEngine(n, lib, bus, EnginePacked)
+}
+
+// NewEngine creates a simulator backed by the chosen engine. Both
+// engines implement identical semantics; EngineScalar is the slow
+// reference oracle.
+func NewEngine(n *netlist.Netlist, lib *cell.Library, bus Bus, engine Engine) *Simulator {
 	if !n.Built() {
 		panic("gsim: netlist not built")
 	}
-	order := make([]netlist.CellID, 0, n.NumCells())
-	for _, level := range n.Levels() {
-		order = append(order, level...)
-	}
 	s := &Simulator{
-		n: n, lib: lib, bus: bus,
-		vals:    make([]logic.Trit, n.NumNets()),
-		prev:    make([]logic.Trit, n.NumNets()),
-		active:  make([]bool, n.NumNets()),
-		prevAct: make([]bool, n.NumNets()),
-		order:   order,
-		seq:     n.Sequential(),
-		seqNx:   make([]logic.Trit, len(n.Sequential())),
+		n: n, lib: lib, bus: bus, engine: engine,
+		seq: n.Sequential(),
 	}
-	for i := range s.vals {
-		s.vals[i] = logic.X
-		s.prev[i] = logic.X
+	for _, k := range cell.Kinds() {
+		p := lib.Params(k)
+		s.riseFJ[k] = p.EnergyRise
+		s.fallFJ[k] = p.EnergyFall
+		_, _, s.maxFJ[k] = lib.MaxTransition(k)
+	}
+	for ci := 0; ci < n.NumCells(); ci++ {
+		s.clkTotalFJ += lib.Params(n.Cell(netlist.CellID(ci)).Kind).EnergyClk
+	}
+	switch engine {
+	case EnginePacked:
+		s.pk = newPackedSim(n.Packed())
+	case EngineScalar:
+		order := make([]netlist.CellID, 0, n.NumCells())
+		for _, level := range n.Levels() {
+			order = append(order, level...)
+		}
+		s.vals = make([]logic.Trit, n.NumNets())
+		s.prev = make([]logic.Trit, n.NumNets())
+		s.active = make([]bool, n.NumNets())
+		s.prevAct = make([]bool, n.NumNets())
+		s.order = order
+		s.seqNx = make([]logic.Trit, len(s.seq))
+		for i := range s.vals {
+			s.vals[i] = logic.X
+			s.prev[i] = logic.X
+		}
+	default:
+		panic("gsim: unknown engine")
 	}
 	return s
 }
@@ -105,6 +197,9 @@ func (s *Simulator) Netlist() *netlist.Netlist { return s.n }
 // Library returns the cell library used for power lookups.
 func (s *Simulator) Library() *cell.Library { return s.lib }
 
+// Engine reports which evaluation engine backs the simulator.
+func (s *Simulator) Engine() Engine { return s.engine }
+
 // Cycle returns the number of completed Steps.
 func (s *Simulator) Cycle() uint64 { return s.cycle }
 
@@ -112,13 +207,28 @@ func (s *Simulator) Cycle() uint64 { return s.cycle }
 func (s *Simulator) AddHook(h CycleHook) { s.hooks = append(s.hooks, h) }
 
 // Val returns the settled value of a net in the current cycle.
-func (s *Simulator) Val(id netlist.NetID) logic.Trit { return s.vals[id] }
+func (s *Simulator) Val(id netlist.NetID) logic.Trit {
+	if s.pk != nil {
+		return s.pk.val(id)
+	}
+	return s.vals[id]
+}
 
 // PrevVal returns the settled value of a net in the previous cycle.
-func (s *Simulator) PrevVal(id netlist.NetID) logic.Trit { return s.prev[id] }
+func (s *Simulator) PrevVal(id netlist.NetID) logic.Trit {
+	if s.pk != nil {
+		return s.pk.prevVal(id)
+	}
+	return s.prev[id]
+}
 
 // Active reports whether the net was active in the current cycle.
-func (s *Simulator) Active(id netlist.NetID) bool { return s.active[id] }
+func (s *Simulator) Active(id netlist.NetID) bool {
+	if s.pk != nil {
+		return s.pk.isActive(id)
+	}
+	return s.active[id]
+}
 
 // SetNet drives a primary-input net. Outside Step the assignment is
 // staged and takes effect at the start of the next cycle; a Bus calling
@@ -130,7 +240,11 @@ func (s *Simulator) SetNet(id netlist.NetID, v logic.Trit) {
 		panic(fmt.Sprintf("gsim: SetNet on non-input net %s", s.n.NetName(id)))
 	}
 	if s.inStep {
-		s.vals[id] = v
+		if s.pk != nil {
+			s.pk.setTrit(id, v)
+		} else {
+			s.vals[id] = v
+		}
 		return
 	}
 	s.staged = append(s.staged, stagedInput{id, v})
@@ -168,135 +282,41 @@ func (s *Simulator) Port(name string) logic.Word {
 	}
 	w := make(logic.Word, len(nets))
 	for i, id := range nets {
-		w[i] = s.vals[id]
+		w[i] = s.Val(id)
 	}
 	return w
 }
 
 // PortUint reads a named port as a concrete value; ok is false if any bit
-// is X.
+// is X. Unlike Port, it does not allocate — bus models and power sinks
+// call it every cycle.
 func (s *Simulator) PortUint(name string) (uint64, bool) {
-	return s.Port(name).Uint()
+	nets := s.n.Port(name)
+	if nets == nil {
+		panic("gsim: unknown port " + name)
+	}
+	var v uint64
+	for i, id := range nets {
+		t := s.Val(id)
+		if t == logic.X {
+			return 0, false
+		}
+		v |= uint64(t) << uint(i)
+	}
+	return v, true
 }
 
 // Step advances simulation by one clock cycle.
 func (s *Simulator) Step() {
-	copy(s.prev, s.vals)
-	s.inStep = true
-
-	// 0. Staged input assignments become the new cycle's input values.
-	for _, si := range s.staged {
-		s.vals[si.id] = si.v
+	if s.pk != nil {
+		s.stepPacked()
+	} else {
+		s.stepScalar()
 	}
-	s.staged = s.staged[:0]
-
-	// 1. Clock edge: flip-flops capture next state computed from the
-	// previous cycle's settled values.
-	for i, ci := range s.seq {
-		c := s.n.Cell(ci)
-		var a, b, cc logic.Trit
-		a = s.prev[c.In[0]]
-		if c.In[1] >= 0 {
-			b = s.prev[c.In[1]]
-		}
-		if c.In[2] >= 0 {
-			cc = s.prev[c.In[2]]
-		}
-		s.seqNx[i] = cell.Eval(c.Kind, a, b, cc, s.prev[c.Out])
-	}
-	for i, ci := range s.seq {
-		s.vals[s.n.Cell(ci).Out] = s.seqNx[i]
-	}
-
-	// 2. External bus observes registered outputs and drives read data.
-	if s.bus != nil {
-		s.bus.Tick(s)
-	}
-
-	// 3. Combinational settling in topological order.
-	for _, ci := range s.order {
-		c := s.n.Cell(ci)
-		var a, b, cc logic.Trit
-		if c.In[0] >= 0 {
-			a = s.vals[c.In[0]]
-		}
-		if c.In[1] >= 0 {
-			b = s.vals[c.In[1]]
-		}
-		if c.In[2] >= 0 {
-			cc = s.vals[c.In[2]]
-		}
-		s.vals[c.Out] = cell.Eval(c.Kind, a, b, cc, 0)
-	}
-
-	// 4. Activity: toggled, or X driven by an active gate (the paper's
-	// Section 3.1 rule). Primary inputs are active when they changed or
-	// are X (inputs are the unconstrained signals the analysis
-	// abstracts). Flip-flop outputs changed at the clock edge as a
-	// function of last cycle's inputs, so their X-activity derives from
-	// last cycle's activity flags; combinational gates settle within the
-	// cycle and use current flags in topological order.
-	copy(s.prevAct, s.active)
-	for _, ci := range s.seq {
-		c := s.n.Cell(ci)
-		out := c.Out
-		if s.prev[out] != s.vals[out] {
-			s.active[out] = true
-			continue
-		}
-		act := false
-		if s.vals[out] == logic.X && s.seqCanCapture(c) {
-			for pin := 0; pin < c.Kind.NumInputs(); pin++ {
-				if s.prevAct[c.In[pin]] {
-					act = true
-					break
-				}
-			}
-		}
-		s.active[out] = act
-	}
-	for _, id := range s.n.Inputs() {
-		s.active[id] = s.prev[id] != s.vals[id] || s.vals[id] == logic.X
-	}
-	for _, ci := range s.order {
-		c := s.n.Cell(ci)
-		out := c.Out
-		if s.prev[out] != s.vals[out] {
-			s.active[out] = true
-			continue
-		}
-		act := false
-		if s.vals[out] == logic.X {
-			for pin := 0; pin < c.Kind.NumInputs(); pin++ {
-				if s.active[c.In[pin]] {
-					act = true
-					break
-				}
-			}
-		}
-		s.active[out] = act
-	}
-
-	s.inStep = false
 	s.cycle++
 	for _, h := range s.hooks {
 		h(s.cycle, s)
 	}
-}
-
-// seqCanCapture reports whether a flip-flop could have captured a new
-// value at the edge that began this cycle. A Dffre whose enable was a
-// known 0 (with reset known inactive) held its state in *every* concrete
-// refinement, so an unchanged-X output cannot have toggled — this keeps
-// idle X-holding register banks (e.g. the multiplier operands) from being
-// conservatively marked active via their data-pin cones.
-func (s *Simulator) seqCanCapture(c *netlist.Cell) bool {
-	if c.Kind != cell.Dffre {
-		return true
-	}
-	rst := s.prev[c.In[1]]
-	en := s.prev[c.In[2]]
-	return !(en == logic.L && rst == logic.L)
 }
 
 // Run advances n cycles.
@@ -307,12 +327,21 @@ func (s *Simulator) Run(n int) {
 }
 
 // Snapshot is a restorable copy of simulator state (net values only; bus
-// state is snapshotted by the system owning the bus).
+// state is snapshotted by the system owning the bus). Only the fields of
+// the engine that produced it are populated.
 type Snapshot struct {
-	Vals   []logic.Trit
-	Prev   []logic.Trit
-	Staged []stagedInput
-	Cycle  uint64
+	// Vals and Prev are the scalar engine's net values.
+	Vals []logic.Trit
+	Prev []logic.Trit
+	// PlaneV/PlaneK and PrevPlaneV/PrevPlaneK are the packed engine's
+	// current and previous value/known planes.
+	PlaneV, PlaneK         []uint64
+	PrevPlaneV, PrevPlaneK []uint64
+	// Settled records whether the packed engine has settled at least
+	// once (before the first Step, every level must be force-evaluated).
+	Settled bool
+	Staged  []stagedInput
+	Cycle   uint64
 }
 
 // Snapshot captures the current simulator state, including any staged
@@ -327,47 +356,186 @@ func (s *Simulator) Snapshot() *Snapshot {
 // the allocation-free form used by the symbolic engine's per-cycle
 // rolling snapshot.
 func (s *Simulator) SnapshotInto(sn *Snapshot) {
-	if cap(sn.Vals) < len(s.vals) {
-		sn.Vals = make([]logic.Trit, len(s.vals))
-		sn.Prev = make([]logic.Trit, len(s.prev))
+	if s.pk != nil {
+		p := s.pk
+		sn.PlaneV = append(sn.PlaneV[:0], p.curV...)
+		sn.PlaneK = append(sn.PlaneK[:0], p.curK...)
+		sn.PrevPlaneV = append(sn.PrevPlaneV[:0], p.prevV...)
+		sn.PrevPlaneK = append(sn.PrevPlaneK[:0], p.prevK...)
+		sn.Settled = p.settled
+	} else {
+		sn.Vals = append(sn.Vals[:0], s.vals...)
+		sn.Prev = append(sn.Prev[:0], s.prev...)
 	}
-	sn.Vals = sn.Vals[:len(s.vals)]
-	sn.Prev = sn.Prev[:len(s.prev)]
-	copy(sn.Vals, s.vals)
-	copy(sn.Prev, s.prev)
 	sn.Staged = append(sn.Staged[:0], s.staged...)
 	sn.Cycle = s.cycle
 }
 
+// CloneInto deep-copies sn into dst, reusing dst's buffers — used by the
+// symbolic engine to retain fork snapshots from a recycled pool instead
+// of allocating fresh state per fork.
+func (sn *Snapshot) CloneInto(dst *Snapshot) {
+	dst.Vals = append(dst.Vals[:0], sn.Vals...)
+	dst.Prev = append(dst.Prev[:0], sn.Prev...)
+	dst.PlaneV = append(dst.PlaneV[:0], sn.PlaneV...)
+	dst.PlaneK = append(dst.PlaneK[:0], sn.PlaneK...)
+	dst.PrevPlaneV = append(dst.PrevPlaneV[:0], sn.PrevPlaneV...)
+	dst.PrevPlaneK = append(dst.PrevPlaneK[:0], sn.PrevPlaneK...)
+	dst.Settled = sn.Settled
+	dst.Staged = append(dst.Staged[:0], sn.Staged...)
+	dst.Cycle = sn.Cycle
+}
+
+// Clone returns an independent deep copy of sn.
+func (sn *Snapshot) Clone() *Snapshot {
+	c := &Snapshot{}
+	sn.CloneInto(c)
+	return c
+}
+
 // Restore rewinds the simulator to a snapshot.
 func (s *Simulator) Restore(sn *Snapshot) {
-	copy(s.vals, sn.Vals)
-	copy(s.prev, sn.Prev)
+	if s.pk != nil {
+		p := s.pk
+		copy(p.curV, sn.PlaneV)
+		copy(p.curK, sn.PlaneK)
+		copy(p.prevV, sn.PrevPlaneV)
+		copy(p.prevK, sn.PrevPlaneK)
+		p.settled = sn.Settled
+		p.boundValid = false
+		for i := range p.act {
+			p.act[i] = 0
+		}
+	} else {
+		copy(s.vals, sn.Vals)
+		copy(s.prev, sn.Prev)
+		for i := range s.active {
+			s.active[i] = false
+		}
+	}
 	s.staged = append(s.staged[:0], sn.Staged...)
 	s.cycle = sn.Cycle
-	for i := range s.active {
-		s.active[i] = false
-	}
 }
 
 // ActiveCells appends to dst the IDs of cells whose outputs are active in
 // the current cycle and returns the extended slice.
 func (s *Simulator) ActiveCells(dst []netlist.CellID) []netlist.CellID {
+	s.ForEachActiveCell(func(ci netlist.CellID) {
+		dst = append(dst, ci)
+	})
+	return dst
+}
+
+// ForEachActiveCell calls f for every cell whose output is active in the
+// current cycle. On the packed engine this scans the activity plane's
+// set bits — O(active) rather than O(cells) — which is what keeps the
+// streaming power sink off the all-cells path. Iteration order is
+// deterministic per engine but differs between engines.
+func (s *Simulator) ForEachActiveCell(f func(netlist.CellID)) {
+	if s.pk != nil {
+		s.pk.forEachActiveCell(f)
+		return
+	}
 	for ci := 0; ci < s.n.NumCells(); ci++ {
 		if s.active[s.n.Cell(netlist.CellID(ci)).Out] {
-			dst = append(dst, netlist.CellID(ci))
+			f(netlist.CellID(ci))
 		}
 	}
-	return dst
+}
+
+// NewActiveAccumulator returns a zeroed union-activity accumulator for
+// use with AccumulateNewActive. Its contents are engine-internal; treat
+// it as opaque and per-Simulator.
+func (s *Simulator) NewActiveAccumulator() []uint64 {
+	return make([]uint64, s.n.Packed().Words)
+}
+
+// AccumulateNewActive ORs this cycle's activity into acc and calls f
+// exactly once per cell the first cycle it turns active — the running
+// "potentially toggled" union of the paper's Figures 1.5/3.4. On the
+// packed engine the OR is word-parallel and per-cell work happens only
+// on first activation, so a whole run costs O(distinct active cells)
+// beyond the word ops.
+func (s *Simulator) AccumulateNewActive(acc []uint64, f func(netlist.CellID)) {
+	if s.pk != nil {
+		s.pk.accumulateNewActive(acc, f)
+		return
+	}
+	pos := s.n.Packed().Pos
+	for ci := 0; ci < s.n.NumCells(); ci++ {
+		out := s.n.Cell(netlist.CellID(ci)).Out
+		if !s.active[out] {
+			continue
+		}
+		p := pos[out]
+		w, b := p>>6, uint(p&63)
+		if acc[w]>>b&1 == 0 {
+			acc[w] |= 1 << b
+			f(netlist.CellID(ci))
+		}
+	}
+}
+
+// BoundEnergyFJ returns the cycle's maximum dynamic energy in
+// femtojoules under the streaming Algorithm 2 rule: gates with known
+// values contribute their actual transition energy, active X-involved
+// gates the worst transition consistent with their known endpoint, and
+// temporally constant X gates nothing; every flip-flop's clock pin
+// dissipates unconditionally. This is the engine-accelerated form of
+// power.CycleBoundFJ's sum (without the per-module split) — on the
+// packed engine, known transitions are popcounts per same-kind batch.
+func (s *Simulator) BoundEnergyFJ() float64 {
+	if s.pk != nil {
+		return s.pk.boundEnergyFJ(s)
+	}
+	e := s.clkTotalFJ
+	for ci := 0; ci < s.n.NumCells(); ci++ {
+		c := s.n.Cell(netlist.CellID(ci))
+		out := c.Out
+		e += s.cellBoundFJ(c.Kind, s.prev[out], s.vals[out], s.active[out])
+	}
+	return e
+}
+
+// cellBoundFJ is the scalar per-cell bound rule; it mirrors package
+// power's cellBoundFJ exactly (cross-tested there).
+func (s *Simulator) cellBoundFJ(k cell.Kind, prev, cur logic.Trit, act bool) float64 {
+	if prev.Known() && cur.Known() {
+		if prev != cur {
+			if cur == logic.H {
+				return s.riseFJ[k]
+			}
+			return s.fallFJ[k]
+		}
+		return 0
+	}
+	if !act {
+		return 0 // temporally constant unknown: cannot toggle
+	}
+	switch {
+	case prev == logic.X && cur == logic.X:
+		return s.maxFJ[k]
+	case cur == logic.X:
+		if prev == logic.L {
+			return s.riseFJ[k]
+		}
+		return s.fallFJ[k]
+	default:
+		if cur == logic.H {
+			return s.riseFJ[k]
+		}
+		return s.fallFJ[k]
+	}
 }
 
 // StateHash returns a hash of all flip-flop values — the processor-state
 // component of Algorithm 1's "seen this state at this branch before"
-// check. Memory contents are hashed by the system layer.
+// check. Memory contents are hashed by the system layer. Both engines
+// produce identical hashes for identical symbolic states.
 func (s *Simulator) StateHash() uint64 {
 	h := uint64(1469598103934665603) // FNV-64 offset basis
 	for _, ci := range s.seq {
-		h ^= uint64(s.vals[s.n.Cell(ci).Out])
+		h ^= uint64(s.Val(s.n.Cell(ci).Out))
 		h *= 1099511628211
 	}
 	return h
@@ -382,7 +550,7 @@ func (s *Simulator) DynamicEnergyFJ() float64 {
 	e := 0.0
 	for ci := 0; ci < s.n.NumCells(); ci++ {
 		c := s.n.Cell(netlist.CellID(ci))
-		e += s.lib.TransitionEnergy(c.Kind, s.prev[c.Out], s.vals[c.Out])
+		e += s.lib.TransitionEnergy(c.Kind, s.PrevVal(c.Out), s.Val(c.Out))
 		e += s.lib.Params(c.Kind).EnergyClk
 	}
 	return e

@@ -1,0 +1,126 @@
+package gsim
+
+import (
+	"repro/internal/cell"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// stepScalar is the reference engine's cycle: one cell.Eval per gate in
+// one flat topological pass, then the per-gate activity rules. It is
+// deliberately simple — the packed engine is differentially tested
+// against it.
+func (s *Simulator) stepScalar() {
+	copy(s.prev, s.vals)
+	s.inStep = true
+
+	// 0. Staged input assignments become the new cycle's input values.
+	for _, si := range s.staged {
+		s.vals[si.id] = si.v
+	}
+	s.staged = s.staged[:0]
+
+	// 1. Clock edge: flip-flops capture next state computed from the
+	// previous cycle's settled values.
+	for i, ci := range s.seq {
+		c := s.n.Cell(ci)
+		var a, b, cc logic.Trit
+		a = s.prev[c.In[0]]
+		if c.In[1] >= 0 {
+			b = s.prev[c.In[1]]
+		}
+		if c.In[2] >= 0 {
+			cc = s.prev[c.In[2]]
+		}
+		s.seqNx[i] = cell.Eval(c.Kind, a, b, cc, s.prev[c.Out])
+	}
+	for i, ci := range s.seq {
+		s.vals[s.n.Cell(ci).Out] = s.seqNx[i]
+	}
+
+	// 2. External bus observes registered outputs and drives read data.
+	if s.bus != nil {
+		s.bus.Tick(s)
+	}
+
+	// 3. Combinational settling in topological order.
+	for _, ci := range s.order {
+		c := s.n.Cell(ci)
+		var a, b, cc logic.Trit
+		if c.In[0] >= 0 {
+			a = s.vals[c.In[0]]
+		}
+		if c.In[1] >= 0 {
+			b = s.vals[c.In[1]]
+		}
+		if c.In[2] >= 0 {
+			cc = s.vals[c.In[2]]
+		}
+		s.vals[c.Out] = cell.Eval(c.Kind, a, b, cc, 0)
+	}
+
+	// 4. Activity: toggled, or X driven by an active gate (the paper's
+	// Section 3.1 rule). Primary inputs are active when they changed or
+	// are X (inputs are the unconstrained signals the analysis
+	// abstracts). Flip-flop outputs changed at the clock edge as a
+	// function of last cycle's inputs, so their X-activity derives from
+	// last cycle's activity flags; combinational gates settle within the
+	// cycle and use current flags in topological order.
+	copy(s.prevAct, s.active)
+	for _, ci := range s.seq {
+		c := s.n.Cell(ci)
+		out := c.Out
+		if s.prev[out] != s.vals[out] {
+			s.active[out] = true
+			continue
+		}
+		act := false
+		if s.vals[out] == logic.X && s.seqCanCapture(c) {
+			for pin := 0; pin < c.Kind.NumInputs(); pin++ {
+				if s.prevAct[c.In[pin]] {
+					act = true
+					break
+				}
+			}
+		}
+		s.active[out] = act
+	}
+	for _, id := range s.n.Inputs() {
+		s.active[id] = s.prev[id] != s.vals[id] || s.vals[id] == logic.X
+	}
+	for _, ci := range s.order {
+		c := s.n.Cell(ci)
+		out := c.Out
+		if s.prev[out] != s.vals[out] {
+			s.active[out] = true
+			continue
+		}
+		act := false
+		if s.vals[out] == logic.X {
+			for pin := 0; pin < c.Kind.NumInputs(); pin++ {
+				if s.active[c.In[pin]] {
+					act = true
+					break
+				}
+			}
+		}
+		s.active[out] = act
+	}
+
+	s.inStep = false
+}
+
+// seqCanCapture reports whether a flip-flop could have captured a new
+// value at the edge that began this cycle. A Dffre whose enable was a
+// known 0 (with reset known inactive) held its state in *every* concrete
+// refinement, so an unchanged-X output cannot have toggled — this keeps
+// idle X-holding register banks (e.g. the multiplier operands) from being
+// conservatively marked active via their data-pin cones.
+func (s *Simulator) seqCanCapture(c *netlist.Cell) bool {
+	if c.Kind != cell.Dffre {
+		return true
+	}
+	rst := s.prev[c.In[1]]
+	en := s.prev[c.In[2]]
+	return !(en == logic.L && rst == logic.L)
+}

@@ -1,0 +1,100 @@
+package logic
+
+// Bit-plane representation of the three-valued domain: a vector of up to
+// 64 trits is held as two uint64 planes, v (value) and k (known). Bit i
+// is known iff k bit i is 1, in which case v bit i holds the concrete
+// value; unknown (X) positions have k bit 0. The representation is kept
+// canonical — v&^k == 0, i.e. the value bit of an X position is always
+// 0 — so that two trit vectors are symbol-identical exactly when both
+// their planes are equal, and a toggle mask is a pair of XORs:
+//
+//	changed := (v1 ^ v2) | (k1 ^ k2)
+//
+// The Plane* functions below are the word-parallel counterparts of the
+// scalar operators in this package: each evaluates its gate function on
+// all 64 lanes at once, preserving canonical form. They are the
+// primitive layer of the bit-packed gate engine in internal/gsim; an
+// exhaustive property test checks every lane combination against the
+// scalar operators.
+
+// PlaneFromTrit returns the single-lane plane encoding of t in bit 0.
+func PlaneFromTrit(t Trit) (v, k uint64) {
+	switch t {
+	case L:
+		return 0, 1
+	case H:
+		return 1, 1
+	}
+	return 0, 0
+}
+
+// TritFromPlane decodes lane bit of a (v, k) plane pair.
+func TritFromPlane(v, k uint64, bit uint) Trit {
+	if k>>bit&1 == 0 {
+		return X
+	}
+	return Trit(v >> bit & 1)
+}
+
+// PlaneNot is the word-parallel Not.
+func PlaneNot(av, ak uint64) (v, k uint64) {
+	return ^av & ak, ak
+}
+
+// PlaneBuf is the word-parallel identity.
+func PlaneBuf(av, ak uint64) (v, k uint64) {
+	return av, ak
+}
+
+// PlaneAnd is the word-parallel And: a controlling known 0 dominates X.
+func PlaneAnd(av, ak, bv, bk uint64) (v, k uint64) {
+	one := av & bv
+	zero := (ak &^ av) | (bk &^ bv)
+	return one, one | zero
+}
+
+// PlaneOr is the word-parallel Or: a controlling known 1 dominates X.
+func PlaneOr(av, ak, bv, bk uint64) (v, k uint64) {
+	one := av | bv
+	zero := (ak &^ av) & (bk &^ bv)
+	return one, one | zero
+}
+
+// PlaneXor is the word-parallel Xor: any X input lane yields X.
+func PlaneXor(av, ak, bv, bk uint64) (v, k uint64) {
+	k = ak & bk
+	return (av ^ bv) & k, k
+}
+
+// PlaneXnor is the word-parallel Xnor.
+func PlaneXnor(av, ak, bv, bk uint64) (v, k uint64) {
+	k = ak & bk
+	return ^(av ^ bv) & k, k
+}
+
+// PlaneNand is the word-parallel Nand.
+func PlaneNand(av, ak, bv, bk uint64) (v, k uint64) {
+	one := av & bv
+	zero := (ak &^ av) | (bk &^ bv)
+	return zero, one | zero
+}
+
+// PlaneNor is the word-parallel Nor.
+func PlaneNor(av, ak, bv, bk uint64) (v, k uint64) {
+	one := av | bv
+	zero := (ak &^ av) & (bk &^ bv)
+	return zero, one | zero
+}
+
+// PlaneMux is the word-parallel 2:1 mux (s selects a when 0, b when 1),
+// with the standard pessimistic-X semantics of Mux: an X select lane is
+// known only where both data lanes agree on a known value.
+func PlaneMux(sv, sk, av, ak, bv, bk uint64) (v, k uint64) {
+	s0 := sk &^ sv // select known 0
+	s1 := sv       // select known 1 (canonical: sv implies sk)
+	agree := ak & bk &^ (av ^ bv)
+	sx := ^sk
+	k = s0&ak | s1&bk | sx&agree
+	v = (s0&av | s1&bv | sx&agree&av) & k
+	return v, k
+}

@@ -1,0 +1,145 @@
+package logic
+
+import "testing"
+
+var trits = []Trit{L, H, X}
+
+// lane spreads scalar inputs over several bit positions so shift bugs
+// (an op leaking across lanes) are caught, not just bit-0 behavior.
+var lanePositions = []uint{0, 1, 31, 63}
+
+func packLane(t Trit, bit uint) (v, k uint64) {
+	v, k = PlaneFromTrit(t)
+	return v << bit, k << bit
+}
+
+func TestPlaneCanonicalEncoding(t *testing.T) {
+	for _, tr := range trits {
+		v, k := PlaneFromTrit(tr)
+		if v&^k != 0 {
+			t.Fatalf("%v: non-canonical encoding v=%b k=%b", tr, v, k)
+		}
+		if got := TritFromPlane(v, k, 0); got != tr {
+			t.Fatalf("round trip %v -> %v", tr, got)
+		}
+	}
+}
+
+// TestPlaneUnaryOpsExhaustive checks Not/Buf against the scalar ops on
+// every trit at every probe lane, asserting canonical outputs and no
+// cross-lane leakage.
+func TestPlaneUnaryOpsExhaustive(t *testing.T) {
+	ops := []struct {
+		name   string
+		plane  func(av, ak uint64) (uint64, uint64)
+		scalar func(Trit) Trit
+	}{
+		{"not", PlaneNot, Not},
+		{"buf", PlaneBuf, func(a Trit) Trit { return a }},
+	}
+	for _, op := range ops {
+		for _, a := range trits {
+			for _, bit := range lanePositions {
+				av, ak := packLane(a, bit)
+				v, k := op.plane(av, ak)
+				if v&^k != 0 {
+					t.Fatalf("%s(%v): non-canonical output", op.name, a)
+				}
+				if v&^(1<<bit) != 0 || k&^(1<<bit) != 0 {
+					t.Fatalf("%s(%v) at lane %d leaked into other lanes", op.name, a, bit)
+				}
+				if got, want := TritFromPlane(v, k, bit), op.scalar(a); got != want {
+					t.Fatalf("%s(%v) = %v, want %v", op.name, a, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestPlaneBinaryOpsExhaustive checks every two-input plane op against
+// its scalar counterpart on all 9 trit pairs at every probe lane.
+func TestPlaneBinaryOpsExhaustive(t *testing.T) {
+	ops := []struct {
+		name   string
+		plane  func(av, ak, bv, bk uint64) (uint64, uint64)
+		scalar func(a, b Trit) Trit
+	}{
+		{"and", PlaneAnd, And},
+		{"or", PlaneOr, Or},
+		{"xor", PlaneXor, Xor},
+		{"xnor", PlaneXnor, Xnor},
+		{"nand", PlaneNand, Nand},
+		{"nor", PlaneNor, Nor},
+	}
+	for _, op := range ops {
+		for _, a := range trits {
+			for _, b := range trits {
+				for _, bit := range lanePositions {
+					av, ak := packLane(a, bit)
+					bv, bk := packLane(b, bit)
+					v, k := op.plane(av, ak, bv, bk)
+					if v&^k != 0 {
+						t.Fatalf("%s(%v,%v): non-canonical output", op.name, a, b)
+					}
+					if v&^(1<<bit) != 0 || k&^(1<<bit) != 0 {
+						t.Fatalf("%s(%v,%v) leaked across lanes", op.name, a, b)
+					}
+					if got, want := TritFromPlane(v, k, bit), op.scalar(a, b); got != want {
+						t.Fatalf("%s(%v,%v) = %v, want %v", op.name, a, b, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlaneMuxExhaustive checks all 27 select/data combinations.
+func TestPlaneMuxExhaustive(t *testing.T) {
+	for _, s := range trits {
+		for _, a := range trits {
+			for _, b := range trits {
+				for _, bit := range lanePositions {
+					sv, sk := packLane(s, bit)
+					av, ak := packLane(a, bit)
+					bv, bk := packLane(b, bit)
+					v, k := PlaneMux(sv, sk, av, ak, bv, bk)
+					if v&^k != 0 {
+						t.Fatalf("mux(%v,%v,%v): non-canonical output", s, a, b)
+					}
+					if got, want := TritFromPlane(v, k, bit), Mux(s, a, b); got != want {
+						t.Fatalf("mux(%v,%v,%v) = %v, want %v", s, a, b, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlaneOpsFullWords drives all 64 lanes at once with mixed symbols
+// and checks lane independence against the scalar ops.
+func TestPlaneOpsFullWords(t *testing.T) {
+	mk := func(seed uint64) (w []Trit, v, k uint64) {
+		w = make([]Trit, 64)
+		for i := range w {
+			w[i] = trits[(seed>>(uint(i)%61)+uint64(i))%3]
+			lv, lk := PlaneFromTrit(w[i])
+			v |= lv << uint(i)
+			k |= lk << uint(i)
+		}
+		return
+	}
+	aw, av, ak := mk(0x9E3779B97F4A7C15)
+	bw, bv, bk := mk(0xD1B54A32D192ED03)
+	v, k := PlaneAnd(av, ak, bv, bk)
+	for i := 0; i < 64; i++ {
+		if got, want := TritFromPlane(v, k, uint(i)), And(aw[i], bw[i]); got != want {
+			t.Fatalf("lane %d: and(%v,%v) = %v, want %v", i, aw[i], bw[i], got, want)
+		}
+	}
+	v, k = PlaneMux(av, ak, bv, bk, av, ak)
+	for i := 0; i < 64; i++ {
+		if got, want := TritFromPlane(v, k, uint(i)), Mux(aw[i], bw[i], aw[i]); got != want {
+			t.Fatalf("lane %d: mux = %v, want %v", i, got, want)
+		}
+	}
+}

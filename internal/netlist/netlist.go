@@ -4,6 +4,14 @@
 // module each cell belongs to, plus topological levelization for
 // cycle-based simulation and a structural-Verilog writer/parser.
 //
+// Build additionally compiles the PackedPlan consumed by the bit-packed
+// gate engine (internal/gsim): a bit-position layout of every net over
+// 64-bit value/known planes, same-kind cell batches grouped by
+// topological level with run-length-compressed input gather programs,
+// and per-level/per-batch read masks for dirty-level scheduling. The
+// plan, like the netlist, is immutable after Build and shared by every
+// concurrent simulation. See PERFORMANCE.md for the engine design.
+//
 // The paper's tool consumes "the gate-level netlist of the ULP processor"
 // produced by synthesis and place-and-route (Section 4.1); this package is
 // that artifact's in-memory form.
@@ -60,6 +68,7 @@ type Netlist struct {
 	driver    []CellID
 	modules   []string
 	modOfCell []uint16
+	packed    *PackedPlan
 }
 
 // New returns an empty netlist with the given top-module name.
@@ -271,6 +280,7 @@ func (n *Netlist) Build() error {
 		}
 		n.modOfCell[ci] = idx
 	}
+	n.buildPacked()
 	n.built = true
 	return nil
 }

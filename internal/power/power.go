@@ -14,6 +14,15 @@
 // constant X (not marked active) contribute nothing: that is the
 // tightness the activity analysis buys.
 //
+// The streaming Sink rides the gate engine's fast paths rather than
+// walking every cell per cycle: the per-cycle bound comes from
+// gsim.Simulator.BoundEnergyFJ (word-parallel popcounts on the packed
+// engine), the potentially-toggled union from AccumulateNewActive
+// (per-cell work only on first activation), and peak records — with
+// their per-module split — materialize only for cycles that actually
+// enter Best or the top-k list. CycleBoundFJ remains the all-cells
+// reference sum, cross-tested against the fast path.
+//
 // The literal Algorithm 2 — materialize an even-maximizing and an
 // odd-maximizing VCD, run power analysis on each, interleave — is
 // implemented in algorithm2.go over captured windows; a property test
@@ -160,6 +169,19 @@ type Sink struct {
 	leakMW  float64
 	fetches []fetchCtx
 
+	// actAccum is the engine's union-activity accumulator; unionVisit
+	// marks a cell in UnionActive the first cycle it turns active.
+	actAccum   []uint64
+	unionVisit func(netlist.CellID)
+
+	// clkModFJ is the per-module clock-pin energy constant; splitVisit
+	// adds the active cells' bound on top when a peak materializes (an
+	// O(active) pass — the same decomposition as the engine's
+	// BoundEnergyFJ, since inactive cells bound to zero).
+	clkModFJ   []float64
+	splitVisit func(netlist.CellID)
+	curSim     *gsim.Simulator
+
 	stateNets []netlist.NetID
 	mabNets   []netlist.NetID
 	lastState string
@@ -177,7 +199,7 @@ const DefaultWarmup = 12
 // COI list length.
 func NewSink(sys *ulp430.System, model Model, img *isa.Image, k int) *Sink {
 	nl := sys.Sim.Netlist()
-	return &Sink{
+	s := &Sink{
 		WarmupCycles: DefaultWarmup,
 		model:        model,
 		nl:           nl,
@@ -186,21 +208,38 @@ func NewSink(sys *ulp430.System, model Model, img *isa.Image, k int) *Sink {
 		UnionActive:  make([]bool, nl.NumCells()),
 		modBuf:       make([]float64, len(nl.Modules())),
 		leakMW:       model.LeakageMW(nl),
+		actAccum:     sys.Sim.NewActiveAccumulator(),
+		clkModFJ:     make([]float64, len(nl.Modules())),
 		stateNets:    nl.Port("state"),
 		mabNets:      nl.Port("mab"),
 	}
+	for ci := 0; ci < nl.NumCells(); ci++ {
+		s.clkModFJ[nl.ModuleIndex(netlist.CellID(ci))] += model.Lib.Params(nl.Cell(netlist.CellID(ci)).Kind).EnergyClk
+	}
+	// One closure each for the whole run: the accumulate path is
+	// per-cycle hot and must not allocate.
+	s.unionVisit = func(ci netlist.CellID) { s.UnionActive[ci] = true }
+	s.splitVisit = func(ci netlist.CellID) {
+		c := s.nl.Cell(ci)
+		s.modBuf[s.nl.ModuleIndex(ci)] += cellBoundFJ(
+			s.model.Lib, c.Kind, s.curSim.PrevVal(c.Out), s.curSim.Val(c.Out), true)
+	}
+	return s
 }
 
 // Modules returns the module names indexing Peak.ByModuleMW.
 func (s *Sink) Modules() []string { return s.nl.Modules() }
 
-// OnCycle implements symx.Sink.
+// OnCycle implements symx.Sink. The per-cycle bound comes from the
+// engine's BoundEnergyFJ fast path (word-parallel popcounts on the
+// packed engine); the O(cells) per-module split is deferred to makePeak
+// and computed only when a cycle actually enters the peak records.
 func (s *Sink) OnCycle(sys *ulp430.System) {
 	sim := sys.Sim
 	s.refreshState(sim)
-	eFJ := CycleBoundFJ(sim, s.modBuf)
-	p := s.model.PowerMW(eFJ) + s.leakMW
 	pos := len(s.Trace)
+
+	p := s.model.PowerMW(sim.BoundEnergyFJ()) + s.leakMW
 	s.Trace = append(s.Trace, p)
 
 	// Track the instruction in flight.
@@ -209,7 +248,7 @@ func (s *Sink) OnCycle(sys *ulp430.System) {
 		fc = s.fetches[pos-1]
 	}
 	if sim.Val(s.stateNets[ulp430.StFetch]) == logic.H {
-		if a, ok := sim.Port("mab").Uint(); ok {
+		if a, ok := sim.PortUint("mab"); ok {
 			fc.prev = fc.fetch
 			fc.fetch = uint16(a)
 		}
@@ -219,20 +258,31 @@ func (s *Sink) OnCycle(sys *ulp430.System) {
 		return
 	}
 
-	// Union of active cells.
-	for ci := 0; ci < s.nl.NumCells(); ci++ {
-		if sim.Active(s.nl.Cell(netlist.CellID(ci)).Out) {
-			s.UnionActive[ci] = true
-		}
-	}
+	// Union of active cells: word-ORed accumulator, per-cell work only
+	// on first activation.
+	sim.AccumulateNewActive(s.actAccum, s.unionVisit)
 
 	if p > s.Best.PowerMW {
 		s.Best = s.makePeak(p, pos, fc, true, sim)
+		// A record-setting cycle always enters TopK too; reuse the
+		// just-built peak (sans the cell list) instead of running the
+		// module-split pass twice for the same state.
+		pre := s.Best
+		pre.ActiveCells = nil
+		s.maybeInsertTopK(p, pos, fc, sim, &pre)
+		return
 	}
-	s.insertTopK(s.makePeak(p, pos, fc, false, nil))
+	s.maybeInsertTopK(p, pos, fc, sim, nil)
 }
 
+// makePeak materializes a cycle of interest, including the per-module
+// power split (an O(active-cells) pass — peaks materialize rarely, not
+// per cycle, and the split skips the all-cells walk entirely).
 func (s *Sink) makePeak(p float64, pos int, fc fetchCtx, withCells bool, sim *gsim.Simulator) Peak {
+	copy(s.modBuf, s.clkModFJ)
+	s.curSim = sim
+	sim.ForEachActiveCell(s.splitVisit)
+	s.curSim = nil
 	pk := Peak{
 		PowerMW:    p,
 		PathPos:    pos,
@@ -244,7 +294,7 @@ func (s *Sink) makePeak(p float64, pos int, fc fetchCtx, withCells bool, sim *gs
 	for i, e := range s.modBuf {
 		pk.ByModuleMW[i] = s.model.PowerMW(e)
 	}
-	if withCells && sim != nil {
+	if withCells {
 		pk.ActiveCells = sim.ActiveCells(nil)
 	}
 	return pk
@@ -264,27 +314,37 @@ func (s *Sink) refreshState(sim *gsim.Simulator) {
 	s.lastState = "?"
 }
 
-func (s *Sink) insertTopK(pk Peak) {
+// maybeInsertTopK keeps the top-k cycles with distinct fetch addresses,
+// materializing a Peak (module split, allocations) only when the cycle
+// actually displaces or extends the list. pre, when non-nil, is an
+// already-materialized peak for this cycle to reuse.
+func (s *Sink) maybeInsertTopK(p float64, pos int, fc fetchCtx, sim *gsim.Simulator, pre *Peak) {
 	if s.k <= 0 {
 		return
 	}
+	mk := func() Peak {
+		if pre != nil {
+			return *pre
+		}
+		return s.makePeak(p, pos, fc, false, sim)
+	}
 	// Keep at most one entry per fetch address.
 	for i := range s.TopK {
-		if s.TopK[i].FetchAddr == pk.FetchAddr {
-			if pk.PowerMW > s.TopK[i].PowerMW {
-				s.TopK[i] = pk
+		if s.TopK[i].FetchAddr == fc.fetch {
+			if p > s.TopK[i].PowerMW {
+				s.TopK[i] = mk()
 				s.bubble(i)
 			}
 			return
 		}
 	}
 	if len(s.TopK) < s.k {
-		s.TopK = append(s.TopK, pk)
+		s.TopK = append(s.TopK, mk())
 		s.bubble(len(s.TopK) - 1)
 		return
 	}
-	if pk.PowerMW > s.TopK[len(s.TopK)-1].PowerMW {
-		s.TopK[len(s.TopK)-1] = pk
+	if p > s.TopK[len(s.TopK)-1].PowerMW {
+		s.TopK[len(s.TopK)-1] = mk()
 		s.bubble(len(s.TopK) - 1)
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/cell"
+	"repro/internal/gsim"
 	"repro/internal/isa"
 	"repro/internal/logic"
 	"repro/internal/netlist"
@@ -354,6 +355,57 @@ main:
 	for c, p := range sink.Trace {
 		if p < floor-1e-9 {
 			t.Fatalf("cycle %d power %.6f below floor %.6f", c, p, floor)
+		}
+	}
+}
+
+// TestSinkFastPathMatchesCycleBoundFJ pins the streaming sink's
+// O(active-cells) accumulation to the reference all-cells sum of
+// CycleBoundFJ, per cycle and per module, on both gate engines with X
+// values in flight.
+func TestSinkFastPathMatchesCycleBoundFJ(t *testing.T) {
+	img, err := isa.Assemble("fp", `
+.org 0x0200
+v: .input 2
+.org 0xf000
+.entry main
+main:
+    mov #0x0080, &0x0120
+    mov &v, r4
+    add &v+2, r4
+    xor r4, r5
+    mov r5, &0x0204
+`+haltSeq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model()
+	for _, engine := range []gsim.Engine{gsim.EnginePacked, gsim.EngineScalar} {
+		sys, err := ulp430.NewSystemEngine(engine, sharedCPU(t), m.Lib, img, ulp430.SymbolicInputs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink := NewSink(sys, m, img, 4)
+		sys.Reset()
+		ref := make([]float64, len(sink.Modules()))
+		for c := 0; c < 40; c++ {
+			sys.Step()
+			sink.OnCycle(sys)
+			want := m.PowerMW(CycleBoundFJ(sys.Sim, ref)) + m.LeakageMW(sys.Sim.Netlist())
+			got := sink.Trace[len(sink.Trace)-1]
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("%v cycle %d: sink %v, reference %v", engine, c, got, want)
+			}
+		}
+		// The module split is materialized lazily on peak records; it
+		// must still account for the peak's full dynamic power.
+		sum := 0.0
+		for _, mw := range sink.Best.ByModuleMW {
+			sum += mw
+		}
+		if math.Abs(sum-(sink.Best.PowerMW-m.LeakageMW(sys.Sim.Netlist()))) > 1e-9 {
+			t.Fatalf("%v: module split sums to %v, peak dynamic power is %v",
+				engine, sum, sink.Best.PowerMW-m.LeakageMW(sys.Sim.Netlist()))
 		}
 	}
 }

@@ -16,6 +16,13 @@
 // straight-line cycles whose per-cycle observations are collected by a
 // caller-supplied Sink (package power provides the peak-power sink), and
 // branch/end/merge terminals.
+//
+// Exploration is engineered around the gate engine's snapshot costs:
+// the one-cycle-back rolling snapshot reuses one buffer set
+// (SnapshotInto), and fork snapshots are recycled through a
+// per-exploration pool (CloneInto) the moment the pending direction has
+// been restored — with the packed engine's bit-plane state, a fork
+// costs a ~3 KB copy and no allocation in steady state.
 package symx
 
 import (
@@ -192,6 +199,21 @@ func Explore(sys *ulp430.System, sink Sink, opts Options) (*Tree, error) {
 	// fork points).
 	roll := &ulp430.SysSnapshot{}
 
+	// Fork snapshots come from a free pool: a pending fork's snapshot is
+	// dead as soon as pop has restored it, so its buffers (the packed
+	// engine's bit-planes) are recycled for the next fork instead of
+	// reallocating per branch. The pool is local to this exploration —
+	// per-goroutine state, never shared.
+	var snapPool []*ulp430.SysSnapshot
+	takeSnap := func() *ulp430.SysSnapshot {
+		if n := len(snapPool); n > 0 {
+			sn := snapPool[n-1]
+			snapPool = snapPool[:n-1]
+			return sn
+		}
+		return &ulp430.SysSnapshot{}
+	}
+
 	finishSegment := func(kind NodeKind) {
 		cur.Kind = kind
 		cur.Len = sink.Pos() - segStart
@@ -204,6 +226,7 @@ func Explore(sys *ulp430.System, sink Sink, opts Options) (*Tree, error) {
 			pf := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			sys.Restore(pf.snap)
+			snapPool = append(snapPool, pf.snap)
 			sink.Rewind(pf.sinkPos)
 			sys.ForceBranch(pf.dir)
 			sys.Step()
@@ -278,7 +301,8 @@ func Explore(sys *ulp430.System, sink Sink, opts Options) (*Tree, error) {
 			seen[key] = cur
 			branch := cur
 
-			snap := roll.Clone()
+			snap := takeSnap()
+			roll.CloneInto(snap)
 			stack = append(stack, pendingFork{
 				snap: snap, sinkPos: sink.Pos(), branch: branch, dir: true,
 			})
@@ -300,7 +324,7 @@ func Explore(sys *ulp430.System, sink Sink, opts Options) (*Tree, error) {
 		// A fully unknown PC that is not a forkable jump condition means
 		// an input-dependent computed branch target — out of scope for
 		// the fork rule, and an analysis error rather than silence.
-		if w := sys.Sim.Port("pc"); w.HasX() {
+		if _, known := sys.Sim.PortUint("pc"); !known {
 			return nil, fmt.Errorf("symx: PC became X at cycle %d — input-dependent branch target (computed jump/call on input data) is not supported", sys.Sim.Cycle())
 		}
 	}

@@ -91,8 +91,16 @@ type journalEntry struct {
 
 // NewSystem builds (or reuses) a CPU netlist and loads the image. Pass a
 // prebuilt netlist to share it across systems (it is read-only during
-// simulation); pass nil to build a fresh one.
+// simulation); pass nil to build a fresh one. The simulator uses the
+// default (packed) gate engine; NewSystemEngine selects explicitly.
 func NewSystem(n *netlist.Netlist, lib *cell.Library, img *isa.Image, mode InputMode, inputs []uint16) (*System, error) {
+	return NewSystemEngine(gsim.EnginePacked, n, lib, img, mode, inputs)
+}
+
+// NewSystemEngine is NewSystem with an explicit gate-engine choice;
+// gsim.EngineScalar selects the reference oracle used for differential
+// testing.
+func NewSystemEngine(engine gsim.Engine, n *netlist.Netlist, lib *cell.Library, img *isa.Image, mode InputMode, inputs []uint16) (*System, error) {
 	if n == nil {
 		var err error
 		n, err = BuildCPU()
@@ -106,7 +114,7 @@ func NewSystem(n *netlist.Netlist, lib *cell.Library, img *isa.Image, mode Input
 		mem:     make([]memWord, 1<<15),
 		scratch: make(logic.Word, 16),
 	}
-	s.Sim = gsim.New(n, lib, s)
+	s.Sim = gsim.NewEngine(n, lib, s, engine)
 	s.mabNets = n.Port("mab")
 	s.mdbInNets = n.Port("mdb_in")
 	s.mdbOutNets = n.Port("mdb_out")
@@ -233,14 +241,14 @@ func (s *System) MemWord(addr uint16) logic.Word {
 }
 
 // Tick implements gsim.Bus: it services the registered memory access of
-// the cycle in flight.
+// the cycle in flight. It is per-cycle hot and must not allocate: port
+// reads go through PortUint and the reusable scratch word.
 func (s *System) Tick(sim *gsim.Simulator) {
 	if sim.Val(s.menNet) != logic.H {
 		return // no access: hold mdb_in to minimize bus toggling
 	}
-	addrW := sim.Port("mab")
 	wr := sim.Val(s.mwrNet)
-	addr64, addrKnown := addrW.Uint()
+	addr64, addrKnown := sim.PortUint("mab")
 	addr := uint16(addr64)
 
 	if wr == logic.H {
@@ -255,7 +263,10 @@ func (s *System) Tick(sim *gsim.Simulator) {
 			s.setErr("ulp430: store to non-RAM address %#04x at cycle %d", addr, sim.Cycle())
 			return
 		}
-		data := wordFromLogic(sim.Port("mdb_out"))
+		for i, id := range s.mdbOutNets {
+			s.scratch[i] = sim.Val(id)
+		}
+		data := wordFromLogic(s.scratch)
 		idx := int32(addr / 2)
 		s.journal = append(s.journal, journalEntry{idx: idx, old: s.mem[idx]})
 		s.mem[idx] = data
@@ -329,18 +340,22 @@ func (s *System) SnapshotInto(sn *SysSnapshot) {
 // Clone returns an independent deep copy of a snapshot (needed when a
 // rolling snapshot buffer must be retained across further reuse).
 func (sn *SysSnapshot) Clone() *SysSnapshot {
-	c := &SysSnapshot{
-		sim: &gsim.Snapshot{
-			Vals:  append([]logic.Trit(nil), sn.sim.Vals...),
-			Prev:  append([]logic.Trit(nil), sn.sim.Prev...),
-			Cycle: sn.sim.Cycle,
-		},
-		journal: sn.journal,
-		lastDin: sn.lastDin,
-		err:     sn.err,
-	}
-	c.sim.Staged = append(c.sim.Staged[:0], sn.sim.Staged...)
+	c := &SysSnapshot{}
+	sn.CloneInto(c)
 	return c
+}
+
+// CloneInto deep-copies sn into dst, reusing dst's buffers — the
+// allocation-free form backing the symbolic engine's fork-snapshot
+// pool.
+func (sn *SysSnapshot) CloneInto(dst *SysSnapshot) {
+	if dst.sim == nil {
+		dst.sim = &gsim.Snapshot{}
+	}
+	sn.sim.CloneInto(dst.sim)
+	dst.journal = sn.journal
+	dst.lastDin = sn.lastDin
+	dst.err = sn.err
 }
 
 // Restore rewinds to a snapshot taken earlier on this path.

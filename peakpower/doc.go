@@ -26,6 +26,18 @@
 //   - WithCOI sets how many cycles of interest are attributed.
 //   - WithProgress registers a progress callback for long analyses.
 //   - WithWorkers sets the AnalyzeAll worker-pool size.
+//   - WithEngine selects the gate-level evaluation engine.
+//
+// # Engines
+//
+// Analyses default to EnginePacked, the bit-packed levelized gate
+// engine (64 nets per word operation, dirty-level skipping — see
+// PERFORMANCE.md). EngineScalar is the original one-gate-at-a-time
+// implementation, retained as the verification oracle: differential
+// tests hold the two engines to identical explorations, toggle sets,
+// and bounds on the full benchmark suite, so EngineScalar exists to
+// cross-check results and bisect suspected engine bugs, not for
+// throughput. Result.Engine records which engine produced a result.
 //
 // # Error taxonomy
 //

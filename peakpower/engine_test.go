@@ -1,0 +1,121 @@
+package peakpower
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// relClose reports |a-b| within rel of scale max(|a|,|b|). The two
+// engines accumulate per-cycle energies in different cell orders, so
+// bounds may differ by float association — nothing more.
+func relClose(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	m := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= rel*m
+}
+
+// TestEnginesAgreeOnBenchmarkSuite is the acceptance-level differential
+// test: every Table 4.1 benchmark analyzed by both the packed engine
+// and the scalar oracle must produce the same exploration (cycles,
+// nodes, paths — exact), the same toggle set (exact), and the same peak
+// power / peak energy / NPE bounds (to float association).
+func TestEnginesAgreeOnBenchmarkSuite(t *testing.T) {
+	names := bench.Names()
+	if testing.Short() {
+		names = []string{"mult", "tHold", "binSearch", "tea8"}
+	}
+	a, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			packed, err := a.AnalyzeBench(context.Background(), name, WithEngine(EnginePacked))
+			if err != nil {
+				t.Fatal(err)
+			}
+			scalar, err := a.AnalyzeBench(context.Background(), name, WithEngine(EngineScalar))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if packed.Engine != "packed" || scalar.Engine != "scalar" {
+				t.Fatalf("engine labels: %q / %q", packed.Engine, scalar.Engine)
+			}
+			if packed.SimCycles != scalar.SimCycles || packed.Nodes != scalar.Nodes || packed.Paths != scalar.Paths {
+				t.Fatalf("exploration diverged: packed %d cycles/%d nodes/%d paths, scalar %d/%d/%d",
+					packed.SimCycles, packed.Nodes, packed.Paths,
+					scalar.SimCycles, scalar.Nodes, scalar.Paths)
+			}
+			if !relClose(packed.PeakPowerMW, scalar.PeakPowerMW, 1e-9) {
+				t.Fatalf("peak power: packed %v, scalar %v", packed.PeakPowerMW, scalar.PeakPowerMW)
+			}
+			if !relClose(packed.PeakEnergyJ, scalar.PeakEnergyJ, 1e-9) {
+				t.Fatalf("peak energy: packed %v, scalar %v", packed.PeakEnergyJ, scalar.PeakEnergyJ)
+			}
+			if !relClose(packed.NPEJPerCycle, scalar.NPEJPerCycle, 1e-9) {
+				t.Fatalf("NPE: packed %v, scalar %v", packed.NPEJPerCycle, scalar.NPEJPerCycle)
+			}
+			if packed.BoundingCycles != scalar.BoundingCycles {
+				t.Fatalf("bounding cycles: packed %v, scalar %v", packed.BoundingCycles, scalar.BoundingCycles)
+			}
+			if len(packed.UnionActive) != len(scalar.UnionActive) {
+				t.Fatal("toggle-set lengths differ")
+			}
+			for ci := range packed.UnionActive {
+				if packed.UnionActive[ci] != scalar.UnionActive[ci] {
+					t.Fatalf("toggle set diverged at cell %d", ci)
+				}
+			}
+			if len(packed.PeakTrace) != len(scalar.PeakTrace) {
+				t.Fatalf("peak trace lengths: %d vs %d", len(packed.PeakTrace), len(scalar.PeakTrace))
+			}
+			for i := range packed.PeakTrace {
+				if !relClose(packed.PeakTrace[i], scalar.PeakTrace[i], 1e-9) {
+					t.Fatalf("trace cycle %d: packed %v, scalar %v", i, packed.PeakTrace[i], scalar.PeakTrace[i])
+				}
+			}
+			if packed.Best.State != scalar.Best.State || packed.Best.FetchAddr != scalar.Best.FetchAddr {
+				t.Fatalf("peak attribution diverged: packed %+v, scalar %+v", packed.Best, scalar.Best)
+			}
+		})
+	}
+}
+
+// TestEnginesAgreeOnConcreteRun checks the input-based profiling path
+// through both engines.
+func TestEnginesAgreeOnConcreteRun(t *testing.T) {
+	a, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, img, err := benchImage("mult")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inputs := []uint16{3, 5, 0xFFFF, 2, 1, 0, 7, 9}
+	packed, err := a.RunConcrete(context.Background(), img, inputs, nil, 2*b.MaxCycles, WithEngine(EnginePacked))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar, err := a.RunConcrete(context.Background(), img, inputs, nil, 2*b.MaxCycles, WithEngine(EngineScalar))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(packed.Trace) != len(scalar.Trace) {
+		t.Fatalf("trace lengths: %d vs %d", len(packed.Trace), len(scalar.Trace))
+	}
+	for i := range packed.Trace {
+		if !relClose(packed.Trace[i], scalar.Trace[i], 1e-9) {
+			t.Fatalf("cycle %d: packed %v, scalar %v", i, packed.Trace[i], scalar.Trace[i])
+		}
+	}
+	if !relClose(packed.PeakMW, scalar.PeakMW, 1e-9) {
+		t.Fatalf("peak: packed %v, scalar %v", packed.PeakMW, scalar.PeakMW)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"runtime"
 
 	"repro/internal/cell"
+	"repro/internal/gsim"
 )
 
 // Library is a characterized standard-cell library (an alias of the
@@ -18,6 +19,26 @@ func ULP65() *Library { return cell.ULP65() }
 // ULP130 returns the 130 nm variant used by the measurement-rig
 // substitute for the MSP430F1610 experiments (8 MHz operating point).
 func ULP130() *Library { return cell.ULP130() }
+
+// Engine selects the gate-level evaluation engine backing an analysis
+// (an alias of the internal representation).
+type Engine = gsim.Engine
+
+const (
+	// EnginePacked is the bit-packed, levelized, dirty-level-skipping
+	// engine — the default, and the fast path.
+	EnginePacked = gsim.EnginePacked
+	// EngineScalar is the straightforward one-gate-at-a-time reference
+	// engine. It computes identical results to EnginePacked (this is
+	// continuously verified by differential tests) and exists as the
+	// verification oracle; select it to cross-check a result or to
+	// bisect a suspected engine bug, not for throughput.
+	EngineScalar = gsim.EngineScalar
+)
+
+// ParseEngine resolves "packed" or "scalar" — the names produced by
+// Engine.String — for flag and config plumbing.
+func ParseEngine(s string) (Engine, error) { return gsim.ParseEngine(s) }
 
 // Progress is a snapshot of a running analysis, delivered to the
 // WithProgress callback.
@@ -44,6 +65,7 @@ type config struct {
 	progress      func(Progress)
 	progressEvery int
 	workers       int
+	engine        Engine
 }
 
 func defaultConfig() config {
@@ -129,6 +151,19 @@ func WithWorkers(n int) Option {
 	return func(c *config) {
 		if n > 0 {
 			c.workers = n
+		}
+	}
+}
+
+// WithEngine selects the gate-level evaluation engine. Default:
+// EnginePacked. EngineScalar is the slow reference oracle; both engines
+// produce identical bounds. Values outside the two engines are ignored
+// (like other options' invalid inputs), keeping the package's
+// error-not-panic contract.
+func WithEngine(e Engine) Option {
+	return func(c *config) {
+		if e == EnginePacked || e == EngineScalar {
+			c.engine = e
 		}
 	}
 }

@@ -97,7 +97,7 @@ func (a *Analyzer) AnalyzeImage(ctx context.Context, img *Image, opts ...Option)
 	}
 	start := time.Now()
 	model := cfg.model()
-	sys, err := ulp430.NewSystem(a.nl, model.Lib, img, ulp430.SymbolicInputs, nil)
+	sys, err := ulp430.NewSystemEngine(cfg.engine, a.nl, model.Lib, img, ulp430.SymbolicInputs, nil)
 	if err != nil {
 		return nil, fmt.Errorf("peakpower: preparing %s: %w", img.Name, err)
 	}
@@ -126,6 +126,7 @@ func (a *Analyzer) AnalyzeImage(ctx context.Context, img *Image, opts ...Option)
 		App:            img.Name,
 		Library:        model.Lib.Name,
 		ClockHz:        model.ClockHz,
+		Engine:         cfg.engine.String(),
 		PeakPowerMW:    sink.PeakMW(),
 		PeakEnergyJ:    res.EnergyJ,
 		NPEJPerCycle:   res.NPEJPerCycle,
@@ -215,7 +216,7 @@ func (a *Analyzer) RunConcrete(ctx context.Context, img *Image, inputs []uint16,
 		ctx = context.Background()
 	}
 	model := cfg.model()
-	sys, err := ulp430.NewSystem(a.nl, model.Lib, img, ulp430.ConcreteInputs, inputs)
+	sys, err := ulp430.NewSystemEngine(cfg.engine, a.nl, model.Lib, img, ulp430.ConcreteInputs, inputs)
 	if err != nil {
 		return nil, fmt.Errorf("peakpower: preparing %s: %w", img.Name, err)
 	}

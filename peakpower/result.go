@@ -18,6 +18,9 @@ type Result struct {
 	Library string
 	// ClockHz is the analysis clock frequency.
 	ClockHz float64
+	// Engine names the gate-level evaluation engine that produced the
+	// result ("packed" or "scalar"; see WithEngine).
+	Engine string
 
 	// PeakPowerMW is the input-independent peak power requirement: no
 	// execution of the application, on any input, can exceed it.
