@@ -6,7 +6,7 @@ BENCH_JSON ?= BENCH_$(shell date +%F).json
 SHELL := /usr/bin/env bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: all build vet test race bench bench-smoke profile ci clean
+.PHONY: all build vet test race bench bench-smoke profile serve smoke ci clean
 
 all: build vet test
 
@@ -41,7 +41,30 @@ profile:
 		-cpuprofile=cpu.prof -memprofile=mem.prof .
 	$(GO) tool pprof -top -nodecount=20 cpu.prof
 
-ci: build vet race
+# Run the HTTP analysis service (see cmd/peakpowerd and README).
+serve:
+	$(GO) run ./cmd/peakpowerd -addr :8090
+
+# End-to-end service smoke: start peakpowerd, POST one analysis, assert
+# HTTP 200 and a parseable sealed Report (also CI's smoke step).
+SMOKE_ADDR ?= 127.0.0.1:8097
+smoke:
+	$(GO) build -o /tmp/peakpowerd ./cmd/peakpowerd
+	/tmp/peakpowerd -addr $(SMOKE_ADDR) & pid=$$!; \
+	trap 'kill $$pid' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://$(SMOKE_ADDR)/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	curl -sf http://$(SMOKE_ADDR)/healthz | grep -q '"status":"ok"' && \
+	code=$$(curl -s -o /tmp/peakpowerd-smoke.json -w '%{http_code}' \
+		-X POST http://$(SMOKE_ADDR)/v1/analyze \
+		-d '{"target":"ulp430","bench":"mult","options":{"coi":4}}') && \
+	test "$$code" = 200 && \
+	grep -q '"schema":1' /tmp/peakpowerd-smoke.json && \
+	grep -q '"hash":"sha256:' /tmp/peakpowerd-smoke.json && \
+	echo "peakpowerd smoke: OK ($$(wc -c < /tmp/peakpowerd-smoke.json) bytes)"
+
+ci: build vet race smoke
 
 clean:
 	$(GO) clean ./...

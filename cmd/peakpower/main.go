@@ -1,25 +1,30 @@
 // Command peakpower is the co-analysis tool: it takes one or more
 // applications (built-in benchmarks or an assembly file) and reports the
 // guaranteed, input-independent peak power and energy requirements of
-// the ULP430 processor running them, with cycle-of-interest attribution.
+// a registered processor design point running them, with cycle-of-interest
+// attribution.
 //
 // Usage:
 //
 //	peakpower -bench mult
-//	peakpower -bench mult,tea8,binSearch   (batch mode, concurrent)
+//	peakpower -bench mult -json               (serialized versioned Report)
+//	peakpower -bench mult,tea8,binSearch      (batch mode, concurrent)
+//	peakpower -target ulp430-sized -bench mult  (sweep design points)
 //	peakpower -src app.s [-coi 4] [-trace] [-timeout 30s] [-progress]
 //	peakpower -dump-netlist ulp430.v
+//	peakpower -list-targets
 //
 // Exit codes distinguish the failure class:
 //
 //	1  analysis failed (budget exhausted, unsupported construct, timeout)
-//	2  usage error (bad flags, unknown benchmark)
+//	2  usage error (bad flags, unknown benchmark or target)
 //	3  the source file did not assemble
 //	4  file I/O failed (reading -src, writing -dump-netlist)
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -42,10 +47,13 @@ const (
 func main() {
 	benchName := flag.String("bench", "", "built-in benchmark name, or a comma-separated list for batch mode (see -list)")
 	src := flag.String("src", "", "ULP430 assembly file to analyze")
-	list := flag.Bool("list", false, "list built-in benchmarks")
+	list := flag.Bool("list", false, "list the target's built-in benchmarks")
+	listTargets := flag.Bool("list-targets", false, "list registered design points")
+	target := flag.String("target", peakpower.DefaultTarget, "design point to analyze (see -list-targets)")
 	coi := flag.Int("coi", 4, "cycles of interest to report")
 	trace := flag.Bool("trace", false, "print the per-cycle peak power trace")
-	dumpNetlist := flag.String("dump-netlist", "", "write the ULP430 gate-level netlist as structural Verilog and exit")
+	jsonOut := flag.Bool("json", false, "emit the serialized Report (JSON) instead of text")
+	dumpNetlist := flag.String("dump-netlist", "", "write the gate-level netlist as structural Verilog and exit")
 	maxCycles := flag.Int("max-cycles", 2_000_000, "symbolic exploration cycle budget")
 	timeout := flag.Duration("timeout", 0, "abort analysis after this long (0 = no limit)")
 	progress := flag.Bool("progress", false, "report exploration progress on stderr")
@@ -53,9 +61,9 @@ func main() {
 	engine := flag.String("engine", "packed", "gate-level engine: packed (fast) or scalar (reference oracle)")
 	flag.Parse()
 
-	if *list {
-		for _, b := range peakpower.Benchmarks() {
-			fmt.Printf("%-10s %-16s %s\n", b.Name, b.Suite, b.Desc)
+	if *listTargets {
+		for _, t := range peakpower.Targets() {
+			fmt.Printf("%-14s %s\n", t.Name, t.Description)
 		}
 		return
 	}
@@ -94,8 +102,23 @@ func main() {
 		}, 0))
 	}
 
-	an, err := peakpower.New(opts...)
+	// Listing needs no netlist: resolve the suite straight off the registry.
+	if *list {
+		benches, err := peakpower.TargetBenchmarks(*target)
+		if err != nil {
+			fatal(exitUsage, err)
+		}
+		for _, b := range benches {
+			fmt.Printf("%-10s %-16s %s\n", b.Name, b.Suite, b.Desc)
+		}
+		return
+	}
+
+	an, err := peakpower.NewFor(ctx, *target, opts...)
 	if err != nil {
+		if errors.Is(err, peakpower.ErrUnknownTarget) {
+			fatal(exitUsage, err)
+		}
 		fatal(exitAnalysis, err)
 	}
 
@@ -118,13 +141,13 @@ func main() {
 
 	switch {
 	case *benchName != "" && strings.Contains(*benchName, ","):
-		analyzeBatch(ctx, an, strings.Split(*benchName, ","), callOpts)
+		analyzeBatch(ctx, an, strings.Split(*benchName, ","), callOpts, *jsonOut)
 	case *benchName != "":
 		res, err := an.AnalyzeBench(ctx, *benchName, callOpts...)
 		if err != nil {
 			fatal(classify(err), err)
 		}
-		report(an, res, *coi, *trace)
+		report(res, *coi, *trace, *jsonOut)
 	case *src != "":
 		text, err := os.ReadFile(*src)
 		if err != nil {
@@ -134,16 +157,16 @@ func main() {
 		if err != nil {
 			fatal(classify(err), err)
 		}
-		report(an, res, *coi, *trace)
+		report(res, *coi, *trace, *jsonOut)
 	default:
-		fatal(exitUsage, fmt.Errorf("need -bench or -src (or -list / -dump-netlist)"))
+		fatal(exitUsage, fmt.Errorf("need -bench or -src (or -list / -list-targets / -dump-netlist)"))
 	}
 }
 
 // classify maps an analysis error to the command's exit code.
 func classify(err error) int {
 	switch {
-	case errors.Is(err, peakpower.ErrUnknownBench):
+	case errors.Is(err, peakpower.ErrUnknownBench), errors.Is(err, peakpower.ErrUnknownTarget):
 		return exitUsage
 	case errors.Is(err, peakpower.ErrAssemble):
 		return exitAssemble
@@ -152,10 +175,19 @@ func classify(err error) int {
 	}
 }
 
+// printJSON writes a Report (or any JSON-marshalable value) to stdout.
+func printJSON(v interface{}) {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		fatal(exitAnalysis, err)
+	}
+	fmt.Printf("%s\n", data)
+}
+
 // analyzeBatch runs the comma-separated benchmarks concurrently through
-// the shared analyzer, prints a summary table, and reports the combined
-// multi-programmed requirement.
-func analyzeBatch(ctx context.Context, an *peakpower.Analyzer, names []string, callOpts []peakpower.Option) {
+// the shared analyzer, prints a summary table (or a JSON report array),
+// and reports the combined multi-programmed requirement.
+func analyzeBatch(ctx context.Context, an *peakpower.Analyzer, names []string, callOpts []peakpower.Option, jsonOut bool) {
 	var apps []peakpower.App
 	for _, n := range names {
 		if n = strings.TrimSpace(n); n != "" {
@@ -175,6 +207,21 @@ func analyzeBatch(ctx context.Context, an *peakpower.Analyzer, names []string, c
 	if err != nil {
 		fatal(classify(err), err)
 	}
+	comb, err := peakpower.Combine(results...)
+	if err != nil {
+		fatal(exitAnalysis, err)
+	}
+	if jsonOut {
+		reports := make([]*peakpower.Report, len(results))
+		for i, r := range results {
+			reports[i] = &r.Report
+		}
+		printJSON(struct {
+			Reports  []*peakpower.Report `json:"reports"`
+			Combined *peakpower.Report   `json:"combined"`
+		}{reports, &comb.Report})
+		return
+	}
 	fmt.Printf("%-12s %12s %14s %16s %8s %10s\n",
 		"application", "peak (mW)", "energy (J)", "NPE (J/cycle)", "paths", "elapsed")
 	for _, r := range results {
@@ -182,16 +229,17 @@ func analyzeBatch(ctx context.Context, an *peakpower.Analyzer, names []string, c
 			r.App, r.PeakPowerMW, r.PeakEnergyJ, r.NPEJPerCycle, r.Paths,
 			r.Elapsed.Round(time.Millisecond))
 	}
-	comb, err := peakpower.Combine(results...)
-	if err != nil {
-		fatal(exitAnalysis, err)
-	}
 	fmt.Printf("\ncombined multi-programmed requirement: %.3f mW, %.3e J (%d apps, wall %s)\n",
 		comb.PeakPowerMW, comb.PeakEnergyJ, len(results), time.Since(start).Round(time.Millisecond))
 }
 
-func report(an *peakpower.Analyzer, res *peakpower.Result, coi int, trace bool) {
+func report(res *peakpower.Result, coi int, trace bool, jsonOut bool) {
+	if jsonOut {
+		printJSON(&res.Report)
+		return
+	}
 	fmt.Printf("application:          %s\n", res.App)
+	fmt.Printf("target:               %s\n", res.Target)
 	fmt.Printf("operating point:      %s @ %.0f MHz\n", res.Library, res.ClockHz/1e6)
 	fmt.Printf("peak power bound:     %.3f mW (guaranteed for all inputs)\n", res.PeakPowerMW)
 	fmt.Printf("peak energy bound:    %.3e J over %.0f cycles\n", res.PeakEnergyJ, res.BoundingCycles)
@@ -222,8 +270,8 @@ func report(an *peakpower.Analyzer, res *peakpower.Result, coi int, trace bool) 
 		fmt.Println()
 	}
 
-	fmt.Printf("\npotentially-toggled gates: %d of %d\n", res.ActiveGates(), len(res.UnionActive))
-	by := c2sorted(an.ActiveByModule(res.UnionActive))
+	fmt.Printf("\npotentially-toggled gates: %d of %d\n", res.ActiveGates, res.TotalGates)
+	by := c2sorted(res.ActiveByModule)
 	for _, kv := range by {
 		fmt.Printf("  %-16s %d\n", kv.k, kv.v)
 	}

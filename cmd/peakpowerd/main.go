@@ -1,0 +1,318 @@
+// Command peakpowerd serves the co-analysis over HTTP: clients POST an
+// application (a built-in benchmark name or assembly source) plus options
+// and receive the serialized, versioned peakpower.Report. Analyses are
+// content-addressed-cached across requests — repeated analyses of the same
+// image and options are served without re-exploration — and the server
+// handles concurrent requests against shared per-target analyzers (the
+// netlist is built once per design point).
+//
+// Usage:
+//
+//	peakpowerd [-addr :8090] [-cache 256] [-timeout 2m]
+//
+// Endpoints:
+//
+//	GET  /healthz        liveness + cache statistics
+//	GET  /v1/targets     registered design points
+//	GET  /v1/benchmarks  benchmark suite (?target=..., default ulp430)
+//	POST /v1/analyze     run (or serve from cache) one analysis
+//
+// POST /v1/analyze request body:
+//
+//	{
+//	  "target":  "ulp430",          // optional, default "ulp430"
+//	  "bench":   "mult",            // either a built-in benchmark...
+//	  "source":  "...", "name": "app",  // ...or assembly source + name
+//	  "options": {                  // all optional
+//	    "max_cycles": 0, "max_nodes": 0, "coi": 0,
+//	    "clock_hz": 0, "engine": "packed", "timeout_ms": 0
+//	  }
+//	}
+//
+// The response is the Report's canonical JSON — bit-identical to an
+// in-process Analyze of the same target, application, and options.
+// Failures return {"error": "..."} with a classifying status code:
+// 400 (malformed request), 404 (unknown target or benchmark),
+// 422 (assembly failure or exhausted exploration budget),
+// 504 (deadline), 500 (other analysis failures).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/peakpower"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "listen address")
+	cacheSize := flag.Int("cache", 256, "analysis cache capacity in reports (0 = unbounded)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request analysis deadline cap")
+	flag.Parse()
+
+	srv := newServer(*cacheSize, *timeout)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("peakpowerd: listening on %s (%d targets, cache %d)",
+		*addr, len(peakpower.Targets()), *cacheSize)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("peakpowerd: %v", err)
+	case <-ctx.Done():
+		log.Printf("peakpowerd: shutting down")
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shCtx); err != nil {
+			log.Fatalf("peakpowerd: shutdown: %v", err)
+		}
+	}
+}
+
+// server holds the shared analysis state: one lazily built Analyzer per
+// registered target and one content-addressed report cache across all of
+// them. All fields are safe for concurrent request handling.
+type server struct {
+	cache   *peakpower.Cache
+	timeout time.Duration
+
+	mu        sync.Mutex
+	analyzers map[string]*analyzerEntry
+}
+
+// analyzerEntry builds one target's analyzer exactly once, outside the
+// server mutex, so a cold target's netlist construction never stalls
+// requests for targets that are already built.
+type analyzerEntry struct {
+	once sync.Once
+	an   *peakpower.Analyzer
+	err  error
+}
+
+func newServer(cacheSize int, timeout time.Duration) *server {
+	return &server{
+		cache:     peakpower.NewCache(cacheSize),
+		timeout:   timeout,
+		analyzers: make(map[string]*analyzerEntry),
+	}
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/targets", s.handleTargets)
+	mux.HandleFunc("/v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	return mux
+}
+
+// analyzer returns (building on first use) the shared Analyzer for a
+// target. Only the map access holds the lock; the netlist build runs
+// under the entry's once, per target. A failed build is retried on the
+// next request (the entry is dropped) so a transient failure does not
+// pin an error forever.
+func (s *server) analyzer(ctx context.Context, target string) (*peakpower.Analyzer, error) {
+	s.mu.Lock()
+	e, ok := s.analyzers[target]
+	if !ok {
+		e = &analyzerEntry{}
+		s.analyzers[target] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		e.an, e.err = peakpower.NewFor(ctx, target, peakpower.WithCache(s.cache))
+	})
+	if e.err != nil {
+		s.mu.Lock()
+		if s.analyzers[target] == e {
+			delete(s.analyzers, target)
+		}
+		s.mu.Unlock()
+		return nil, e.err
+	}
+	return e.an, nil
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status  string               `json:"status"`
+		Targets int                  `json:"targets"`
+		Cache   peakpower.CacheStats `json:"cache"`
+	}{"ok", len(peakpower.Targets()), s.cache.Stats()})
+}
+
+func (s *server) handleTargets(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	writeJSON(w, http.StatusOK, peakpower.Targets())
+}
+
+func (s *server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	target := r.URL.Query().Get("target")
+	if target == "" {
+		target = peakpower.DefaultTarget
+	}
+	infos, err := peakpower.TargetBenchmarks(target)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+// analyzeRequest is the POST /v1/analyze body.
+type analyzeRequest struct {
+	Target  string         `json:"target,omitempty"`
+	Bench   string         `json:"bench,omitempty"`
+	Name    string         `json:"name,omitempty"`
+	Source  string         `json:"source,omitempty"`
+	Options analyzeOptions `json:"options"`
+}
+
+// analyzeOptions mirrors the peakpower functional options a client may
+// override per request; zero values keep the target's defaults.
+type analyzeOptions struct {
+	MaxCycles int     `json:"max_cycles,omitempty"`
+	MaxNodes  int     `json:"max_nodes,omitempty"`
+	COI       int     `json:"coi,omitempty"`
+	ClockHz   float64 `json:"clock_hz,omitempty"`
+	Engine    string  `json:"engine,omitempty"`
+	TimeoutMS int     `json:"timeout_ms,omitempty"`
+}
+
+func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	var req analyzeRequest
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
+		return
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	if (req.Bench == "") == (req.Source == "") {
+		writeError(w, http.StatusBadRequest, fmt.Errorf(`exactly one of "bench" or "source" must be set`))
+		return
+	}
+	target := req.Target
+	if target == "" {
+		target = peakpower.DefaultTarget
+	}
+
+	timeout := s.timeout
+	if ms := req.Options.TimeoutMS; ms > 0 && time.Duration(ms)*time.Millisecond < timeout {
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	an, err := s.analyzer(ctx, target)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	var opts []peakpower.Option
+	o := req.Options
+	if o.MaxCycles > 0 {
+		opts = append(opts, peakpower.WithMaxCycles(o.MaxCycles))
+	}
+	if o.MaxNodes > 0 {
+		opts = append(opts, peakpower.WithMaxNodes(o.MaxNodes))
+	}
+	if o.COI > 0 {
+		opts = append(opts, peakpower.WithCOI(o.COI))
+	}
+	if o.ClockHz > 0 {
+		opts = append(opts, peakpower.WithClockHz(o.ClockHz))
+	}
+	if o.Engine != "" {
+		eng, err := peakpower.ParseEngine(o.Engine)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		opts = append(opts, peakpower.WithEngine(eng))
+	}
+
+	var res *peakpower.Result
+	if req.Bench != "" {
+		res, err = an.AnalyzeBench(ctx, req.Bench, opts...)
+	} else {
+		name := req.Name
+		if name == "" {
+			name = "app"
+		}
+		res, err = an.Analyze(ctx, name, req.Source, opts...)
+	}
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	data, err := res.Report.MarshalJSON()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(data)
+}
+
+// statusFor classifies an analysis error into an HTTP status.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, peakpower.ErrUnknownTarget), errors.Is(err, peakpower.ErrUnknownBench):
+		return http.StatusNotFound
+	case errors.Is(err, peakpower.ErrAssemble),
+		errors.Is(err, peakpower.ErrCycleBudget),
+		errors.Is(err, peakpower.ErrNodeBudget):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}

@@ -1,0 +1,246 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/peakpower"
+)
+
+// testApp is a small input-dependent kernel: fast to analyze, but it forks
+// (cmp/jl on an input), so a served analysis exercises the full pipeline.
+const testApp = `
+.org 0x0200
+sensor: .input 2
+result: .space 1
+
+.org 0xf000
+.entry main
+main:
+    mov #0x0080, &0x0120
+    mov #0x0a00, sp
+    mov &sensor, r4
+    add &sensor+2, r4
+    cmp #100, r4
+    jl small
+    rra r4
+small:
+    mov r4, &result
+    mov #1, &0x0126
+halt:
+    jmp halt
+`
+
+func newTestServer(t *testing.T) (*httptest.Server, *server) {
+	t.Helper()
+	srv := newServer(64, time.Minute)
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return ts, srv
+}
+
+func get(t *testing.T, url string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body
+}
+
+func post(t *testing.T, url, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, data
+}
+
+func TestHealthzAndListings(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	code, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+	var health struct {
+		Status  string `json:"status"`
+		Targets int    `json:"targets"`
+	}
+	if err := json.Unmarshal(body, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Targets < 3 {
+		t.Fatalf("health: %+v", health)
+	}
+
+	code, body = get(t, ts.URL+"/v1/targets")
+	if code != http.StatusOK {
+		t.Fatalf("targets: %d %s", code, body)
+	}
+	var targets []peakpower.TargetInfo
+	if err := json.Unmarshal(body, &targets); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, ti := range targets {
+		names[ti.Name] = true
+	}
+	for _, want := range []string{"ulp430", "ulp430-sized", "ulp430-gated"} {
+		if !names[want] {
+			t.Fatalf("targets missing %q: %v", want, names)
+		}
+	}
+
+	code, body = get(t, ts.URL+"/v1/benchmarks?target=ulp430")
+	if code != http.StatusOK {
+		t.Fatalf("benchmarks: %d %s", code, body)
+	}
+	var benches []peakpower.BenchInfo
+	if err := json.Unmarshal(body, &benches); err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) < 10 {
+		t.Fatalf("expected the Table 4.1 suite, got %d entries", len(benches))
+	}
+
+	if code, _ := get(t, ts.URL+"/v1/benchmarks?target=nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown target: want 404, got %d", code)
+	}
+}
+
+// TestAnalyzeBitIdenticalAndConcurrent is the service's core contract:
+// concurrent requests return Reports bit-identical to an in-process
+// Analyze of the same target/application/options, and repeats are served
+// from the cache without re-exploration.
+func TestAnalyzeBitIdenticalAndConcurrent(t *testing.T) {
+	ts, srv := newTestServer(t)
+
+	// The in-process reference, under identical resolved options.
+	an, err := peakpower.NewFor(context.Background(), "ulp430")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := an.Analyze(context.Background(), "served", testApp,
+		peakpower.WithMaxCycles(100_000), peakpower.WithCOI(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Report.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reqBody := `{"target":"ulp430","name":"served","source":` + mustJSON(testApp) + `,
+		"options":{"max_cycles":100000,"coi":4}}`
+
+	const clients = 8
+	bodies := make([][]byte, clients)
+	var wg sync.WaitGroup
+	wg.Add(clients)
+	for i := 0; i < clients; i++ {
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", strings.NewReader(reqBody))
+			if err != nil {
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return
+			}
+			bodies[i], _ = io.ReadAll(resp.Body)
+		}(i)
+	}
+	wg.Wait()
+	for i, body := range bodies {
+		if !bytes.Equal(body, want) {
+			t.Fatalf("client %d: served report differs from in-process analysis:\nserved: %.200s\nlocal:  %.200s", i, body, want)
+		}
+	}
+
+	// Every response decodes as a valid sealed Report.
+	rep, err := peakpower.DecodeReport(bodies[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != peakpower.SchemaVersion || rep.Target != "ulp430" || rep.App != "served" {
+		t.Fatalf("report: %+v", rep)
+	}
+
+	// The 8 identical requests hit the analysis cache: at most one miss.
+	stats := srv.cache.Stats()
+	if stats.Misses != 1 || stats.Hits < clients-1 {
+		t.Fatalf("cache stats: %+v (want 1 miss, >=%d hits)", stats, clients-1)
+	}
+}
+
+func TestAnalyzeBenchAndErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	code, body := post(t, ts.URL+"/v1/analyze", `{"bench":"mult"}`)
+	if code != http.StatusOK {
+		t.Fatalf("bench analyze: %d %s", code, body)
+	}
+	rep, err := peakpower.DecodeReport(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.App != "mult" || rep.PeakPowerMW <= 0 {
+		t.Fatalf("report: app=%q peak=%g", rep.App, rep.PeakPowerMW)
+	}
+
+	cases := []struct {
+		body string
+		want int
+	}{
+		{`not json`, http.StatusBadRequest},
+		{`{}`, http.StatusBadRequest},
+		{`{"bench":"mult","source":"x"}`, http.StatusBadRequest},
+		{`{"bench":"nosuch"}`, http.StatusNotFound},
+		{`{"target":"nosuch","bench":"mult"}`, http.StatusNotFound},
+		{`{"name":"bad","source":"not an instruction"}`, http.StatusUnprocessableEntity},
+		{`{"bench":"mult","options":{"max_cycles":50}}`, http.StatusUnprocessableEntity},
+		{`{"bench":"mult","options":{"engine":"quantum"}}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		code, body := post(t, ts.URL+"/v1/analyze", tc.body)
+		if code != tc.want {
+			t.Errorf("POST %q: status %d, want %d (%s)", tc.body, code, tc.want, body)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+			t.Errorf("POST %q: error body not structured: %s", tc.body, body)
+		}
+	}
+}
+
+func mustJSON(s string) string {
+	data, err := json.Marshal(s)
+	if err != nil {
+		panic(fmt.Sprintf("marshal: %v", err))
+	}
+	return string(data)
+}

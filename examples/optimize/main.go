@@ -17,7 +17,11 @@ import (
 
 func main() {
 	ctx := context.Background()
-	analyzer, err := peakpower.New()
+	// A content-addressed cache makes iterative optimize-and-re-analyze
+	// loops cheap: re-analyzing an unchanged binary is served instantly.
+	cache := peakpower.NewCache(16)
+	analyzer, err := peakpower.NewFor(ctx, peakpower.DefaultTarget,
+		peakpower.WithCache(cache))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,6 +65,15 @@ func main() {
 		100*(1-after.PeakPowerMW/before.PeakPowerMW),
 		ov.PerfDegradationPct,
 		100*(after.PeakEnergyJ/before.PeakEnergyJ-1))
+
+	// Re-checking the baseline costs nothing: the analysis cache serves
+	// the identical image+options from memory.
+	if _, err := analyzer.AnalyzeBench(ctx, "mult"); err != nil {
+		log.Fatal(err)
+	}
+	st := cache.Stats()
+	fmt.Printf("cache: %d analyses stored, %d served without re-exploration\n",
+		st.Entries, st.Hits)
 }
 
 func topModule(byModule map[string]float64) string {

@@ -6,6 +6,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"log"
 
@@ -53,4 +54,17 @@ func main() {
 	best := res.Attribution()[0]
 	fmt.Printf("hottest cycle: %.3f mW during %s in state %s\n",
 		best.PowerMW, best.Instr, best.State)
+
+	// Every result embeds a versioned, serializable Report: persist it,
+	// diff it across runs, or serve it (see cmd/peakpowerd). The content
+	// hash makes reports comparable by identity. Results are read-only, so
+	// trim a copy for the short demo output.
+	rep := res.Report
+	rep.PeakTrace = nil
+	rep.Seal()
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nserialized report:\n%s\n", data)
 }

@@ -65,4 +65,22 @@ func main() {
 	node := sizing.Reference()
 	fmt.Printf("\nreference node (32.6 cm2 harvester): saves %.2f cm2 of solar cell\n",
 		node.HarvesterSavingCM2(prof.GuardbandedPeakMW, req.PeakPowerMW))
+
+	// Chapter 5: sweep the registered design points (standard, down-sized,
+	// power-gated) and re-size the harvester for each — the target registry
+	// makes a design-space sweep a loop over Targets().
+	fmt.Printf("\ndesign-point sweep (indoor PV harvester area for %s):\n", b.Name)
+	for _, ti := range peakpower.Targets() {
+		an, err := peakpower.NewFor(context.Background(), ti.Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := an.AnalyzeBench(context.Background(), "tHold")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-14s %-12s peak %.3f mW -> %.1f cm2\n",
+			ti.Name, r.Library, r.PeakPowerMW,
+			sizing.HarvesterAreaCM2(r.PeakPowerMW, indoor))
+	}
 }

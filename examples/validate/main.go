@@ -16,7 +16,7 @@ import (
 
 func main() {
 	ctx := context.Background()
-	analyzer, err := peakpower.New()
+	analyzer, err := peakpower.NewFor(ctx, peakpower.DefaultTarget)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -25,7 +25,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("X-based analysis of %s: %d potentially-toggled gates, peak %.3f mW\n",
-		req.App, req.ActiveGates(), req.PeakPowerMW)
+		req.App, req.ActiveGates, req.PeakPowerMW)
 
 	img := req.Image()
 	r := rand.New(rand.NewSource(7))
@@ -34,7 +34,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		run, err := analyzer.RunConcrete(ctx, img, inputs, nil, 1_000_000)
+		// RunConcrete honors the same progress/cancellation options as the
+		// symbolic analyses (a large interval keeps this demo quiet).
+		run, err := analyzer.RunConcrete(ctx, img, inputs, nil, 1_000_000,
+			peakpower.WithProgressEvery(500_000))
 		if err != nil {
 			log.Fatal(err)
 		}

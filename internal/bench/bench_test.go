@@ -1,10 +1,11 @@
-package bench
+package bench_test
 
 import (
 	"math/rand"
 	"sync"
 	"testing"
 
+	"repro/internal/bench"
 	"repro/internal/cell"
 	"repro/internal/energy"
 	"repro/internal/isim"
@@ -36,21 +37,21 @@ func model() power.Model { return power.Model{Lib: cell.ULP65(), ClockHz: 100e6}
 func TestSuiteInventory(t *testing.T) {
 	want := []string{"autoCorr", "binSearch", "FFT", "intFilt", "mult", "PI",
 		"tea8", "tHold", "div", "inSort", "rle", "intAVG", "ConvEn", "Viterbi"}
-	got := Names()
+	got := bench.Names()
 	if len(got) != 14 {
 		t.Fatalf("suite has %d benchmarks, want 14", len(got))
 	}
 	for _, name := range want {
-		if ByName(name) == nil {
+		if bench.ByName(name) == nil {
 			t.Errorf("missing benchmark %s", name)
 		}
 	}
-	if ByName("nope") != nil {
+	if bench.ByName("nope") != nil {
 		t.Error("ByName should return nil for unknown")
 	}
 	// Table 4.1 grouping.
 	groups := map[string]int{}
-	for _, b := range All() {
+	for _, b := range bench.All() {
 		groups[b.Suite]++
 	}
 	if groups["Embedded Sensor"] != 9 || groups["EEMBC"] != 4 || groups["Control Systems"] != 1 {
@@ -59,7 +60,7 @@ func TestSuiteInventory(t *testing.T) {
 }
 
 func TestAllAssemble(t *testing.T) {
-	for _, b := range All() {
+	for _, b := range bench.All() {
 		if _, err := b.Image(); err != nil {
 			t.Errorf("%s: %v", b.Name, err)
 		}
@@ -68,7 +69,7 @@ func TestAllAssemble(t *testing.T) {
 
 // runISS runs a benchmark on the reference simulator with one drawn
 // input set.
-func runISS(t *testing.T, b *Benchmark, seed int64) *isim.Machine {
+func runISS(t *testing.T, b *bench.Benchmark, seed int64) *isim.Machine {
 	t.Helper()
 	img, err := b.Image()
 	if err != nil {
@@ -89,7 +90,7 @@ func runISS(t *testing.T, b *Benchmark, seed int64) *isim.Machine {
 }
 
 func TestAllRunOnISS(t *testing.T) {
-	for _, b := range All() {
+	for _, b := range bench.All() {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
 			for seed := int64(1); seed <= 3; seed++ {
@@ -105,7 +106,7 @@ func TestAllRunOnISS(t *testing.T) {
 // Functional spot checks of benchmark semantics on the ISS.
 func TestKernelSemantics(t *testing.T) {
 	t.Run("binSearch finds present key", func(t *testing.T) {
-		img, _ := ByName("binSearch").Image()
+		img, _ := bench.ByName("binSearch").Image()
 		m, _ := isim.New(img, []uint16{42})
 		if err := m.Run(100000); err != nil {
 			t.Fatal(err)
@@ -115,7 +116,7 @@ func TestKernelSemantics(t *testing.T) {
 		}
 	})
 	t.Run("binSearch misses absent key", func(t *testing.T) {
-		img, _ := ByName("binSearch").Image()
+		img, _ := bench.ByName("binSearch").Image()
 		m, _ := isim.New(img, []uint16{43})
 		if err := m.Run(100000); err != nil {
 			t.Fatal(err)
@@ -125,7 +126,7 @@ func TestKernelSemantics(t *testing.T) {
 		}
 	})
 	t.Run("mult computes dot product", func(t *testing.T) {
-		img, _ := ByName("mult").Image()
+		img, _ := bench.ByName("mult").Image()
 		m, _ := isim.New(img, []uint16{2, 3, 4, 5, 10, 20, 30, 40})
 		if err := m.Run(100000); err != nil {
 			t.Fatal(err)
@@ -138,7 +139,7 @@ func TestKernelSemantics(t *testing.T) {
 		}
 	})
 	t.Run("inSort sorts", func(t *testing.T) {
-		img, _ := ByName("inSort").Image()
+		img, _ := bench.ByName("inSort").Image()
 		m, _ := isim.New(img, []uint16{900, 12, 550, 12})
 		if err := m.Run(100000); err != nil {
 			t.Fatal(err)
@@ -152,7 +153,7 @@ func TestKernelSemantics(t *testing.T) {
 		}
 	})
 	t.Run("div divides", func(t *testing.T) {
-		img, _ := ByName("div").Image()
+		img, _ := bench.ByName("div").Image()
 		// Dividend's high 8 bits get divided (8 quotient steps over a
 		// left-shifting register): 0xC800>>8 = 200, 200/9 = 22 rem 2.
 		m, _ := isim.New(img, []uint16{0xC800, 9})
@@ -167,7 +168,7 @@ func TestKernelSemantics(t *testing.T) {
 		}
 	})
 	t.Run("rle encodes runs", func(t *testing.T) {
-		img, _ := ByName("rle").Image()
+		img, _ := bench.ByName("rle").Image()
 		m, _ := isim.New(img, []uint16{7, 7, 7, 2, 2, 9})
 		if err := m.Run(100000); err != nil {
 			t.Fatal(err)
@@ -184,7 +185,7 @@ func TestKernelSemantics(t *testing.T) {
 		}
 	})
 	t.Run("intAVG averages", func(t *testing.T) {
-		img, _ := ByName("intAVG").Image()
+		img, _ := bench.ByName("intAVG").Image()
 		m, _ := isim.New(img, []uint16{8, 16, 24, 32, 40, 48, 56, 64})
 		if err := m.Run(100000); err != nil {
 			t.Fatal(err)
@@ -194,7 +195,7 @@ func TestKernelSemantics(t *testing.T) {
 		}
 	})
 	t.Run("tHold counts exceedances", func(t *testing.T) {
-		img, _ := ByName("tHold").Image()
+		img, _ := bench.ByName("tHold").Image()
 		m, _ := isim.New(img, nil)
 		seq := []uint16{50, 0x150, 0x200, 10, 0x300} // wait x1, cross, then 2 of 3 above
 		i := 0
@@ -207,7 +208,7 @@ func TestKernelSemantics(t *testing.T) {
 		}
 	})
 	t.Run("ConvEn encodes known vector", func(t *testing.T) {
-		img, _ := ByName("ConvEn").Image()
+		img, _ := bench.ByName("ConvEn").Image()
 		m, _ := isim.New(img, []uint16{0x0001}) // single 1 bit then zeros
 		if err := m.Run(100000); err != nil {
 			t.Fatal(err)
@@ -225,7 +226,7 @@ func TestKernelSemantics(t *testing.T) {
 // TestGateLevelDifferential runs every benchmark on both the reference
 // simulator and the gate-level system and compares architectural results.
 func TestGateLevelDifferential(t *testing.T) {
-	for _, b := range All() {
+	for _, b := range bench.All() {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
 			img, err := b.Image()
@@ -276,7 +277,7 @@ func TestGateLevelDifferential(t *testing.T) {
 }
 
 // Explore runs symbolic analysis on a benchmark and returns tree + sink.
-func exploreBench(t *testing.T, b *Benchmark) (*symx.Tree, *power.Sink) {
+func exploreBench(t *testing.T, b *bench.Benchmark) (*symx.Tree, *power.Sink) {
 	t.Helper()
 	img, err := b.Image()
 	if err != nil {
@@ -299,7 +300,7 @@ func exploreBench(t *testing.T, b *Benchmark) (*symx.Tree, *power.Sink) {
 // the X-based peak power bounds every observed input-based peak, and the
 // X-based potentially-toggled set contains every concretely-toggled set.
 func TestSymbolicAnalysisAllBenchmarks(t *testing.T) {
-	for _, b := range All() {
+	for _, b := range bench.All() {
 		b := b
 		t.Run(b.Name, func(t *testing.T) {
 			if testing.Short() && (b.Name == "div" || b.Name == "inSort" || b.Name == "Viterbi") {

@@ -383,11 +383,11 @@ func (c *Config) Fig36() ([]power.Peak, error) {
 	c.printf("Figure 3.6 — mult cycles of interest (instruction + module attribution)\n")
 	c.printf("%6s %8s %-8s %-6s  per-module mW\n", "cycle", "mW", "instr", "state")
 	img, _ := bench.ByName("mult").Image()
-	n := len(r.COIs)
+	n := len(r.Peaks)
 	if n > 4 {
 		n = 4
 	}
-	for _, pk := range r.COIs[:n] {
+	for _, pk := range r.Peaks[:n] {
 		c.printf("%6d %8.3f %-8s %-6s ", pk.PathPos, pk.PowerMW, isa.Mnemonic(img, pk.FetchAddr), pk.State)
 		for mi, mw := range pk.ByModuleMW {
 			if mw > 0.05 {
@@ -396,7 +396,7 @@ func (c *Config) Fig36() ([]power.Peak, error) {
 		}
 		c.printf("\n")
 	}
-	return r.COIs, nil
+	return r.Peaks, nil
 }
 
 // Fig41Row is one benchmark's concrete peak/NPE statistics at the

@@ -1,0 +1,25 @@
+package opt
+
+import (
+	"repro/internal/cell"
+	"repro/internal/ulp430"
+)
+
+// GatedTarget returns the power-gated ULP430 design point — the design-side
+// counterpart of this package's software transforms. The COI attribution
+// identifies which modules drive the peaks (the multiplier array above all);
+// Section 5's optimization discussion gates the idle ones behind sleep
+// transistors. The variant models the gated core as a scaled library:
+// leakage collapses to 0.35x (sleep transistors cut the idle-module leakage
+// floor) at a 1.03x per-transition energy overhead for the gating network.
+//
+// It satisfies peakpower.Target (structurally), so sweeping
+// "ulp430" vs "ulp430-gated" quantifies what gating buys for the Type 1-3
+// system sizing of package sizing.
+func GatedTarget() *ulp430.DesignVariant {
+	lib := cell.ULP65().Scaled(1.03, 0.35)
+	lib.Name = "ULP65-pg"
+	return ulp430.NewDesignVariant("ulp430-gated",
+		"power-gated ULP430: sleep-transistor gating of idle modules (0.35x leakage, 1.03x transition energy) @ 100 MHz",
+		lib, 100e6)
+}

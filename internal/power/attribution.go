@@ -1,0 +1,48 @@
+package power
+
+import "repro/internal/isa"
+
+// Resolved is a Peak with every internal index resolved to a stable,
+// human-readable name: instruction mnemonics instead of image addresses and
+// module names instead of module-table indices. It is the exported-safe
+// form of a cycle of interest — free of netlist cell IDs and module-table
+// positions, so it can be serialized, persisted, and compared across
+// processes and runs (the public Report's COI representation converts
+// directly from it).
+type Resolved struct {
+	// Cycle is the cycle's position along its exploration path.
+	Cycle int
+	// PowerMW is the cycle's bounded power.
+	PowerMW float64
+	// Instr is the mnemonic of the instruction in flight; PrevInstr the
+	// one before it.
+	Instr string
+	// PrevInstr is the mnemonic of the preceding instruction.
+	PrevInstr string
+	// State is the controller state name at the peak.
+	State string
+	// ByModuleMW is the per-module power split, keyed by module name.
+	ByModuleMW map[string]float64
+}
+
+// Resolve renders the peak's attribution with instruction mnemonics and
+// named module splits. modules indexes ByModuleMW (Netlist.Modules order);
+// a nil img renders mnemonics as "?".
+func (pk Peak) Resolve(modules []string, img *isa.Image) Resolved {
+	r := Resolved{
+		Cycle:      pk.PathPos,
+		PowerMW:    pk.PowerMW,
+		Instr:      "?",
+		PrevInstr:  "?",
+		State:      pk.State,
+		ByModuleMW: make(map[string]float64, len(pk.ByModuleMW)),
+	}
+	if img != nil {
+		r.Instr = isa.Mnemonic(img, pk.FetchAddr)
+		r.PrevInstr = isa.Mnemonic(img, pk.PrevFetch)
+	}
+	for mi, mw := range pk.ByModuleMW {
+		r.ByModuleMW[modules[mi]] = mw
+	}
+	return r
+}

@@ -1,0 +1,26 @@
+package sizing
+
+import (
+	"repro/internal/cell"
+	"repro/internal/ulp430"
+)
+
+// SizedTarget returns the down-sized ULP430 design point of the Chapter 5
+// design-optimization story: once the co-analysis proves the application's
+// peak power is far below the guardbanded worst case, the excess drive
+// strength provisioned for that guardband can be recovered by shrinking
+// cell sizes. The variant models the re-sized core as a scaled library —
+// per-transition and clock-tree energies drop with the smaller devices,
+// leakage drops with gate width — closing timing at a reduced 80 MHz clock.
+//
+// It satisfies peakpower.Target (structurally), so it registers alongside
+// the standard core and the same program can sweep both design points —
+// exactly the harvester/battery re-sizing workflow this package's
+// Tables 5.1/5.2 models quantify.
+func SizedTarget() *ulp430.DesignVariant {
+	lib := cell.ULP65().Scaled(0.82, 0.60)
+	lib.Name = "ULP65-sized"
+	return ulp430.NewDesignVariant("ulp430-sized",
+		"down-sized ULP430: peak-power-driven cell sizing (0.82x transition energy, 0.60x leakage) @ 80 MHz",
+		lib, 80e6)
+}

@@ -84,7 +84,7 @@ func BuildCPU() (*netlist.Netlist, error) {
 	// Register file: R1 (SP) and R4..R15. R0/R2/R3 are architectural
 	// (PC/SR/constant generator).
 	rfRegs := make(map[int]*circuit.Reg)
-	for _, r := range []int{1, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15} {
+	for _, r := range rfRegNums {
 		rfRegs[r] = rf.Reg(regName(r), 16)
 	}
 
@@ -396,8 +396,11 @@ func BuildCPU() (*netlist.Netlist, error) {
 		rf.And(stExec, regWrEXEC),
 		rf.And(stExec, isPushCall))
 	wrDec := rf.Decoder(wrIdx, wrEn)
-	for r, reg := range rfRegs {
-		rf.DriveReg(reg, wrData, netlist.None, wrDec[r])
+	// Fixed register order: map iteration order would vary per process,
+	// permuting cell creation and with it the (order-sensitive, float)
+	// energy summations — netlist builds must be bit-reproducible.
+	for _, r := range rfRegNums {
+		rf.DriveReg(rfRegs[r], wrData, netlist.None, wrDec[r])
 	}
 
 	// --- memory interface registers -------------------------------------------------
@@ -478,6 +481,11 @@ func BuildCPU() (*netlist.Netlist, error) {
 	}
 	return b.N, nil
 }
+
+// rfRegNums lists the register-file registers in the one canonical order
+// both construction and write-port wiring iterate: a single source of
+// truth, and a fixed order so netlist builds stay bit-reproducible.
+var rfRegNums = []int{1, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
 
 func regName(r int) string {
 	return map[int]string{1: "sp_r1", 4: "r4", 5: "r5", 6: "r6", 7: "r7",

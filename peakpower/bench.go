@@ -20,14 +20,38 @@ type BenchInfo struct {
 	MaxCycles int
 }
 
-// Benchmarks lists the built-in suite in the paper's order.
-func Benchmarks() []BenchInfo {
-	all := bench.All()
+// benchInfos converts an internal benchmark list to its public description.
+func benchInfos(all []*bench.Benchmark) []BenchInfo {
 	out := make([]BenchInfo, len(all))
 	for i, b := range all {
 		out[i] = BenchInfo{Name: b.Name, Suite: b.Suite, Desc: b.Desc, MaxCycles: b.MaxCycles}
 	}
 	return out
+}
+
+// Benchmarks lists the built-in suite in the paper's order.
+func Benchmarks() []BenchInfo { return benchInfos(bench.All()) }
+
+// Benchmarks lists the analyzer target's benchmark suite (the names
+// AnalyzeBench accepts on this analyzer).
+func (a *Analyzer) Benchmarks() []BenchInfo {
+	return benchInfos(a.target.Benchmarks())
+}
+
+// targetBenchImage resolves a benchmark from a target's suite and its
+// assembled image. Unknown names wrap ErrUnknownBench.
+func targetBenchImage(t Target, name string) (*bench.Benchmark, *Image, error) {
+	for _, b := range t.Benchmarks() {
+		if b.Name != name {
+			continue
+		}
+		img, err := b.Image()
+		if err != nil {
+			return nil, nil, fmt.Errorf("%w: %v", ErrAssemble, err)
+		}
+		return b, img, nil
+	}
+	return nil, nil, fmt.Errorf("%w: %q on target %s (see Analyzer.Benchmarks)", ErrUnknownBench, name, t.Name())
 }
 
 // benchImage resolves a built-in benchmark and its assembled image.

@@ -1,0 +1,274 @@
+package peakpower
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+const cacheTestApp = `
+.org 0x0200
+v: .input 1
+.org 0xf000
+.entry main
+main:
+    mov #0x0080, &0x0120
+    mov #0x0a00, sp
+    mov &v, r4
+    cmp #10, r4
+    jl done
+    rra r4
+done:
+    mov #1, &0x0126
+spin: jmp spin
+`
+
+// TestCacheServesSecondAnalyze proves the content-addressed cache: a
+// second Analyze of the same image and options returns the first call's
+// Result without re-exploration (same pointer, one miss then hits).
+func TestCacheServesSecondAnalyze(t *testing.T) {
+	cache := NewCache(16)
+	a, err := NewFor(context.Background(), "ulp430", WithCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Assemble("cached", cacheTestApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := a.AnalyzeImage(context.Background(), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := a.AnalyzeImage(context.Background(), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatal("second analysis of identical image+options must be served from the cache")
+	}
+	if st := cache.Stats(); st.Misses != 1 || st.Hits != 1 || st.Entries != 1 {
+		t.Fatalf("stats after hit: %+v", st)
+	}
+
+	// Different resolved options are a different analysis.
+	other, err := a.AnalyzeImage(context.Background(), img, WithClockHz(50e6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other == first {
+		t.Fatal("changed options must not hit the cache")
+	}
+	// Result-invariant options (progress plumbing) still hit.
+	again, err := a.AnalyzeImage(context.Background(), img, WithProgress(func(Progress) {}, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != first {
+		t.Fatal("progress options must not change the cache key")
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("cache entries: %d, want 2", cache.Len())
+	}
+}
+
+// TestCacheContentAddressed: the key is the image content, not its name
+// alone — same name with different code misses; and distinct targets
+// sharing one cache never collide.
+func TestCacheContentAddressed(t *testing.T) {
+	cache := NewCache(0)
+	a, err := NewFor(context.Background(), "ulp430", WithCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img1, err := Assemble("app", cacheTestApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same name, different code.
+	img2, err := Assemble("app", `
+.org 0xf000
+.entry main
+main:
+    mov #0x0080, &0x0120
+    mov #1, &0x0126
+spin: jmp spin
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ImageHash(img1) == ImageHash(img2) {
+		t.Fatal("distinct binaries must hash differently")
+	}
+	r1, err := a.AnalyzeImage(context.Background(), img1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.AnalyzeImage(context.Background(), img2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 == r2 {
+		t.Fatal("same-name different-content images must not share a cache entry")
+	}
+
+	// A second target sharing the cache computes its own result.
+	sized, err := NewFor(context.Background(), "ulp430-sized", WithCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := sized.AnalyzeImage(context.Background(), img1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 || r3.Library == r1.Library {
+		t.Fatalf("targets must not collide in a shared cache: %q vs %q", r3.Library, r1.Library)
+	}
+}
+
+// TestCacheConcurrent hammers one cache entry from many goroutines; run
+// under -race this is the cache's concurrency contract.
+func TestCacheConcurrent(t *testing.T) {
+	cache := NewCache(8)
+	a, err := NewFor(context.Background(), "ulp430", WithCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Assemble("cc", cacheTestApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	results := make([]*Result, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			r, err := a.AnalyzeImage(context.Background(), img)
+			if err == nil {
+				results[i] = r
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, r := range results {
+		if r == nil {
+			t.Fatalf("analysis %d failed", i)
+		}
+		if r.Hash != results[0].Hash {
+			t.Fatalf("analysis %d produced a different report", i)
+		}
+	}
+}
+
+func TestCacheEviction(t *testing.T) {
+	ctx := context.Background()
+	c := NewCache(2)
+	// fill stores a key through the public single-flight path; probe
+	// reports whether a key is resident (its compute must not run on a
+	// hit).
+	fill := func(key string) *Result {
+		r := &Result{}
+		got, err := c.do(ctx, key, func() (*Result, error) { return r, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	resident := func(key string) bool {
+		miss := false
+		if _, err := c.do(ctx, key, func() (*Result, error) {
+			miss = true
+			return &Result{}, nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return !miss
+	}
+	fill("a")
+	fill("b")
+	fill("c") // evicts a (capacity 2)
+	if c.Len() != 2 {
+		t.Fatalf("len %d, want 2", c.Len())
+	}
+	// Hit-probes are harmless; a miss-probe re-inserts its key (evicting
+	// the LRU), so the mutating probe of the evicted key goes last.
+	if !resident("b") || !resident("c") {
+		t.Fatal("recently used entries must survive eviction")
+	}
+	if resident("a") {
+		t.Fatal("oldest entry should have been evicted")
+	}
+	// Recency: probing a re-inserted it ({a,c} remain, b evicted as LRU);
+	// refreshing c then inserting d must evict a, not c.
+	if !resident("c") {
+		t.Fatal("c lost")
+	}
+	fill("d")
+	if !resident("c") || !resident("d") {
+		t.Fatal("LRU should have evicted the stale key, not the refreshed one")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len %d, want 2", c.Len())
+	}
+}
+
+// TestCacheSharesDeterministicFailure: waiters blocked on a failing leader
+// receive the leader's error instead of serially re-running the doomed
+// analysis; cancellation, by contrast, elects a new leader.
+func TestCacheSharesDeterministicFailure(t *testing.T) {
+	ctx := context.Background()
+	c := NewCache(4)
+	boom := errors.New("boom")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var leaderRuns, waiterRuns int32
+	go func() {
+		c.do(ctx, "k", func() (*Result, error) {
+			atomic.AddInt32(&leaderRuns, 1)
+			close(started)
+			<-release
+			return nil, boom
+		})
+	}()
+	<-started
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.do(ctx, "k", func() (*Result, error) {
+				atomic.AddInt32(&waiterRuns, 1)
+				return nil, boom
+			})
+		}(i)
+	}
+	// Give the waiters time to park on the flight, then fail the leader.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("waiter %d: %v", i, err)
+		}
+	}
+	if n := atomic.LoadInt32(&waiterRuns); n != 0 {
+		t.Fatalf("deterministic failure re-ran %d times in waiters", n)
+	}
+
+	// A canceled leader does not poison the key: the next caller recomputes.
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := c.do(ctx, "k2", func() (*Result, error) { return nil, canceled.Err() }); err == nil {
+		t.Fatal("leader must see its own cancellation")
+	}
+	r, err := c.do(ctx, "k2", func() (*Result, error) { return &Result{}, nil })
+	if err != nil || r == nil {
+		t.Fatalf("post-cancellation recompute: %v", err)
+	}
+}

@@ -14,6 +14,9 @@ var (
 	ErrAssemble = errors.New("peakpower: assembly failed")
 	// ErrUnknownBench reports a benchmark name not in the built-in suite.
 	ErrUnknownBench = errors.New("peakpower: unknown benchmark")
+	// ErrUnknownTarget reports a target name with no registered design
+	// point (see Targets and RegisterTarget).
+	ErrUnknownTarget = errors.New("peakpower: unknown target")
 	// ErrCycleBudget reports that symbolic exploration exceeded its
 	// simulated-cycle budget (WithMaxCycles). It is the same value the
 	// exploration engine wraps, so it matches however deep the wrap.

@@ -66,6 +66,7 @@ type config struct {
 	progressEvery int
 	workers       int
 	engine        Engine
+	cache         *Cache
 }
 
 func defaultConfig() config {
@@ -135,15 +136,39 @@ func WithCOI(k int) Option {
 }
 
 // WithProgress registers a callback invoked from the analyzing
-// goroutine roughly every interval cycles (default 8192 when interval
-// <= 0) and once when the analysis finishes. The callback must be fast,
-// and must be safe for concurrent invocation if the option is used with
-// AnalyzeAll or a shared Analyzer.
+// goroutine roughly every interval cycles and once when the analysis
+// finishes. An interval <= 0 leaves the reporting cadence unchanged
+// (the default — 8192 cycles for symbolic exploration, 4096 for
+// RunConcrete — or whatever WithProgressEvery set). The callback must
+// be fast, and must be safe for concurrent invocation if the option is
+// used with AnalyzeAll or a shared Analyzer.
 func WithProgress(fn func(Progress), interval int) Option {
 	return func(c *config) {
 		c.progress = fn
-		c.progressEvery = interval
+		if interval > 0 {
+			c.progressEvery = interval
+		}
 	}
+}
+
+// WithProgressEvery sets the progress-reporting (and cancellation-polling)
+// interval in cycles without replacing the callback registered by
+// WithProgress. Values <= 0 are ignored (the defaults stay: 8192 cycles for
+// symbolic exploration, 4096 for RunConcrete).
+func WithProgressEvery(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.progressEvery = n
+		}
+	}
+}
+
+// WithCache attaches a content-addressed analysis cache: an Analyze* call
+// whose image and resolved options hash to a cached entry returns the
+// cached Result without re-exploration. One Cache may serve many Analyzers
+// concurrently. A nil cache disables caching (the default).
+func WithCache(cache *Cache) Option {
+	return func(c *config) { c.cache = cache }
 }
 
 // WithWorkers sets the AnalyzeAll worker-pool size. Default: GOMAXPROCS.

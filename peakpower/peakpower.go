@@ -29,29 +29,26 @@ func Assemble(name, source string) (*Image, error) {
 	return img, nil
 }
 
-// Analyzer binds the gate-level processor design and the default
-// analysis configuration. It is safe for concurrent use: the netlist is
-// built once and never mutated afterwards; every analysis simulates on
-// its own private state.
+// Analyzer binds one target's gate-level design and the default analysis
+// configuration. It is safe for concurrent use: the netlist is built once
+// and never mutated afterwards; every analysis simulates on its own
+// private state.
 type Analyzer struct {
-	nl  *netlist.Netlist
-	def config
+	nl     *netlist.Netlist
+	target Target
+	def    config
 }
 
-// New builds an Analyzer for the ULP430 processor. Options set the
-// analyzer-wide defaults; every Analyze* method accepts the same
-// options as per-call overrides.
+// New builds an Analyzer for the standard ULP430 processor (DefaultTarget).
+// Options set the analyzer-wide defaults; every Analyze* method accepts the
+// same options as per-call overrides. Use NewFor to analyze a different
+// registered design point.
 func New(opts ...Option) (*Analyzer, error) {
-	cfg := defaultConfig()
-	for _, o := range opts {
-		o(&cfg)
-	}
-	nl, err := ulp430.BuildCPU()
-	if err != nil {
-		return nil, fmt.Errorf("peakpower: building ULP430 netlist: %w", err)
-	}
-	return &Analyzer{nl: nl, def: cfg}, nil
+	return NewFor(context.Background(), DefaultTarget, opts...)
 }
+
+// Target returns the design point this analyzer was built for.
+func (a *Analyzer) Target() Target { return a.target }
 
 // resolve copies the analyzer defaults and applies per-call options.
 func (a *Analyzer) resolve(opts []Option) config {
@@ -87,6 +84,11 @@ func (a *Analyzer) Analyze(ctx context.Context, name, source string, opts ...Opt
 // ctx cancels or bounds the exploration; on cancellation the returned
 // error wraps ctx.Err(). Budget exhaustion wraps ErrCycleBudget or
 // ErrNodeBudget.
+//
+// With WithCache, a previously computed analysis of the same image and
+// resolved options is returned without re-exploration — cache hits share
+// the original *Result and skip progress reporting — and concurrent
+// analyses of the same work single-flight behind one exploration.
 func (a *Analyzer) AnalyzeImage(ctx context.Context, img *Image, opts ...Option) (*Result, error) {
 	cfg := a.resolve(opts)
 	if ctx == nil {
@@ -95,9 +97,25 @@ func (a *Analyzer) AnalyzeImage(ctx context.Context, img *Image, opts ...Option)
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("peakpower: analysis of %s: %w", img.Name, err)
 	}
+	if cfg.cache != nil {
+		res, err := cfg.cache.do(ctx, a.cacheKey(img, cfg), func() (*Result, error) {
+			return a.analyzeImage(ctx, img, cfg)
+		})
+		if err != nil && err == ctx.Err() {
+			// The single-flight wait canceled before any analysis ran;
+			// label it like every other analysis error.
+			err = fmt.Errorf("peakpower: analysis of %s: %w", img.Name, err)
+		}
+		return res, err
+	}
+	return a.analyzeImage(ctx, img, cfg)
+}
+
+// analyzeImage is the cache-independent analysis body.
+func (a *Analyzer) analyzeImage(ctx context.Context, img *Image, cfg config) (*Result, error) {
 	start := time.Now()
 	model := cfg.model()
-	sys, err := ulp430.NewSystemEngine(cfg.engine, a.nl, model.Lib, img, ulp430.SymbolicInputs, nil)
+	sys, err := a.target.NewSystem(cfg.engine, a.nl, model.Lib, img, ulp430.SymbolicInputs, nil)
 	if err != nil {
 		return nil, fmt.Errorf("peakpower: preparing %s: %w", img.Name, err)
 	}
@@ -118,39 +136,55 @@ func (a *Analyzer) AnalyzeImage(ctx context.Context, img *Image, opts ...Option)
 	if err != nil {
 		return nil, fmt.Errorf("peakpower: symbolic analysis of %s: %w", img.Name, err)
 	}
-	res, err := energy.PeakEnergy(tree, img, model.ClockHz)
+	eres, err := energy.PeakEnergy(tree, img, model.ClockHz)
 	if err != nil {
 		return nil, fmt.Errorf("peakpower: peak energy of %s: %w", img.Name, err)
 	}
-	return &Result{
-		App:            img.Name,
-		Library:        model.Lib.Name,
-		ClockHz:        model.ClockHz,
-		Engine:         cfg.engine.String(),
-		PeakPowerMW:    sink.PeakMW(),
-		PeakEnergyJ:    res.EnergyJ,
-		NPEJPerCycle:   res.NPEJPerCycle,
-		BoundingCycles: res.Cycles,
-		PeakTrace:      maxEnergyPathTrace(tree),
-		COIs:           sink.TopK,
-		Best:           sink.Best,
-		UnionActive:    sink.UnionActive,
-		Modules:        sink.Modules(),
-		Paths:          tree.Paths,
-		Nodes:          len(tree.Nodes),
-		SimCycles:      tree.Cycles,
-		Elapsed:        time.Since(start),
-		Tree:           tree,
-		img:            img,
-	}, nil
+	modules := sink.Modules()
+	res := &Result{
+		Report: Report{
+			Schema:         SchemaVersion,
+			Target:         a.target.Name(),
+			App:            img.Name,
+			Library:        model.Lib.Name,
+			FeatureNM:      model.Lib.FeatureNM,
+			ClockHz:        model.ClockHz,
+			Engine:         cfg.engine.String(),
+			PeakPowerMW:    sink.PeakMW(),
+			PeakEnergyJ:    eres.EnergyJ,
+			NPEJPerCycle:   eres.NPEJPerCycle,
+			BoundingCycles: eres.Cycles,
+			PeakTrace:      maxEnergyPathTrace(tree),
+			COIs:           resolveCOIs(sink.TopK, modules, img),
+			TotalGates:     len(sink.UnionActive),
+			ActiveByModule: a.ActiveByModule(sink.UnionActive),
+			Paths:          tree.Paths,
+			Nodes:          len(tree.Nodes),
+			SimCycles:      tree.Cycles,
+		},
+		Peaks:       sink.TopK,
+		Best:        sink.Best,
+		UnionActive: sink.UnionActive,
+		Modules:     modules,
+		Elapsed:     time.Since(start),
+		Tree:        tree,
+		img:         img,
+	}
+	for _, act := range sink.UnionActive {
+		if act {
+			res.ActiveGates++
+		}
+	}
+	res.Seal()
+	return res, nil
 }
 
-// AnalyzeBench runs the co-analysis on a built-in benchmark (see
-// Benchmarks). Unknown names wrap ErrUnknownBench. Unless overridden by
-// WithMaxCycles, the benchmark's calibrated cycle budget (doubled for
-// margin) is used.
+// AnalyzeBench runs the co-analysis on one of the target's built-in
+// benchmarks (see Analyzer.Benchmarks). Unknown names wrap ErrUnknownBench.
+// Unless overridden by WithMaxCycles, the benchmark's calibrated cycle
+// budget (doubled for margin) is used.
 func (a *Analyzer) AnalyzeBench(ctx context.Context, name string, opts ...Option) (*Result, error) {
-	b, img, err := benchImage(name)
+	b, img, err := targetBenchImage(a.target, name)
 	if err != nil {
 		return nil, err
 	}
@@ -203,20 +237,30 @@ func segSum(n *symx.Node) float64 {
 	return s
 }
 
-// concreteCancelEvery is how often (in cycles) RunConcrete polls its
-// context.
+// concreteCancelEvery is the default interval (in cycles) at which
+// RunConcrete polls its context and reports progress; WithProgressEvery
+// (or WithProgress's interval) overrides it.
 const concreteCancelEvery = 4096
 
 // RunConcrete executes the binary with concrete inputs and measures its
 // power — the "input-based" view used for profiling and validation.
 // portIn, when non-nil, supplies P1IN port reads.
+//
+// RunConcrete honors WithProgress / WithProgressEvery: the callback is
+// invoked from the running goroutine every progress interval (default
+// 4096 cycles) with the cycle count, and once when the run finishes; the
+// same interval paces context-cancellation polling.
 func (a *Analyzer) RunConcrete(ctx context.Context, img *Image, inputs []uint16, portIn func() uint16, maxCycles int, opts ...Option) (*ConcreteRun, error) {
 	cfg := a.resolve(opts)
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	pollEvery := cfg.progressEvery
+	if pollEvery <= 0 {
+		pollEvery = concreteCancelEvery
+	}
 	model := cfg.model()
-	sys, err := ulp430.NewSystemEngine(cfg.engine, a.nl, model.Lib, img, ulp430.ConcreteInputs, inputs)
+	sys, err := a.target.NewSystem(cfg.engine, a.nl, model.Lib, img, ulp430.ConcreteInputs, inputs)
 	if err != nil {
 		return nil, fmt.Errorf("peakpower: preparing %s: %w", img.Name, err)
 	}
@@ -224,9 +268,12 @@ func (a *Analyzer) RunConcrete(ctx context.Context, img *Image, inputs []uint16,
 	sink := power.NewSink(sys, model, img, 0)
 	sys.Reset()
 	for c := 0; c < maxCycles && !sys.Halted(); c++ {
-		if c%concreteCancelEvery == 0 {
+		if c%pollEvery == 0 {
 			if err := ctx.Err(); err != nil {
 				return nil, fmt.Errorf("peakpower: concrete run of %s aborted after %d cycles: %w", img.Name, c, err)
+			}
+			if cfg.progress != nil && c > 0 {
+				cfg.progress(Progress{App: img.Name, Cycles: c})
 			}
 		}
 		sys.Step()
@@ -237,6 +284,9 @@ func (a *Analyzer) RunConcrete(ctx context.Context, img *Image, inputs []uint16,
 	}
 	if err := sys.Err(); err != nil {
 		return nil, err
+	}
+	if cfg.progress != nil {
+		cfg.progress(Progress{App: img.Name, Cycles: len(sink.Trace)})
 	}
 	run := &ConcreteRun{
 		PeakMW:      sink.PeakMW(),

@@ -98,6 +98,52 @@ func TestRunConcreteBoundedByAnalyze(t *testing.T) {
 	}
 }
 
+// TestRunConcreteProgressAndCancel: RunConcrete honors the progress
+// options (WithProgress / WithProgressEvery) and polls its context at the
+// same cadence — the callback can cancel a run mid-flight.
+func TestRunConcreteProgressAndCancel(t *testing.T) {
+	a := analyzer(t)
+	img, err := BenchImage("tea8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var snaps []Progress
+	run, err := a.RunConcrete(context.Background(), img, []uint16{1, 2}, nil, 1_000_000,
+		WithProgress(func(p Progress) {
+			mu.Lock()
+			snaps = append(snaps, p)
+			mu.Unlock()
+		}, 0), WithProgressEvery(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) < 2 {
+		t.Fatalf("expected periodic progress from a %d-cycle run, got %d reports", len(run.Trace), len(snaps))
+	}
+	for i, p := range snaps {
+		if p.App != "tea8" {
+			t.Fatalf("progress %d: app %q", i, p.App)
+		}
+		if i > 0 && p.Cycles <= snaps[i-1].Cycles {
+			t.Fatalf("progress cycles not increasing: %d then %d", snaps[i-1].Cycles, p.Cycles)
+		}
+	}
+	// The final report carries the completed cycle count.
+	if last := snaps[len(snaps)-1]; last.Cycles != len(run.Trace) {
+		t.Fatalf("final progress %d != run length %d", last.Cycles, len(run.Trace))
+	}
+
+	// Cancel from the callback: the run must abort with the context error.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err = a.RunConcrete(ctx, img, []uint16{1, 2}, nil, 1_000_000,
+		WithProgress(func(Progress) { cancel() }, 0), WithProgressEvery(64))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
 func TestActiveByModule(t *testing.T) {
 	a := analyzer(t)
 	req, err := a.AnalyzeBench(context.Background(), "mult")

@@ -1,0 +1,176 @@
+package peakpower
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/power"
+)
+
+// SchemaVersion is the Report wire-format version. It is bumped only for
+// incompatible changes; DecodeReport rejects reports from other versions.
+const SchemaVersion = 1
+
+// COI is one cycle of interest with its attribution resolved to stable,
+// human-readable form: instruction mnemonics instead of image addresses,
+// module names instead of module-table indices.
+type COI struct {
+	// Cycle is the cycle's position along its exploration path.
+	Cycle int `json:"cycle"`
+	// PowerMW is the cycle's bounded power.
+	PowerMW float64 `json:"power_mw"`
+	// Instr is the mnemonic of the instruction in flight; PrevInstr the
+	// one before it.
+	Instr string `json:"instr"`
+	// PrevInstr is the mnemonic of the preceding instruction.
+	PrevInstr string `json:"prev_instr"`
+	// State is the controller state name at the peak.
+	State string `json:"state"`
+	// ByModuleMW is the per-module power split, keyed by module name.
+	ByModuleMW map[string]float64 `json:"by_module_mw"`
+}
+
+// Report is the serializable co-analysis result for one application on one
+// target: versioned schema, the operating point, the guaranteed peak power
+// and energy requirements, resolved cycle-of-interest attribution, and
+// compact run metadata. Unlike Result (which adds live handles — the
+// execution tree, raw cell-index attribution, the analyzed image), a Report
+// contains no internal references: it round-trips losslessly through JSON,
+// persists across processes, and compares across runs.
+//
+// Reports are deterministic: the same target, application, and options
+// produce byte-identical JSON (wall-clock metadata such as Result.Elapsed
+// deliberately lives outside the Report). Hash is a content address over
+// that canonical form.
+type Report struct {
+	// Schema is the wire-format version (SchemaVersion).
+	Schema int `json:"schema"`
+	// Target names the analyzed design point (see Targets).
+	Target string `json:"target"`
+	// App is the analyzed application's name.
+	App string `json:"app"`
+	// Library names the standard-cell library.
+	Library string `json:"library"`
+	// FeatureNM is the library's process feature size in nanometers.
+	FeatureNM int `json:"feature_nm"`
+	// ClockHz is the analysis clock frequency.
+	ClockHz float64 `json:"clock_hz"`
+	// Engine names the gate-level evaluation engine ("packed" or "scalar").
+	Engine string `json:"engine"`
+
+	// PeakPowerMW is the input-independent peak power requirement: no
+	// execution of the application, on any input, can exceed it.
+	PeakPowerMW float64 `json:"peak_power_mw"`
+	// PeakEnergyJ is the input-independent peak energy requirement.
+	PeakEnergyJ float64 `json:"peak_energy_j"`
+	// NPEJPerCycle is the normalized peak energy (J/cycle).
+	NPEJPerCycle float64 `json:"npe_j_per_cycle"`
+	// BoundingCycles is the runtime of the bounding path.
+	BoundingCycles float64 `json:"bounding_cycles"`
+	// PeakTrace is the per-cycle peak-power trace along the maximum-energy
+	// path (Figure 3.3's series).
+	PeakTrace []float64 `json:"peak_trace,omitempty"`
+
+	// COIs are the top cycles of interest sorted descending by power;
+	// COIs[0] is the global peak.
+	COIs []COI `json:"cois"`
+	// ActiveGates counts the potentially-toggled cells; TotalGates the
+	// design's cells.
+	ActiveGates int `json:"active_gates"`
+	// TotalGates is the number of cells in the design.
+	TotalGates int `json:"total_gates"`
+	// ActiveByModule counts potentially-toggled cells per module (the data
+	// behind the activity-profile figures). Empty for combined reports,
+	// which have no single module table.
+	ActiveByModule map[string]int `json:"active_by_module,omitempty"`
+
+	// Paths, Nodes, and SimCycles summarize the exploration.
+	Paths int `json:"paths"`
+	// Nodes is the execution-tree segment count.
+	Nodes int `json:"nodes"`
+	// SimCycles is the total number of simulated cycles.
+	SimCycles int `json:"sim_cycles"`
+
+	// Hash is the content address: "sha256:" + hex digest of the report's
+	// canonical JSON with Hash itself empty. Set by Seal, checked by
+	// VerifyHash and DecodeReport.
+	Hash string `json:"hash,omitempty"`
+}
+
+// reportWire strips Report's methods so the JSON round-trip below cannot
+// recurse; the wire form is exactly the struct's tagged fields.
+type reportWire Report
+
+// MarshalJSON encodes the report in its canonical form: tagged struct
+// fields in declaration order, module maps in sorted key order. The
+// encoding is deterministic — marshal, unmarshal, and re-marshal produce
+// byte-identical output (asserted by the schema-stability tests).
+func (r *Report) MarshalJSON() ([]byte, error) {
+	return json.Marshal((*reportWire)(r))
+}
+
+// UnmarshalJSON decodes a report previously produced by MarshalJSON. It
+// performs no validation; see DecodeReport for the checked form.
+func (r *Report) UnmarshalJSON(data []byte) error {
+	return json.Unmarshal(data, (*reportWire)(r))
+}
+
+// ComputeHash returns the report's content address: a sha256 over the
+// canonical JSON with the Hash field empty.
+func (r *Report) ComputeHash() string {
+	c := *r
+	c.Hash = ""
+	data, err := json.Marshal((*reportWire)(&c))
+	if err != nil {
+		// Report contains only marshalable field types; reaching here
+		// means the struct itself was corrupted (e.g. a NaN injected
+		// post-analysis), which no hash can address.
+		panic(fmt.Sprintf("peakpower: report not marshalable: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// Seal stamps the report with its content hash.
+func (r *Report) Seal() { r.Hash = ""; r.Hash = r.ComputeHash() }
+
+// VerifyHash checks the content hash. An empty Hash (an unsealed report)
+// verifies trivially.
+func (r *Report) VerifyHash() error {
+	if r.Hash == "" {
+		return nil
+	}
+	if got := r.ComputeHash(); got != r.Hash {
+		return fmt.Errorf("peakpower: report hash mismatch: stamped %s, computed %s", r.Hash, got)
+	}
+	return nil
+}
+
+// DecodeReport unmarshals and validates a serialized Report: the schema
+// version must match SchemaVersion and a stamped content hash must verify.
+func DecodeReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("peakpower: decoding report: %w", err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("peakpower: report schema %d not supported (want %d)", r.Schema, SchemaVersion)
+	}
+	if err := r.VerifyHash(); err != nil {
+		return nil, err
+	}
+	return &r, nil
+}
+
+// resolveCOIs renders raw peaks in exported-safe form (package power's
+// Resolve), in the same descending-power order.
+func resolveCOIs(peaks []power.Peak, modules []string, img *isa.Image) []COI {
+	out := make([]COI, len(peaks))
+	for i, pk := range peaks {
+		out[i] = COI(pk.Resolve(modules, img))
+	}
+	return out
+}

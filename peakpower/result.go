@@ -9,37 +9,23 @@ import (
 	"repro/internal/symx"
 )
 
-// Result is the co-analysis output for one application: the guaranteed
-// requirements, their attribution, and run metadata.
+// Result is the co-analysis output for one application: the serializable
+// Report (the guaranteed requirements, resolved attribution, and run
+// metadata — everything that persists and compares across runs) plus the
+// live handles a same-process caller can keep digging into: the annotated
+// execution tree, the raw cell-index attribution, the analyzed image, and
+// the wall-clock time. Report fields are promoted, so result.PeakPowerMW,
+// result.COIs, result.Paths, etc. read directly.
+//
+// Results are read-only once returned; analyses served from a Cache share
+// one Result across callers.
 type Result struct {
-	// App is the analyzed application's name.
-	App string
-	// Library names the standard-cell library / operating point.
-	Library string
-	// ClockHz is the analysis clock frequency.
-	ClockHz float64
-	// Engine names the gate-level evaluation engine that produced the
-	// result ("packed" or "scalar"; see WithEngine).
-	Engine string
+	Report
 
-	// PeakPowerMW is the input-independent peak power requirement: no
-	// execution of the application, on any input, can exceed it.
-	PeakPowerMW float64
-	// PeakEnergyJ is the input-independent peak energy requirement (the
-	// maximum-energy execution path, loop bounds applied).
-	PeakEnergyJ float64
-	// NPEJPerCycle is the normalized peak energy (J/cycle): the maximum
-	// average rate at which the application can consume energy.
-	NPEJPerCycle float64
-	// BoundingCycles is the runtime of the bounding path.
-	BoundingCycles float64
-	// PeakTrace is the per-cycle peak-power trace along the
-	// maximum-energy path (Figure 3.3's series).
-	PeakTrace []float64
-	// COIs are the top cycles of interest with microarchitectural
-	// attribution (Figure 3.6), sorted descending by power; COIs[0] is
-	// the global peak. See Attribution for a resolved rendering.
-	COIs []power.Peak
+	// Peaks are the raw cycles of interest with cell-index attribution
+	// (power.Peak), sorted descending by power; Peaks[0] is the global
+	// peak. Report.COIs is the resolved rendering of the same list.
+	Peaks []power.Peak
 	// Best is the global peak's full attribution, including the active
 	// cell set (Figures 1.5/3.4).
 	Best power.Peak
@@ -48,10 +34,8 @@ type Result struct {
 	// Modules names the per-module breakdown columns (the index space of
 	// power.Peak.ByModuleMW).
 	Modules []string
-
-	// Paths, Nodes, and SimCycles summarize the exploration.
-	Paths, Nodes, SimCycles int
-	// Elapsed is the wall-clock analysis time.
+	// Elapsed is the wall-clock analysis time. It lives outside the
+	// Report so that reports stay deterministic and content-addressable.
 	Elapsed time.Duration
 	// Tree is the annotated symbolic execution tree.
 	Tree *symx.Tree
@@ -62,49 +46,19 @@ type Result struct {
 // Image returns the analyzed binary.
 func (r *Result) Image() *Image { return r.img }
 
-// ActiveGates counts the potentially-toggled cells.
-func (r *Result) ActiveGates() int {
-	n := 0
-	for _, a := range r.UnionActive {
-		if a {
-			n++
-		}
-	}
-	return n
-}
-
-// COI is one cycle of interest with its attribution resolved to
-// human-readable form.
-type COI struct {
-	// Cycle is the cycle's position along its exploration path.
-	Cycle int
-	// PowerMW is the cycle's bounded power.
-	PowerMW float64
-	// Instr is the mnemonic of the instruction in flight; PrevInstr the
-	// one before it.
-	Instr, PrevInstr string
-	// State is the controller state name at the peak.
-	State string
-	// ByModuleMW is the per-module power split.
-	ByModuleMW map[string]float64
-}
-
-// Attribution renders the cycles of interest with instruction mnemonics
-// and named module splits; entry 0 is the global peak.
+// Attribution returns the cycles of interest with instruction mnemonics and
+// named module splits; entry 0 is the global peak. It is a deep copy of the
+// resolved Report.COIs list (retained for compatibility), so callers may
+// sort or edit it without corrupting the sealed Report — which may be
+// shared through a Cache.
 func (r *Result) Attribution() []COI {
 	out := make([]COI, len(r.COIs))
-	for i, pk := range r.COIs {
-		c := COI{
-			Cycle:      pk.PathPos,
-			PowerMW:    pk.PowerMW,
-			Instr:      r.Mnemonic(pk.FetchAddr),
-			PrevInstr:  r.Mnemonic(pk.PrevFetch),
-			State:      pk.State,
-			ByModuleMW: make(map[string]float64, len(pk.ByModuleMW)),
+	for i, c := range r.COIs {
+		by := make(map[string]float64, len(c.ByModuleMW))
+		for m, mw := range c.ByModuleMW {
+			by[m] = mw
 		}
-		for mi, mw := range pk.ByModuleMW {
-			c.ByModuleMW[r.Modules[mi]] = mw
-		}
+		c.ByModuleMW = by
 		out[i] = c
 	}
 	return out
@@ -133,29 +87,49 @@ type ConcreteRun struct {
 }
 
 // Combine implements the paper's Chapter 6 rule for multi-programmed
-// systems (including dynamic linking): the processor's requirement is
-// the union over all co-resident applications — the maximum of the peak
-// power and energy bounds, and the union of the potentially-toggled
-// sets.
+// systems (including dynamic linking): the processor's requirement is the
+// union over all co-resident applications — the maximum of the peak power
+// and energy bounds, and the union of the potentially-toggled sets.
+//
+// The rule is only sound for requirements of one design at one operating
+// point, so Combine rejects results that disagree on target, library,
+// clock, or engine. The combined Result carries a sealed Report (app
+// "combined"); its COI attribution is the peak-power winner's, and
+// ActiveByModule is left empty (module splits do not union meaningfully).
 func Combine(results ...*Result) (*Result, error) {
 	if len(results) == 0 {
 		return nil, fmt.Errorf("peakpower: no results to combine")
 	}
+	first := results[0]
 	out := &Result{
-		App:         "combined",
-		Library:     results[0].Library,
-		ClockHz:     results[0].ClockHz,
-		Modules:     results[0].Modules,
-		UnionActive: make([]bool, len(results[0].UnionActive)),
+		Report: Report{
+			Schema:    SchemaVersion,
+			Target:    first.Target,
+			App:       "combined",
+			Library:   first.Library,
+			FeatureNM: first.FeatureNM,
+			ClockHz:   first.ClockHz,
+			Engine:    first.Engine,
+		},
+		Modules:     first.Modules,
+		UnionActive: make([]bool, len(first.UnionActive)),
 	}
-	for _, r := range results {
+	for i, r := range results {
+		if r.Target != first.Target || r.Library != first.Library ||
+			r.ClockHz != first.ClockHz || r.Engine != first.Engine {
+			return nil, fmt.Errorf(
+				"peakpower: cannot combine results from different operating points: result %d (%s) is %s/%s @ %g Hz on %s engine, result 0 (%s) is %s/%s @ %g Hz on %s engine",
+				i, r.App, r.Target, r.Library, r.ClockHz, r.Engine,
+				first.App, first.Target, first.Library, first.ClockHz, first.Engine)
+		}
 		if len(r.UnionActive) != len(out.UnionActive) {
 			return nil, fmt.Errorf("peakpower: results from different designs cannot be combined")
 		}
 		if r.PeakPowerMW > out.PeakPowerMW {
 			out.PeakPowerMW = r.PeakPowerMW
 			out.Best = r.Best
-			out.COIs = r.COIs
+			out.Peaks = r.Peaks
+			out.COIs = r.Report.COIs
 			out.img = r.img
 		}
 		if r.PeakEnergyJ > out.PeakEnergyJ {
@@ -175,5 +149,12 @@ func Combine(results ...*Result) (*Result, error) {
 		out.SimCycles += r.SimCycles
 		out.Elapsed += r.Elapsed
 	}
+	out.TotalGates = len(out.UnionActive)
+	for _, a := range out.UnionActive {
+		if a {
+			out.ActiveGates++
+		}
+	}
+	out.Seal()
 	return out, nil
 }

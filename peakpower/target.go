@@ -1,0 +1,175 @@
+package peakpower
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/cell"
+	"repro/internal/gsim"
+	"repro/internal/isa"
+	"repro/internal/netlist"
+	"repro/internal/opt"
+	"repro/internal/sizing"
+	"repro/internal/ulp430"
+)
+
+// Target is one analyzable gate-level design point: it knows how to build
+// its netlist, which library and clock it operates at, which benchmarks it
+// ships, its default exploration budgets, and how to couple the netlist to
+// behavioral memory. The co-analysis engine itself (Algorithm 1 + 2) is
+// target-independent; plugging in a Target is all it takes to analyze a
+// different design or design variant, and one program can sweep several
+// registered targets as design points (the Chapter 5 workflow).
+//
+// The method signatures use this module's internal representations, so
+// Targets are implemented inside this module (internal/ulp430 provides the
+// standard core and the DesignVariant helper that internal/sizing and
+// internal/opt derive their variants from).
+type Target interface {
+	// Name is the registry key (e.g. "ulp430"); see NewFor.
+	Name() string
+	// Description summarizes the design point for listings.
+	Description() string
+	// Build constructs the target's gate-level netlist. It is called once
+	// per Analyzer; the result is shared read-only by every analysis.
+	Build() (*netlist.Netlist, error)
+	// Library is the target's default standard-cell library / operating
+	// point (overridable per analysis with WithLibrary).
+	Library() *cell.Library
+	// ClockHz is the target's default clock (overridable with WithClockHz).
+	ClockHz() float64
+	// Budgets are the target's default exploration limits (overridable
+	// with WithMaxCycles / WithMaxNodes).
+	Budgets() (maxCycles, maxNodes int)
+	// Benchmarks is the target's built-in benchmark suite.
+	Benchmarks() []*bench.Benchmark
+	// NewSystem couples the built netlist to behavioral memory under the
+	// chosen engine, library, and input mode.
+	NewSystem(engine gsim.Engine, nl *netlist.Netlist, lib *cell.Library, img *isa.Image, mode ulp430.InputMode, inputs []uint16) (*ulp430.System, error)
+}
+
+// DefaultTarget is the target New analyzes: the standard ULP430 core.
+const DefaultTarget = "ulp430"
+
+var (
+	targetMu    sync.RWMutex
+	targetReg   = make(map[string]Target)
+	targetOrder []string
+)
+
+func init() {
+	MustRegisterTarget(ulp430.Standard())
+	MustRegisterTarget(sizing.SizedTarget())
+	MustRegisterTarget(opt.GatedTarget())
+}
+
+// RegisterTarget adds a design point to the registry under t.Name().
+// Registering an empty name or a name already taken is an error.
+func RegisterTarget(t Target) error {
+	if t == nil || t.Name() == "" {
+		return fmt.Errorf("peakpower: RegisterTarget: target must have a name")
+	}
+	targetMu.Lock()
+	defer targetMu.Unlock()
+	if _, dup := targetReg[t.Name()]; dup {
+		return fmt.Errorf("peakpower: RegisterTarget: target %q already registered", t.Name())
+	}
+	targetReg[t.Name()] = t
+	targetOrder = append(targetOrder, t.Name())
+	return nil
+}
+
+// MustRegisterTarget is RegisterTarget, panicking on error; intended for
+// registration from init functions.
+func MustRegisterTarget(t Target) {
+	if err := RegisterTarget(t); err != nil {
+		panic(err)
+	}
+}
+
+// TargetByName resolves a registered target.
+func TargetByName(name string) (Target, bool) {
+	targetMu.RLock()
+	defer targetMu.RUnlock()
+	t, ok := targetReg[name]
+	return t, ok
+}
+
+// TargetInfo describes one registered target for listings (CLI -list-targets,
+// the service's GET /v1/targets).
+type TargetInfo struct {
+	// Name is the registry key, accepted by NewFor.
+	Name string `json:"name"`
+	// Description summarizes the design point.
+	Description string `json:"description"`
+	// Library names the target's default standard-cell library.
+	Library string `json:"library"`
+	// ClockHz is the target's default clock frequency.
+	ClockHz float64 `json:"clock_hz"`
+	// Benchmarks lists the target's built-in benchmark names.
+	Benchmarks []string `json:"benchmarks"`
+}
+
+// Targets lists the registered design points in registration order.
+func Targets() []TargetInfo {
+	targetMu.RLock()
+	defer targetMu.RUnlock()
+	out := make([]TargetInfo, 0, len(targetOrder))
+	for _, name := range targetOrder {
+		t := targetReg[name]
+		info := TargetInfo{
+			Name:        t.Name(),
+			Description: t.Description(),
+			Library:     t.Library().Name,
+			ClockHz:     t.ClockHz(),
+		}
+		for _, b := range t.Benchmarks() {
+			info.Benchmarks = append(info.Benchmarks, b.Name)
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// TargetBenchmarks lists a registered target's built-in benchmark suite.
+// Unknown targets wrap ErrUnknownTarget.
+func TargetBenchmarks(target string) ([]BenchInfo, error) {
+	t, ok := TargetByName(target)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (see Targets)", ErrUnknownTarget, target)
+	}
+	return benchInfos(t.Benchmarks()), nil
+}
+
+// NewFor builds an Analyzer for a registered target. The target's library,
+// clock, and exploration budgets seed the analyzer defaults; options
+// override them, and every Analyze* method accepts the same options as
+// per-call overrides. Unknown names wrap ErrUnknownTarget. ctx is checked
+// before the netlist construction begins (the build itself is not
+// interruptible).
+func NewFor(ctx context.Context, target string, opts ...Option) (*Analyzer, error) {
+	t, ok := TargetByName(target)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (see Targets)", ErrUnknownTarget, target)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("peakpower: building target %s: %w", target, err)
+	}
+	cfg := defaultConfig()
+	cfg.lib = t.Library()
+	cfg.clockHz = t.ClockHz()
+	cfg.maxCycles, cfg.maxNodes = t.Budgets()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	nl, err := t.Build()
+	if err != nil {
+		return nil, fmt.Errorf("peakpower: building %s netlist: %w", target, err)
+	}
+	return &Analyzer{nl: nl, target: t, def: cfg}, nil
+}

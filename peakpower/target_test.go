@@ -1,0 +1,131 @@
+package peakpower
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestTargetRegistry(t *testing.T) {
+	infos := Targets()
+	byName := map[string]TargetInfo{}
+	for _, ti := range infos {
+		byName[ti.Name] = ti
+	}
+	for _, want := range []string{"ulp430", "ulp430-sized", "ulp430-gated"} {
+		ti, ok := byName[want]
+		if !ok {
+			t.Fatalf("registry missing %q (have %v)", want, byName)
+		}
+		if ti.Description == "" || ti.Library == "" || ti.ClockHz <= 0 || len(ti.Benchmarks) == 0 {
+			t.Fatalf("incomplete target info: %+v", ti)
+		}
+	}
+	if infos[0].Name != DefaultTarget {
+		t.Fatalf("first registered target is %q, want %q", infos[0].Name, DefaultTarget)
+	}
+
+	if _, ok := TargetByName("ulp430"); !ok {
+		t.Fatal("TargetByName(ulp430) missing")
+	}
+	if _, err := NewFor(context.Background(), "nosuch"); !errors.Is(err, ErrUnknownTarget) {
+		t.Fatalf("want ErrUnknownTarget, got %v", err)
+	}
+	if _, err := TargetBenchmarks("nosuch"); !errors.Is(err, ErrUnknownTarget) {
+		t.Fatalf("want ErrUnknownTarget, got %v", err)
+	}
+	if err := RegisterTarget(nil); err == nil {
+		t.Fatal("nil target must be rejected")
+	}
+	if err := RegisterTarget(mustTarget(t, "ulp430")); err == nil {
+		t.Fatal("duplicate registration must be rejected")
+	}
+}
+
+func mustTarget(t *testing.T, name string) Target {
+	t.Helper()
+	tgt, ok := TargetByName(name)
+	if !ok {
+		t.Fatalf("target %q not registered", name)
+	}
+	return tgt
+}
+
+// TestDesignPointSweep analyzes one application across every registered
+// design point — the Chapter 5 workflow the target registry exists for —
+// and checks the physics of each variant: the down-sized core has the
+// lowest peak (smaller transition energies), the power-gated core has the
+// lowest leakage floor, and every report names its design point.
+func TestDesignPointSweep(t *testing.T) {
+	img, err := Assemble("sweep", cacheTestApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := map[string]*Result{}
+	for _, ti := range Targets() {
+		a, err := NewFor(context.Background(), ti.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := a.AnalyzeImage(context.Background(), img)
+		if err != nil {
+			t.Fatalf("%s: %v", ti.Name, err)
+		}
+		if r.Target != ti.Name || r.Library != ti.Library || r.ClockHz != ti.ClockHz {
+			t.Fatalf("%s: report operating point %s/%g does not match target %s/%g",
+				ti.Name, r.Library, r.ClockHz, ti.Library, ti.ClockHz)
+		}
+		results[ti.Name] = r
+	}
+	std, sized, gated := results["ulp430"], results["ulp430-sized"], results["ulp430-gated"]
+	if sized.PeakPowerMW >= std.PeakPowerMW {
+		t.Fatalf("down-sized variant must peak below standard: %.3f vs %.3f",
+			sized.PeakPowerMW, std.PeakPowerMW)
+	}
+	if gated.PeakPowerMW >= std.PeakPowerMW*1.05 {
+		t.Fatalf("gated variant's peak should stay near standard: %.3f vs %.3f",
+			gated.PeakPowerMW, std.PeakPowerMW)
+	}
+	// The explorations themselves are identical (same netlist, same
+	// program): only the power characterization differs.
+	if sized.Paths != std.Paths || sized.SimCycles != std.SimCycles {
+		t.Fatalf("sized exploration diverged: %d/%d vs %d/%d",
+			sized.Paths, sized.SimCycles, std.Paths, std.SimCycles)
+	}
+}
+
+// TestTargetBenchAndCombineGuards: target-scoped AnalyzeBench works on a
+// variant, and Combine refuses to mix operating points (the satellite
+// guard: no more silently stamping results[0]'s metadata on the union).
+func TestTargetBenchAndCombineGuards(t *testing.T) {
+	ctx := context.Background()
+	sized, err := NewFor(ctx, "ulp430-sized")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rSized, err := sized.AnalyzeBench(ctx, "tea8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSized.Library != "ULP65-sized" || rSized.ClockHz != 80e6 || rSized.Target != "ulp430-sized" {
+		t.Fatalf("sized bench report: %s/%g on %s", rSized.Library, rSized.ClockHz, rSized.Target)
+	}
+
+	rStd, err := analyzer(t).AnalyzeBench(ctx, "tea8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Combine(rStd, rSized); err == nil {
+		t.Fatal("Combine must reject results from different operating points")
+	}
+	comb, err := Combine(rStd, rStd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comb.Engine != rStd.Engine || comb.Target != rStd.Target {
+		t.Fatalf("combined result must carry the operating point: %+v", comb.Report)
+	}
+	if comb.Hash == "" || comb.VerifyHash() != nil {
+		t.Fatal("combined report must be sealed")
+	}
+}
