@@ -6,7 +6,7 @@ BENCH_JSON ?= BENCH_$(shell date +%F).json
 SHELL := /usr/bin/env bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: all build vet test race bench bench-smoke profile serve smoke ci clean
+.PHONY: all build vet test race race-irq bench bench-smoke profile serve smoke example-smoke ci clean
 
 all: build vet test
 
@@ -23,6 +23,13 @@ test:
 # package's concurrency contract (shared Analyzer, AnalyzeAll pool).
 race:
 	$(GO) test -race ./...
+
+# Interrupt-path tests only, under the race detector: the peripheral
+# bus, IRQ entry/return, symbolic arrival forking, and the public
+# WithInterrupts surface. Fast enough to run on every commit.
+race-irq:
+	$(GO) test -race -run 'Interrupt|IRQ|Periph|Timer|ADC|Radio|Vector|Bus' \
+		./internal/periph/... ./internal/ulp430/... ./internal/symx/... ./peakpower/...
 
 # The table/figure-regenerating benchmark harness plus the gate-engine
 # benchmarks; results are captured as a BENCH_*.json trajectory point
@@ -60,11 +67,19 @@ smoke:
 		-X POST http://$(SMOKE_ADDR)/v1/analyze \
 		-d '{"target":"ulp430","bench":"mult","options":{"coi":4}}') && \
 	test "$$code" = 200 && \
-	grep -q '"schema":1' /tmp/peakpowerd-smoke.json && \
+	grep -q '"schema":2' /tmp/peakpowerd-smoke.json && \
 	grep -q '"hash":"sha256:' /tmp/peakpowerd-smoke.json && \
 	echo "peakpowerd smoke: OK ($$(wc -c < /tmp/peakpowerd-smoke.json) bytes)"
 
-ci: build vet race smoke
+# End-to-end example smoke: the interrupt-driven sensornode walkthrough
+# (symbolic bound vs a concrete sweep over every arrival latency) plus
+# the CLI's -irq path. Both must exit 0; sensornode additionally
+# self-checks that no swept arrival exceeds the symbolic bound.
+example-smoke:
+	$(GO) run ./examples/sensornode
+	$(GO) run ./cmd/peakpower -bench adcSample -irq 8:20
+
+ci: build vet race race-irq smoke example-smoke
 
 clean:
 	$(GO) clean ./...

@@ -11,6 +11,7 @@
 //	peakpower -bench mult,tea8,binSearch      (batch mode, concurrent)
 //	peakpower -target ulp430-sized -bench mult  (sweep design points)
 //	peakpower -src app.s [-coi 4] [-trace] [-timeout 30s] [-progress]
+//	peakpower -src node.s -irq 8:24           (peripheral bus + symbolic interrupt window)
 //	peakpower -dump-netlist ulp430.v
 //	peakpower -list-targets
 //
@@ -30,6 +31,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -59,6 +61,7 @@ func main() {
 	progress := flag.Bool("progress", false, "report exploration progress on stderr")
 	workers := flag.Int("workers", 0, "batch-mode worker count (0 = GOMAXPROCS)")
 	engine := flag.String("engine", "packed", "gate-level engine: packed (fast) or scalar (reference oracle)")
+	irq := flag.String("irq", "", "attach the peripheral bus with a MIN:MAX interrupt arrival window (cycles), e.g. 8:24")
 	flag.Parse()
 
 	if *listTargets {
@@ -92,6 +95,14 @@ func main() {
 			callOpts = append(callOpts, peakpower.WithMaxCycles(*maxCycles))
 		}
 	})
+	if *irq != "" {
+		cfg, err := parseIRQ(*irq)
+		if err != nil {
+			fatal(exitUsage, err)
+		}
+		opts = append(opts, peakpower.WithInterrupts(cfg))
+		callOpts = append(callOpts, peakpower.WithInterrupts(cfg))
+	}
 	if *workers > 0 {
 		opts = append(opts, peakpower.WithWorkers(*workers))
 	}
@@ -161,6 +172,26 @@ func main() {
 	default:
 		fatal(exitUsage, fmt.Errorf("need -bench or -src (or -list / -list-targets / -dump-netlist)"))
 	}
+}
+
+// parseIRQ parses the -irq window spec: "MIN:MAX" (cycles), or a bare
+// "MIN" taking the default window width.
+func parseIRQ(spec string) (peakpower.InterruptConfig, error) {
+	var cfg peakpower.InterruptConfig
+	lo, hi, found := strings.Cut(spec, ":")
+	min, err := strconv.Atoi(strings.TrimSpace(lo))
+	if err != nil || min <= 0 {
+		return cfg, fmt.Errorf("-irq %q: window is MIN:MAX in positive cycles", spec)
+	}
+	cfg.MinLatency = min
+	if found {
+		max, err := strconv.Atoi(strings.TrimSpace(hi))
+		if err != nil || max < min {
+			return cfg, fmt.Errorf("-irq %q: MAX must be an integer >= MIN", spec)
+		}
+		cfg.MaxLatency = max
+	}
+	return cfg, nil
 }
 
 // classify maps an analysis error to the command's exit code.
@@ -246,6 +277,10 @@ func report(res *peakpower.Result, coi int, trace bool, jsonOut bool) {
 	fmt.Printf("normalized peak energy: %.3e J/cycle\n", res.NPEJPerCycle)
 	fmt.Printf("exploration:          %d paths, %d tree nodes, %d simulated cycles (%s)\n",
 		res.Paths, res.Nodes, res.SimCycles, res.Elapsed.Round(time.Millisecond))
+	if irq := res.Interrupts; irq != nil {
+		fmt.Printf("interrupts:           arrival window [%d, %d] cycles, %d arrival forks, ISR peak %.3f mW\n",
+			irq.MinLatency, irq.MaxLatency, irq.IRQForks, irq.ISRPeakMW)
+	}
 
 	fmt.Printf("\ncycles of interest (peak power attribution):\n")
 	att := res.Attribution()

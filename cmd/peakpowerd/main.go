@@ -25,7 +25,8 @@
 //	  "source":  "...", "name": "app",  // ...or assembly source + name
 //	  "options": {                  // all optional
 //	    "max_cycles": 0, "max_nodes": 0, "coi": 0,
-//	    "clock_hz": 0, "engine": "packed", "timeout_ms": 0
+//	    "clock_hz": 0, "engine": "packed", "timeout_ms": 0,
+//	    "interrupts": {"min_latency": 8, "max_latency": 24}
 //	  }
 //	}
 //
@@ -199,6 +200,10 @@ type analyzeOptions struct {
 	ClockHz   float64 `json:"clock_hz,omitempty"`
 	Engine    string  `json:"engine,omitempty"`
 	TimeoutMS int     `json:"timeout_ms,omitempty"`
+	// Interrupts attaches the peripheral bus with the given symbolic
+	// arrival window; the zero-valued config selects the documented
+	// defaults (set it to {} to enable interrupts with defaults).
+	Interrupts *peakpower.InterruptConfig `json:"interrupts,omitempty"`
 }
 
 func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
@@ -258,6 +263,9 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		opts = append(opts, peakpower.WithEngine(eng))
+	}
+	if o.Interrupts != nil {
+		opts = append(opts, peakpower.WithInterrupts(*o.Interrupts))
 	}
 
 	var res *peakpower.Result

@@ -244,3 +244,45 @@ func mustJSON(s string) string {
 	}
 	return string(data)
 }
+
+// TestAnalyzeWithInterrupts exercises the interrupts request option: the
+// served report must carry the schema-2 Interrupts section with the
+// requested (normalized) arrival window, and the targets listing must be
+// name-sorted for deterministic client consumption.
+func TestAnalyzeWithInterrupts(t *testing.T) {
+	ts, _ := newTestServer(t)
+
+	code, body := post(t, ts.URL+"/v1/analyze",
+		`{"bench":"adcSample","options":{"interrupts":{"min_latency":8,"max_latency":20}}}`)
+	if code != http.StatusOK {
+		t.Fatalf("interrupt analyze: %d %s", code, body)
+	}
+	rep, err := peakpower.DecodeReport(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	irq := rep.Interrupts
+	if irq == nil {
+		t.Fatal("served report has no interrupts section")
+	}
+	if irq.MinLatency != 8 || irq.MaxLatency != 20 {
+		t.Fatalf("served window [%d, %d], want [8, 20]", irq.MinLatency, irq.MaxLatency)
+	}
+	if irq.IRQForks == 0 || irq.ISRPeakMW <= 0 {
+		t.Fatalf("interrupt exploration empty: %+v", irq)
+	}
+
+	code, body = get(t, ts.URL+"/v1/targets")
+	if code != http.StatusOK {
+		t.Fatalf("targets: %d %s", code, body)
+	}
+	var targets []peakpower.TargetInfo
+	if err := json.Unmarshal(body, &targets); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(targets); i++ {
+		if targets[i-1].Name >= targets[i].Name {
+			t.Fatalf("targets not name-sorted: %q before %q", targets[i-1].Name, targets[i].Name)
+		}
+	}
+}

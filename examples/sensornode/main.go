@@ -1,6 +1,9 @@
-// Sensornode: size the energy harvester and battery of a solar sensor
-// node (the Figure 1.2/1.3 workflow) from analyzed peak power and energy
-// requirements, and compare against conventional sizing.
+// Sensornode: size the energy harvester of an interrupt-driven solar
+// sensor node (the Figure 1.2/1.3 workflow) from the analyzed peak-power
+// guarantee of its duty cycle — a timer interrupt kicks an ADC
+// conversion, the ADC completion interrupt reads the sample and fires
+// the radio — and demonstrate that the single symbolic analysis covers
+// every possible interrupt arrival time in the ADC's latency window.
 //
 //	go run ./examples/sensornode
 package main
@@ -10,77 +13,101 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/baseline"
 	"repro/internal/bench"
 	"repro/internal/sizing"
 	"repro/peakpower"
 )
 
 func main() {
-	// The node runs the tHold benchmark (sensor thresholding) forever in
-	// a compute/sleep cycle.
+	// The node runs the sensorDuty ISR benchmark forever: sleep-ish idle
+	// loop, timer tick, ADC sample, radio burst — all in interrupt
+	// handlers. Its IRQ config declares the ADC's nondeterministic
+	// conversion-latency window; AnalyzeBench attaches the peripheral
+	// bus automatically.
+	b := bench.ByName("sensorDuty")
+	if b == nil || b.IRQ == nil {
+		log.Fatal("sensorDuty ISR benchmark missing")
+	}
 	analyzer, err := peakpower.New()
 	if err != nil {
 		log.Fatal(err)
 	}
-	req, err := analyzer.AnalyzeBench(context.Background(), "tHold")
+	req, err := analyzer.AnalyzeBench(context.Background(), b.Name)
 	if err != nil {
 		log.Fatal(err)
 	}
-	// The conventional baseline: guardbanded input-based profiling
-	// (in-repo tooling, via the analyzer's netlist/model escape hatch).
-	b := bench.ByName("tHold")
-	prof, err := baseline.Profile(analyzer.Netlist(), analyzer.Model(), b, 5, 1)
-	if err != nil {
-		log.Fatal(err)
+	irq := req.Interrupts
+	if irq == nil {
+		log.Fatal("interrupt benchmark produced no interrupts section")
 	}
 
 	fmt.Printf("application: %s — %s\n\n", b.Name, b.Desc)
-	fmt.Printf("peak power:   X-based %.3f mW vs guardbanded profiling %.3f mW\n",
-		req.PeakPowerMW, prof.GuardbandedPeakMW)
+	fmt.Printf("symbolic co-analysis (one run, all inputs, all arrival times):\n")
+	fmt.Printf("  peak power bound:  %.3f mW\n", req.PeakPowerMW)
+	fmt.Printf("  ISR-context peak:  %.3f mW\n", irq.ISRPeakMW)
+	fmt.Printf("  arrival window:    [%d, %d] cycles after ADGO (%d interleavings forked)\n",
+		irq.MinLatency, irq.MaxLatency, irq.IRQForks)
 
-	// Type 1 (harvester-powered): the harvester must cover peak power.
+	// The guarantee the harvester sizing rests on: re-run the node
+	// concretely for EVERY arrival latency in the window and check each
+	// measured peak against the single symbolic bound.
+	img, err := peakpower.Assemble(b.Name, b.Source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\narrival sweep (concrete re-execution per ADC latency):\n")
+	worst, worstLat := 0.0, 0
+	for lat := irq.MinLatency; lat <= irq.MaxLatency; lat++ {
+		cfg := *b.IRQ
+		cfg.ConcreteLatency = lat
+		run, err := analyzer.RunConcrete(context.Background(), img, nil, nil,
+			2*b.MaxCycles, peakpower.WithInterrupts(cfg))
+		if err != nil {
+			log.Fatalf("arrival latency %d: %v", lat, err)
+		}
+		if run.PeakMW > req.PeakPowerMW {
+			log.Fatalf("BOUND VIOLATED: arrival at %d cycles peaks at %.3f mW > bound %.3f mW",
+				lat, run.PeakMW, req.PeakPowerMW)
+		}
+		if run.PeakMW > worst {
+			worst, worstLat = run.PeakMW, lat
+		}
+	}
+	fmt.Printf("  %d arrivals swept, worst concrete peak %.3f mW (latency %d)\n",
+		irq.MaxLatency-irq.MinLatency+1, worst, worstLat)
+	fmt.Printf("  bound %.3f mW covers every arrival (headroom %.1f%%)\n",
+		req.PeakPowerMW, 100*(req.PeakPowerMW-worst)/req.PeakPowerMW)
+
+	// Type 1 (harvester-powered): the harvester must cover the peak the
+	// hardware can ever demand — which for an interrupt-driven node means
+	// the peak over all arrival interleavings, exactly what the symbolic
+	// bound guarantees. Sizing from any single profiled run would bet the
+	// node on one arrival time.
 	indoor := sizing.Harvesters()[1] // indoor photovoltaic
-	areaX := sizing.HarvesterAreaCM2(req.PeakPowerMW, indoor)
-	areaGB := sizing.HarvesterAreaCM2(prof.GuardbandedPeakMW, indoor)
+	areaBound := sizing.HarvesterAreaCM2(req.PeakPowerMW, indoor)
+	areaOneRun := sizing.HarvesterAreaCM2(worst, indoor)
 	fmt.Printf("\nType 1 node (indoor PV, %.1f uW/cm2):\n", indoor.PowerDensityMWCM2*1000)
-	fmt.Printf("  harvester sized by GB profiling: %.1f cm2\n", areaGB)
-	fmt.Printf("  harvester sized by co-analysis:  %.1f cm2 (%.1f%% smaller)\n",
-		areaX, sizing.ReductionPct(1, areaGB, areaX))
+	fmt.Printf("  harvester sized by guaranteed bound: %.1f cm2\n", areaBound)
+	fmt.Printf("  (a single profiled arrival would size %.1f cm2 with no guarantee)\n", areaOneRun)
 
-	// Type 3 (battery-powered): battery sized by energy over lifetime.
-	// One compute burst per second for a 5-year lifetime.
-	bursts := 5.0 * 365 * 24 * 3600
-	liion := sizing.Batteries()[0]
-	eX := req.PeakEnergyJ * bursts
-	eGB := prof.GuardbandedNPE * req.BoundingCycles * bursts
-	fmt.Printf("\nType 3 node (5-year lifetime, 1 burst/s, Li-ion):\n")
-	fmt.Printf("  battery by GB profiling: %.0f mm3 (%.1f g)\n",
-		sizing.BatteryVolumeMM3(eGB, liion), sizing.BatteryMassG(eGB, liion))
-	fmt.Printf("  battery by co-analysis:  %.0f mm3 (%.1f g)  (%.1f%% smaller)\n",
-		sizing.BatteryVolumeMM3(eX, liion), sizing.BatteryMassG(eX, liion),
-		sizing.ReductionPct(1, eGB, eX))
-
-	// The paper's reference node (Figure 1.2).
+	// The paper's reference node (Figure 1.2) for scale.
 	node := sizing.Reference()
-	fmt.Printf("\nreference node (32.6 cm2 harvester): saves %.2f cm2 of solar cell\n",
-		node.HarvesterSavingCM2(prof.GuardbandedPeakMW, req.PeakPowerMW))
+	fmt.Printf("  reference node harvester: %.1f cm2\n", node.HarvesterAreaCM2)
 
-	// Chapter 5: sweep the registered design points (standard, down-sized,
-	// power-gated) and re-size the harvester for each — the target registry
-	// makes a design-space sweep a loop over Targets().
+	// Chapter 5 flavor: the same interrupt-driven workload swept across
+	// the registered design points.
 	fmt.Printf("\ndesign-point sweep (indoor PV harvester area for %s):\n", b.Name)
 	for _, ti := range peakpower.Targets() {
 		an, err := peakpower.NewFor(context.Background(), ti.Name)
 		if err != nil {
 			log.Fatal(err)
 		}
-		r, err := an.AnalyzeBench(context.Background(), "tHold")
+		r, err := an.AnalyzeBench(context.Background(), b.Name)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  %-14s %-12s peak %.3f mW -> %.1f cm2\n",
-			ti.Name, r.Library, r.PeakPowerMW,
+		fmt.Printf("  %-14s %-12s peak %.3f mW (ISR %.3f mW) -> %.1f cm2\n",
+			ti.Name, r.Library, r.PeakPowerMW, r.Interrupts.ISRPeakMW,
 			sizing.HarvesterAreaCM2(r.PeakPowerMW, indoor))
 	}
 }

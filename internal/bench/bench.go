@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"repro/internal/isa"
+	"repro/internal/periph"
 )
 
 // Benchmark is one suite entry.
@@ -49,6 +50,12 @@ type Benchmark struct {
 	GenPort func(r *rand.Rand) func() uint16
 	// MaxCycles bounds symbolic exploration for this benchmark.
 	MaxCycles int
+	// IRQ, when non-nil, marks an interrupt-driven benchmark: analysis
+	// attaches the peripheral bus with this configuration
+	// (peakpower.WithInterrupts). Interrupt-driven benchmarks live in the
+	// ISR suite, not All — the behavioral reference simulator has no
+	// interrupt support.
+	IRQ *periph.Config
 
 	once sync.Once
 	img  *isa.Image
@@ -64,8 +71,24 @@ func (b *Benchmark) Image() (*isa.Image, error) {
 	return b.img, nil
 }
 
-// All returns the suite in the paper's order.
+// All returns the paper's suite (Table 4.1) in the paper's order. It
+// deliberately excludes the interrupt-driven ISR suite: All's programs
+// run unmodified on the behavioral reference simulator, which has no
+// interrupt support.
 func All() []*Benchmark { return suite }
+
+// ISR returns the interrupt-driven benchmark suite (timer/ADC/radio
+// peripherals, ISR entry and RETI); each entry carries the peripheral
+// configuration its analysis needs (Benchmark.IRQ).
+func ISR() []*Benchmark { return isrSuite }
+
+// Full returns every benchmark: the paper suite followed by the ISR
+// suite.
+func Full() []*Benchmark {
+	out := make([]*Benchmark, 0, len(suite)+len(isrSuite))
+	out = append(out, suite...)
+	return append(out, isrSuite...)
+}
 
 // Names returns the benchmark names in order.
 func Names() []string {
@@ -76,9 +99,14 @@ func Names() []string {
 	return out
 }
 
-// ByName returns a benchmark or nil.
+// ByName returns a benchmark from either suite, or nil.
 func ByName(name string) *Benchmark {
 	for _, b := range suite {
+		if b.Name == name {
+			return b
+		}
+	}
+	for _, b := range isrSuite {
 		if b.Name == name {
 			return b
 		}

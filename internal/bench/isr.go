@@ -1,0 +1,124 @@
+package bench
+
+import "repro/internal/periph"
+
+// The ISR suite: interrupt-driven sensor-node kernels exercising the
+// peripheral bus (timer compare, ADC with a symbolic arrival window,
+// radio busy flag), interrupt entry, handler execution, and RETI. The
+// peripheral register addresses and bit layout are internal/periph's
+// (timer 0x0140.., ADC 0x0150.., radio 0x0160..; ctl bits EN|IE|IFG);
+// the interrupt vectors live at 0xFFF8 (timer) and 0xFFFA (ADC).
+
+// isrVectors emits both device vectors; benchmarks that use only one
+// device still provide both (the unused one points at a spin guard, so a
+// spurious entry is caught as a non-halting run rather than wild
+// execution).
+const isrVectors = `
+.org 0xfff8
+.word timer_isr
+.word adc_isr
+`
+
+var isrSuite = []*Benchmark{
+	{
+		Name:  "timerCount",
+		Suite: "ISR",
+		Desc:  "timer-compare interrupt ticks a counter while the main loop multiplies; deterministic arrival (no forks)",
+		Source: prologue + `
+.org 0xf100
+.entry main
+main:
+` + setup + `
+    clr r10               ; ticks delivered
+    clr r8                ; accumulator
+    mov #1, r9            ; multiplier operand
+    mov #20, &0x0144      ; TACCR: compare in 20 cycles
+    mov #3, &0x0140       ; TACTL: EN|IE - arm one-shot
+    eint
+wait:
+    cmp #3, r10
+    jz  done
+    mov r9, &0x0130       ; MPY
+    mov r9, &0x0138       ; OP2 (triggers multiply)
+    add &0x013a, r8       ; RESLO
+    inc r9
+    jmp wait
+done:
+    dint
+    mov r8, r11
+` + epilogue + `
+timer_isr:
+    inc r10
+    mov #0, &0x0142       ; TACNT: restart the count (one-shot holds it)
+    mov #20, &0x0144      ; re-arm for the next tick
+    mov #3, &0x0140
+    reti
+adc_isr:
+    reti
+` + isrVectors,
+		MaxCycles: 20_000,
+		IRQ:       &periph.Config{},
+	},
+	{
+		Name:  "adcSample",
+		Suite: "ISR",
+		Desc:  "ADC conversion with a symbolic arrival window; the idle loop forks at every interruptible boundary in the window",
+		Source: prologue + `
+.org 0xf100
+.entry main
+main:
+` + setup + `
+    clr r10               ; conversion-complete flag
+    mov #3, &0x0150       ; ADCTL: EN|IE - start conversion
+    eint
+idle:
+    tst r10
+    jz  idle              ; arrival can preempt either instruction
+    dint
+    mov r11, r12          ; consume the (unknown) sample
+` + epilogue + `
+timer_isr:
+    reti
+adc_isr:
+    mov &0x0154, r11      ; ADDATA: X under symbolic analysis
+    mov #1, r10
+    reti
+` + isrVectors,
+		MaxCycles: 50_000,
+		IRQ:       &periph.Config{MinLatency: 8, MaxLatency: 20},
+	},
+	{
+		Name:  "sensorDuty",
+		Suite: "ISR",
+		Desc:  "full duty cycle: timer kicks the ADC, the ADC handler reads the sample and fires the radio; two rounds",
+		Source: prologue + `
+.org 0xf100
+.entry main
+main:
+` + setup + `
+    clr r10               ; samples transmitted
+    mov #16, &0x0144      ; TACCR
+    mov #3, &0x0140       ; TACTL: EN|IE
+    eint
+wait:
+    cmp #2, r10
+    jnz wait
+    dint
+` + epilogue + `
+timer_isr:
+    mov #3, &0x0150       ; ADCTL: start conversion (completes after RETI)
+    reti
+adc_isr:
+    mov &0x0154, r11      ; sample (X under symbolic analysis)
+    mov &0x0162, r12      ; RFSTAT: busy flag from the previous round
+    mov #1, &0x0160       ; RFCTL: transmit
+    inc r10
+    mov #0, &0x0142       ; TACNT: restart the count
+    mov #16, &0x0144      ; schedule the next duty cycle
+    mov #3, &0x0140
+    reti
+` + isrVectors,
+		MaxCycles: 100_000,
+		IRQ:       &periph.Config{MinLatency: 8, MaxLatency: 16},
+	},
+}

@@ -429,16 +429,17 @@ func (s *Simulator) ActiveCells(dst []netlist.CellID) []netlist.CellID {
 // ForEachActiveCell calls f for every cell whose output is active in the
 // current cycle. On the packed engine this scans the activity plane's
 // set bits — O(active) rather than O(cells) — which is what keeps the
-// streaming power sink off the all-cells path. Iteration order is
-// deterministic per engine but differs between engines.
+// streaming power sink off the all-cells path. Both engines visit cells
+// in ascending plane position, so order-sensitive consumers (the power
+// sink's per-module float accumulation) are engine-independent.
 func (s *Simulator) ForEachActiveCell(f func(netlist.CellID)) {
 	if s.pk != nil {
 		s.pk.forEachActiveCell(f)
 		return
 	}
-	for ci := 0; ci < s.n.NumCells(); ci++ {
-		if s.active[s.n.Cell(netlist.CellID(ci)).Out] {
-			f(netlist.CellID(ci))
+	for _, ci := range s.n.Packed().CellOfPos {
+		if ci >= 0 && s.active[s.n.Cell(ci).Out] {
+			f(ci)
 		}
 	}
 }
@@ -484,48 +485,80 @@ func (s *Simulator) AccumulateNewActive(acc []uint64, f func(netlist.CellID)) {
 // dissipates unconditionally. This is the engine-accelerated form of
 // power.CycleBoundFJ's sum (without the per-module split) — on the
 // packed engine, known transitions are popcounts per same-kind batch.
+//
+// Both engines produce bit-identical sums: the scalar path walks the
+// same packed plan, counts each 64-lane chunk's transitions as
+// integers, and multiplies once per class in the packed engine's exact
+// association order (see chunkBoundFJ). Sealed reports must not depend
+// on which engine produced them.
 func (s *Simulator) BoundEnergyFJ() float64 {
 	if s.pk != nil {
 		return s.pk.boundEnergyFJ(s)
 	}
+	plan := s.n.Packed()
 	e := s.clkTotalFJ
-	for ci := 0; ci < s.n.NumCells(); ci++ {
-		c := s.n.Cell(netlist.CellID(ci))
-		out := c.Out
-		e += s.cellBoundFJ(c.Kind, s.prev[out], s.vals[out], s.active[out])
+	for bi := range plan.Seq {
+		e += s.scalarBatchBoundFJ(&plan.Seq[bi])
+	}
+	for li := range plan.Levels {
+		lv := &plan.Levels[li]
+		for bi := range lv.Batches {
+			e += s.scalarBatchBoundFJ(&lv.Batches[bi])
+		}
 	}
 	return e
 }
 
-// cellBoundFJ is the scalar per-cell bound rule; it mirrors package
-// power's cellBoundFJ exactly (cross-tested there).
-func (s *Simulator) cellBoundFJ(k cell.Kind, prev, cur logic.Trit, act bool) float64 {
-	if prev.Known() && cur.Known() {
-		if prev != cur {
-			if cur == logic.H {
-				return s.riseFJ[k]
+// scalarBatchBoundFJ is the scalar engine's per-batch bound: the
+// per-cell rule of power's cellBoundFJ, accumulated as per-chunk
+// integer counts so the float association matches chunkBoundFJ
+// bit-for-bit.
+func (s *Simulator) scalarBatchBoundFJ(b *netlist.PackedBatch) float64 {
+	rise, fall, maxE := s.riseFJ[b.Kind], s.fallFJ[b.Kind], s.maxFJ[b.Kind]
+	e := 0.0
+	lanes := len(b.Cells)
+	for lane0 := 0; lane0 < lanes; lane0 += 64 {
+		n := min(64, lanes-lane0)
+		var nRise, nFall, nMax, nXRise, nXFall int
+		for i := 0; i < n; i++ {
+			out := s.n.Cell(b.Cells[lane0+i]).Out
+			prev, cur := s.prev[out], s.vals[out]
+			switch {
+			case prev.Known() && cur.Known():
+				if prev != cur {
+					if cur == logic.H {
+						nRise++
+					} else {
+						nFall++
+					}
+				}
+			case !s.active[out]:
+				// Temporally constant unknown: cannot toggle.
+			case prev == logic.X && cur == logic.X:
+				nMax++
+			case cur == logic.X:
+				if prev == logic.L {
+					nXRise++
+				} else {
+					nXFall++
+				}
+			default:
+				if cur == logic.H {
+					nXRise++
+				} else {
+					nXFall++
+				}
 			}
-			return s.fallFJ[k]
 		}
-		return 0
+		ce := 0.0
+		ce += float64(nRise) * rise
+		ce += float64(nFall) * fall
+		ce += float64(nMax) * maxE
+		ce += float64(nXRise) * rise
+		ce += float64(nXFall) * fall
+		e += ce
 	}
-	if !act {
-		return 0 // temporally constant unknown: cannot toggle
-	}
-	switch {
-	case prev == logic.X && cur == logic.X:
-		return s.maxFJ[k]
-	case cur == logic.X:
-		if prev == logic.L {
-			return s.riseFJ[k]
-		}
-		return s.fallFJ[k]
-	default:
-		if cur == logic.H {
-			return s.riseFJ[k]
-		}
-		return s.fallFJ[k]
-	}
+	return e
 }
 
 // StateHash returns a hash of all flip-flop values — the processor-state

@@ -592,6 +592,10 @@ func expandAlias(mnem string, ops []operand) (string, []operand, error) {
 		return "bis", []operand{imm(1), reg(SR)}, nil
 	case "clrc":
 		return "bic", []operand{imm(1), reg(SR)}, nil
+	case "eint":
+		return "bis", []operand{imm(FlagGIE), reg(SR)}, nil
+	case "dint":
+		return "bic", []operand{imm(FlagGIE), reg(SR)}, nil
 	}
 	return mnem, ops, nil
 }
@@ -611,6 +615,12 @@ func (a *Assembler) emitInstr(ln asmLine, patches *[]patch) {
 		return
 	}
 	switch {
+	case mnem == "reti":
+		if len(ops) != 0 {
+			a.errorf(ln.line, "reti takes no operands")
+			return
+		}
+		a.emitWord(0b000100<<10 | uint16(RETI-16)<<7)
 	case isJump(mnem):
 		if len(ops) != 1 || !ops[0].isAbs {
 			a.errorf(ln.line, "%s needs a label/address target", mnem)

@@ -7,16 +7,17 @@
 // Supported subset (word operations only):
 //
 //   - Format I (double operand): MOV ADD ADDC SUB SUBC CMP BIT BIC BIS XOR AND
-//   - Format II (single operand): RRC RRA SWPB SXT PUSH CALL
+//   - Format II (single operand): RRC RRA SWPB SXT PUSH CALL RETI
 //   - Jumps: JNE JEQ JNC JC JN JGE JL JMP
 //   - Addressing: Rn, x(Rn), @Rn, @Rn+, #imm, &abs, and the MSP430
 //     constant generator (R3/R2 special cases)
 //   - Emulated mnemonics: NOP POP RET BR CLR TST INC INCD DEC DECD INV
-//     RLA RLC SETC CLRC
+//     RLA RLC SETC CLRC EINT DINT
 //
-// Byte-mode (.B) operations and DADD/RETI are intentionally out of scope;
-// the assembler rejects them. The benchmarks of Table 4.1 are written
-// against this subset.
+// Byte-mode (.B) operations and DADD are intentionally out of scope; the
+// assembler rejects them. The benchmarks of Table 4.1 are written
+// against this subset; the ISR benchmarks additionally use RETI and the
+// GIE-manipulating EINT/DINT emulations.
 package isa
 
 import "fmt"
@@ -43,6 +44,9 @@ const (
 	FlagN = 1 << 2
 	// FlagV is the overflow flag (bit 8).
 	FlagV = 1 << 8
+	// FlagGIE is the global interrupt enable (bit 3): interrupt entry
+	// clears it (after pushing SR) and RETI restores it.
+	FlagGIE = 1 << 3
 )
 
 // Format distinguishes the three MSP430 encoding formats.
@@ -87,6 +91,7 @@ const (
 	SXT  Op = 16 + 3
 	PUSH Op = 16 + 4
 	CALL Op = 16 + 5
+	RETI Op = 16 + 6
 )
 
 // Jump conditions (32 + the 3-bit condition field).
@@ -105,7 +110,8 @@ var opNames = map[Op]string{
 	MOV: "MOV", ADD: "ADD", ADDC: "ADDC", SUBC: "SUBC", SUB: "SUB",
 	CMP: "CMP", BIT: "BIT", BIC: "BIC", BIS: "BIS", XOR: "XOR", AND: "AND",
 	RRC: "RRC", SWPB: "SWPB", RRA: "RRA", SXT: "SXT", PUSH: "PUSH", CALL: "CALL",
-	JNE: "JNE", JEQ: "JEQ", JNC: "JNC", JC: "JC", JN: "JN", JGE: "JGE",
+	RETI: "RETI",
+	JNE:  "JNE", JEQ: "JEQ", JNC: "JNC", JC: "JC", JN: "JN", JGE: "JGE",
 	JL: "JL", JMP: "JMP",
 }
 
@@ -228,6 +234,10 @@ func WritesFlags(op Op) bool {
 	switch op {
 	case MOV, BIC, BIS, SWPB, PUSH, CALL:
 		return false
+	case RETI:
+		// RETI replaces the whole SR from the stack through its own
+		// datapath, not the ALU flag-update path.
+		return false
 	}
 	if op >= 32 { // jumps
 		return false
@@ -247,8 +257,14 @@ func Decode(w uint16) Instr {
 		return Instr{Format: FmtJump, Op: 32 + Op((w>>10)&7), Off: off}
 	case w>>10 == 0b000100: // Format II
 		opc := Op(16 + (w>>7)&7)
-		if opc > CALL { // RETI and reserved: unsupported
+		if opc > RETI { // reserved encoding: unsupported
 			return Instr{Format: FmtIllegal}
+		}
+		if opc == RETI {
+			if w&0x7F != 0 { // RETI has no operand; the As/Dst bits must be 0
+				return Instr{Format: FmtIllegal}
+			}
+			return Instr{Format: FmtII, Op: RETI}
 		}
 		if w&(1<<6) != 0 { // byte mode unsupported
 			return Instr{Format: FmtIllegal}
@@ -368,6 +384,8 @@ func (i Instr) Cycles() int {
 		c := 2 // FETCH + EXEC
 		c += srcCycles(i.Dst, i.As)
 		switch i.Op {
+		case RETI:
+			c += 2 // RETI1 (pop SR) + RETI2 (pop PC)
 		case PUSH, CALL:
 			c++ // DST_WR (stack push)
 		default: // RRC RRA SWPB SXT write back to their operand

@@ -56,11 +56,20 @@ func TestDecodeSpecificEncodings(t *testing.T) {
 	if nop.Src != CG || nop.Dst != CG || nop.As != AmReg || nop.Ad != 0 {
 		t.Errorf("NOP fields: %+v", nop)
 	}
-	// Byte mode and DADD and RETI are illegal in this subset.
-	for _, w := range []uint16{0x4343 /* mov.b */, 0xA000 /* dadd */, 0x1300 /* reti */} {
+	// Byte mode and DADD are illegal in this subset, as are RETI
+	// encodings with nonzero operand bits and the reserved FmtII opcode.
+	for _, w := range []uint16{0x4343 /* mov.b */, 0xA000 /* dadd */, 0x1304 /* reti r4 */, 0x1380 /* reserved */} {
 		if Decode(w).Format != FmtIllegal {
 			t.Errorf("%#04x should be illegal", w)
 		}
+	}
+	// RETI decodes as a zero-operand Format II instruction taking 4 cycles.
+	reti := Decode(0x1300)
+	if reti.Format != FmtII || reti.Op != RETI || reti.NumExtWords() != 0 {
+		t.Errorf("RETI decode: %+v", reti)
+	}
+	if c := reti.Cycles(); c != 4 {
+		t.Errorf("RETI cycles = %d, want 4", c)
 	}
 }
 

@@ -1,0 +1,342 @@
+package periph
+
+import "fmt"
+
+// Device register addresses (byte addresses; all accesses word-aligned).
+// They sit above the core peripheral registers (0x0120–0x013C, see
+// internal/soc) and below SRAM.
+const (
+	// TACTL is the timer control register: bit 0 TAEN (count enable),
+	// bit 1 TAIE (interrupt enable), bit 2 TAIFG (interrupt flag).
+	TACTL = 0x0140
+	// TACNT is the timer's free-reading count register.
+	TACNT = 0x0142
+	// TACCR is the timer compare register: when the count reaches it the
+	// timer raises TAIFG and stops (one-shot semantics — rearm by
+	// rewriting TACTL with TAEN).
+	TACCR = 0x0144
+
+	// ADCTL is the ADC control register: bit 0 ADGO (writing 1 starts a
+	// conversion; reads back 1 while one is in flight), bit 1 ADIE,
+	// bit 2 ADIFG.
+	ADCTL = 0x0150
+	// ADSTAT is the read-only ADC status register: bit 0 busy, bit 2
+	// conversion-complete flag (mirrors ADIFG).
+	ADSTAT = 0x0152
+	// ADDATA is the read-only conversion result. Under symbolic analysis
+	// it reads as all X — the sampled value is application input the
+	// bound must hold for (Algorithm 1's "set all peripheral port inputs
+	// to Xs").
+	ADDATA = 0x0154
+
+	// RFCTL is the radio control register: writing bit 0 starts a
+	// transmission of the RFTX word.
+	RFCTL = 0x0160
+	// RFSTAT is the read-only radio status register: bit 0 busy.
+	RFSTAT = 0x0162
+	// RFTX is the radio transmit data register.
+	RFTX = 0x0164
+)
+
+// Control-register bits shared by the timer and the ADC.
+const (
+	// BitEN enables the timer (TACTL) / starts a conversion (ADCTL ADGO).
+	BitEN = 0x0001
+	// BitIE enables the device's interrupt.
+	BitIE = 0x0002
+	// BitIFG is the latched interrupt flag; cleared by hardware on vector
+	// fetch or by software writing it back as 0.
+	BitIFG = 0x0004
+)
+
+// Interrupt vector table entries (byte addresses inside ROM). A program
+// places its handler addresses here with ".org 0xfff8 / .word isr". The
+// timer outranks the ADC when both are pending.
+const (
+	// VecTimer holds the timer ISR address.
+	VecTimer = 0xFFF8
+	// VecADC holds the ADC ISR address.
+	VecADC = 0xFFFA
+)
+
+// Device is one memory-mapped peripheral on the Bus: addressable
+// registers, a per-cycle tick, and an interrupt side (devices that never
+// interrupt report Pending false forever).
+type Device interface {
+	// Name identifies the device in diagnostics and the address map.
+	Name() string
+	// Reset returns the device to power-on state.
+	Reset()
+	// Tick advances the device one clock cycle. now is the simulator's
+	// cycle counter at the time of the access.
+	Tick(now uint64)
+	// Read returns a register value in the three-valued domain: bit i is
+	// X when xmask bit i is set, else val bit i.
+	Read(addr uint16) (val, xmask uint16)
+	// Write stores a concrete value to a register. It reports writes the
+	// device rejects (read-only registers).
+	Write(addr uint16, v uint16, now uint64) error
+	// Pending reports a concrete asserted interrupt (flag set and
+	// enabled).
+	Pending() bool
+	// Ack is the hardware interrupt acknowledge, invoked when the CPU
+	// fetches this device's vector.
+	Ack()
+	// Vector is the ROM address of the device's vector-table entry.
+	Vector() uint16
+}
+
+// Timer is a one-shot compare timer: while enabled it increments every
+// cycle; on reaching the compare value it raises its flag and stops.
+// Counting is fully deterministic, so a timer interrupt is a *concrete*
+// event — it exercises the ISR entry/return path without forking the
+// exploration.
+type Timer struct {
+	en, ie, ifg bool
+	cnt, ccr    uint16
+}
+
+// Name implements Device.
+func (t *Timer) Name() string { return "timer" }
+
+// Reset implements Device.
+func (t *Timer) Reset() { *t = Timer{} }
+
+// Tick implements Device.
+func (t *Timer) Tick(now uint64) {
+	if t.en {
+		t.cnt++
+		if t.cnt >= t.ccr {
+			t.ifg = true
+			t.en = false
+		}
+	}
+}
+
+// Read implements Device.
+func (t *Timer) Read(addr uint16) (uint16, uint16) {
+	switch addr {
+	case TACTL:
+		return ctlBits(t.en, t.ie, t.ifg), 0
+	case TACNT:
+		return t.cnt, 0
+	case TACCR:
+		return t.ccr, 0
+	}
+	return 0, 0
+}
+
+// Write implements Device.
+func (t *Timer) Write(addr uint16, v uint16, now uint64) error {
+	switch addr {
+	case TACTL:
+		t.en = v&BitEN != 0
+		t.ie = v&BitIE != 0
+		t.ifg = v&BitIFG != 0
+		return nil
+	case TACNT:
+		t.cnt = v
+		return nil
+	case TACCR:
+		t.ccr = v
+		return nil
+	}
+	return fmt.Errorf("periph: timer has no register at %#04x", addr)
+}
+
+// Pending implements Device.
+func (t *Timer) Pending() bool { return t.ifg && t.ie }
+
+// Ack implements Device.
+func (t *Timer) Ack() { t.ifg = false }
+
+// Vector implements Device.
+func (t *Timer) Vector() uint16 { return VecTimer }
+
+// ADC is the sensor front end. A conversion started by setting ADGO
+// completes after a latency the application cannot know: anywhere in
+// [MinLatency, MaxLatency] cycles under symbolic analysis (the window the
+// exploration forks over), exactly ConcreteLatency cycles in concrete
+// runs. The completed sample itself is symbolic X.
+type ADC struct {
+	symbolic                bool
+	minLat, maxLat, concLat uint64
+
+	ie, ifg, armed bool
+	trig           uint64
+	sample, seq    uint16
+}
+
+// Name implements Device.
+func (a *ADC) Name() string { return "adc" }
+
+// Reset implements Device.
+func (a *ADC) Reset() {
+	a.ie, a.ifg, a.armed = false, false, false
+	a.trig, a.sample, a.seq = 0, 0, 0
+}
+
+// Tick implements Device: a conversion in flight completes on its own at
+// the latency bound — MaxLatency under symbolic analysis (by then the
+// sample has arrived on every possible interleaving), ConcreteLatency in
+// concrete runs.
+func (a *ADC) Tick(now uint64) {
+	if !a.armed {
+		return
+	}
+	lat := a.concLat
+	if a.symbolic {
+		lat = a.maxLat
+	}
+	if now >= a.trig+lat {
+		a.complete()
+	}
+}
+
+// complete latches a finished conversion: flag up, sample ready.
+func (a *ADC) complete() {
+	a.armed = false
+	a.ifg = true
+	a.seq++
+	a.sample = a.seq*0x9E37 + 0x1234 // deterministic pseudo-sample stream
+}
+
+// MaybePending reports whether, at cycle now, conversion completion is
+// possible but not certain — the symbolic window [trig+MinLatency,
+// trig+MaxLatency] within which the IRQ line reads X.
+func (a *ADC) MaybePending(now uint64) bool {
+	return a.symbolic && a.armed && now >= a.trig+a.minLat
+}
+
+// ForceDeliver resolves the symbolic completion event as "arrived now";
+// the exploration's taken fork direction.
+func (a *ADC) ForceDeliver() {
+	if a.armed {
+		a.complete()
+	}
+}
+
+// Read implements Device.
+func (a *ADC) Read(addr uint16) (uint16, uint16) {
+	switch addr {
+	case ADCTL:
+		return ctlBits(a.armed, a.ie, a.ifg), 0
+	case ADSTAT:
+		return ctlBits(a.armed, false, a.ifg), 0
+	case ADDATA:
+		if a.symbolic {
+			return 0, 0xFFFF
+		}
+		return a.sample, 0
+	}
+	return 0, 0
+}
+
+// Write implements Device.
+func (a *ADC) Write(addr uint16, v uint16, now uint64) error {
+	switch addr {
+	case ADCTL:
+		a.ie = v&BitIE != 0
+		a.ifg = v&BitIFG != 0
+		if v&BitEN != 0 && !a.armed {
+			a.armed = true
+			a.trig = now
+			a.ifg = false
+		}
+		return nil
+	case ADSTAT, ADDATA:
+		return fmt.Errorf("periph: write to read-only ADC register %#04x", addr)
+	}
+	return fmt.Errorf("periph: adc has no register at %#04x", addr)
+}
+
+// Pending implements Device.
+func (a *ADC) Pending() bool { return a.ifg && a.ie }
+
+// Ack implements Device.
+func (a *ADC) Ack() { a.ifg = false }
+
+// Vector implements Device.
+func (a *ADC) Vector() uint16 { return VecADC }
+
+// Radio is a transmit-only radio stub: writing RFCTL bit 0 sends the RFTX
+// word and holds the busy flag for a fixed number of cycles. It is fully
+// deterministic and raises no interrupt — it exists so benchmarks can
+// model the post-ISR "ship the sample" phase and poll a busy peripheral.
+type Radio struct {
+	busyCycles uint16
+
+	busy, tx, sent uint16
+}
+
+// Name implements Device.
+func (r *Radio) Name() string { return "radio" }
+
+// Reset implements Device.
+func (r *Radio) Reset() { r.busy, r.tx, r.sent = 0, 0, 0 }
+
+// Tick implements Device.
+func (r *Radio) Tick(now uint64) {
+	if r.busy > 0 {
+		r.busy--
+	}
+}
+
+// Read implements Device.
+func (r *Radio) Read(addr uint16) (uint16, uint16) {
+	switch addr {
+	case RFSTAT:
+		if r.busy > 0 {
+			return 1, 0
+		}
+		return 0, 0
+	case RFTX:
+		return r.tx, 0
+	}
+	return 0, 0
+}
+
+// Write implements Device.
+func (r *Radio) Write(addr uint16, v uint16, now uint64) error {
+	switch addr {
+	case RFCTL:
+		if v&BitEN != 0 {
+			r.busy = r.busyCycles
+			r.sent++
+		}
+		return nil
+	case RFTX:
+		r.tx = v
+		return nil
+	case RFSTAT:
+		return fmt.Errorf("periph: write to read-only radio register %#04x", addr)
+	}
+	return fmt.Errorf("periph: radio has no register at %#04x", addr)
+}
+
+// Pending implements Device.
+func (r *Radio) Pending() bool { return false }
+
+// Ack implements Device.
+func (r *Radio) Ack() {}
+
+// Vector implements Device.
+func (r *Radio) Vector() uint16 { return 0 }
+
+// Sent returns how many transmissions have been started (test hook).
+func (r *Radio) Sent() uint16 { return r.sent }
+
+// ctlBits packs the shared EN/IE/IFG control-register layout.
+func ctlBits(en, ie, ifg bool) uint16 {
+	var v uint16
+	if en {
+		v |= BitEN
+	}
+	if ie {
+		v |= BitIE
+	}
+	if ifg {
+		v |= BitIFG
+	}
+	return v
+}

@@ -1,0 +1,90 @@
+// Package periph models the memory-mapped peripheral subsystem of the
+// ULP430 sensor node: a declarative address-area map (the single source
+// of truth for what lives where on the bus), three devices — a one-shot
+// timer with compare interrupt, a sensor/ADC front end whose completed
+// samples read as symbolic X, and a radio stub with a busy flag — and
+// the interrupt controller that turns the ADC's nondeterministic
+// conversion latency into the three-valued IRQ line the symbolic
+// exploration forks on.
+//
+// The address map is deliberately generic: internal/soc reuses it to
+// describe the whole SoC layout (SRAM, ROM, core registers, device
+// space), so region predicates and bus routing share one declaration
+// instead of parallel hard-coded switches.
+package periph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Area is one contiguous address range with a stable name and a
+// caller-defined classification tag. Start and End are byte addresses;
+// End is exclusive and is a uint32 so an area may extend to the top of
+// the 16-bit address space (End = 0x10000).
+type Area struct {
+	// Name identifies the area in diagnostics ("sram", "timer", ...).
+	Name string
+	// Start is the first byte address of the area.
+	Start uint32
+	// End is one past the last byte address.
+	End uint32
+	// Tag classifies the area; its meaning belongs to the map's owner
+	// (internal/soc uses region tags, the Bus uses device indices).
+	Tag int
+}
+
+// Contains reports whether byte address a lies inside the area.
+func (a Area) Contains(addr uint16) bool {
+	u := uint32(addr)
+	return u >= a.Start && u < a.End
+}
+
+// Map is an ordered, non-overlapping set of address areas supporting
+// O(log n) lookup. It is immutable after construction and safe for
+// concurrent readers.
+type Map struct {
+	areas []Area
+}
+
+// NewMap validates and indexes a set of areas: every area must be
+// non-empty and no two areas may overlap. The declaration order does not
+// matter; areas are sorted by start address.
+func NewMap(areas ...Area) (*Map, error) {
+	sorted := make([]Area, len(areas))
+	copy(sorted, areas)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	for i, a := range sorted {
+		if a.End <= a.Start || a.End > 0x10000 {
+			return nil, fmt.Errorf("periph: area %q has invalid range [%#x, %#x)", a.Name, a.Start, a.End)
+		}
+		if i > 0 && a.Start < sorted[i-1].End {
+			return nil, fmt.Errorf("periph: area %q [%#x, %#x) overlaps %q [%#x, %#x)",
+				a.Name, a.Start, a.End, sorted[i-1].Name, sorted[i-1].Start, sorted[i-1].End)
+		}
+	}
+	return &Map{areas: sorted}, nil
+}
+
+// MustMap is NewMap for static layouts; it panics on invalid input.
+func MustMap(areas ...Area) *Map {
+	m, err := NewMap(areas...)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Lookup finds the area containing byte address addr.
+func (m *Map) Lookup(addr uint16) (Area, bool) {
+	u := uint32(addr)
+	i := sort.Search(len(m.areas), func(i int) bool { return m.areas[i].End > u })
+	if i < len(m.areas) && m.areas[i].Start <= u {
+		return m.areas[i], true
+	}
+	return Area{}, false
+}
+
+// Areas returns the areas in ascending address order. The slice is shared;
+// callers must treat it as read-only.
+func (m *Map) Areas() []Area { return m.areas }

@@ -1,0 +1,286 @@
+package periph
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+func TestMapRejectsOverlapAndEmpty(t *testing.T) {
+	if _, err := NewMap(
+		Area{Name: "a", Start: 0x100, End: 0x110},
+		Area{Name: "b", Start: 0x108, End: 0x120},
+	); err == nil {
+		t.Fatal("overlapping areas accepted")
+	}
+	if _, err := NewMap(Area{Name: "empty", Start: 0x100, End: 0x100}); err == nil {
+		t.Fatal("empty area accepted")
+	}
+	if _, err := NewMap(Area{Name: "wild", Start: 0x100, End: 0x20000}); err == nil {
+		t.Fatal("area past the address space accepted")
+	}
+}
+
+func TestMapLookupBoundaries(t *testing.T) {
+	m := MustMap(
+		Area{Name: "hi", Start: 0xF000, End: 0x10000, Tag: 2},
+		Area{Name: "lo", Start: 0x0100, End: 0x0108, Tag: 1},
+	)
+	for _, tc := range []struct {
+		addr uint16
+		name string
+		ok   bool
+	}{
+		{0x00FF, "", false},
+		{0x0100, "lo", true},
+		{0x0107, "lo", true},
+		{0x0108, "", false},
+		{0xEFFF, "", false},
+		{0xF000, "hi", true},
+		{0xFFFF, "hi", true},
+	} {
+		a, ok := m.Lookup(tc.addr)
+		if ok != tc.ok || (ok && a.Name != tc.name) {
+			t.Fatalf("Lookup(%#04x) = %q/%v, want %q/%v", tc.addr, a.Name, ok, tc.name, tc.ok)
+		}
+	}
+	// Areas come back sorted regardless of declaration order.
+	areas := m.Areas()
+	if len(areas) != 2 || areas[0].Name != "lo" || areas[1].Name != "hi" {
+		t.Fatalf("areas not sorted: %+v", areas)
+	}
+}
+
+func TestConfigNormalized(t *testing.T) {
+	c := Config{}.Normalized()
+	if c.MinLatency != 8 || c.MaxLatency != 24 || c.RadioBusyCycles != 16 {
+		t.Fatalf("zero-config defaults wrong: %+v", c)
+	}
+	if c.ConcreteLatency < c.MinLatency || c.ConcreteLatency > c.MaxLatency {
+		t.Fatalf("concrete latency %d outside window [%d, %d]", c.ConcreteLatency, c.MinLatency, c.MaxLatency)
+	}
+	c = Config{MinLatency: 10, MaxLatency: 4, ConcreteLatency: 99}.Normalized()
+	if c.MaxLatency != 26 || c.ConcreteLatency != 18 {
+		t.Fatalf("inverted window not repaired: %+v", c)
+	}
+}
+
+func TestTimerOneShot(t *testing.T) {
+	b := NewBus(Config{}, false)
+	if err := b.Write(TACCR, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(TACTL, BitEN|BitIE, 0); err != nil {
+		t.Fatal(err)
+	}
+	for now := uint64(1); now <= 2; now++ {
+		b.Tick(now)
+		if b.Line(now) != logic.L {
+			t.Fatalf("timer fired early at tick %d", now)
+		}
+	}
+	b.Tick(3)
+	if b.Line(3) != logic.H {
+		t.Fatal("timer did not fire at the compare value")
+	}
+	v, x, err := b.Read(TACTL)
+	if err != nil || x != 0 {
+		t.Fatalf("TACTL read: %v xmask %#x", err, x)
+	}
+	if v&BitEN != 0 || v&BitIFG == 0 {
+		t.Fatalf("one-shot must stop with the flag up: TACTL=%#x", v)
+	}
+	// The count holds after firing: re-arming without a TACNT reset
+	// refires immediately (MSP430-style free count).
+	if cnt, _, _ := b.Read(TACNT); cnt != 3 {
+		t.Fatalf("count not held after firing: %d", cnt)
+	}
+	vec, ok := b.TakeVector()
+	if !ok || vec != VecTimer {
+		t.Fatalf("TakeVector = %#x/%v, want timer vector", vec, ok)
+	}
+	if b.Line(4) != logic.L {
+		t.Fatal("vector fetch must acknowledge the flag")
+	}
+}
+
+func TestADCSymbolicWindow(t *testing.T) {
+	cfg := Config{MinLatency: 4, MaxLatency: 8}
+	b := NewBus(cfg, true)
+	if err := b.Write(ADCTL, BitEN|BitIE, 10); err != nil {
+		t.Fatal(err)
+	}
+	for now := uint64(11); now <= 13; now++ {
+		b.Tick(now)
+		if got := b.Line(now); got != logic.L {
+			t.Fatalf("line %v before the window opens (cycle %d)", got, now)
+		}
+	}
+	for now := uint64(14); now <= 17; now++ {
+		b.Tick(now)
+		if got := b.Line(now); got != logic.X {
+			t.Fatalf("line %v inside the arrival window (cycle %d), want X", got, now)
+		}
+	}
+	// At trig+MaxLatency the conversion completes on its own: the event
+	// becomes a concrete pending interrupt.
+	b.Tick(18)
+	if got := b.Line(18); got != logic.H {
+		t.Fatalf("line %v at window end, want H", got)
+	}
+	// The completed sample is symbolic.
+	if _, x, err := b.Read(ADDATA); err != nil || x != 0xFFFF {
+		t.Fatalf("symbolic ADDATA: err=%v xmask=%#x, want all-X", err, x)
+	}
+	vec, ok := b.TakeVector()
+	if !ok || vec != VecADC {
+		t.Fatalf("TakeVector = %#x/%v, want ADC vector", vec, ok)
+	}
+}
+
+func TestADCDeliverResolvesFork(t *testing.T) {
+	b := NewBus(Config{MinLatency: 4, MaxLatency: 20}, true)
+	if err := b.Write(ADCTL, BitEN|BitIE, 0); err != nil {
+		t.Fatal(err)
+	}
+	b.Tick(5)
+	if b.Line(5) != logic.X {
+		t.Fatal("window should be open")
+	}
+	b.Deliver()
+	if b.Line(5) != logic.H {
+		t.Fatal("Deliver must latch a concrete pending interrupt")
+	}
+}
+
+func TestADCConcreteLatency(t *testing.T) {
+	b := NewBus(Config{MinLatency: 4, MaxLatency: 8, ConcreteLatency: 6}, false)
+	if err := b.Write(ADCTL, BitEN|BitIE, 100); err != nil {
+		t.Fatal(err)
+	}
+	for now := uint64(101); now < 106; now++ {
+		b.Tick(now)
+		if b.Line(now) != logic.L {
+			t.Fatalf("concrete conversion completed early (cycle %d)", now)
+		}
+	}
+	b.Tick(106)
+	if b.Line(106) != logic.H {
+		t.Fatal("concrete conversion did not complete at ConcreteLatency")
+	}
+	v, x, err := b.Read(ADDATA)
+	if err != nil || x != 0 {
+		t.Fatalf("concrete ADDATA: err=%v xmask=%#x", err, x)
+	}
+	if v == 0 {
+		t.Fatal("concrete sample stream should be non-trivial")
+	}
+}
+
+func TestRadioBusyAndReadOnly(t *testing.T) {
+	b := NewBus(Config{RadioBusyCycles: 3}, false)
+	if err := b.Write(RFTX, 0xBEEF, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(RFCTL, BitEN, 0); err != nil {
+		t.Fatal(err)
+	}
+	for now := uint64(1); now <= 3; now++ {
+		if v, _, _ := b.Read(RFSTAT); v != 1 {
+			t.Fatalf("radio not busy at tick %d", now)
+		}
+		b.Tick(now)
+	}
+	if v, _, _ := b.Read(RFSTAT); v != 0 {
+		t.Fatal("radio busy flag did not clear")
+	}
+	if b.Radio().Sent() != 1 {
+		t.Fatalf("sent count %d, want 1", b.Radio().Sent())
+	}
+	if err := b.Write(RFSTAT, 1, 0); err == nil {
+		t.Fatal("write to read-only RFSTAT accepted")
+	}
+	if err := b.Write(ADSTAT, 1, 0); err == nil {
+		t.Fatal("write to read-only ADSTAT accepted")
+	}
+	if err := b.Write(0x0170, 1, 0); err == nil {
+		t.Fatal("write to unmapped device address accepted")
+	}
+	if _, _, err := b.Read(0x0170); err == nil {
+		t.Fatal("read of unmapped device address accepted")
+	}
+}
+
+func TestVectorPriorityTimerAboveADC(t *testing.T) {
+	b := NewBus(Config{MinLatency: 1, MaxLatency: 1}, false)
+	if err := b.Write(TACCR, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(TACTL, BitEN|BitIE, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(ADCTL, BitEN|BitIE, 0); err != nil {
+		t.Fatal(err)
+	}
+	b.Tick(1)
+	b.Tick(2)
+	if !b.Timer().Pending() || !b.ADC().Pending() {
+		t.Fatal("both devices should be pending")
+	}
+	if vec, ok := b.TakeVector(); !ok || vec != VecTimer {
+		t.Fatalf("first vector %#x, want timer (priority)", vec)
+	}
+	if vec, ok := b.TakeVector(); !ok || vec != VecADC {
+		t.Fatalf("second vector %#x, want adc", vec)
+	}
+	if _, ok := b.TakeVector(); ok {
+		t.Fatal("spurious vector fetch must report !ok")
+	}
+}
+
+func TestBusStateRoundTrip(t *testing.T) {
+	b := NewBus(Config{MinLatency: 4, MaxLatency: 12}, true)
+	for _, w := range []struct {
+		addr, v uint16
+	}{
+		{TACCR, 40}, {TACTL, BitEN | BitIE}, {ADCTL, BitEN | BitIE}, {RFTX, 7}, {RFCTL, BitEN},
+	} {
+		if err := b.Write(w.addr, w.v, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for now := uint64(3); now <= 6; now++ {
+		b.Tick(now)
+	}
+	st, h := b.State(), b.Hash(6)
+	// Mutate, then restore.
+	b.Deliver()
+	b.Tick(40)
+	if b.Hash(6) == h {
+		t.Fatal("hash insensitive to device state change")
+	}
+	b.SetState(st)
+	if b.State() != st {
+		t.Fatal("SetState did not restore the captured state")
+	}
+	if b.Hash(6) != h {
+		t.Fatal("hash not reproducible after restore")
+	}
+}
+
+// TestHashMixesCycleInOpenWindow pins the soundness rule: identical
+// device state at different cycles inside an open arrival window must
+// hash differently (different distances to the forced completion mean
+// different futures), while a quiet bus hashes cycle-independently.
+func TestHashMixesCycleInOpenWindow(t *testing.T) {
+	b := NewBus(Config{MinLatency: 4, MaxLatency: 12}, true)
+	if b.Hash(10) != b.Hash(20) {
+		t.Fatal("idle bus hash must not depend on the cycle")
+	}
+	if err := b.Write(ADCTL, BitEN|BitIE, 0); err != nil {
+		t.Fatal(err)
+	}
+	if b.Hash(5) == b.Hash(6) {
+		t.Fatal("armed-window hash must mix the cycle")
+	}
+}

@@ -21,6 +21,9 @@ type Resolved struct {
 	PrevInstr string
 	// State is the controller state name at the peak.
 	State string
+	// InISR marks a cycle spent in interrupt context (entry sequence,
+	// handler body, or RETI unwind).
+	InISR bool
 	// ByModuleMW is the per-module power split, keyed by module name.
 	ByModuleMW map[string]float64
 }
@@ -35,6 +38,7 @@ func (pk Peak) Resolve(modules []string, img *isa.Image) Resolved {
 		Instr:      "?",
 		PrevInstr:  "?",
 		State:      pk.State,
+		InISR:      pk.InISR,
 		ByModuleMW: make(map[string]float64, len(pk.ByModuleMW)),
 	}
 	if img != nil {

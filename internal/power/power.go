@@ -131,6 +131,9 @@ type Peak struct {
 	FetchAddr, PrevFetch uint16
 	// State is the controller state name at the peak.
 	State string
+	// InISR marks a cycle spent in interrupt context: the IRQ entry
+	// sequence, the handler body, or the RETI unwind.
+	InISR bool
 	// ByModuleMW is the per-module power split (indexed like
 	// Netlist.Modules()).
 	ByModuleMW []float64
@@ -160,6 +163,10 @@ type Sink struct {
 	// TopK holds the highest-power cycles with distinct fetch addresses
 	// (COI candidates), sorted descending.
 	TopK []Peak
+	// ISRPeakMW is the peak power bound restricted to cycles spent in
+	// interrupt context (0 when no interrupt was ever entered). Like
+	// Best, it accumulates over every explored path.
+	ISRPeakMW float64
 
 	model   Model
 	nl      *netlist.Netlist
@@ -185,6 +192,12 @@ type Sink struct {
 	stateNets []netlist.NetID
 	mabNets   []netlist.NetID
 	lastState string
+	lastStIdx int
+
+	// isrDepth tracks interrupt nesting along the current path, parallel
+	// to Trace (rewound with it); curISR flags the cycle being recorded.
+	isrDepth []int8
+	curISR   bool
 }
 
 type fetchCtx struct {
@@ -254,8 +267,31 @@ func (s *Sink) OnCycle(sys *ulp430.System) {
 		}
 	}
 	s.fetches = append(s.fetches, fc)
+
+	// ISR attribution: the entry sequence (IRQ1..IRQ3) flags the cycle
+	// directly; IRQ3 raises the nesting depth for the handler body, and
+	// RETI2 (the final unwind cycle, still in interrupt context) lowers
+	// it back.
+	var depth int8
+	if pos > 0 {
+		depth = s.isrDepth[pos-1]
+	}
+	inISR := depth > 0 ||
+		s.lastStIdx == ulp430.StIrq1 || s.lastStIdx == ulp430.StIrq2 || s.lastStIdx == ulp430.StIrq3
+	if s.lastStIdx == ulp430.StIrq3 {
+		depth++
+	}
+	if s.lastStIdx == ulp430.StReti2 && depth > 0 {
+		depth--
+	}
+	s.isrDepth = append(s.isrDepth, depth)
+	s.curISR = inISR
+
 	if pos < s.WarmupCycles {
 		return
+	}
+	if inISR && p > s.ISRPeakMW {
+		s.ISRPeakMW = p
 	}
 
 	// Union of active cells: word-ORed accumulator, per-cell work only
@@ -289,6 +325,7 @@ func (s *Sink) makePeak(p float64, pos int, fc fetchCtx, withCells bool, sim *gs
 		FetchAddr:  fc.fetch,
 		PrevFetch:  fc.prev,
 		State:      s.stateName(),
+		InISR:      s.curISR,
 		ByModuleMW: make([]float64, len(s.modBuf)),
 	}
 	for i, e := range s.modBuf {
@@ -308,10 +345,12 @@ func (s *Sink) refreshState(sim *gsim.Simulator) {
 	for i, id := range s.stateNets {
 		if sim.Val(id) == logic.H {
 			s.lastState = ulp430.StateName(i)
+			s.lastStIdx = i
 			return
 		}
 	}
 	s.lastState = "?"
+	s.lastStIdx = -1
 }
 
 // maybeInsertTopK keeps the top-k cycles with distinct fetch addresses,
@@ -363,6 +402,7 @@ func (s *Sink) Pos() int { return len(s.Trace) }
 func (s *Sink) Rewind(pos int) {
 	s.Trace = s.Trace[:pos]
 	s.fetches = s.fetches[:pos]
+	s.isrDepth = s.isrDepth[:pos]
 }
 
 // Segment implements symx.Sink: the payload is the per-cycle power bound

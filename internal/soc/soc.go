@@ -3,7 +3,14 @@
 // (ulp430), and the benchmarks. The layout mirrors a small MSP430-class
 // microcontroller: low peripheral space, 2 KiB of SRAM, 4 KiB of program
 // ROM, and a reset vector at the top of the address space.
+//
+// The layout has one source of truth: the declarative Layout address map
+// (built on internal/periph's area map). The region predicates below are
+// lookups into it, so the predicates, the gate-level bus routing, and the
+// behavioral simulator can never disagree about what lives where.
 package soc
+
+import "repro/internal/periph"
 
 // Memory regions (byte addresses; all accesses are word-aligned).
 const (
@@ -51,17 +58,83 @@ const (
 // WDTHold is the WDTCTL bit that freezes the watchdog counter.
 const WDTHold = 0x0080
 
+// IRQVecFetch is the vector indirection port: during interrupt entry the
+// CPU issues its vector read at this fixed address and the peripheral
+// bus substitutes the pending device's vector-table entry (priority:
+// timer above ADC). The address sits inside ROM but below the vector
+// table, where no program places code.
+const IRQVecFetch = 0xFFF0
+
+// Area tags classifying the Layout map's regions.
+const (
+	// TagRAM marks SRAM.
+	TagRAM = iota
+	// TagROM marks program ROM.
+	TagROM
+	// TagCoreReg marks the core peripheral registers (watchdog, port,
+	// halt, multiplier) implemented inside the CPU model itself.
+	TagCoreReg
+	// TagDevice marks the memory-mapped device space served by
+	// internal/periph's bus (timer, ADC, radio). Without a bus attached
+	// the space is unpopulated and accesses fault.
+	TagDevice
+)
+
+// Layout is the SoC address map: every addressable region, its extent,
+// and its classification tag. It is the single source of truth — the
+// predicates below and the simulators' bus routing all consult it.
+var Layout = periph.MustMap(
+	periph.Area{Name: "sysregs", Start: WDTCTL, End: HALTREG + 2, Tag: TagCoreReg},
+	periph.Area{Name: "mpy", Start: MPY, End: MPYS + 2, Tag: TagCoreReg},
+	periph.Area{Name: "mpyres", Start: OP2, End: RESHI + 2, Tag: TagCoreReg},
+	periph.Area{Name: "timer", Start: periph.TACTL, End: periph.TACCR + 2, Tag: TagDevice},
+	periph.Area{Name: "adc", Start: periph.ADCTL, End: periph.ADDATA + 2, Tag: TagDevice},
+	periph.Area{Name: "radio", Start: periph.RFCTL, End: periph.RFTX + 2, Tag: TagDevice},
+	periph.Area{Name: "sram", Start: RAMStart, End: RAMEnd, Tag: TagRAM},
+	periph.Area{Name: "rom", Start: ROMStart, End: ROMEnd, Tag: TagROM},
+)
+
+// tagOf classifies an address; areas are word-granular, so any byte of a
+// mapped word classifies like the word.
+func tagOf(a uint16) (int, bool) {
+	area, ok := Layout.Lookup(a)
+	if !ok {
+		return 0, false
+	}
+	return area.Tag, true
+}
+
 // InRAM reports whether byte address a lies in SRAM.
-func InRAM(a uint16) bool { return a >= RAMStart && a < RAMEnd }
+func InRAM(a uint16) bool {
+	t, ok := tagOf(a)
+	return ok && t == TagRAM
+}
 
 // InROM reports whether byte address a lies in program ROM.
-func InROM(a uint16) bool { return a >= ROMStart }
+func InROM(a uint16) bool {
+	t, ok := tagOf(a)
+	return ok && t == TagROM
+}
 
-// IsPeripheral reports whether byte address a is a peripheral register.
+// IsPeripheral reports whether byte address a is a core peripheral
+// register (implemented inside the CPU model, not on the device bus).
 func IsPeripheral(a uint16) bool {
-	switch a {
-	case WDTCTL, P1IN, P1OUT, HALTREG, MPY, MPYS, OP2, RESLO, RESHI:
-		return true
+	t, ok := tagOf(a)
+	return ok && t == TagCoreReg
+}
+
+// InDeviceSpace reports whether byte address a belongs to the
+// memory-mapped device bus (timer/ADC/radio registers).
+func InDeviceSpace(a uint16) bool {
+	t, ok := tagOf(a)
+	return ok && t == TagDevice
+}
+
+// RegionName names the region containing a, or "unmapped".
+func RegionName(a uint16) string {
+	area, ok := Layout.Lookup(a)
+	if !ok {
+		return "unmapped"
 	}
-	return false
+	return area.Name
 }

@@ -12,6 +12,17 @@
 // been seen before is not re-explored — the merging rule that lets the
 // analysis terminate on input-dependent loops.
 //
+// Interrupts extend the same rule to asynchronous arrival: with a
+// peripheral bus attached (ulp430.EnableInterrupts), an open symbolic
+// arrival window drives the CPU's request line to X, and every
+// interruptible instruction boundary inside the window
+// (ulp430.IRQCondUnknown) is a fork point — arrived here versus
+// deferred past this boundary. One cycle can fork twice (a conditional
+// jump's EXEC cycle is also an instruction boundary): the resolve loop
+// rewinds and re-steps until every control condition of the cycle is
+// concrete, accumulating the forced directions, and the merge key mixes
+// those forces so partially-resolved states are never conflated.
+//
 // The result is the annotated symbolic execution tree: segments of
 // straight-line cycles whose per-cycle observations are collected by a
 // caller-supplied Sink (package power provides the peak-power sink), and
@@ -61,8 +72,9 @@ type Sink interface {
 type NodeKind uint8
 
 const (
-	// KindBranch ends at an input-dependent conditional jump; Taken and
-	// NotTaken are its children.
+	// KindBranch ends at an input-dependent conditional jump (or, with
+	// IRQ set, an unresolved interrupt arrival); Taken and NotTaken are
+	// its children.
 	KindBranch NodeKind = iota
 	// KindEnd ends with the application halting.
 	KindEnd
@@ -72,7 +84,8 @@ const (
 )
 
 // Node is one segment of the symbolic execution tree: Len straight-line
-// cycles followed by a terminal.
+// cycles followed by a terminal. A node of a double-forked cycle (jump
+// EXEC that is also an interruptible boundary) may have Len 0.
 type Node struct {
 	// ID is the node's index in Tree.Nodes.
 	ID int
@@ -82,10 +95,15 @@ type Node struct {
 	Data interface{}
 	// Kind is the terminal classification.
 	Kind NodeKind
-	// BranchPC is the address of the forking jump (KindBranch/KindMerge).
+	// IRQ marks a KindBranch/KindMerge that forks on interrupt arrival
+	// (Taken = arrived at this boundary, NotTaken = deferred) rather than
+	// on a jump condition.
+	IRQ bool
+	// BranchPC is the address of the forking jump, or of the instruction
+	// boundary for an IRQ fork (KindBranch/KindMerge).
 	BranchPC uint16
 	// Taken and NotTaken are the successors of a KindBranch node. The
-	// branch EXEC cycle itself is the first cycle of each child segment.
+	// forked cycle itself is the first cycle of each child segment.
 	Taken, NotTaken *Node
 	// MergeTo is the already-explored branch node (KindMerge).
 	MergeTo *Node
@@ -160,11 +178,47 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// forkForces is the set of control-condition overrides a forked cycle is
+// re-stepped under. A double-forked cycle accumulates both.
+type forkForces struct {
+	brEn, brVal   bool // force the jump condition
+	irqEn, irqVal bool // force the interrupt arrival
+}
+
+// with returns f extended by one more forced condition.
+func (f forkForces) with(irq, dir bool) forkForces {
+	if irq {
+		f.irqEn, f.irqVal = true, dir
+	} else {
+		f.brEn, f.brVal = true, dir
+	}
+	return f
+}
+
+// key folds the force set into the merge key: the same pre-cycle state
+// under different already-decided directions has different futures.
+func (f forkForces) key() uint64 {
+	var k uint64
+	if f.brEn {
+		k |= 1
+	}
+	if f.brVal {
+		k |= 2
+	}
+	if f.irqEn {
+		k |= 4
+	}
+	if f.irqVal {
+		k |= 8
+	}
+	return k * 0x9E3779B97F4A7C15
+}
+
 type pendingFork struct {
-	snap    *ulp430.SysSnapshot // state before the branch EXEC cycle
+	snap    *ulp430.SysSnapshot // state before the forked cycle
 	sinkPos int
 	branch  *Node
-	dir     bool // direction still to explore
+	forces  forkForces // full force set for the direction still to explore
 }
 
 // Explore runs Algorithm 1 to completion. The system must be freshly
@@ -220,32 +274,44 @@ func Explore(sys *ulp430.System, sink Sink, opts Options) (*Tree, error) {
 		cur.Data = sink.Segment(segStart)
 	}
 
-	// pop resumes the next pending fork direction, or returns false.
-	pop := func() bool {
-		for len(stack) > 0 {
-			pf := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			sys.Restore(pf.snap)
-			snapPool = append(snapPool, pf.snap)
-			sink.Rewind(pf.sinkPos)
-			sys.ForceBranch(pf.dir)
-			sys.Step()
-			sys.ClearForce()
-			tree.Cycles++
-			sink.OnCycle(sys)
-			child := newNode()
-			if pf.dir {
-				pf.branch.Taken = child
-			} else {
-				pf.branch.NotTaken = child
-			}
-			cur = child
-			segStart = pf.sinkPos
-			return true
+	// pending is the force set for the cycle about to be (re-)stepped:
+	// empty on the mainline, the popped fork's accumulated directions
+	// right after pop.
+	var pending forkForces
+
+	// applyForces stages every accumulated override before a re-step.
+	// They must all be re-applied each time — Restore resets the force
+	// nets and the one-shot IRQ override alike.
+	applyForces := func() {
+		if pending.brEn {
+			sys.ForceBranch(pending.brVal)
 		}
-		return false
+		if pending.irqEn {
+			sys.ForceIRQ(pending.irqVal)
+		}
 	}
 
+	// pop resumes the next pending fork direction, or returns false. The
+	// outer loop re-snapshots and re-steps the forked cycle under the
+	// restored force set.
+	pop := func() bool {
+		if len(stack) == 0 {
+			return false
+		}
+		pf := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		sys.Restore(pf.snap)
+		snapPool = append(snapPool, pf.snap)
+		sink.Rewind(pf.sinkPos)
+		child := newNode()
+		pf.branch.Taken = child
+		cur = child
+		segStart = pf.sinkPos
+		pending = pf.forces
+		return true
+	}
+
+outer:
 	for {
 		if err := sys.Err(); err != nil {
 			return nil, err
@@ -277,49 +343,66 @@ func Explore(sys *ulp430.System, sink Sink, opts Options) (*Tree, error) {
 		}
 
 		sys.SnapshotInto(roll)
-		sys.Step()
-		tree.Cycles++
+		rollPos := sink.Pos()
 
-		if sys.JumpCondUnknown() {
-			// The cycle just simulated is the EXEC of an input-dependent
-			// jump: rewind it; this segment terminates at a branch.
+		// Resolve loop: re-step the cycle until every control condition is
+		// concrete. Jump conditions resolve before interrupt arrival, so a
+		// double-forked cycle always forks in the same order — the tree
+		// shape (and the sealed report derived from it) is deterministic.
+		for {
+			applyForces()
+			sys.Step()
+			sys.ClearForce()
+			tree.Cycles++
+
+			isIRQ := false
+			if sys.JumpCondUnknown() {
+				// The cycle just simulated is the EXEC of an
+				// input-dependent jump.
+			} else if sys.IRQCondUnknown() {
+				isIRQ = true
+			} else {
+				break // fully resolved
+			}
+
+			// Rewind the cycle; this segment terminates at a fork.
 			sys.Restore(roll)
 			pc, _ := sys.PC()
-			key := sys.StateHash()
+			key := sys.StateHash() ^ pending.key()
 			if prior, ok := seen[key]; ok && !opts.DisableMerge {
 				finishSegment(KindMerge)
 				cur.BranchPC = pc
+				cur.IRQ = isIRQ
 				cur.MergeTo = prior
 				tree.Paths++
 				if !pop() {
 					return tree, nil
 				}
-				continue
+				continue outer
 			}
 			finishSegment(KindBranch)
 			cur.BranchPC = pc
+			cur.IRQ = isIRQ
 			seen[key] = cur
 			branch := cur
 
 			snap := takeSnap()
 			roll.CloneInto(snap)
 			stack = append(stack, pendingFork{
-				snap: snap, sinkPos: sink.Pos(), branch: branch, dir: true,
+				snap: snap, sinkPos: rollPos, branch: branch,
+				forces: pending.with(isIRQ, true),
 			})
-			// Continue depth-first down the not-taken direction.
-			sys.ForceBranch(false)
-			sys.Step()
-			sys.ClearForce()
-			tree.Cycles++
-			sink.OnCycle(sys)
+			// Continue depth-first down the not-taken / not-arrived
+			// direction: re-step this same cycle with the extended forces.
 			child := newNode()
 			branch.NotTaken = child
 			cur = child
-			segStart = sink.Pos() - 1
-			continue
+			segStart = rollPos
+			pending = pending.with(isIRQ, false)
 		}
 
 		sink.OnCycle(sys)
+		pending = forkForces{}
 
 		// A fully unknown PC that is not a forkable jump condition means
 		// an input-dependent computed branch target — out of scope for
@@ -328,6 +411,18 @@ func Explore(sys *ulp430.System, sink Sink, opts Options) (*Tree, error) {
 			return nil, fmt.Errorf("symx: PC became X at cycle %d — input-dependent branch target (computed jump/call on input data) is not supported", sys.Sim.Cycle())
 		}
 	}
+}
+
+// IRQForks counts the branch nodes that fork on interrupt arrival — the
+// number of distinct arrival decisions the exploration covered.
+func (t *Tree) IRQForks() int {
+	n := 0
+	for _, nd := range t.Nodes {
+		if nd.Kind == KindBranch && nd.IRQ {
+			n++
+		}
+	}
+	return n
 }
 
 // CountKind returns the number of nodes with the given kind.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cell"
 	"repro/internal/isa"
 	"repro/internal/netlist"
+	"repro/internal/periph"
 	"repro/internal/ulp430"
 )
 
@@ -313,5 +314,131 @@ main:
 	}
 	if _, err := Explore(sys, &countSink{}, Options{MaxCycles: 5000}); err == nil {
 		t.Fatal("expected PC-X error")
+	}
+}
+
+// exploreIRQ is explore with the peripheral bus attached: the program
+// runs under symbolic inputs with the given arrival window.
+func exploreIRQ(t *testing.T, src string, cfg periph.Config, opts Options) *Tree {
+	t.Helper()
+	img, err := isa.Assemble("t", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	sys, err := ulp430.NewSystem(sharedCPU(t), cell.ULP65(), img, ulp430.SymbolicInputs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.EnableInterrupts(cfg)
+	tree, err := Explore(sys, &countSink{}, opts)
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	return tree
+}
+
+const irqIdleProg = `
+.org 0xf000
+.entry main
+main:
+    mov #0x0A00, r1
+    mov #0x0080, &0x0120
+    clr r10
+    mov #3, &0x0150       ; start an ADC conversion
+    eint
+idle:
+    tst r10
+    jz  idle
+    dint
+` + haltSeq + `
+timer_isr:
+    reti
+adc_isr:
+    mov &0x0154, r11
+    mov #1, r10
+    reti
+.org 0xfff8
+.word timer_isr
+.word adc_isr
+`
+
+// TestIRQWindowForkCount is the fork-accounting sanity check: a symbolic
+// arrival window must fork at least once and at most once per cycle of
+// the window, IRQForks must agree with a manual walk of the tree, and
+// with no merges in the idle loop every fork contributes exactly one
+// extra path (delivered-here vs not-yet chain).
+func TestIRQWindowForkCount(t *testing.T) {
+	const minLat, maxLat = 6, 14
+	tree := exploreIRQ(t, irqIdleProg, periph.Config{MinLatency: minLat, MaxLatency: maxLat}, Options{})
+
+	forks := tree.IRQForks()
+	if forks == 0 {
+		t.Fatal("symbolic arrival window produced no IRQ forks")
+	}
+	if window := maxLat - minLat + 1; forks > window {
+		t.Fatalf("%d IRQ forks exceed the %d-cycle arrival window", forks, window)
+	}
+	manual := 0
+	for _, n := range tree.Nodes {
+		if n.Kind == KindBranch && n.IRQ {
+			manual++
+			if n.Taken == nil || n.NotTaken == nil {
+				t.Fatal("IRQ fork node missing a child")
+			}
+		}
+	}
+	if manual != forks {
+		t.Fatalf("IRQForks() = %d but the tree holds %d IRQ branch nodes", forks, manual)
+	}
+	if tree.Paths != forks+1 {
+		t.Fatalf("paths = %d, want forks+1 = %d (one arrival cycle per fork plus the window-end delivery)",
+			tree.Paths, forks+1)
+	}
+}
+
+// TestIRQWindowWidthGrowsForks pins the monotone relation between the
+// arrival window and exploration size: a wider window can only add
+// arrival interleavings.
+func TestIRQWindowWidthGrowsForks(t *testing.T) {
+	narrow := exploreIRQ(t, irqIdleProg, periph.Config{MinLatency: 6, MaxLatency: 8}, Options{})
+	wide := exploreIRQ(t, irqIdleProg, periph.Config{MinLatency: 6, MaxLatency: 22}, Options{})
+	if narrow.IRQForks() >= wide.IRQForks() {
+		t.Fatalf("window widening did not grow forks: narrow %d, wide %d",
+			narrow.IRQForks(), wide.IRQForks())
+	}
+}
+
+// TestDeterministicIRQDoesNotFork: a timer-only interrupt load is fully
+// deterministic, so the exploration stays a single path.
+func TestDeterministicIRQDoesNotFork(t *testing.T) {
+	tree := exploreIRQ(t, `
+.org 0xf000
+.entry main
+main:
+    mov #0x0A00, r1
+    mov #0x0080, &0x0120
+    clr r10
+    mov #12, &0x0144
+    mov #3, &0x0140
+    eint
+wait:
+    tst r10
+    jz  wait
+    dint
+`+haltSeq+`
+timer_isr:
+    mov #1, r10
+    reti
+adc_isr:
+    reti
+.org 0xfff8
+.word timer_isr
+.word adc_isr
+`, periph.Config{}, Options{})
+	if tree.IRQForks() != 0 {
+		t.Fatalf("deterministic timer arrival forked %d times", tree.IRQForks())
+	}
+	if tree.Paths != 1 {
+		t.Fatalf("paths = %d, want 1", tree.Paths)
 	}
 }

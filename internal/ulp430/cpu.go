@@ -19,6 +19,15 @@
 //
 // matching the cycle model of isa.Instr.Cycles exactly (asserted by the
 // differential tests against the behavioral reference).
+//
+// Interrupts: at every instruction boundary (the cycle that would enter
+// FETCH) with GIE set, an asserted irq input diverts the state machine
+// through IRQ1 → IRQ2 → IRQ3: push the continuation PC, push SR and
+// clear GIE, then fetch the handler address through the vector
+// indirection port (soc.IRQVecFetch — the peripheral bus substitutes the
+// pending device's vector). RETI returns in two cycles, RETI1 (pop SR,
+// restoring GIE) and RETI2 (pop PC). The boundary indicator is exported
+// as irq_win; the symbolic engine forks there when the irq line is X.
 package ulp430
 
 import (
@@ -37,12 +46,18 @@ const (
 	StDstRd
 	StExec
 	StWr
+	StIrq1
+	StIrq2
+	StIrq3
+	StReti1
+	StReti2
 	NumStates
 )
 
 // StateName returns a short name for a state index.
 func StateName(i int) string {
-	return [...]string{"BOOT", "FETCH", "SOFF", "SRC_RD", "DOFF", "DST_RD", "EXEC", "WR"}[i]
+	return [...]string{"BOOT", "FETCH", "SOFF", "SRC_RD", "DOFF", "DST_RD",
+		"EXEC", "WR", "IRQ1", "IRQ2", "IRQ3", "RETI1", "RETI2"}[i]
 }
 
 // BuildCPU constructs the gate-level ULP430 netlist.
@@ -67,6 +82,7 @@ func BuildCPU() (*netlist.Netlist, error) {
 	mdbIn := b.Input("mdb_in", 16)
 	brForceEn := b.InputBit("br_force_en")
 	brForceVal := b.InputBit("br_force_val")
+	irqIn := b.InputBit("irq")
 
 	// --- registers declared up front (feedback) --------------------------
 	pc := fe.Reg("pc", 16)
@@ -91,6 +107,8 @@ func BuildCPU() (*netlist.Netlist, error) {
 	st := state.Q
 	stBoot, stFetch, stSoff, stSrcRd := st[StBoot], st[StFetch], st[StSoff], st[StSrcRd]
 	stDoff, stDstRd, stExec, stWr := st[StDoff], st[StDstRd], st[StExec], st[StWr]
+	stIrq1, stIrq2, stIrq3 := st[StIrq1], st[StIrq2], st[StIrq3]
+	stReti1, stReti2 := st[StReti1], st[StReti2]
 
 	// --- peripheral registers -------------------------------------------
 	wdtCtl := wdg.Reg("wdtctl", 16)
@@ -154,6 +172,7 @@ func BuildCPU() (*netlist.Netlist, error) {
 	isSXT := fmt2Is(3)
 	isPUSH := fmt2Is(4)
 	isCALL := fmt2Is(5)
+	isRETI := fmt2Is(6)
 	isPushCall := fe.Or(isPUSH, isCALL)
 
 	srcF := iw[8:12]
@@ -185,9 +204,11 @@ func BuildCPU() (*netlist.Netlist, error) {
 	fmt2WB := fe.AndN(isFmt2, fe.Not(isPushCall), fe.Or(as1, as0))
 	fmt1WR := fe.AndN(needDOFF, fe.Not(isCMP), fe.Not(isBIT))
 	needWR := fe.OrN(fmt1WR, isPushCall, fmt2WB)
-	regWrEXEC := fe.Or(
+	// RETI matches the Format II register-write shape (As=0, dst=0) but
+	// updates PC/SP/SR through its own dedicated paths below.
+	regWrEXEC := fe.And(fe.Not(isRETI), fe.Or(
 		fe.AndN(isFmt1, fe.Not(ad), fe.Not(isCMP), fe.Not(isBIT)),
-		fe.AndN(isFmt2, fe.Not(isPushCall), fe.Not(as1), fe.Not(as0)))
+		fe.AndN(isFmt2, fe.Not(isPushCall), fe.Not(as1), fe.Not(as0))))
 	writesFlags := fe.OrN(isADD, isADDC, isSUB, isSUBC, isCMP, isBIT, isXOR, isAND, isRRC, isRRA, isSXT)
 	dstIsPC := fe.And(fe.EqualConst(dstF, 0), regWrEXEC)
 	dstIsSR := fe.And(dstIsR2, regWrEXEC)
@@ -207,7 +228,21 @@ func BuildCPU() (*netlist.Netlist, error) {
 		fe.And(stDoff, fe.Not(needDSTRD)),
 		stDstRd)
 	goWR := fe.And(stExec, needWR)
-	goFETCH := fe.OrN(stBoot, fe.And(stExec, fe.Not(needWR)), stWr)
+	// goFETCHraw marks the instruction boundary: the cycle after which the
+	// next FETCH would begin. With GIE set and the irq line asserted, the
+	// boundary diverts into the interrupt-entry sequence instead.
+	goFETCHraw := fe.OrN(stBoot,
+		fe.AndN(stExec, fe.Not(needWR), fe.Not(isRETI)),
+		stWr, stIrq3, stReti2)
+	gie := sr.Q[3]
+	takeIRQ := fe.AndN(irqIn, gie, goFETCHraw, fe.Not(rst))
+	irqWin := fe.AndN(goFETCHraw, gie, fe.Not(rst))
+	goFETCH := fe.And(goFETCHraw, fe.Not(takeIRQ))
+	goIRQ1 := takeIRQ
+	goIRQ2 := stIrq1
+	goIRQ3 := stIrq2
+	goRETI1 := fe.And(stExec, isRETI)
+	goRETI2 := stReti1
 
 	// State register: BOOT is set while rst is high; the others reset low.
 	fe.DriveReg(state, []netlist.NetID{
@@ -219,6 +254,11 @@ func BuildCPU() (*netlist.Netlist, error) {
 		fe.And(goDSTRD, fe.Not(rst)),
 		fe.And(goEXEC, fe.Not(rst)),
 		fe.And(goWR, fe.Not(rst)),
+		fe.And(goIRQ1, fe.Not(rst)),
+		fe.And(goIRQ2, fe.Not(rst)),
+		fe.And(goIRQ3, fe.Not(rst)),
+		fe.And(goRETI1, fe.Not(rst)),
+		fe.And(goRETI2, fe.Not(rst)),
 	}, netlist.None, netlist.None)
 
 	// --- register-file read ports -----------------------------------------
@@ -262,6 +302,16 @@ func BuildCPU() (*netlist.Netlist, error) {
 
 	// PC incrementer (dedicated, frontend).
 	pcInc := fe.Inc(pc.Q, 2)
+
+	// Stack-pointer steppers for interrupt entry/return. The IRQ pushes
+	// and RETI pops land in cycles where the register-file write port is
+	// otherwise idle, so SP updates ride the normal port. All three values
+	// derive combinationally from the SP as of the *start* of the cycle:
+	// at the end of IRQ1 the SP register takes spm2 while mab takes spm4,
+	// both against the pre-decrement SP.
+	spm2 := mb.Inc(spQ, 0xFFFE)
+	spm4 := mb.Inc(spm2, 0xFFFE)
+	spp2 := mb.Inc(spQ, 2)
 
 	// --- constant generator -------------------------------------------------
 	// R3: 0, 1, 2, -1 by As; R2 (As=10/11): 4, 8.
@@ -355,7 +405,9 @@ func BuildCPU() (*netlist.Netlist, error) {
 	pcIn = fe.MuxV(fe.OrN(stFetch, stSoff, stDoff), pcIn, pcInc)
 	pcIn = fe.MuxV(stExec, pcIn, pcExec)
 	pcIn = fe.MuxV(stWr, pcIn, pcWr)
-	pcIn = fe.MuxV(stBoot, pcIn, rdata)
+	// Vector loads: boot (reset vector), interrupt entry (IRQ3 reads the
+	// handler address through the vector port), and RETI2 (popped PC).
+	pcIn = fe.MuxV(fe.OrN(stBoot, stIrq3, stReti2), pcIn, rdata)
 	fe.DriveReg(pc, pcIn, netlist.None, netlist.None)
 
 	// IR loads during FETCH.
@@ -383,18 +435,34 @@ func BuildCPU() (*netlist.Netlist, error) {
 	srFlags[1] = zNew
 	srFlags[2] = nNew
 	srFlags[8] = vNew
+	// Interrupt entry clears GIE at the end of IRQ1 — the same edge that
+	// latches the *old* SR (GIE still set) into mdb_out for the push, so
+	// RETI restores an interruptible state. RETI1 pops the whole SR.
+	srGieClr := make([]netlist.NetID, 16)
+	copy(srGieClr, sr.Q)
+	srGieClr[3] = zero
 	srIn := sr.Q
 	srIn = ex.MuxV(ex.AndN(stExec, writesFlags), srIn, srFlags)
 	srIn = ex.MuxV(ex.And(stExec, dstIsSR), srIn, result)
+	srIn = ex.MuxV(stIrq1, srIn, srGieClr)
+	srIn = ex.MuxV(stReti1, srIn, rdata)
 	ex.DriveReg(sr, srIn, rst, netlist.None)
 
 	// --- register-file write port -------------------------------------------------
+	// Interrupt entry/return SP stepping: IRQ1/IRQ2 decrement by 2 per
+	// push, RETI1/RETI2 increment by 2 per pop — cycles in which no other
+	// register-file write can occur.
+	spState := rf.OrN(stIrq1, stIrq2, stReti1, stReti2)
+	spStep := rf.MuxV(rf.Or(stReti1, stReti2), spm2, spp2)
 	wrIdx := rf.MuxV(stSrcRd, rf.MuxV(isPushCall, dstF, rf.Const(1, 4)), effSrcR)
+	wrIdx = rf.MuxV(spState, wrIdx, rf.Const(1, 4))
 	wrData := rf.MuxV(rf.And(stExec, rf.Not(isPushCall)), adderOut, result)
+	wrData = rf.MuxV(spState, wrData, spStep)
 	wrEn := rf.OrN(
 		rf.And(stSrcRd, autoInc),
 		rf.And(stExec, regWrEXEC),
-		rf.And(stExec, isPushCall))
+		rf.And(stExec, isPushCall),
+		spState)
 	wrDec := rf.Decoder(wrIdx, wrEn)
 	// Fixed register order: map iteration order would vary per process,
 	// permuting cell creation and with it the (order-sensitive, float)
@@ -413,15 +481,27 @@ func BuildCPU() (*netlist.Netlist, error) {
 	mabNext = mb.MuxV(goSRCRD, mabNext, mb.MuxV(stFetch, adderOut, effBase))
 	mabNext = mb.MuxV(goDSTRD, mabNext, adderOut)
 	mabNext = mb.MuxV(goWR, mabNext, mb.MuxV(isPushCall, dstAddr.Q, adderOut))
+	// Interrupt entry: PC push at SP-2, SR push at SP-4, then the vector
+	// indirection port. RETI: SR pop at SP, PC pop at SP+2 (IRQ3 and
+	// RETI2 flow back into FETCH through goFETCH above).
+	mabNext = mb.MuxV(goIRQ1, mabNext, spm2)
+	mabNext = mb.MuxV(stIrq1, mabNext, spm4)
+	mabNext = mb.MuxV(stIrq2, mabNext, mb.Const(soc.IRQVecFetch, 16))
+	mabNext = mb.MuxV(goRETI1, mabNext, spQ)
+	mabNext = mb.MuxV(stReti1, mabNext, spp2)
 	mabIn := mb.MuxV(rst, mabNext, mb.Const(soc.ROMEnd-2, 16))
 	mb.DriveReg(mab, mabIn, netlist.None, netlist.None)
 
 	menIn := mb.Or(rst, mb.Not(goEXEC))
 	mb.DriveReg(men, []netlist.NetID{menIn}, netlist.None, netlist.None)
-	mb.DriveReg(mwr, []netlist.NetID{mb.And(goWR, mb.Not(rst))}, netlist.None, netlist.None)
+	mwrIn := mb.And(mb.OrN(goWR, goIRQ1, stIrq1), mb.Not(rst))
+	mb.DriveReg(mwr, []netlist.NetID{mwrIn}, netlist.None, netlist.None)
 
 	wdataIn := mb.MuxV(isPUSH, mb.MuxV(isCALL, result, pc.Q), srcVal)
-	mb.DriveReg(mdbOut, wdataIn, netlist.None, mb.And(stExec, needWR))
+	wdataIn = mb.MuxV(goIRQ1, wdataIn, pcIn) // continuation PC
+	wdataIn = mb.MuxV(stIrq1, wdataIn, sr.Q) // SR, GIE still set
+	mdbOutEn := mb.OrN(mb.And(stExec, needWR), goIRQ1, stIrq1)
+	mb.DriveReg(mdbOut, wdataIn, netlist.None, mdbOutEn)
 
 	// --- peripherals ------------------------------------------------------------------
 	wrStrobe := mwr.Q[0]
@@ -471,6 +551,7 @@ func BuildCPU() (*netlist.Netlist, error) {
 	b.Output("reshi", resHi.Q)
 	b.Output("jump_exec", []netlist.NetID{jumpExec})
 	b.Output("jump_taken", []netlist.NetID{taken})
+	b.Output("irq_win", []netlist.NetID{irqWin})
 	b.Output("sp", spQ)
 	for r := 4; r <= 15; r++ {
 		b.Output(regName(r), rfRegs[r].Q)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/isa"
 	"repro/internal/logic"
 	"repro/internal/netlist"
+	"repro/internal/periph"
 	"repro/internal/soc"
 )
 
@@ -74,15 +75,29 @@ type System struct {
 	mem     []memWord // 32768 words
 	journal []journalEntry
 
+	// bus is the optional interrupt-capable peripheral subsystem
+	// (EnableInterrupts); nil leaves the device address space unmapped.
+	bus *periph.Bus
+
 	// Cached port nets.
 	mabNets, mdbInNets, mdbOutNets  []netlist.NetID
 	menNet, mwrNet, rstNet, haltNet netlist.NetID
 	jumpExecNet, jumpTakenNet       netlist.NetID
 	brForceEnNet, brForceValNet     netlist.NetID
+	irqNet, irqWinNet               netlist.NetID
 	errState                        error
 	lastDin                         memWord
+	lastLine                        logic.Trit // value currently driven on the irq net
+	irqForce                        uint8      // one-shot Line override for the next Step
 	scratch                         logic.Word
 }
+
+// irqForce values: no override / force "not arrived" / force "arrived".
+const (
+	forceNone uint8 = iota
+	forceLow
+	forceHigh
+)
 
 type journalEntry struct {
 	idx int32
@@ -126,6 +141,8 @@ func NewSystemEngine(engine gsim.Engine, n *netlist.Netlist, lib *cell.Library, 
 	s.jumpTakenNet = n.Port("jump_taken")[0]
 	s.brForceEnNet = n.Port("br_force_en")[0]
 	s.brForceValNet = n.Port("br_force_val")[0]
+	s.irqNet = n.Port("irq")[0]
+	s.irqWinNet = n.Port("irq_win")[0]
 
 	// All memory starts as X (the paper's initial condition), then the
 	// binary is loaded and inputs are materialized per mode.
@@ -171,18 +188,84 @@ func (s *System) setErr(format string, args ...interface{}) {
 	}
 }
 
+// EnableInterrupts attaches the peripheral bus (timer, ADC, radio) and
+// connects its aggregated request line to the CPU's irq input. Must be
+// called before Reset. In SymbolicInputs mode the ADC becomes a windowed
+// symbolic event source: while a conversion's arrival window is open the
+// line reads X and the symbolic engine forks on it. The bus is returned
+// for direct device access in tests and examples.
+func (s *System) EnableInterrupts(cfg periph.Config) *periph.Bus {
+	s.bus = periph.NewBus(cfg, s.mode == SymbolicInputs)
+	return s.bus
+}
+
+// Bus returns the attached peripheral bus, or nil.
+func (s *System) Bus() *periph.Bus { return s.bus }
+
 // Reset holds reset for two cycles and releases it.
 func (s *System) Reset() {
 	s.Sim.SetNet(s.rstNet, logic.H)
 	s.Sim.SetNet(s.brForceEnNet, logic.L)
 	s.Sim.SetNet(s.brForceValNet, logic.L)
+	s.Sim.SetNet(s.irqNet, logic.L)
+	s.lastLine = logic.L
+	s.irqForce = forceNone
+	if s.bus != nil {
+		s.bus.Reset()
+	}
 	s.Sim.Step()
 	s.Sim.Step()
 	s.Sim.SetNet(s.rstNet, logic.L)
 }
 
-// Step advances one clock cycle.
-func (s *System) Step() { s.Sim.Step() }
+// Step advances one clock cycle, first refreshing the IRQ line from the
+// peripheral bus so the cycle observes the request state as of its start.
+func (s *System) Step() {
+	if s.bus != nil {
+		s.driveIRQ()
+	}
+	s.Sim.Step()
+}
+
+// driveIRQ computes the interrupt line for the upcoming cycle and stages
+// it onto the irq net. A pending one-shot force (ForceIRQ) resolves an
+// open symbolic window into a definite arrival (delivering the event to
+// the device) or a definite non-arrival for this cycle only.
+func (s *System) driveIRQ() {
+	line := s.bus.Line(s.Sim.Cycle())
+	switch s.irqForce {
+	case forceHigh:
+		s.bus.Deliver()
+		line = logic.H
+	case forceLow:
+		line = logic.L
+	}
+	s.irqForce = forceNone
+	if line != s.lastLine {
+		s.Sim.SetNet(s.irqNet, line)
+		s.lastLine = line
+	}
+}
+
+// IRQCondUnknown reports whether the current cycle is an interruptible
+// instruction boundary (GIE set, no reset) whose request line is X — the
+// asynchronous-arrival fork point. The symbolic engine resolves it like
+// an unknown branch: rewind one cycle, ForceIRQ each way, re-step.
+func (s *System) IRQCondUnknown() bool {
+	return s.bus != nil && s.lastLine == logic.X && s.Sim.Val(s.irqWinNet) == logic.H
+}
+
+// ForceIRQ resolves the next Step's IRQ line: true delivers the open
+// symbolic event (the "arrived" direction of a fork), false holds the
+// line low for one cycle (arrival deferred past this boundary). The
+// override is consumed by the next Step.
+func (s *System) ForceIRQ(v bool) {
+	if v {
+		s.irqForce = forceHigh
+	} else {
+		s.irqForce = forceLow
+	}
+}
 
 // Halted reports whether the program has written the halt register.
 func (s *System) Halted() bool { return s.Sim.Val(s.haltNet) == logic.H }
@@ -244,6 +327,9 @@ func (s *System) MemWord(addr uint16) logic.Word {
 // the cycle in flight. It is per-cycle hot and must not allocate: port
 // reads go through PortUint and the reusable scratch word.
 func (s *System) Tick(sim *gsim.Simulator) {
+	if s.bus != nil {
+		s.bus.Tick(sim.Cycle())
+	}
 	if sim.Val(s.menNet) != logic.H {
 		return // no access: hold mdb_in to minimize bus toggling
 	}
@@ -258,6 +344,24 @@ func (s *System) Tick(sim *gsim.Simulator) {
 		}
 		if soc.IsPeripheral(addr) {
 			return // handled by gate-level peripheral logic
+		}
+		if s.bus != nil && s.bus.Claims(addr) {
+			for i, id := range s.mdbOutNets {
+				s.scratch[i] = sim.Val(id)
+			}
+			data := wordFromLogic(s.scratch)
+			if data.xmask != 0 {
+				s.setErr("ulp430: store of unknown (X) data to device register %#04x at cycle %d — device configuration must be input-independent", addr, sim.Cycle())
+				return
+			}
+			if err := s.bus.Write(addr, data.val, sim.Cycle()); err != nil {
+				s.setErr("ulp430: %v (cycle %d)", err, sim.Cycle())
+			}
+			return
+		}
+		if soc.InDeviceSpace(addr) {
+			s.setErr("ulp430: store to device register %#04x with no peripheral bus attached at cycle %d", addr, sim.Cycle())
+			return
 		}
 		if !soc.InRAM(addr) {
 			s.setErr("ulp430: store to non-RAM address %#04x at cycle %d", addr, sim.Cycle())
@@ -282,6 +386,17 @@ func (s *System) Tick(sim *gsim.Simulator) {
 	switch {
 	case !addrKnown:
 		out = allXWord
+	case s.bus != nil && addr == soc.IRQVecFetch:
+		// Interrupt-entry vector indirection: the bus picks the
+		// highest-priority pending device, acknowledges it, and the read
+		// returns that device's vector-table entry from ROM.
+		vec, ok := s.bus.TakeVector()
+		if !ok {
+			s.setErr("ulp430: spurious interrupt vector fetch at cycle %d", sim.Cycle())
+			out = allXWord
+		} else {
+			out = s.mem[vec/2]
+		}
 	case addr == soc.P1IN:
 		if s.mode == SymbolicInputs {
 			out = allXWord
@@ -292,6 +407,17 @@ func (s *System) Tick(sim *gsim.Simulator) {
 		}
 	case soc.IsPeripheral(addr):
 		out = memWord{val: 0} // internal logic supplies the data
+	case s.bus != nil && s.bus.Claims(addr):
+		v, xm, err := s.bus.Read(addr)
+		if err != nil {
+			s.setErr("ulp430: %v (cycle %d)", err, sim.Cycle())
+			out = allXWord
+		} else {
+			out = memWord{val: v, xmask: xm}
+		}
+	case soc.InDeviceSpace(addr):
+		s.setErr("ulp430: load from device register %#04x with no peripheral bus attached at cycle %d", addr, sim.Cycle())
+		out = allXWord
 	case soc.InRAM(addr) || soc.InROM(addr):
 		out = s.mem[addr/2]
 	default:
@@ -311,10 +437,12 @@ func (s *System) Tick(sim *gsim.Simulator) {
 // memory journal position (memory restoration is O(writes since
 // snapshot), not O(memory size)).
 type SysSnapshot struct {
-	sim     *gsim.Snapshot
-	journal int
-	lastDin memWord
-	err     error
+	sim      *gsim.Snapshot
+	journal  int
+	lastDin  memWord
+	lastLine logic.Trit
+	bus      periph.BusState
+	err      error
 }
 
 // Snapshot captures the current state. Snapshots form a LIFO discipline
@@ -334,6 +462,10 @@ func (s *System) SnapshotInto(sn *SysSnapshot) {
 	s.Sim.SnapshotInto(sn.sim)
 	sn.journal = len(s.journal)
 	sn.lastDin = s.lastDin
+	sn.lastLine = s.lastLine
+	if s.bus != nil {
+		sn.bus = s.bus.State()
+	}
 	sn.err = s.errState
 }
 
@@ -355,6 +487,8 @@ func (sn *SysSnapshot) CloneInto(dst *SysSnapshot) {
 	sn.sim.CloneInto(dst.sim)
 	dst.journal = sn.journal
 	dst.lastDin = sn.lastDin
+	dst.lastLine = sn.lastLine
+	dst.bus = sn.bus
 	dst.err = sn.err
 }
 
@@ -370,6 +504,11 @@ func (s *System) Restore(sn *SysSnapshot) {
 	s.journal = s.journal[:sn.journal]
 	s.Sim.Restore(sn.sim)
 	s.lastDin = sn.lastDin
+	s.lastLine = sn.lastLine
+	s.irqForce = forceNone
+	if s.bus != nil {
+		s.bus.SetState(sn.bus)
+	}
 	s.errState = sn.err
 }
 
@@ -394,6 +533,10 @@ func (s *System) StateHash() uint64 {
 	h := s.Sim.StateHash()
 	h ^= s.MemHash()
 	h *= 1099511628211
+	if s.bus != nil {
+		h ^= s.bus.Hash(s.Sim.Cycle())
+		h *= 1099511628211
+	}
 	return h
 }
 

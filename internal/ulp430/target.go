@@ -81,12 +81,13 @@ func (v *DesignVariant) Budgets() (maxCycles, maxNodes int) {
 	return v.maxCycles, v.maxNodes
 }
 
-// Benchmarks returns the variant's benchmark suite.
+// Benchmarks returns the variant's benchmark suite: the paper suite plus
+// the interrupt-driven ISR suite (unless a custom suite was configured).
 func (v *DesignVariant) Benchmarks() []*bench.Benchmark {
 	if v.suite != nil {
 		return v.suite
 	}
-	return bench.All()
+	return bench.Full()
 }
 
 // NewSystem couples the built netlist to behavioral memory under the chosen

@@ -216,5 +216,11 @@ func (a *Analyzer) cacheKey(img *Image, cfg config) string {
 	}
 	fmt.Fprintf(h, "clock=%g maxCycles=%d maxNodes=%d coi=%d engine=%s\n",
 		cfg.clockHz, cfg.maxCycles, cfg.maxNodes, cfg.coiK, cfg.engine)
+	if cfg.irq != nil {
+		// Already normalized by WithInterrupts, so equal effective
+		// configurations key identically.
+		fmt.Fprintf(h, "irq min=%d max=%d conc=%d radio=%d\n",
+			cfg.irq.MinLatency, cfg.irq.MaxLatency, cfg.irq.ConcreteLatency, cfg.irq.RadioBusyCycles)
+	}
 	return hex.EncodeToString(h.Sum(nil))
 }

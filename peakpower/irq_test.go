@@ -1,0 +1,144 @@
+package peakpower
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestInterruptAnalysis runs the interrupt-driven benchmarks end to end
+// and checks the physics of each report: the windowed ADC benchmarks must
+// fork on arrival, every interrupt analysis must enter the ISR, and the
+// ISR-restricted peak can never exceed the global peak.
+func TestInterruptAnalysis(t *testing.T) {
+	a := analyzer(t)
+	for _, tc := range []struct {
+		name      string
+		wantForks bool
+	}{
+		{"timerCount", false}, // deterministic arrival: no symbolic window
+		{"adcSample", true},
+		{"sensorDuty", true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := a.AnalyzeBench(context.Background(), tc.name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			irq := res.Interrupts
+			if irq == nil {
+				t.Fatal("interrupt benchmark produced a report without an Interrupts section")
+			}
+			if irq.MinLatency <= 0 || irq.MaxLatency < irq.MinLatency {
+				t.Fatalf("bad normalized window [%d, %d]", irq.MinLatency, irq.MaxLatency)
+			}
+			if tc.wantForks && irq.IRQForks == 0 {
+				t.Fatal("symbolic arrival window produced no IRQ forks")
+			}
+			if !tc.wantForks && irq.IRQForks != 0 {
+				t.Fatalf("deterministic arrival forked %d times", irq.IRQForks)
+			}
+			if irq.ISRPeakMW <= 0 {
+				t.Fatal("no ISR cycle was ever attributed (ISRPeakMW == 0)")
+			}
+			if irq.ISRPeakMW > res.PeakPowerMW {
+				t.Fatalf("ISR peak %.4f mW exceeds global peak %.4f mW", irq.ISRPeakMW, res.PeakPowerMW)
+			}
+			if err := res.VerifyHash(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestInterruptEngineDifferential is the packed-vs-scalar oracle check
+// for the interrupt path: both engines must produce byte-identical
+// sealed Reports for an ISR benchmark with symbolic arrival forks.
+func TestInterruptEngineDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scalar engine is slow; skipping in -short")
+	}
+	a := analyzer(t)
+	marshal := func(e Engine) []byte {
+		t.Helper()
+		res, err := a.AnalyzeBench(context.Background(), "adcSample", WithEngine(e), WithCOI(4))
+		if err != nil {
+			t.Fatalf("engine %s: %v", e, err)
+		}
+		rep := res.Report
+		rep.Engine = "" // the one field that legitimately differs
+		rep.Seal()
+		data, err := json.Marshal(&rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	packed := marshal(EnginePacked)
+	scalar := marshal(EngineScalar)
+	if !bytes.Equal(packed, scalar) {
+		t.Fatalf("packed and scalar engines disagree on adcSample:\npacked: %s\nscalar: %s", packed, scalar)
+	}
+}
+
+// TestInterruptDeterminism asserts byte-reproducibility: two independent
+// analyses of the same ISR benchmark seal to identical JSON.
+func TestInterruptDeterminism(t *testing.T) {
+	a := analyzer(t)
+	run := func() []byte {
+		res, err := a.AnalyzeBench(context.Background(), "sensorDuty")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(&res.Report)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	if x, y := run(), run(); !bytes.Equal(x, y) {
+		t.Fatalf("repeated interrupt analysis is not byte-reproducible:\n%s\n%s", x, y)
+	}
+}
+
+// TestDecodeV1Report pins backward compatibility: a version-1 report
+// (pre-interrupt schema) must still decode, with a nil Interrupts
+// section.
+func TestDecodeV1Report(t *testing.T) {
+	v1 := &Report{
+		Schema:      1,
+		Target:      "ulp430",
+		App:         "legacy",
+		Library:     "ULP65",
+		FeatureNM:   65,
+		ClockHz:     100e6,
+		Engine:      "packed",
+		PeakPowerMW: 1.25,
+		COIs:        []COI{{Cycle: 10, PowerMW: 1.25, Instr: "mov", PrevInstr: "add", State: "EXEC"}},
+	}
+	v1.Seal()
+	data, err := json.Marshal(v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "interrupts") || strings.Contains(string(data), "in_isr") {
+		t.Fatalf("v1-shaped report must not serialize interrupt fields: %s", data)
+	}
+	back, err := DecodeReport(data)
+	if err != nil {
+		t.Fatalf("v1 report no longer decodes: %v", err)
+	}
+	if back.Schema != 1 || back.Interrupts != nil {
+		t.Fatalf("v1 decode corrupted: schema=%d interrupts=%+v", back.Schema, back.Interrupts)
+	}
+
+	bad := *back
+	bad.Schema = SchemaVersion + 1
+	bad.Seal()
+	future, _ := json.Marshal(&bad)
+	if _, err := DecodeReport(future); err == nil {
+		t.Fatal("future schema version must be rejected")
+	}
+}

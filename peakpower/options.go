@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cell"
 	"repro/internal/gsim"
+	"repro/internal/periph"
 )
 
 // Library is a characterized standard-cell library (an alias of the
@@ -67,6 +68,7 @@ type config struct {
 	workers       int
 	engine        Engine
 	cache         *Cache
+	irq           *periph.Config
 }
 
 func defaultConfig() config {
@@ -169,6 +171,26 @@ func WithProgressEvery(n int) Option {
 // concurrently. A nil cache disables caching (the default).
 func WithCache(cache *Cache) Option {
 	return func(c *config) { c.cache = cache }
+}
+
+// InterruptConfig parameterizes the interrupt-capable peripheral
+// subsystem (timer, ADC, radio) attached by WithInterrupts — chiefly the
+// ADC arrival window [MinLatency, MaxLatency] the peak-power bound must
+// cover. The zero value selects the documented defaults.
+type InterruptConfig = periph.Config
+
+// WithInterrupts attaches the peripheral bus to the analyzed system and
+// enables interrupt-aware analysis: symbolic exploration forks at every
+// interruptible instruction boundary inside the ADC arrival window, so
+// the resulting bound covers every arrival interleaving; the sealed
+// Report gains an Interrupts section and per-COI interrupt-context
+// attribution. Concrete runs (RunConcrete) deliver the interrupt at
+// cfg.ConcreteLatency instead of forking.
+func WithInterrupts(cfg InterruptConfig) Option {
+	return func(c *config) {
+		norm := cfg.Normalized()
+		c.irq = &norm
+	}
 }
 
 // WithWorkers sets the AnalyzeAll worker-pool size. Default: GOMAXPROCS.

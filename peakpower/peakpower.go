@@ -119,6 +119,9 @@ func (a *Analyzer) analyzeImage(ctx context.Context, img *Image, cfg config) (*R
 	if err != nil {
 		return nil, fmt.Errorf("peakpower: preparing %s: %w", img.Name, err)
 	}
+	if cfg.irq != nil {
+		sys.EnableInterrupts(*cfg.irq)
+	}
 	sink := power.NewSink(sys, model, img, cfg.coiK)
 	sxOpts := symx.Options{
 		MaxCycles:     cfg.maxCycles,
@@ -170,6 +173,14 @@ func (a *Analyzer) analyzeImage(ctx context.Context, img *Image, cfg config) (*R
 		Tree:        tree,
 		img:         img,
 	}
+	if cfg.irq != nil {
+		res.Interrupts = &IRQReport{
+			MinLatency: cfg.irq.MinLatency,
+			MaxLatency: cfg.irq.MaxLatency,
+			IRQForks:   tree.IRQForks(),
+			ISRPeakMW:  sink.ISRPeakMW,
+		}
+	}
 	for _, act := range sink.UnionActive {
 		if act {
 			res.ActiveGates++
@@ -188,10 +199,16 @@ func (a *Analyzer) AnalyzeBench(ctx context.Context, name string, opts ...Option
 	if err != nil {
 		return nil, err
 	}
+	var auto []Option
 	if b.MaxCycles > 0 {
-		opts = append([]Option{WithMaxCycles(2 * b.MaxCycles)}, opts...)
+		auto = append(auto, WithMaxCycles(2*b.MaxCycles))
 	}
-	return a.AnalyzeImage(ctx, img, opts...)
+	if b.IRQ != nil {
+		// Interrupt-driven benchmarks carry their peripheral
+		// configuration; explicit WithInterrupts options still override.
+		auto = append(auto, WithInterrupts(*b.IRQ))
+	}
+	return a.AnalyzeImage(ctx, img, append(auto, opts...)...)
 }
 
 // maxEnergyPathTrace concatenates segment traces greedily along the
@@ -263,6 +280,9 @@ func (a *Analyzer) RunConcrete(ctx context.Context, img *Image, inputs []uint16,
 	sys, err := a.target.NewSystem(cfg.engine, a.nl, model.Lib, img, ulp430.ConcreteInputs, inputs)
 	if err != nil {
 		return nil, fmt.Errorf("peakpower: preparing %s: %w", img.Name, err)
+	}
+	if cfg.irq != nil {
+		sys.EnableInterrupts(*cfg.irq)
 	}
 	sys.PortIn = portIn
 	sink := power.NewSink(sys, model, img, 0)

@@ -10,9 +10,16 @@ import (
 	"repro/internal/power"
 )
 
-// SchemaVersion is the Report wire-format version. It is bumped only for
-// incompatible changes; DecodeReport rejects reports from other versions.
-const SchemaVersion = 1
+// SchemaVersion is the Report wire-format version. Version 2 added the
+// optional interrupt section (Interrupts) and per-COI interrupt-context
+// attribution (COI.InISR). DecodeReport accepts every version back to
+// MinSchemaVersion; reports are always written at SchemaVersion.
+const SchemaVersion = 2
+
+// MinSchemaVersion is the oldest report version DecodeReport accepts.
+// Version 1 reports (pre-interrupt) decode into the current struct with a
+// nil Interrupts section and InISR false on every COI.
+const MinSchemaVersion = 1
 
 // COI is one cycle of interest with its attribution resolved to stable,
 // human-readable form: instruction mnemonics instead of image addresses,
@@ -29,8 +36,28 @@ type COI struct {
 	PrevInstr string `json:"prev_instr"`
 	// State is the controller state name at the peak.
 	State string `json:"state"`
+	// InISR marks a cycle spent in interrupt context (entry sequence,
+	// handler body, or RETI unwind). Always false without WithInterrupts.
+	InISR bool `json:"in_isr,omitempty"`
 	// ByModuleMW is the per-module power split, keyed by module name.
 	ByModuleMW map[string]float64 `json:"by_module_mw"`
+}
+
+// IRQReport is the interrupt section of a Report, present only for
+// analyses run with WithInterrupts.
+type IRQReport struct {
+	// MinLatency and MaxLatency delimit the ADC arrival window the bound
+	// covers, in cycles after the trigger (normalized configuration).
+	MinLatency int `json:"min_latency"`
+	// MaxLatency is the end of the arrival window.
+	MaxLatency int `json:"max_latency"`
+	// IRQForks counts the distinct interrupt-arrival decisions the
+	// symbolic exploration forked on — every arrival interleaving at
+	// instruction-boundary granularity inside the window.
+	IRQForks int `json:"irq_forks"`
+	// ISRPeakMW is the peak power bound restricted to interrupt-context
+	// cycles (0 if no interrupt was ever entered).
+	ISRPeakMW float64 `json:"isr_peak_mw"`
 }
 
 // Report is the serializable co-analysis result for one application on one
@@ -86,6 +113,10 @@ type Report struct {
 	// behind the activity-profile figures). Empty for combined reports,
 	// which have no single module table.
 	ActiveByModule map[string]int `json:"active_by_module,omitempty"`
+
+	// Interrupts summarizes the interrupt analysis (WithInterrupts); nil
+	// for interrupt-free analyses and for decoded version-1 reports.
+	Interrupts *IRQReport `json:"interrupts,omitempty"`
 
 	// Paths, Nodes, and SimCycles summarize the exploration.
 	Paths int `json:"paths"`
@@ -156,8 +187,8 @@ func DecodeReport(data []byte) (*Report, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("peakpower: decoding report: %w", err)
 	}
-	if r.Schema != SchemaVersion {
-		return nil, fmt.Errorf("peakpower: report schema %d not supported (want %d)", r.Schema, SchemaVersion)
+	if r.Schema < MinSchemaVersion || r.Schema > SchemaVersion {
+		return nil, fmt.Errorf("peakpower: report schema %d not supported (want %d..%d)", r.Schema, MinSchemaVersion, SchemaVersion)
 	}
 	if err := r.VerifyHash(); err != nil {
 		return nil, err

@@ -16,10 +16,11 @@ import (
 //	go test ./peakpower -run TestReportGolden -update-golden
 var updateGolden = flag.Bool("update-golden", false, "rewrite the golden report files")
 
-// goldenBenches are the two Table 4.1 benchmarks pinned by golden files:
-// mult exercises the high-power multiplier, tea8 the shift/XOR-only
-// minimal-variation kernel.
-var goldenBenches = []string{"mult", "tea8"}
+// goldenBenches are the benchmarks pinned by golden files: mult
+// exercises the high-power multiplier, tea8 the shift/XOR-only
+// minimal-variation kernel, and adcSample the interrupt path (schema v2
+// Interrupts section, in_isr COI attribution, symbolic arrival forks).
+var goldenBenches = []string{"mult", "tea8", "adcSample"}
 
 // goldenReport analyzes one benchmark with the fixed options the golden
 // files were generated with.

@@ -3,6 +3,7 @@ package peakpower
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/bench"
@@ -112,12 +113,16 @@ type TargetInfo struct {
 	Benchmarks []string `json:"benchmarks"`
 }
 
-// Targets lists the registered design points in registration order.
+// Targets lists the registered design points sorted by name, so listings
+// (CLI -list-targets, the service's GET /v1/targets) are deterministic
+// regardless of registration order.
 func Targets() []TargetInfo {
 	targetMu.RLock()
 	defer targetMu.RUnlock()
-	out := make([]TargetInfo, 0, len(targetOrder))
-	for _, name := range targetOrder {
+	names := append([]string(nil), targetOrder...)
+	sort.Strings(names)
+	out := make([]TargetInfo, 0, len(names))
+	for _, name := range names {
 		t := targetReg[name]
 		info := TargetInfo{
 			Name:        t.Name(),

@@ -22,7 +22,12 @@ func TestTargetRegistry(t *testing.T) {
 		}
 	}
 	if infos[0].Name != DefaultTarget {
-		t.Fatalf("first registered target is %q, want %q", infos[0].Name, DefaultTarget)
+		t.Fatalf("first listed target is %q, want %q", infos[0].Name, DefaultTarget)
+	}
+	for i := 1; i < len(infos); i++ {
+		if infos[i-1].Name >= infos[i].Name {
+			t.Fatalf("Targets() not sorted by name: %q before %q", infos[i-1].Name, infos[i].Name)
+		}
 	}
 
 	if _, ok := TargetByName("ulp430"); !ok {
