@@ -6,7 +6,7 @@ BENCH_JSON ?= BENCH_$(shell date +%F).json
 SHELL := /usr/bin/env bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: all build vet test race race-irq bench bench-smoke profile serve smoke example-smoke ci clean
+.PHONY: all build vet test race race-irq race-parallel fuzz-smoke bench bench-smoke profile serve smoke example-smoke ci clean
 
 all: build vet test
 
@@ -25,11 +25,26 @@ race:
 	$(GO) test -race ./...
 
 # Interrupt-path tests only, under the race detector: the peripheral
-# bus, IRQ entry/return, symbolic arrival forking, and the public
-# WithInterrupts surface. Fast enough to run on every commit.
+# bus, IRQ entry/return, symbolic arrival forking (sequential and
+# parallel), and the public WithInterrupts surface. Fast enough to run
+# on every commit.
 race-irq:
-	$(GO) test -race -run 'Interrupt|IRQ|Periph|Timer|ADC|Radio|Vector|Bus' \
+	$(GO) test -race -run 'Interrupt|IRQ|Periph|Timer|ADC|Radio|Vector|Bus|Parallel' \
 		./internal/periph/... ./internal/ulp430/... ./internal/symx/... ./peakpower/...
+
+# The parallel-exploration determinism suite under the race detector:
+# the work-stealing engine's tree/budget/error parity with the
+# sequential engine, the canonical candidate merge, and the sealed
+# Report's bit-identity across worker counts.
+race-parallel:
+	$(GO) test -race -run 'Parallel|ExploreWorkers|SnapPool|FuzzExplore|EnginesAgree' \
+		./internal/symx/... ./internal/gsim/... ./peakpower/...
+
+# Short native-fuzz session over the sequential-vs-parallel differential
+# target: generated programs and interrupt windows, trees and power
+# reductions required to agree exactly. CI's fuzz smoke.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzExplore -fuzztime=10s ./internal/symx/
 
 # The table/figure-regenerating benchmark harness plus the gate-engine
 # benchmarks; results are captured as a BENCH_*.json trajectory point
@@ -79,7 +94,7 @@ example-smoke:
 	$(GO) run ./examples/sensornode
 	$(GO) run ./cmd/peakpower -bench adcSample -irq 8:20
 
-ci: build vet race race-irq smoke example-smoke
+ci: build vet race race-irq race-parallel fuzz-smoke smoke example-smoke
 
 clean:
 	$(GO) clean ./...

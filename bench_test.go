@@ -8,6 +8,7 @@ package repro
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"sync"
 	"testing"
@@ -509,6 +510,30 @@ func BenchmarkEngineCoAnalysis(b *testing.B) {
 					if _, err := a.AnalyzeBench(context.Background(), name, peakpower.WithEngine(v.engine)); err != nil {
 						b.Fatal(err)
 					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExploreWorkers scales the work-stealing parallel exploration
+// across worker counts on sensorDuty — the widest interrupt-forking tree
+// in the suite (dozens of pending fork points, so work actually
+// distributes). The result is bit-identical at every count (asserted by
+// peakpower's determinism suite); this benchmark measures only the
+// wall-clock effect. On a single-core host the expected curve is flat:
+// the workers multiplex one CPU (see PERFORMANCE.md).
+func BenchmarkExploreWorkers(b *testing.B) {
+	a, err := peakpower.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := a.AnalyzeBench(context.Background(), "sensorDuty",
+					peakpower.WithExploreWorkers(w)); err != nil {
+					b.Fatal(err)
 				}
 			}
 		})

@@ -60,6 +60,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort analysis after this long (0 = no limit)")
 	progress := flag.Bool("progress", false, "report exploration progress on stderr")
 	workers := flag.Int("workers", 0, "batch-mode worker count (0 = GOMAXPROCS)")
+	exploreWorkers := flag.Int("explore-workers", 0, "parallel exploration workers per analysis; the result is bit-identical at any count (0 = GOMAXPROCS)")
 	engine := flag.String("engine", "packed", "gate-level engine: packed (fast) or scalar (reference oracle)")
 	irq := flag.String("irq", "", "attach the peripheral bus with a MIN:MAX interrupt arrival window (cycles), e.g. 8:24")
 	flag.Parse()
@@ -105,6 +106,9 @@ func main() {
 	}
 	if *workers > 0 {
 		opts = append(opts, peakpower.WithWorkers(*workers))
+	}
+	if *exploreWorkers > 0 {
+		opts = append(opts, peakpower.WithExploreWorkers(*exploreWorkers))
 	}
 	if *progress {
 		opts = append(opts, peakpower.WithProgress(func(p peakpower.Progress) {

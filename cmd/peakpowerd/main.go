@@ -200,6 +200,10 @@ type analyzeOptions struct {
 	ClockHz   float64 `json:"clock_hz,omitempty"`
 	Engine    string  `json:"engine,omitempty"`
 	TimeoutMS int     `json:"timeout_ms,omitempty"`
+	// ExploreWorkers sets the parallel-exploration worker count. Results
+	// are bit-identical at any value, so it is excluded from the cache
+	// key: tune it freely for latency without fragmenting the cache.
+	ExploreWorkers int `json:"explore_workers,omitempty"`
 	// Interrupts attaches the peripheral bus with the given symbolic
 	// arrival window; the zero-valued config selects the documented
 	// defaults (set it to {} to enable interrupts with defaults).
@@ -255,6 +259,9 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	if o.ClockHz > 0 {
 		opts = append(opts, peakpower.WithClockHz(o.ClockHz))
+	}
+	if o.ExploreWorkers > 0 {
+		opts = append(opts, peakpower.WithExploreWorkers(o.ExploreWorkers))
 	}
 	if o.Engine != "" {
 		eng, err := peakpower.ParseEngine(o.Engine)

@@ -198,6 +198,28 @@ type Sink struct {
 	// to Trace (rewound with it); curISR flags the cycle being recorded.
 	isrDepth []int8
 	curISR   bool
+
+	// Task mode (EnableTasks): the sink serves one worker of a parallel
+	// exploration. Trace/fetches/isrDepth become task-local (positions
+	// stay absolute via base), the order-sensitive reductions (Best,
+	// TopK) are deferred — candidate peaks are recorded with their
+	// (task, stream) coordinates and folded canonically by
+	// MergeParallel — and the path context at a task's start comes from
+	// a TaskSeed instead of history.
+	taskMode  bool
+	shared    *Shared
+	base      int
+	task      int
+	stream    int
+	curStream int
+	seed      TaskSeed
+	// Per-segment candidate filters (see recordCandidates): canonical
+	// order within one tree segment equals this task's exploration
+	// order, so within a segment only strict running records can matter.
+	segBest    float64
+	segAddrMax map[uint16]float64
+	bestCands  []PeakCand
+	topkCands  []PeakCand
 }
 
 type fetchCtx struct {
@@ -250,15 +272,21 @@ func (s *Sink) Modules() []string { return s.nl.Modules() }
 func (s *Sink) OnCycle(sys *ulp430.System) {
 	sim := sys.Sim
 	s.refreshState(sim)
-	pos := len(s.Trace)
+	pos := s.base + len(s.Trace)
+	if s.taskMode {
+		s.curStream = s.stream
+		s.stream++
+	}
 
 	p := s.model.PowerMW(sim.BoundEnergyFJ()) + s.leakMW
 	s.Trace = append(s.Trace, p)
 
 	// Track the instruction in flight.
 	var fc fetchCtx
-	if pos > 0 {
-		fc = s.fetches[pos-1]
+	if n := len(s.fetches); n > 0 {
+		fc = s.fetches[n-1]
+	} else if s.taskMode {
+		fc = fetchCtx{fetch: s.seed.Fetch, prev: s.seed.Prev}
 	}
 	if sim.Val(s.stateNets[ulp430.StFetch]) == logic.H {
 		if a, ok := sim.PortUint("mab"); ok {
@@ -273,8 +301,10 @@ func (s *Sink) OnCycle(sys *ulp430.System) {
 	// RETI2 (the final unwind cycle, still in interrupt context) lowers
 	// it back.
 	var depth int8
-	if pos > 0 {
-		depth = s.isrDepth[pos-1]
+	if n := len(s.isrDepth); n > 0 {
+		depth = s.isrDepth[n-1]
+	} else if s.taskMode {
+		depth = s.seed.Depth
 	}
 	inISR := depth > 0 ||
 		s.lastStIdx == ulp430.StIrq1 || s.lastStIdx == ulp430.StIrq2 || s.lastStIdx == ulp430.StIrq3
@@ -297,6 +327,11 @@ func (s *Sink) OnCycle(sys *ulp430.System) {
 	// Union of active cells: word-ORed accumulator, per-cell work only
 	// on first activation.
 	sim.AccumulateNewActive(s.actAccum, s.unionVisit)
+
+	if s.taskMode {
+		s.recordCandidates(p, pos, fc, sim)
+		return
+	}
 
 	if p > s.Best.PowerMW {
 		s.Best = s.makePeak(p, pos, fc, true, sim)
@@ -367,48 +402,62 @@ func (s *Sink) maybeInsertTopK(p float64, pos int, fc fetchCtx, sim *gsim.Simula
 		}
 		return s.makePeak(p, pos, fc, false, sim)
 	}
-	// Keep at most one entry per fetch address.
-	for i := range s.TopK {
-		if s.TopK[i].FetchAddr == fc.fetch {
-			if p > s.TopK[i].PowerMW {
-				s.TopK[i] = mk()
-				s.bubble(i)
-			}
-			return
-		}
-	}
-	if len(s.TopK) < s.k {
-		s.TopK = append(s.TopK, mk())
-		s.bubble(len(s.TopK) - 1)
-		return
-	}
-	if p > s.TopK[len(s.TopK)-1].PowerMW {
-		s.TopK[len(s.TopK)-1] = mk()
-		s.bubble(len(s.TopK) - 1)
-	}
+	s.TopK = insertTopK(s.TopK, s.k, p, fc.fetch, mk)
 }
 
-func (s *Sink) bubble(i int) {
-	for i > 0 && s.TopK[i].PowerMW > s.TopK[i-1].PowerMW {
-		s.TopK[i], s.TopK[i-1] = s.TopK[i-1], s.TopK[i]
+// insertTopK is the top-k insertion step, shared verbatim by the live
+// sequential sink and MergeParallel's canonical replay — one algorithm,
+// so the two paths cannot drift apart. It keeps at most one entry per
+// fetch address, sorted descending, materializing (mk) only when the
+// cycle actually enters the list.
+func insertTopK(list []Peak, k int, p float64, fetch uint16, mk func() Peak) []Peak {
+	if k <= 0 {
+		return list
+	}
+	for i := range list {
+		if list[i].FetchAddr == fetch {
+			if p > list[i].PowerMW {
+				list[i] = mk()
+				bubbleTopK(list, i)
+			}
+			return list
+		}
+	}
+	if len(list) < k {
+		list = append(list, mk())
+		bubbleTopK(list, len(list)-1)
+		return list
+	}
+	if p > list[len(list)-1].PowerMW {
+		list[len(list)-1] = mk()
+		bubbleTopK(list, len(list)-1)
+	}
+	return list
+}
+
+func bubbleTopK(list []Peak, i int) {
+	for i > 0 && list[i].PowerMW > list[i-1].PowerMW {
+		list[i], list[i-1] = list[i-1], list[i]
 		i--
 	}
 }
 
-// Pos implements symx.Sink.
-func (s *Sink) Pos() int { return len(s.Trace) }
+// Pos implements symx.Sink. Positions are absolute path positions even
+// in task mode (base is 0 outside it).
+func (s *Sink) Pos() int { return s.base + len(s.Trace) }
 
 // Rewind implements symx.Sink.
 func (s *Sink) Rewind(pos int) {
-	s.Trace = s.Trace[:pos]
-	s.fetches = s.fetches[:pos]
-	s.isrDepth = s.isrDepth[:pos]
+	n := pos - s.base
+	s.Trace = s.Trace[:n]
+	s.fetches = s.fetches[:n]
+	s.isrDepth = s.isrDepth[:n]
 }
 
 // Segment implements symx.Sink: the payload is the per-cycle power bound
 // (mW) of the segment.
 func (s *Sink) Segment(from int) interface{} {
-	return append([]float64(nil), s.Trace[from:]...)
+	return append([]float64(nil), s.Trace[from-s.base:]...)
 }
 
 // PeakMW returns the global peak power bound.

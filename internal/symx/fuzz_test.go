@@ -1,0 +1,144 @@
+package symx
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/isa"
+	"repro/internal/periph"
+	"repro/internal/power"
+	"repro/internal/ulp430"
+)
+
+// FuzzExplore cross-checks the sequential and parallel exploration
+// engines over generated programs and interrupt windows: the execution
+// trees must match node for node and the full power reduction — Best,
+// TopK, ISR peak, activity union — must agree exactly. Budget
+// exhaustion must produce the identical error. Snapshot double-frees
+// are caught as a side effect: the free pool panics on a repeated put,
+// which fails the fuzz run.
+//
+// The corpus entry layout: nIn selects 1-3 symbolic input words, t1/t2
+// the two branch thresholds, lat/width the interrupt arrival window,
+// workers the parallel worker count (1-4), useIRQ switches between the
+// branchy arithmetic program and the interrupt-driven idle program.
+func FuzzExplore(f *testing.F) {
+	f.Add(uint8(2), uint8(40), uint8(60), uint8(6), uint8(8), uint8(2), false)
+	f.Add(uint8(3), uint8(50), uint8(50), uint8(6), uint8(8), uint8(3), false)
+	f.Add(uint8(1), uint8(0), uint8(255), uint8(3), uint8(1), uint8(4), true)
+	f.Add(uint8(2), uint8(7), uint8(130), uint8(15), uint8(11), uint8(2), true)
+	f.Add(uint8(1), uint8(200), uint8(10), uint8(1), uint8(0), uint8(1), false)
+
+	f.Fuzz(func(t *testing.T, nIn, t1, t2, lat, width, workers uint8, useIRQ bool) {
+		n := int(nIn)%3 + 1
+		w := int(workers)%4 + 1
+		var src string
+		var irq *periph.Config
+		if useIRQ {
+			src = irqIdleProg
+			minLat := int(lat)%20 + 1
+			cfg := periph.Config{MinLatency: minLat, MaxLatency: minLat + int(width)%12}
+			irq = &cfg
+		} else {
+			src = fmt.Sprintf(`
+.org 0x0200
+vals: .input %d
+.org 0xf000
+.entry main
+main:
+    mov #vals, r6
+    mov #%d, r7
+    clr r8
+lp: mov @r6+, r4
+    cmp #%d, r4
+    jl skip1
+    inc r8
+skip1:
+    cmp #%d, r4
+    jeq skip2
+    add r4, r8
+skip2:
+    dec r7
+    jnz lp
+`, n, n, int(t1), int(t2)) + haltSeq
+		}
+		img, err := isa.Assemble("fuzz", src)
+		if err != nil {
+			t.Fatalf("assemble: %v", err)
+		}
+		opts := Options{MaxCycles: 200_000, MaxNodes: 2_000}
+		model := power.Model{Lib: cell.ULP65(), ClockHz: 100e6}
+		const k = 4
+
+		newSys := func() *ulp430.System {
+			sys, err := ulp430.NewSystem(sharedCPU(t), cell.ULP65(), img, ulp430.SymbolicInputs, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if irq != nil {
+				sys.EnableInterrupts(*irq)
+			}
+			return sys
+		}
+
+		seqSys := newSys()
+		seqSink := power.NewSink(seqSys, model, img, k)
+		seqTree, seqErr := Explore(seqSys, seqSink, opts)
+
+		shared := power.NewShared()
+		sinks := make([]*power.Sink, w)
+		pres, parErr := ExploreParallel(ParallelOptions{
+			Options: opts,
+			Workers: w,
+			NewWorker: func(worker int) (*ulp430.System, WorkerSink, error) {
+				wsys := newSys()
+				wsink := power.NewSink(wsys, model, img, k)
+				wsink.EnableTasks(shared)
+				sinks[worker] = wsink
+				return wsys, wsink, nil
+			},
+		})
+
+		if seqErr != nil {
+			if parErr == nil || parErr.Error() != seqErr.Error() {
+				t.Fatalf("error mismatch:\nseq: %v\npar: %v", seqErr, parErr)
+			}
+			return
+		}
+		if parErr != nil {
+			t.Fatalf("parallel failed where sequential succeeded: %v", parErr)
+		}
+
+		got := pres.Tree
+		if len(seqTree.Nodes) != len(got.Nodes) || seqTree.Paths != got.Paths ||
+			seqTree.Cycles != got.Cycles || seqTree.IRQForks() != got.IRQForks() {
+			t.Fatalf("tree mismatch: nodes %d/%d paths %d/%d cycles %d/%d irqForks %d/%d",
+				len(seqTree.Nodes), len(got.Nodes), seqTree.Paths, got.Paths,
+				seqTree.Cycles, got.Cycles, seqTree.IRQForks(), got.IRQForks())
+		}
+
+		best, topK, isrPeak, union := power.MergeParallel(sinks, k, pres.NodeID)
+		if !reflect.DeepEqual(seqSink.Best, best) {
+			t.Fatalf("Best mismatch:\nseq: %+v\npar: %+v", seqSink.Best, best)
+		}
+		if isrPeak != seqSink.ISRPeakMW {
+			t.Fatalf("ISRPeakMW mismatch: seq %v par %v", seqSink.ISRPeakMW, isrPeak)
+		}
+		stripCells := func(ps []power.Peak) []power.Peak {
+			out := make([]power.Peak, len(ps))
+			for i, p := range ps {
+				p.ActiveCells = nil
+				out[i] = p
+			}
+			return out
+		}
+		if !reflect.DeepEqual(stripCells(seqSink.TopK), stripCells(topK)) {
+			t.Fatalf("TopK mismatch:\nseq: %+v\npar: %+v", stripCells(seqSink.TopK), stripCells(topK))
+		}
+		if !reflect.DeepEqual(seqSink.UnionActive, union) {
+			t.Fatalf("activity union mismatch")
+		}
+	})
+}

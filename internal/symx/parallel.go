@@ -1,0 +1,702 @@
+// Work-stealing parallel symbolic exploration.
+//
+// ExploreParallel runs Algorithm 1 over a bounded pool of worker
+// goroutines, each owning a private System and sink. Work is partitioned
+// at fork points: when a worker forks it continues depth-first down the
+// not-taken direction (exactly like the sequential engine) and either
+// keeps the taken direction on a worker-local LIFO stack (cheap
+// journal-relative snapshot, per-worker free pool) or — when the shared
+// queue is starving — publishes it as a portable task any worker can
+// steal (self-contained ulp430.PortableState, O(memory) capture). A
+// worker whose local stack still holds old forks donates its oldest one
+// when it notices idle peers: the oldest fork roots the largest
+// unexplored subtree, the classic steal-granularity rule.
+//
+// Determinism. The sealed Report must be bit-identical to the sequential
+// walk at any worker count, which two mechanisms guarantee:
+//
+//  1. Every fork key (pre-branch state hash x accumulated forces) is
+//     CLAIMED in a sharded concurrent table before either direction is
+//     explored. Exactly one encounter — whichever raced first — wins and
+//     explores both children; every other encounter records the key and
+//     stops. No subtree is ever explored twice, so total simulated
+//     cycles and node counts equal the sequential run's exactly (which
+//     is also what lets the cycle/node budgets be enforced with plain
+//     global atomics and sequential error semantics).
+//
+//  2. Which encounter *canonically* owns the subtree is decided after
+//     the workers join, by re-walking the fork graph in the sequential
+//     engine's exact order (not-taken first, LIFO resumption of taken
+//     directions) with a fresh seen-map: the canonically-first encounter
+//     of each key becomes the KindBranch node — grafting the claimant's
+//     children if a later encounter had won the race — and the rest
+//     become KindMerge nodes pointing at it. Because gate simulation is
+//     deterministic, a subtree's segments depend only on the (state,
+//     forces) pair at its root, so grafting is exact: the assembled
+//     tree, including creation-order node IDs, Paths, and Cycles, is
+//     bit-identical to what Explore would have built.
+//
+// The same canonical order also serializes the sink: observations are
+// ordered by (final node ID, within-task stream index), which is exactly
+// the sequential observation order, so an order-sensitive reduction
+// (peak records with first-wins tie-breaking, top-k insertion) replays
+// per-task candidates in canonical order and reproduces the sequential
+// result bit for bit. See power.MergeParallel.
+package symx
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ulp430"
+)
+
+// WorkerSink extends Sink with the task protocol of the parallel engine.
+// A worker's sink observes many tasks, one at a time; positions handed to
+// the Sink methods stay absolute path positions (cycles since the
+// exploration root), so BeginTask tells the sink where on the path the
+// task starts and hands it the opaque seed captured from the spawning
+// sink by SpawnSeed (the per-path context — in-flight instruction,
+// interrupt depth — that a mid-path observer needs).
+type WorkerSink interface {
+	Sink
+	// BeginTask resets per-path state for a new task rooted at absolute
+	// path position basePos, identified by task for candidate tagging.
+	// It implies NewSegment.
+	BeginTask(task, basePos int, seed interface{})
+	// EndTask marks the current task complete (flushing any pending
+	// per-task reduction candidates).
+	EndTask()
+	// NewSegment marks a tree-segment boundary in the observation
+	// stream. Fork boundaries are invisible to a Sink (the engine does
+	// not rewind when it continues into the not-taken child), but the
+	// deterministic reduction is only allowed to pre-filter candidates
+	// within a single segment — across segments, canonical order can
+	// differ from this task's exploration order.
+	NewSegment()
+	// SpawnSeed captures the path context just before absolute position
+	// pos, to seed a task that will resume there.
+	SpawnSeed(pos int) interface{}
+}
+
+// ParallelOptions configures ExploreParallel.
+type ParallelOptions struct {
+	Options
+	// Workers is the worker-goroutine count (values < 1 mean 1).
+	Workers int
+	// NewWorker builds one worker's private System (freshly created in
+	// SymbolicInputs mode on the shared netlist) and sink. It is called
+	// once per worker, possibly concurrently.
+	NewWorker func(worker int) (*ulp430.System, WorkerSink, error)
+}
+
+// ParallelResult is the assembled exploration plus the observation-order
+// index the sink reduction needs.
+type ParallelResult struct {
+	// Tree is the canonical execution tree, bit-identical to the
+	// sequential Explore result.
+	Tree *Tree
+	// order maps a task ID to its segments' (streamStart, final node ID)
+	// pairs, sorted by streamStart.
+	order map[int]taskOrder
+}
+
+type taskOrder struct {
+	starts []int
+	ids    []int
+}
+
+// NodeID resolves a task-local observation stream index to the final
+// (canonical) ID of the tree node whose segment contains it. Canonical
+// observation order — the order the sequential engine would have visited
+// observations in — is ascending (NodeID, stream index).
+func (r *ParallelResult) NodeID(task, stream int) int {
+	o, ok := r.order[task]
+	if !ok {
+		return -1
+	}
+	// Rightmost segment starting at or before stream; zero-length
+	// segments are not indexed, so the match is the containing one.
+	i := sort.SearchInts(o.starts, stream+1) - 1
+	if i < 0 {
+		return -1
+	}
+	return o.ids[i]
+}
+
+// snapPool is a free list of fork snapshots with a double-free guard:
+// returning a snapshot that is already pooled is the classic symptom of a
+// fork bookkeeping bug (two owners of one pending fork), and silently
+// recycling it would corrupt an unrelated branch's restore state. The
+// pool is small (bounded by fork-stack depth), so the linear scan is
+// noise next to the snapshot copy itself.
+type snapPool []*ulp430.SysSnapshot
+
+func (p *snapPool) take() *ulp430.SysSnapshot {
+	if n := len(*p); n > 0 {
+		sn := (*p)[n-1]
+		*p = (*p)[:n-1]
+		return sn
+	}
+	return &ulp430.SysSnapshot{}
+}
+
+func (p *snapPool) put(sn *ulp430.SysSnapshot) {
+	for _, q := range *p {
+		if q == sn {
+			panic("symx: snapshot double-freed to pool")
+		}
+	}
+	*p = append(*p, sn)
+}
+
+// claimTable is the sharded seen-state table. The first encounter of a
+// key claims it and explores its children; later encounters merge.
+type claimTable struct {
+	shards [64]struct {
+		mu sync.Mutex
+		m  map[uint64]*Node
+		_  [40]byte // keep shards off one another's cache line
+	}
+}
+
+func newClaimTable() *claimTable {
+	t := &claimTable{}
+	for i := range t.shards {
+		t.shards[i].m = make(map[uint64]*Node)
+	}
+	return t
+}
+
+// claim records n as the owner of key if the key is unclaimed, returning
+// whether n won. The claimant pointer is only read again during assembly
+// (after all workers join), so the map value never needs updating.
+func (t *claimTable) claim(key uint64, n *Node) bool {
+	s := &t.shards[key&63]
+	s.mu.Lock()
+	_, taken := s.m[key]
+	if !taken {
+		s.m[key] = n
+	}
+	s.mu.Unlock()
+	return !taken
+}
+
+func (t *claimTable) owner(key uint64) *Node {
+	s := &t.shards[key&63]
+	s.mu.Lock()
+	n := s.m[key]
+	s.mu.Unlock()
+	return n
+}
+
+// ptask is one unit of stealable work: explore the subtree rooted at the
+// still-unexplored taken direction of a fork (or the whole tree, for the
+// root task).
+type ptask struct {
+	id      int
+	state   *ulp430.PortableState // nil for the root task (Reset instead)
+	forces  forkForces
+	branch  *Node // fork node whose Taken child this task creates
+	basePos int
+	seed    interface{}
+}
+
+// sched is the shared scheduler: a queue of published tasks plus the
+// bookkeeping that detects termination (no queued work and no task being
+// executed) and propagates the first error.
+type sched struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*ptask
+	active  int
+	nextID  int
+	done    bool
+	err     error
+	stopped atomic.Bool
+	queued  atomic.Int64 // len(queue) mirror, read lock-free by workers
+	waiting atomic.Int64 // workers blocked in take()
+
+	cycles atomic.Int64 // total simulated cycles, all workers
+	nodes  atomic.Int64 // total tree nodes created
+	paths  atomic.Int64 // total terminals reached
+
+	progMu       sync.Mutex
+	nextProgress atomic.Int64
+}
+
+func (s *sched) publish(t *ptask) {
+	s.mu.Lock()
+	t.id = s.nextID
+	s.nextID++
+	s.queue = append(s.queue, t)
+	s.queued.Store(int64(len(s.queue)))
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// take blocks until a task is available, all work is finished, or an
+// error stops the run. Stolen tasks come from the queue front: the
+// longest-queued fork roots the largest remaining subtree.
+func (s *sched) take() *ptask {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.done || s.err != nil {
+			return nil
+		}
+		if len(s.queue) > 0 {
+			t := s.queue[0]
+			s.queue = s.queue[1:]
+			s.queued.Store(int64(len(s.queue)))
+			s.active++
+			return t
+		}
+		if s.active == 0 {
+			s.done = true
+			s.cond.Broadcast()
+			return nil
+		}
+		s.waiting.Add(1)
+		s.cond.Wait()
+		s.waiting.Add(-1)
+	}
+}
+
+func (s *sched) finish() {
+	s.mu.Lock()
+	s.active--
+	if s.active == 0 && len(s.queue) == 0 {
+		s.done = true
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+func (s *sched) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.done = true
+	s.stopped.Store(true)
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// hungry reports whether publishing (rather than keeping a fork local)
+// would feed an underfed queue: fewer queued tasks than workers, or
+// workers already blocked waiting.
+func (s *sched) hungry(workers int) bool {
+	return s.queued.Load() < int64(workers) || s.waiting.Load() > 0
+}
+
+// worker drives one goroutine: steal a task, explore its subtree
+// depth-first with the exact sequential mechanics (shared atomics for
+// budgets/progress, claim table instead of a private seen-map), repeat.
+type worker struct {
+	id    int
+	sys   *ulp430.System
+	sink  WorkerSink
+	opts  ParallelOptions
+	sc    *sched
+	seen  *claimTable
+	nodes *[]*Node // worker-local node list, merged for assembly
+
+	roll  *ulp430.SysSnapshot
+	pool  snapPool
+	local []pendingFork // worker-local LIFO of unpublished forks
+
+	task       *ptask
+	stream     int // observations made by the current task
+	nextCancel int
+	ownCycles  int // cycles simulated by this worker (cancel pacing)
+}
+
+func (w *worker) newNode() *Node {
+	n := &Node{task: w.task.id, streamStart: w.stream}
+	*w.nodes = append(*w.nodes, n)
+	w.sc.nodes.Add(1)
+	return n
+}
+
+// publishFork captures pf as a portable task. pf's snapshot must still be
+// LIFO-reachable on w.sys (it is: published forks come from the current
+// journal position or from the bottom of the local stack).
+func (w *worker) publishFork(pf pendingFork) {
+	st := &ulp430.PortableState{}
+	w.sys.CapturePortableAt(pf.snap, st)
+	w.pool.put(pf.snap)
+	w.sc.publish(&ptask{
+		state:   st,
+		forces:  pf.forces,
+		branch:  pf.branch,
+		basePos: pf.sinkPos,
+		seed:    w.sink.SpawnSeed(pf.sinkPos),
+	})
+}
+
+// runTask explores one task's whole subtree (minus published forks). It
+// mirrors Explore's loop statement for statement; divergences are the
+// claim table, the shared budgets, and the publish/donate policy.
+func (w *worker) runTask(t *ptask) error {
+	w.task = t
+	w.stream = 0
+	if t.state != nil {
+		w.sys.RestorePortable(t.state)
+	} else {
+		w.sys.Reset()
+	}
+	w.sink.BeginTask(t.id, t.basePos, t.seed)
+
+	var cur *Node
+	if t.branch != nil {
+		cur = w.newNode()
+		t.branch.Taken = cur
+	} else {
+		cur = w.newNode() // root segment
+	}
+	segStart := t.basePos
+	pending := t.forces
+	opts := w.opts
+
+	sys, sink, sc := w.sys, w.sink, w.sc
+
+	finishSegment := func(kind NodeKind) {
+		cur.Kind = kind
+		cur.Len = sink.Pos() - segStart
+		cur.Data = sink.Segment(segStart)
+	}
+	applyForces := func() {
+		if pending.brEn {
+			sys.ForceBranch(pending.brVal)
+		}
+		if pending.irqEn {
+			sys.ForceIRQ(pending.irqVal)
+		}
+	}
+	pop := func() bool {
+		if len(w.local) == 0 {
+			return false
+		}
+		pf := w.local[len(w.local)-1]
+		w.local = w.local[:len(w.local)-1]
+		sys.Restore(pf.snap)
+		w.pool.put(pf.snap)
+		sink.Rewind(pf.sinkPos)
+		sink.NewSegment()
+		child := w.newNode()
+		pf.branch.Taken = child
+		cur = child
+		segStart = pf.sinkPos
+		pending = pf.forces
+		return true
+	}
+
+outer:
+	for {
+		if sc.stopped.Load() {
+			return nil // another worker failed; it holds the error
+		}
+		if err := sys.Err(); err != nil {
+			return err
+		}
+		if opts.Ctx != nil && w.ownCycles >= w.nextCancel {
+			w.nextCancel = w.ownCycles + cancelCheckEvery
+			if err := opts.Ctx.Err(); err != nil {
+				return fmt.Errorf("symx: exploration aborted after %d cycles (%d paths): %w",
+					sc.cycles.Load(), sc.paths.Load(), err)
+			}
+		}
+		if opts.Progress != nil {
+			if c := sc.cycles.Load(); c >= sc.nextProgress.Load() {
+				if sc.nextProgress.CompareAndSwap(sc.nextProgress.Load(), c+int64(opts.ProgressEvery)) {
+					sc.progMu.Lock()
+					opts.Progress(Progress{Cycles: int(c), Nodes: int(sc.nodes.Load()), Paths: int(sc.paths.Load())})
+					sc.progMu.Unlock()
+				}
+			}
+		}
+		if sys.Halted() {
+			finishSegment(KindEnd)
+			sc.paths.Add(1)
+			if !pop() {
+				return nil
+			}
+			continue
+		}
+		// Budgets mirror the sequential engine exactly: claim-first work
+		// partitioning makes the parallel totals equal the sequential
+		// ones, and budgets are exact (fail iff the total exceeds the
+		// cap), so the shared atomic counters reach the same
+		// success-or-failure decision at any worker count.
+		if sc.cycles.Load() > int64(opts.MaxCycles) {
+			return cycleBudgetErr(opts.MaxCycles)
+		}
+		if sc.nodes.Load() > int64(opts.MaxNodes) {
+			return nodeBudgetErr(opts.MaxNodes)
+		}
+
+		sys.SnapshotInto(w.roll)
+		rollPos := sink.Pos()
+
+		for {
+			applyForces()
+			sys.Step()
+			sys.ClearForce()
+			if sc.cycles.Add(1) > int64(opts.MaxCycles) {
+				return cycleBudgetErr(opts.MaxCycles)
+			}
+			w.ownCycles++
+
+			isIRQ := false
+			if sys.JumpCondUnknown() {
+			} else if sys.IRQCondUnknown() {
+				isIRQ = true
+			} else {
+				break // fully resolved
+			}
+
+			sys.Restore(w.roll)
+			pc, _ := sys.PC()
+			key := sys.StateHash() ^ pending.key()
+			cur.key = key
+			cur.BranchPC = pc
+			cur.IRQ = isIRQ
+			if !opts.DisableMerge && !w.seen.claim(key, cur) {
+				// Someone owns this subtree. Provisionally a merge;
+				// assembly decides the canonical winner.
+				finishSegment(KindMerge)
+				sc.paths.Add(1)
+				if !pop() {
+					return nil
+				}
+				continue outer
+			}
+			finishSegment(KindBranch)
+			branch := cur
+
+			pf := pendingFork{
+				sinkPos: rollPos, branch: branch,
+				forces: pending.with(isIRQ, true),
+			}
+			if sc.hungry(opts.Workers) {
+				// The taken direction becomes stealable work. The system
+				// sits exactly at the rolled-back fork state, so the
+				// capture is a plain memory copy (empty journal suffix).
+				pf.snap = w.roll
+				st := &ulp430.PortableState{}
+				sys.CapturePortableAt(pf.snap, st)
+				sc.publish(&ptask{
+					state:   st,
+					forces:  pf.forces,
+					branch:  pf.branch,
+					basePos: pf.sinkPos,
+					seed:    sink.SpawnSeed(pf.sinkPos),
+				})
+			} else {
+				pf.snap = w.pool.take()
+				w.roll.CloneInto(pf.snap)
+				w.local = append(w.local, pf)
+			}
+			sink.NewSegment()
+			child := w.newNode()
+			branch.NotTaken = child
+			cur = child
+			segStart = rollPos
+			pending = pending.with(isIRQ, false)
+		}
+
+		sink.OnCycle(sys)
+		w.stream++
+		pending = forkForces{}
+
+		if _, known := sys.Sim.PortUint("pc"); !known {
+			return fmt.Errorf("symx: PC became X at cycle %d — input-dependent branch target (computed jump/call on input data) is not supported", sys.Sim.Cycle())
+		}
+
+		// Donate the oldest local fork — the biggest pending subtree —
+		// when peers are starving.
+		if len(w.local) > 0 && sc.hungry(opts.Workers) {
+			pf := w.local[0]
+			w.local = w.local[1:]
+			w.publishFork(pf)
+		}
+	}
+}
+
+func (w *worker) run() {
+	for {
+		t := w.sc.take()
+		if t == nil {
+			return
+		}
+		err := w.runTask(t)
+		w.sink.EndTask()
+		if err != nil {
+			w.sc.fail(err)
+			return
+		}
+		w.sc.finish()
+	}
+}
+
+// ExploreParallel runs Algorithm 1 across opts.Workers goroutines and
+// assembles a tree bit-identical to the sequential Explore result (same
+// node IDs, kinds, merge targets, payloads, Paths, and Cycles — asserted
+// continuously by the determinism suite and FuzzExplore). Budget, bus,
+// and cancellation errors carry the sequential error text and wrap the
+// same sentinels.
+func ExploreParallel(opts ParallelOptions) (*ParallelResult, error) {
+	opts.Options = opts.Options.withDefaults()
+	if opts.Workers < 1 {
+		opts.Workers = 1
+	}
+
+	sc := &sched{}
+	sc.cond = sync.NewCond(&sc.mu)
+	sc.nextProgress.Store(int64(opts.ProgressEvery))
+	seen := newClaimTable()
+
+	if opts.Progress != nil {
+		defer func() {
+			opts.Progress(Progress{Cycles: int(sc.cycles.Load()), Nodes: int(sc.nodes.Load()), Paths: int(sc.paths.Load())})
+		}()
+	}
+
+	// The root task: whole-program exploration from reset.
+	sc.publish(&ptask{})
+
+	nodeLists := make([][]*Node, opts.Workers)
+	var wg sync.WaitGroup
+	for i := 0; i < opts.Workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sys, sink, err := opts.NewWorker(i)
+			if err != nil {
+				sc.fail(fmt.Errorf("symx: worker %d: %w", i, err))
+				return
+			}
+			w := &worker{
+				id: i, sys: sys, sink: sink, opts: opts, sc: sc, seen: seen,
+				nodes: &nodeLists[i], roll: &ulp430.SysSnapshot{},
+				nextCancel: cancelCheckEvery,
+			}
+			w.run()
+		}(i)
+	}
+	wg.Wait()
+
+	sc.mu.Lock()
+	err := sc.err
+	sc.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	var all []*Node
+	for _, l := range nodeLists {
+		all = append(all, l...)
+	}
+	return assemble(all, seen, opts)
+}
+
+// assemble canonicalizes the provisional fork graph: a fresh walk in the
+// sequential engine's exact order (not-taken first, LIFO resumption)
+// decides branch-versus-merge per key with a fresh seen-map, reassigns
+// creation-order IDs, and recomputes Paths and Cycles. Every simulated
+// segment appears exactly once, so the totals equal the parallel run's
+// live counters — checked, since a mismatch means the claim discipline
+// was violated.
+func assemble(all []*Node, seen *claimTable, opts ParallelOptions) (*ParallelResult, error) {
+	if len(all) == 0 {
+		return nil, fmt.Errorf("symx: internal: empty parallel exploration")
+	}
+	// The root is task 0's first-created node: task IDs are assigned at
+	// publish time and the root task is published first.
+	var root *Node
+	for _, n := range all {
+		if n.task == 0 {
+			root = n
+			break
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("symx: internal: root task produced no nodes")
+	}
+
+	tree := &Tree{Root: root}
+	canon := make(map[uint64]*Node)
+	var stack []*Node
+	cur := root
+	for {
+		cur.ID = len(tree.Nodes)
+		tree.Nodes = append(tree.Nodes, cur)
+		tree.Cycles += cur.Len
+		isFork := cur.Kind == KindBranch || cur.Kind == KindMerge
+		if isFork {
+			tree.Cycles++ // the rewound fork-detection step
+			winner, dup := canon[cur.key]
+			if dup && !opts.DisableMerge {
+				cur.Kind = KindMerge
+				cur.MergeTo = winner
+				cur.NotTaken, cur.Taken = nil, nil
+				tree.Paths++
+			} else {
+				if !opts.DisableMerge {
+					canon[cur.key] = cur
+				}
+				owner := cur
+				if !opts.DisableMerge {
+					owner = seen.owner(cur.key)
+				}
+				cur.Kind = KindBranch
+				cur.MergeTo = nil
+				if owner != cur {
+					cur.NotTaken, cur.Taken = owner.NotTaken, owner.Taken
+				}
+				if cur.NotTaken == nil || cur.Taken == nil {
+					return nil, fmt.Errorf("symx: internal: fork key %#x has unexplored children", cur.key)
+				}
+				stack = append(stack, cur)
+				cur = cur.NotTaken
+				continue
+			}
+		} else {
+			tree.Paths++ // KindEnd
+		}
+		if len(stack) == 0 {
+			break
+		}
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		cur = b.Taken
+	}
+
+	if len(tree.Nodes) != len(all) {
+		return nil, fmt.Errorf("symx: internal: canonical walk reached %d of %d explored segments", len(tree.Nodes), len(all))
+	}
+
+	// Observation-order index: per task, (streamStart, final ID) of every
+	// segment that recorded observations, sorted by stream position.
+	order := make(map[int]taskOrder)
+	byTask := make(map[int][]*Node)
+	for _, n := range tree.Nodes {
+		if n.Len > 0 {
+			byTask[n.task] = append(byTask[n.task], n)
+		}
+	}
+	for task, nodes := range byTask {
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].streamStart < nodes[j].streamStart })
+		o := taskOrder{starts: make([]int, len(nodes)), ids: make([]int, len(nodes))}
+		for i, n := range nodes {
+			o.starts[i] = n.streamStart
+			o.ids[i] = n.ID
+		}
+		order[task] = o
+	}
+	return &ParallelResult{Tree: tree, order: order}, nil
+}

@@ -1,0 +1,323 @@
+package symx
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/isa"
+	"repro/internal/periph"
+	"repro/internal/ulp430"
+)
+
+// workerCountSink is countSink extended with the WorkerSink task
+// protocol: positions stay absolute via the task base offset. It records
+// no reduction candidates — the parallel tree tests compare trees, whose
+// segment payloads carry the observations.
+type workerCountSink struct {
+	pcs  []uint16
+	base int
+}
+
+func (c *workerCountSink) OnCycle(sys *ulp430.System) {
+	pc, _ := sys.PC()
+	c.pcs = append(c.pcs, pc)
+}
+func (c *workerCountSink) Pos() int       { return c.base + len(c.pcs) }
+func (c *workerCountSink) Rewind(pos int) { c.pcs = c.pcs[:pos-c.base] }
+func (c *workerCountSink) Segment(from int) interface{} {
+	return append([]uint16(nil), c.pcs[from-c.base:]...)
+}
+func (c *workerCountSink) BeginTask(task, basePos int, seed interface{}) {
+	c.base = basePos
+	c.pcs = c.pcs[:0]
+}
+func (c *workerCountSink) EndTask()                      {}
+func (c *workerCountSink) NewSegment()                   {}
+func (c *workerCountSink) SpawnSeed(pos int) interface{} { return nil }
+
+// exploreParallelTree runs ExploreParallel on src with the given worker
+// count (irq non-nil attaches the peripheral bus).
+func exploreParallelTree(t *testing.T, src string, irq *periph.Config, workers int, opts Options) (*Tree, error) {
+	t.Helper()
+	img, err := isa.Assemble("t", src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	res, err := ExploreParallel(ParallelOptions{
+		Options: opts,
+		Workers: workers,
+		NewWorker: func(worker int) (*ulp430.System, WorkerSink, error) {
+			sys, err := ulp430.NewSystem(sharedCPU(t), cell.ULP65(), img, ulp430.SymbolicInputs, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			if irq != nil {
+				sys.EnableInterrupts(*irq)
+			}
+			return sys, &workerCountSink{}, nil
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Tree, nil
+}
+
+// requireTreesEqual asserts full structural equality: IDs, kinds, lengths,
+// fork metadata, child/merge wiring, segment payloads, and the tree-level
+// statistics.
+func requireTreesEqual(t *testing.T, want, got *Tree, label string) {
+	t.Helper()
+	if len(want.Nodes) != len(got.Nodes) || want.Paths != got.Paths || want.Cycles != got.Cycles {
+		t.Fatalf("%s: tree stats differ: nodes %d/%d paths %d/%d cycles %d/%d", label,
+			len(want.Nodes), len(got.Nodes), want.Paths, got.Paths, want.Cycles, got.Cycles)
+	}
+	id := func(n *Node) int {
+		if n == nil {
+			return -1
+		}
+		return n.ID
+	}
+	for i := range want.Nodes {
+		w, g := want.Nodes[i], got.Nodes[i]
+		if w.ID != g.ID || w.Len != g.Len || w.Kind != g.Kind || w.IRQ != g.IRQ || w.BranchPC != g.BranchPC {
+			t.Fatalf("%s: node %d differs: {id %d len %d kind %v irq %v pc %#x} vs {id %d len %d kind %v irq %v pc %#x}",
+				label, i, w.ID, w.Len, w.Kind, w.IRQ, w.BranchPC, g.ID, g.Len, g.Kind, g.IRQ, g.BranchPC)
+		}
+		if id(w.Taken) != id(g.Taken) || id(w.NotTaken) != id(g.NotTaken) || id(w.MergeTo) != id(g.MergeTo) {
+			t.Fatalf("%s: node %d wiring differs: taken %d/%d nottaken %d/%d merge %d/%d",
+				label, i, id(w.Taken), id(g.Taken), id(w.NotTaken), id(g.NotTaken), id(w.MergeTo), id(g.MergeTo))
+		}
+		if !reflect.DeepEqual(w.Data, g.Data) {
+			t.Fatalf("%s: node %d payload differs", label, i)
+		}
+	}
+	if id(want.Root) != id(got.Root) {
+		t.Fatalf("%s: root differs: %d vs %d", label, id(want.Root), id(got.Root))
+	}
+}
+
+var parallelTreePrograms = []struct {
+	name string
+	src  string
+}{
+	{"straightLine", `
+.org 0xf000
+.entry main
+main:
+    mov #3, r4
+    add #4, r4
+` + haltSeq},
+	{"singleBranch", `
+.org 0x0200
+v: .input 1
+.org 0xf000
+.entry main
+main:
+    mov &v, r4
+    cmp #5, r4
+    jeq yes
+    mov #111, r5
+    jmp end
+yes:
+    mov #222, r5
+end:
+` + haltSeq},
+	{"waitLoopMerge", `
+.org 0xf000
+.entry main
+main:
+    mov #0x0080, &0x0120
+wait:
+    mov &0x0122, r4
+    cmp #100, r4
+    jl wait
+    mov #1, r5
+` + haltSeq},
+	{"countedLoop", `
+.org 0x0200
+vals: .input 3
+cnt:  .space 1
+.org 0xf000
+.entry main
+main:
+    mov #vals, r6
+    mov #3, r7
+    clr r8
+lp: mov @r6+, r4
+    cmp #50, r4
+    jl small
+    inc r8
+small:
+    dec r7
+    jnz lp
+    mov r8, &cnt
+` + haltSeq},
+	{"doubleBranchMerge", `
+.org 0x0200
+v: .input 1
+.org 0xf000
+.entry main
+main:
+    mov &v, r4
+    cmp #5, r4
+    jeq j1
+j1:
+    cmp #9, r4
+    jeq j2
+    mov #1, r5
+j2:
+` + haltSeq},
+}
+
+// TestParallelTreeMatchesSequential is the core determinism contract at
+// the tree level: ExploreParallel must assemble a tree structurally
+// identical to the sequential Explore result — same creation-order IDs,
+// kinds, fork wiring, payloads, Paths, and Cycles — at every worker
+// count.
+func TestParallelTreeMatchesSequential(t *testing.T) {
+	for _, prog := range parallelTreePrograms {
+		seq, _ := explore(t, prog.src, Options{})
+		for _, w := range []int{1, 2, 4, 8} {
+			got, err := exploreParallelTree(t, prog.src, nil, w, Options{})
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", prog.name, w, err)
+			}
+			requireTreesEqual(t, seq, got, fmt.Sprintf("%s workers=%d", prog.name, w))
+		}
+	}
+}
+
+// TestParallelIRQTreeMatchesSequential extends the contract to
+// interrupt forks: the symbolic arrival window multiplies the tree, and
+// the parallel walk must reproduce it exactly, including IRQ fork flags
+// and arrival-order node IDs.
+func TestParallelIRQTreeMatchesSequential(t *testing.T) {
+	cfgs := []periph.Config{
+		{MinLatency: 6, MaxLatency: 14},
+		{MinLatency: 6, MaxLatency: 22},
+		{MinLatency: 3, MaxLatency: 4},
+	}
+	for _, cfg := range cfgs {
+		seq := exploreIRQ(t, irqIdleProg, cfg, Options{})
+		for _, w := range []int{2, 4, 8} {
+			got, err := exploreParallelTree(t, irqIdleProg, &cfg, w, Options{})
+			if err != nil {
+				t.Fatalf("window [%d,%d] workers=%d: %v", cfg.MinLatency, cfg.MaxLatency, w, err)
+			}
+			requireTreesEqual(t, seq, got,
+				fmt.Sprintf("window [%d,%d] workers=%d", cfg.MinLatency, cfg.MaxLatency, w))
+			if seq.IRQForks() != got.IRQForks() {
+				t.Fatalf("IRQ fork counts differ: %d vs %d", seq.IRQForks(), got.IRQForks())
+			}
+		}
+	}
+}
+
+// TestParallelRepeatedRunsIdentical re-runs the same parallel exploration
+// several times at a fixed worker count: scheduler interleaving must not
+// leak into the result.
+func TestParallelRepeatedRunsIdentical(t *testing.T) {
+	src := parallelTreePrograms[3].src // countedLoop: widest tree of the set
+	first, err := exploreParallelTree(t, src, nil, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		got, err := exploreParallelTree(t, src, nil, 4, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireTreesEqual(t, first, got, fmt.Sprintf("repeat %d", i))
+	}
+}
+
+// TestParallelBudgetErrorParity: budget exhaustion must fail identically
+// — same sentinel, same message — at any worker count.
+func TestParallelBudgetErrorParity(t *testing.T) {
+	spin := `
+.org 0xf000
+.entry main
+main: jmp main
+`
+	img, err := isa.Assemble("t", spin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := ulp430.NewSystem(sharedCPU(t), cell.ULP65(), img, ulp430.SymbolicInputs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, seqErr := Explore(sys, &countSink{}, Options{MaxCycles: 500})
+	if !errors.Is(seqErr, ErrCycleBudget) {
+		t.Fatalf("sequential: want ErrCycleBudget, got %v", seqErr)
+	}
+	for _, w := range []int{1, 2, 4} {
+		_, parErr := exploreParallelTree(t, spin, nil, w, Options{MaxCycles: 500})
+		if !errors.Is(parErr, ErrCycleBudget) {
+			t.Fatalf("workers=%d: want ErrCycleBudget, got %v", w, parErr)
+		}
+		if parErr.Error() != seqErr.Error() {
+			t.Fatalf("workers=%d: message differs:\nseq: %s\npar: %s", w, seqErr, parErr)
+		}
+	}
+
+	// Node budget, on a forking program.
+	forky := parallelTreePrograms[3].src
+	img2, err := isa.Assemble("t", forky)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := ulp430.NewSystem(sharedCPU(t), cell.ULP65(), img2, ulp430.SymbolicInputs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, seqErr = Explore(sys2, &countSink{}, Options{MaxNodes: 3})
+	if !errors.Is(seqErr, ErrNodeBudget) {
+		t.Fatalf("sequential: want ErrNodeBudget, got %v", seqErr)
+	}
+	for _, w := range []int{1, 2, 4} {
+		_, parErr := exploreParallelTree(t, forky, nil, w, Options{MaxNodes: 3})
+		if !errors.Is(parErr, ErrNodeBudget) {
+			t.Fatalf("workers=%d: want ErrNodeBudget, got %v", w, parErr)
+		}
+		if parErr.Error() != seqErr.Error() {
+			t.Fatalf("workers=%d: message differs:\nseq: %s\npar: %s", w, seqErr, parErr)
+		}
+	}
+}
+
+// TestParallelDisableMerge: with merging off the exploration degenerates
+// to a pure tree in both modes; the countedLoop program stays finite.
+func TestParallelDisableMerge(t *testing.T) {
+	src := parallelTreePrograms[3].src
+	seq, _ := explore(t, src, Options{DisableMerge: true})
+	for _, w := range []int{2, 4} {
+		got, err := exploreParallelTree(t, src, nil, w, Options{DisableMerge: true})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		requireTreesEqual(t, seq, got, fmt.Sprintf("disableMerge workers=%d", w))
+	}
+	if seq.CountKind(KindMerge) != 0 {
+		t.Fatal("DisableMerge left merge nodes in the tree")
+	}
+}
+
+// TestSnapPoolDoubleFreePanics pins the pool's ownership guard: putting
+// the same snapshot twice is a fork bookkeeping bug and must panic
+// rather than corrupt a restore.
+func TestSnapPoolDoubleFreePanics(t *testing.T) {
+	var p snapPool
+	sn := p.take()
+	p.put(sn)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double put did not panic")
+		}
+	}()
+	p.put(sn)
+}

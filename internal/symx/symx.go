@@ -107,6 +107,20 @@ type Node struct {
 	Taken, NotTaken *Node
 	// MergeTo is the already-explored branch node (KindMerge).
 	MergeTo *Node
+
+	// key is the merge key of a fork terminal (KindBranch/KindMerge):
+	// pre-branch state hash mixed with the accumulated fork forces. The
+	// sequential engine resolves keys against its seen map immediately;
+	// the parallel engine records them here and resolves branch-versus-
+	// merge in canonical order during assembly.
+	key uint64
+	// task and streamStart locate the segment inside the parallel
+	// exploration that produced it: the owning task and the index of the
+	// segment's first observation in that task's observation stream.
+	// Canonical observation order is (final ID, stream index) — the
+	// sort key the sink merge uses. Zero for sequential exploration.
+	task        int
+	streamStart int
 }
 
 // Tree is the symbolic execution tree of one application.
@@ -214,6 +228,16 @@ func (f forkForces) key() uint64 {
 	return k * 0x9E3779B97F4A7C15
 }
 
+// Budget errors are built in one place so the sequential and parallel
+// engines fail with byte-identical text.
+func cycleBudgetErr(max int) error {
+	return fmt.Errorf("symx: exceeded %d cycles (unbounded exploration? add smaller inputs or check for un-merged input-dependent loops): %w", max, ErrCycleBudget)
+}
+
+func nodeBudgetErr(max int) error {
+	return fmt.Errorf("symx: exceeded %d tree nodes: %w", max, ErrNodeBudget)
+}
+
 type pendingFork struct {
 	snap    *ulp430.SysSnapshot // state before the forked cycle
 	sinkPos int
@@ -257,16 +281,9 @@ func Explore(sys *ulp430.System, sink Sink, opts Options) (*Tree, error) {
 	// dead as soon as pop has restored it, so its buffers (the packed
 	// engine's bit-planes) are recycled for the next fork instead of
 	// reallocating per branch. The pool is local to this exploration —
-	// per-goroutine state, never shared.
-	var snapPool []*ulp430.SysSnapshot
-	takeSnap := func() *ulp430.SysSnapshot {
-		if n := len(snapPool); n > 0 {
-			sn := snapPool[n-1]
-			snapPool = snapPool[:n-1]
-			return sn
-		}
-		return &ulp430.SysSnapshot{}
-	}
+	// per-goroutine state, never shared (the parallel engine gives each
+	// worker its own).
+	var snapPool snapPool
 
 	finishSegment := func(kind NodeKind) {
 		cur.Kind = kind
@@ -301,7 +318,7 @@ func Explore(sys *ulp430.System, sink Sink, opts Options) (*Tree, error) {
 		pf := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		sys.Restore(pf.snap)
-		snapPool = append(snapPool, pf.snap)
+		snapPool.put(pf.snap)
 		sink.Rewind(pf.sinkPos)
 		child := newNode()
 		pf.branch.Taken = child
@@ -335,11 +352,18 @@ outer:
 			}
 			continue
 		}
-		if tree.Cycles >= opts.MaxCycles {
-			return nil, fmt.Errorf("symx: exceeded %d cycles (unbounded exploration? add smaller inputs or check for un-merged input-dependent loops): %w", opts.MaxCycles, ErrCycleBudget)
+		// Budgets are exact: exploration fails if and only if the total
+		// exceeds the cap, detected the moment a counter crosses it (the
+		// cycle counter is also checked inside the resolve loop, where
+		// fork re-steps accumulate between visits here). Exactness is
+		// what lets the parallel engine — whose workers interleave
+		// nondeterministically — reproduce the same success-or-failure
+		// decision from shared atomic counters.
+		if tree.Cycles > opts.MaxCycles {
+			return nil, cycleBudgetErr(opts.MaxCycles)
 		}
-		if len(tree.Nodes) >= opts.MaxNodes {
-			return nil, fmt.Errorf("symx: exceeded %d tree nodes: %w", opts.MaxNodes, ErrNodeBudget)
+		if len(tree.Nodes) > opts.MaxNodes {
+			return nil, nodeBudgetErr(opts.MaxNodes)
 		}
 
 		sys.SnapshotInto(roll)
@@ -354,6 +378,9 @@ outer:
 			sys.Step()
 			sys.ClearForce()
 			tree.Cycles++
+			if tree.Cycles > opts.MaxCycles {
+				return nil, cycleBudgetErr(opts.MaxCycles)
+			}
 
 			isIRQ := false
 			if sys.JumpCondUnknown() {
@@ -386,7 +413,7 @@ outer:
 			seen[key] = cur
 			branch := cur
 
-			snap := takeSnap()
+			snap := snapPool.take()
 			roll.CloneInto(snap)
 			stack = append(stack, pendingFork{
 				snap: snap, sinkPos: rollPos, branch: branch,

@@ -512,6 +512,67 @@ func (s *System) Restore(sn *SysSnapshot) {
 	s.errState = sn.err
 }
 
+// PortableState is a self-contained capture of full system state — unlike
+// SysSnapshot, whose memory component is a position in the owning system's
+// undo journal, a PortableState carries the memory image itself and can be
+// installed on a *different* System built on the same netlist, library,
+// engine, image, and peripheral configuration. It is the unit of work
+// transfer for parallel symbolic exploration: a pending fork captured on
+// one worker's system resumes on another's.
+type PortableState struct {
+	sim      *gsim.Snapshot
+	mem      []memWord
+	lastDin  memWord
+	lastLine logic.Trit
+	bus      periph.BusState
+	err      error
+}
+
+// CapturePortableAt materializes into dst the full system state as of sn,
+// a snapshot taken earlier on this system's current path (its journal
+// position must still be covered by the live journal — the usual LIFO
+// discipline). The memory image is reconstructed by undoing the journal
+// suffix onto a copy of current memory, so the cost is O(memory +
+// writes-since-snapshot), independent of how the snapshot was taken.
+func (s *System) CapturePortableAt(sn *SysSnapshot, dst *PortableState) {
+	if sn.journal > len(s.journal) {
+		panic("ulp430: capturing a snapshot newer than current state")
+	}
+	if dst.sim == nil {
+		dst.sim = &gsim.Snapshot{}
+	}
+	sn.sim.CloneInto(dst.sim)
+	if dst.mem == nil {
+		dst.mem = make([]memWord, len(s.mem))
+	}
+	copy(dst.mem, s.mem)
+	for i := len(s.journal) - 1; i >= sn.journal; i-- {
+		e := s.journal[i]
+		dst.mem[e.idx] = e.old
+	}
+	dst.lastDin = sn.lastDin
+	dst.lastLine = sn.lastLine
+	dst.bus = sn.bus
+	dst.err = sn.err
+}
+
+// RestorePortable installs a portable state captured on a compatible
+// system (same netlist/engine/image/peripheral configuration). The memory
+// undo journal restarts empty: a portable restore is a new exploration
+// root, not a rewind.
+func (s *System) RestorePortable(st *PortableState) {
+	copy(s.mem, st.mem)
+	s.journal = s.journal[:0]
+	s.Sim.Restore(st.sim)
+	s.lastDin = st.lastDin
+	s.lastLine = st.lastLine
+	s.irqForce = forceNone
+	if s.bus != nil {
+		s.bus.SetState(st.bus)
+	}
+	s.errState = st.err
+}
+
 // MemHash mixes the RAM contents (the part of memory that changes) into
 // the state hash used for execution-tree merging.
 func (s *System) MemHash() uint64 {

@@ -58,27 +58,29 @@ type Progress struct {
 // established at New; each Analyze* call copies them and applies its
 // per-call options on top.
 type config struct {
-	lib           *cell.Library
-	clockHz       float64
-	maxCycles     int
-	maxNodes      int
-	coiK          int
-	progress      func(Progress)
-	progressEvery int
-	workers       int
-	engine        Engine
-	cache         *Cache
-	irq           *periph.Config
+	lib            *cell.Library
+	clockHz        float64
+	maxCycles      int
+	maxNodes       int
+	coiK           int
+	progress       func(Progress)
+	progressEvery  int
+	workers        int
+	exploreWorkers int
+	engine         Engine
+	cache          *Cache
+	irq            *periph.Config
 }
 
 func defaultConfig() config {
 	return config{
-		lib:       cell.ULP65(),
-		clockHz:   100e6,
-		maxCycles: 2_000_000,
-		maxNodes:  10_000,
-		coiK:      8,
-		workers:   runtime.GOMAXPROCS(0),
+		lib:            cell.ULP65(),
+		clockHz:        100e6,
+		maxCycles:      2_000_000,
+		maxNodes:       10_000,
+		coiK:           8,
+		workers:        runtime.GOMAXPROCS(0),
+		exploreWorkers: runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -194,10 +196,36 @@ func WithInterrupts(cfg InterruptConfig) Option {
 }
 
 // WithWorkers sets the AnalyzeAll worker-pool size. Default: GOMAXPROCS.
+//
+// WithWorkers parallelizes ACROSS applications; WithExploreWorkers
+// parallelizes WITHIN one application's symbolic exploration. Their
+// product bounds the goroutines simulating at once — when batching many
+// apps with AnalyzeAll, consider WithExploreWorkers(1) to avoid
+// oversubscription.
 func WithWorkers(n int) Option {
 	return func(c *config) {
 		if n > 0 {
 			c.workers = n
+		}
+	}
+}
+
+// WithExploreWorkers sets how many worker goroutines explore a single
+// application's symbolic execution tree in parallel (work-stealing over
+// pending fork points). Default: GOMAXPROCS. n == 1 selects the
+// sequential engine.
+//
+// The worker count NEVER changes the analysis result: sealed Reports are
+// bit-identical (equal Report.Hash) at any n — the parallel engine
+// partitions work by claiming fork points and then reduces peaks,
+// activity, and tree statistics in canonical fork order, not completion
+// order. This invariance is continuously asserted by the determinism
+// test suite, and is why the option is deliberately excluded from the
+// analysis cache key.
+func WithExploreWorkers(n int) Option {
+	return func(c *config) {
+		if n > 0 {
+			c.exploreWorkers = n
 		}
 	}
 }

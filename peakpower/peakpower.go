@@ -111,18 +111,13 @@ func (a *Analyzer) AnalyzeImage(ctx context.Context, img *Image, opts ...Option)
 	return a.analyzeImage(ctx, img, cfg)
 }
 
-// analyzeImage is the cache-independent analysis body.
+// analyzeImage is the cache-independent analysis body. The exploration
+// runs sequentially or on the work-stealing parallel engine
+// (WithExploreWorkers); the two produce bit-identical sealed Reports, so
+// the choice is invisible downstream of the explore call.
 func (a *Analyzer) analyzeImage(ctx context.Context, img *Image, cfg config) (*Result, error) {
 	start := time.Now()
 	model := cfg.model()
-	sys, err := a.target.NewSystem(cfg.engine, a.nl, model.Lib, img, ulp430.SymbolicInputs, nil)
-	if err != nil {
-		return nil, fmt.Errorf("peakpower: preparing %s: %w", img.Name, err)
-	}
-	if cfg.irq != nil {
-		sys.EnableInterrupts(*cfg.irq)
-	}
-	sink := power.NewSink(sys, model, img, cfg.coiK)
 	sxOpts := symx.Options{
 		MaxCycles:     cfg.maxCycles,
 		MaxNodes:      cfg.maxNodes,
@@ -135,15 +130,67 @@ func (a *Analyzer) analyzeImage(ctx context.Context, img *Image, cfg config) (*R
 			fn(Progress{App: app, Cycles: p.Cycles, Nodes: p.Nodes, Paths: p.Paths})
 		}
 	}
-	tree, err := symx.Explore(sys, sink, sxOpts)
-	if err != nil {
-		return nil, fmt.Errorf("peakpower: symbolic analysis of %s: %w", img.Name, err)
+
+	newSystem := func() (*ulp430.System, error) {
+		sys, err := a.target.NewSystem(cfg.engine, a.nl, model.Lib, img, ulp430.SymbolicInputs, nil)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.irq != nil {
+			sys.EnableInterrupts(*cfg.irq)
+		}
+		return sys, nil
 	}
+
+	var (
+		tree    *symx.Tree
+		best    power.Peak
+		topK    []power.Peak
+		union   []bool
+		isrPeak float64
+		modules []string
+	)
+	if cfg.exploreWorkers > 1 {
+		shared := power.NewShared()
+		sinks := make([]*power.Sink, cfg.exploreWorkers)
+		pres, err := symx.ExploreParallel(symx.ParallelOptions{
+			Options: sxOpts,
+			Workers: cfg.exploreWorkers,
+			NewWorker: func(worker int) (*ulp430.System, symx.WorkerSink, error) {
+				wsys, err := newSystem()
+				if err != nil {
+					return nil, nil, err
+				}
+				wsink := power.NewSink(wsys, model, img, cfg.coiK)
+				wsink.EnableTasks(shared)
+				sinks[worker] = wsink
+				return wsys, wsink, nil
+			},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("peakpower: symbolic analysis of %s: %w", img.Name, err)
+		}
+		tree = pres.Tree
+		best, topK, isrPeak, union = power.MergeParallel(sinks, cfg.coiK, pres.NodeID)
+		modules = sinks[0].Modules()
+	} else {
+		sys, err := newSystem()
+		if err != nil {
+			return nil, fmt.Errorf("peakpower: preparing %s: %w", img.Name, err)
+		}
+		sink := power.NewSink(sys, model, img, cfg.coiK)
+		tree, err = symx.Explore(sys, sink, sxOpts)
+		if err != nil {
+			return nil, fmt.Errorf("peakpower: symbolic analysis of %s: %w", img.Name, err)
+		}
+		best, topK, isrPeak, union = sink.Best, sink.TopK, sink.ISRPeakMW, sink.UnionActive
+		modules = sink.Modules()
+	}
+
 	eres, err := energy.PeakEnergy(tree, img, model.ClockHz)
 	if err != nil {
 		return nil, fmt.Errorf("peakpower: peak energy of %s: %w", img.Name, err)
 	}
-	modules := sink.Modules()
 	res := &Result{
 		Report: Report{
 			Schema:         SchemaVersion,
@@ -153,21 +200,21 @@ func (a *Analyzer) analyzeImage(ctx context.Context, img *Image, cfg config) (*R
 			FeatureNM:      model.Lib.FeatureNM,
 			ClockHz:        model.ClockHz,
 			Engine:         cfg.engine.String(),
-			PeakPowerMW:    sink.PeakMW(),
+			PeakPowerMW:    best.PowerMW,
 			PeakEnergyJ:    eres.EnergyJ,
 			NPEJPerCycle:   eres.NPEJPerCycle,
 			BoundingCycles: eres.Cycles,
 			PeakTrace:      maxEnergyPathTrace(tree),
-			COIs:           resolveCOIs(sink.TopK, modules, img),
-			TotalGates:     len(sink.UnionActive),
-			ActiveByModule: a.ActiveByModule(sink.UnionActive),
+			COIs:           resolveCOIs(topK, modules, img),
+			TotalGates:     len(union),
+			ActiveByModule: a.ActiveByModule(union),
 			Paths:          tree.Paths,
 			Nodes:          len(tree.Nodes),
 			SimCycles:      tree.Cycles,
 		},
-		Peaks:       sink.TopK,
-		Best:        sink.Best,
-		UnionActive: sink.UnionActive,
+		Peaks:       topK,
+		Best:        best,
+		UnionActive: union,
 		Modules:     modules,
 		Elapsed:     time.Since(start),
 		Tree:        tree,
@@ -178,10 +225,10 @@ func (a *Analyzer) analyzeImage(ctx context.Context, img *Image, cfg config) (*R
 			MinLatency: cfg.irq.MinLatency,
 			MaxLatency: cfg.irq.MaxLatency,
 			IRQForks:   tree.IRQForks(),
-			ISRPeakMW:  sink.ISRPeakMW,
+			ISRPeakMW:  isrPeak,
 		}
 	}
-	for _, act := range sink.UnionActive {
+	for _, act := range union {
 		if act {
 			res.ActiveGates++
 		}

@@ -18,9 +18,21 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite the golden report 
 
 // goldenBenches are the benchmarks pinned by golden files: mult
 // exercises the high-power multiplier, tea8 the shift/XOR-only
-// minimal-variation kernel, and adcSample the interrupt path (schema v2
-// Interrupts section, in_isr COI attribution, symbolic arrival forks).
-var goldenBenches = []string{"mult", "tea8", "adcSample"}
+// minimal-variation kernel, adcSample the interrupt path (schema v2
+// Interrupts section, in_isr COI attribution, symbolic arrival forks),
+// and sensorDuty the widest interrupt-forking tree — the main workload
+// the parallel-exploration determinism suite replays.
+var goldenBenches = []string{"mult", "tea8", "adcSample", "sensorDuty"}
+
+// marshalIndented renders a report exactly as the golden files store it.
+func marshalIndented(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(data, '\n')
+}
 
 // goldenReport analyzes one benchmark with the fixed options the golden
 // files were generated with.
@@ -41,11 +53,7 @@ func TestReportGolden(t *testing.T) {
 	for _, name := range goldenBenches {
 		t.Run(name, func(t *testing.T) {
 			rep := goldenReport(t, name)
-			got, err := json.MarshalIndent(rep, "", "  ")
-			if err != nil {
-				t.Fatal(err)
-			}
-			got = append(got, '\n')
+			got := marshalIndented(t, rep)
 			path := filepath.Join("testdata", "report_"+name+".golden.json")
 			if *updateGolden {
 				if err := os.WriteFile(path, got, 0o644); err != nil {
