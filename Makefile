@@ -6,7 +6,7 @@ BENCH_JSON ?= BENCH_$(shell date +%F).json
 SHELL := /usr/bin/env bash
 .SHELLFLAGS := -o pipefail -c
 
-.PHONY: all build vet test race race-irq race-parallel fuzz-smoke bench bench-smoke profile serve smoke example-smoke ci clean
+.PHONY: all build vet test race race-irq race-parallel fuzz-smoke bench bench-smoke profile serve smoke crash-smoke example-smoke ci clean
 
 all: build vet test
 
@@ -86,6 +86,16 @@ smoke:
 	grep -q '"hash":"sha256:' /tmp/peakpowerd-smoke.json && \
 	echo "peakpowerd smoke: OK ($$(wc -c < /tmp/peakpowerd-smoke.json) bytes)"
 
+# Crash-recovery smoke: SIGKILL a real peakpowerd mid-exploration (its
+# job's checkpoint journal visibly growing), restart it on the same data
+# directory, and require the resumed job's sealed Report to be
+# byte-identical to an uninterrupted analysis — at two exploration
+# worker counts. The durable-restart and fault-injection suites ride
+# along.
+crash-smoke:
+	$(GO) test -count=1 -v -run 'TestDaemonCrashResume|TestJobDurableRestartRecovery|TestCheckpointResume' \
+		./cmd/peakpowerd/ ./peakpower/
+
 # End-to-end example smoke: the interrupt-driven sensornode walkthrough
 # (symbolic bound vs a concrete sweep over every arrival latency) plus
 # the CLI's -irq path. Both must exit 0; sensornode additionally
@@ -94,7 +104,7 @@ example-smoke:
 	$(GO) run ./examples/sensornode
 	$(GO) run ./cmd/peakpower -bench adcSample -irq 8:20
 
-ci: build vet race race-irq race-parallel fuzz-smoke smoke example-smoke
+ci: build vet race race-irq race-parallel fuzz-smoke smoke crash-smoke example-smoke
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,232 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/peakpower"
+)
+
+// serverRequest is the POST /v1/analyze and /v1/jobs body peakpowerd
+// accepts (mirrored here; the commands share no package).
+type serverRequest struct {
+	Target  string        `json:"target,omitempty"`
+	Bench   string        `json:"bench,omitempty"`
+	Name    string        `json:"name,omitempty"`
+	Source  string        `json:"source,omitempty"`
+	Options serverOptions `json:"options"`
+}
+
+type serverOptions struct {
+	MaxCycles      int                        `json:"max_cycles,omitempty"`
+	COI            int                        `json:"coi,omitempty"`
+	Engine         string                     `json:"engine,omitempty"`
+	TimeoutMS      int                        `json:"timeout_ms,omitempty"`
+	ExploreWorkers int                        `json:"explore_workers,omitempty"`
+	Interrupts     *peakpower.InterruptConfig `json:"interrupts,omitempty"`
+}
+
+// retryableError marks a failure worth retrying: transport errors, 429
+// (queue full), 503 (draining), and other 5xx. retryAfter carries the
+// server's Retry-After hint in seconds (-1 when absent).
+type retryableError struct {
+	err        error
+	retryAfter int
+}
+
+func (e *retryableError) Error() string { return e.err.Error() }
+
+// client talks to a peakpowerd with jittered-exponential-backoff retries
+// that honor the server's Retry-After. Submissions go through the async
+// job API, so a slow analysis survives transient client-server hiccups:
+// the job keeps running server-side while the client re-polls.
+type client struct {
+	base     string
+	hc       *http.Client
+	attempts int
+	poll     time.Duration
+	rng      *rand.Rand
+}
+
+func newClient(base string, attempts int) *client {
+	return &client{
+		base:     strings.TrimRight(base, "/"),
+		hc:       &http.Client{Timeout: 30 * time.Second},
+		attempts: attempts,
+		poll:     250 * time.Millisecond,
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// backoff is the wait before retry number attempt (0-based): the server's
+// Retry-After when it gave one, otherwise exponential from 250ms with
+// half-range jitter, capped at 5s.
+func (c *client) backoff(attempt, retryAfter int) time.Duration {
+	if retryAfter >= 0 {
+		return time.Duration(retryAfter) * time.Second
+	}
+	d := 250 * time.Millisecond << attempt
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+}
+
+// roundTrip performs one HTTP exchange, classifying the outcome:
+// (body, nil) on 2xx, a *retryableError on transient statuses, a plain
+// error (with the server's structured message) otherwise.
+func (c *client) roundTrip(ctx context.Context, method, path string, body []byte) (int, []byte, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return 0, nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, &retryableError{err: err, retryAfter: -1}
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return 0, nil, &retryableError{err: fmt.Errorf("reading response: %w", err), retryAfter: -1}
+	}
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return resp.StatusCode, data, nil
+	}
+	serr := fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, serverMessage(data))
+	if resp.StatusCode == http.StatusTooManyRequests ||
+		resp.StatusCode == http.StatusServiceUnavailable ||
+		resp.StatusCode >= 500 {
+		ra := -1
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, perr := strconv.Atoi(s); perr == nil && secs >= 0 {
+				ra = secs
+			}
+		}
+		return resp.StatusCode, nil, &retryableError{err: serr, retryAfter: ra}
+	}
+	return resp.StatusCode, nil, serr
+}
+
+func serverMessage(body []byte) string {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(body))
+}
+
+// do is roundTrip under the retry policy. On exhausting the budget
+// against a backpressuring server it exits with exitRetryable (5) —
+// distinguishable by scripts from analysis failures — after printing the
+// server's Retry-After hint.
+func (c *client) do(ctx context.Context, method, path string, body []byte) []byte {
+	var last *retryableError
+	for attempt := 0; attempt < c.attempts; attempt++ {
+		_, data, err := c.roundTrip(ctx, method, path, body)
+		if err == nil {
+			return data
+		}
+		re, ok := err.(*retryableError)
+		if !ok {
+			fatal(exitAnalysis, err)
+		}
+		last = re
+		if attempt == c.attempts-1 {
+			break
+		}
+		wait := c.backoff(attempt, re.retryAfter)
+		fmt.Fprintf(os.Stderr, "peakpower: %v (retry %d/%d in %s)\n",
+			re.err, attempt+1, c.attempts-1, wait.Round(time.Millisecond))
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			fatal(exitAnalysis, ctx.Err())
+		}
+	}
+	if last.retryAfter >= 0 {
+		fmt.Fprintf(os.Stderr, "peakpower: server says Retry-After: %ds\n", last.retryAfter)
+	}
+	fatal(exitRetryable, fmt.Errorf("server still backpressured after %d attempts: %w", c.attempts, last.err))
+	panic("unreachable")
+}
+
+// analyze submits the request as an async job and polls it to a terminal
+// state, returning the verified Report. The job API (not /v1/analyze)
+// means a dropped poll response costs a re-poll, never a re-exploration.
+func (c *client) analyze(ctx context.Context, req *serverRequest) *peakpower.Report {
+	body, err := json.Marshal(req)
+	if err != nil {
+		fatal(exitUsage, err)
+	}
+	var acc struct {
+		ID        string `json:"id"`
+		StatusURL string `json:"status_url"`
+	}
+	if err := json.Unmarshal(c.do(ctx, http.MethodPost, "/v1/jobs", body), &acc); err != nil {
+		fatal(exitAnalysis, fmt.Errorf("decoding job submission response: %w", err))
+	}
+	fmt.Fprintf(os.Stderr, "peakpower: job %s accepted\n", acc.ID)
+
+	for {
+		var st struct {
+			State  string          `json:"state"`
+			Report json.RawMessage `json:"report"`
+			Error  string          `json:"error"`
+		}
+		if err := json.Unmarshal(c.do(ctx, http.MethodGet, acc.StatusURL, nil), &st); err != nil {
+			fatal(exitAnalysis, fmt.Errorf("decoding job status: %w", err))
+		}
+		switch st.State {
+		case "done":
+			// DecodeReport re-verifies the schema and the content hash, so
+			// a Report corrupted in transit (or by the server's disk) is
+			// rejected here, client-side.
+			rep, err := peakpower.DecodeReport(st.Report)
+			if err != nil {
+				fatal(exitAnalysis, fmt.Errorf("job %s: served report failed verification: %w", acc.ID, err))
+			}
+			return rep
+		case "failed":
+			fatal(exitAnalysis, fmt.Errorf("job %s: %s", acc.ID, st.Error))
+		}
+		select {
+		case <-time.After(c.poll):
+		case <-ctx.Done():
+			fatal(exitAnalysis, fmt.Errorf("job %s: %w (job keeps running server-side)", acc.ID, ctx.Err()))
+		}
+	}
+}
+
+// serverMain is main's -server branch: build the wire request from the
+// same flags the in-process path uses and render the served Report with
+// the usual -json / text output.
+func serverMain(ctx context.Context, server string, retries int, req *serverRequest, coi int, trace, jsonOut bool) {
+	if retries < 1 {
+		retries = 1
+	}
+	rep := newClient(server, retries).analyze(ctx, req)
+	if jsonOut {
+		printJSON(rep)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "peakpower: report verified (%s)\n", rep.Hash)
+	report(&peakpower.Result{Report: *rep}, coi, trace, jsonOut)
+}

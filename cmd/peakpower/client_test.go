@@ -1,0 +1,124 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/peakpower"
+)
+
+func testClient(base string, attempts int) *client {
+	c := newClient(base, attempts)
+	c.poll = time.Millisecond
+	c.rng = rand.New(rand.NewSource(1))
+	return c
+}
+
+func TestBackoffHonorsRetryAfter(t *testing.T) {
+	c := testClient("http://x", 5)
+	if d := c.backoff(0, 3); d != 3*time.Second {
+		t.Fatalf("Retry-After 3 -> %v", d)
+	}
+	// Without a hint: exponential with half-range jitter, capped at 5s.
+	for attempt, base := range []time.Duration{250 * time.Millisecond, 500 * time.Millisecond, time.Second} {
+		for i := 0; i < 50; i++ {
+			if d := c.backoff(attempt, -1); d < base/2 || d > base {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, base/2, base)
+			}
+		}
+	}
+	for i := 0; i < 50; i++ {
+		if d := c.backoff(20, -1); d < 2500*time.Millisecond || d > 5*time.Second {
+			t.Fatalf("capped backoff %v outside [2.5s, 5s]", d)
+		}
+	}
+}
+
+func TestRoundTripClassification(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/ok":
+			w.Write([]byte(`{"fine":true}`))
+		case "/full":
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"job queue full"}`))
+		case "/bad":
+			w.WriteHeader(http.StatusBadRequest)
+			w.Write([]byte(`{"error":"nope"}`))
+		}
+	}))
+	defer ts.Close()
+	c := testClient(ts.URL, 5)
+	ctx := context.Background()
+
+	if _, body, err := c.roundTrip(ctx, http.MethodGet, "/ok", nil); err != nil || string(body) != `{"fine":true}` {
+		t.Fatalf("ok: %s %v", body, err)
+	}
+	_, _, err := c.roundTrip(ctx, http.MethodGet, "/full", nil)
+	re, ok := err.(*retryableError)
+	if !ok || re.retryAfter != 2 {
+		t.Fatalf("429: %#v", err)
+	}
+	_, _, err = c.roundTrip(ctx, http.MethodGet, "/bad", nil)
+	if _, ok := err.(*retryableError); ok || err == nil {
+		t.Fatalf("400 must not be retryable: %v", err)
+	}
+}
+
+// TestAnalyzeRetriesThenVerifies drives the whole client path against a
+// stub job API: the first submissions bounce with 429 + Retry-After, then
+// a job is accepted, polls through "running", and completes with a sealed
+// Report the client hash-verifies.
+func TestAnalyzeRetriesThenVerifies(t *testing.T) {
+	rep := &peakpower.Report{Schema: peakpower.SchemaVersion, Target: "ulp430", App: "stub", PeakPowerMW: 1.5}
+	rep.Seal()
+	repJSON, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var submits, polls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/jobs":
+			if submits.Add(1) <= 2 {
+				w.Header().Set("Retry-After", "0")
+				w.WriteHeader(http.StatusTooManyRequests)
+				w.Write([]byte(`{"error":"job queue full"}`))
+				return
+			}
+			w.WriteHeader(http.StatusAccepted)
+			w.Write([]byte(`{"id":"jtest","state":"queued","status_url":"/v1/jobs/jtest"}`))
+		case "/v1/jobs/jtest":
+			if polls.Add(1) <= 2 {
+				w.Write([]byte(`{"id":"jtest","state":"running"}`))
+				return
+			}
+			resp, _ := json.Marshal(map[string]any{"id": "jtest", "state": "done", "report": json.RawMessage(repJSON)})
+			w.Write(resp)
+		default:
+			t.Errorf("unexpected request %s", r.URL.Path)
+			w.WriteHeader(http.StatusNotFound)
+		}
+	}))
+	defer ts.Close()
+
+	c := testClient(ts.URL, 5)
+	got := c.analyze(context.Background(), &serverRequest{Bench: "stub"})
+	if got.Hash != rep.Hash || got.PeakPowerMW != 1.5 {
+		t.Fatalf("served report: %+v", got)
+	}
+	if submits.Load() != 3 {
+		t.Fatalf("submit attempts %d, want 3 (two 429s then accepted)", submits.Load())
+	}
+	if polls.Load() < 3 {
+		t.Fatalf("polls %d, want >=3", polls.Load())
+	}
+}

@@ -21,6 +21,13 @@
 //	2  usage error (bad flags, unknown benchmark or target)
 //	3  the source file did not assemble
 //	4  file I/O failed (reading -src, writing -dump-netlist)
+//	5  a remote server kept backpressuring (429/503) past the retry budget
+//
+// With -server URL the analysis runs on a peakpowerd instead of
+// in-process: the request is submitted to the async job API and polled to
+// completion, with jittered-exponential-backoff retries that honor the
+// server's Retry-After, and the served Report is hash-verified before it
+// is rendered.
 package main
 
 import (
@@ -40,10 +47,11 @@ import (
 
 // Exit codes (see the command doc).
 const (
-	exitAnalysis = 1
-	exitUsage    = 2
-	exitAssemble = 3
-	exitIO       = 4
+	exitAnalysis  = 1
+	exitUsage     = 2
+	exitAssemble  = 3
+	exitIO        = 4
+	exitRetryable = 5
 )
 
 func main() {
@@ -63,6 +71,8 @@ func main() {
 	exploreWorkers := flag.Int("explore-workers", 0, "parallel exploration workers per analysis; the result is bit-identical at any count (0 = GOMAXPROCS)")
 	engine := flag.String("engine", "packed", "gate-level engine: packed (fast) or scalar (reference oracle)")
 	irq := flag.String("irq", "", "attach the peripheral bus with a MIN:MAX interrupt arrival window (cycles), e.g. 8:24")
+	server := flag.String("server", "", "run the analysis on a peakpowerd at this base URL instead of in-process")
+	retries := flag.Int("retries", 5, "-server mode: attempts against a backpressuring server before exit code 5")
 	flag.Parse()
 
 	if *listTargets {
@@ -91,16 +101,20 @@ func main() {
 	// An explicit -max-cycles overrides even a benchmark's calibrated
 	// budget; the flag's default only seeds the analyzer-wide default.
 	var callOpts []peakpower.Option
+	maxCyclesSet := false
 	flag.Visit(func(f *flag.Flag) {
 		if f.Name == "max-cycles" {
+			maxCyclesSet = true
 			callOpts = append(callOpts, peakpower.WithMaxCycles(*maxCycles))
 		}
 	})
+	var irqCfg *peakpower.InterruptConfig
 	if *irq != "" {
 		cfg, err := parseIRQ(*irq)
 		if err != nil {
 			fatal(exitUsage, err)
 		}
+		irqCfg = &cfg
 		opts = append(opts, peakpower.WithInterrupts(cfg))
 		callOpts = append(callOpts, peakpower.WithInterrupts(cfg))
 	}
@@ -126,6 +140,39 @@ func main() {
 		for _, b := range benches {
 			fmt.Printf("%-10s %-16s %s\n", b.Name, b.Suite, b.Desc)
 		}
+		return
+	}
+
+	if *server != "" {
+		req := &serverRequest{Target: *target, Options: serverOptions{
+			COI:            *coi,
+			Engine:         *engine,
+			ExploreWorkers: *exploreWorkers,
+			Interrupts:     irqCfg,
+		}}
+		if maxCyclesSet {
+			req.Options.MaxCycles = *maxCycles
+		}
+		if *timeout > 0 {
+			req.Options.TimeoutMS = int(*timeout / time.Millisecond)
+		}
+		switch {
+		case *dumpNetlist != "":
+			fatal(exitUsage, fmt.Errorf("-dump-netlist needs an in-process analyzer, not -server"))
+		case *benchName != "" && strings.Contains(*benchName, ","):
+			fatal(exitUsage, fmt.Errorf("-server mode analyzes one application per invocation"))
+		case *benchName != "":
+			req.Bench = *benchName
+		case *src != "":
+			text, err := os.ReadFile(*src)
+			if err != nil {
+				fatal(exitIO, fmt.Errorf("open -src %s: %w", *src, err))
+			}
+			req.Name, req.Source = *src, string(text)
+		default:
+			fatal(exitUsage, fmt.Errorf("need -bench or -src with -server"))
+		}
+		serverMain(ctx, *server, *retries, req, *coi, *trace, *jsonOut)
 		return
 	}
 

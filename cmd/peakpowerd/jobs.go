@@ -1,0 +1,298 @@
+package main
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/jobstore"
+)
+
+// Submission failures the handlers map to backpressure statuses (429 with
+// Retry-After, 503 while draining) rather than hard errors.
+var (
+	errQueueFull = errors.New("job queue full")
+	errDraining  = errors.New("server is draining")
+)
+
+// runFunc executes one job's analysis and returns the terminal payload
+// (the Report's canonical JSON). Tests substitute it to exercise queueing,
+// backpressure, panic isolation, and drain without real explorations.
+type runFunc func(ctx context.Context, j *jobstore.Job) (json.RawMessage, error)
+
+// jobRunner owns the async job lifecycle: a bounded queue feeding a fixed
+// worker pool, an in-memory view of every job this process life has seen,
+// and (optionally) a durable store that lets queued and mid-run jobs
+// survive a crash. All map/queue state is guarded by mu; the queue channel
+// is only sent to under mu after a depth check, so sends never block.
+type jobRunner struct {
+	store *jobstore.Store // nil = ephemeral: jobs die with the process
+	run   runFunc
+
+	queue         chan string
+	dequeueCtx    context.Context // canceled first on drain: stop taking new jobs
+	dequeueCancel context.CancelFunc
+	runCtx        context.Context // canceled at the drain deadline: abandon in-flight jobs
+	runCancel     context.CancelFunc
+	wg            sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*jobstore.Job
+	inFlight int
+	draining bool
+}
+
+func newJobRunner(store *jobstore.Store, workers, queueCap int, run runFunc) *jobRunner {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	r := &jobRunner{
+		store: store,
+		run:   run,
+		queue: make(chan string, queueCap),
+		jobs:  make(map[string]*jobstore.Job),
+	}
+	r.dequeueCtx, r.dequeueCancel = context.WithCancel(context.Background())
+	r.runCtx, r.runCancel = context.WithCancel(context.Background())
+	r.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go r.worker()
+	}
+	return r
+}
+
+// recover re-enqueues every non-terminal job the previous process life
+// left behind (the store has already flipped mid-run jobs back to queued).
+// Their exploration checkpoints, if any, make the re-runs incremental.
+// Damaged records are logged, never silently dropped.
+func (r *jobRunner) recover() error {
+	if r.store == nil {
+		return nil
+	}
+	if _, damaged, err := r.store.List(); err == nil && len(damaged) > 0 {
+		log.Printf("peakpowerd: %d damaged job record(s) in %s: %v", len(damaged), r.store.Dir(), damaged)
+	}
+	jobs, err := r.store.Recover()
+	if err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, j := range jobs {
+		if len(r.queue) == cap(r.queue) {
+			log.Printf("peakpowerd: queue full during recovery, leaving job %s on disk", j.ID)
+			continue
+		}
+		r.jobs[j.ID] = j
+		r.queue <- j.ID
+	}
+	if n := len(jobs); n > 0 {
+		log.Printf("peakpowerd: recovered %d interrupted job(s)", n)
+	}
+	return nil
+}
+
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("peakpowerd: crypto/rand: %v", err))
+	}
+	return "j" + hex.EncodeToString(b[:])
+}
+
+// submit registers a validated request and enqueues it, persisting the
+// queued record first so an accepted job survives an immediate crash. A
+// full queue or a draining server is reported without blocking — the
+// caller answers within the backpressure deadline, not after it.
+func (r *jobRunner) submit(raw json.RawMessage) (*jobstore.Job, error) {
+	j := &jobstore.Job{
+		ID:          newJobID(),
+		State:       jobstore.StateQueued,
+		Request:     raw,
+		SubmittedAt: time.Now().UTC(),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.draining {
+		return nil, errDraining
+	}
+	if len(r.queue) == cap(r.queue) {
+		return nil, errQueueFull
+	}
+	if r.store != nil {
+		if err := r.store.Put(j); err != nil {
+			return nil, err
+		}
+	}
+	r.jobs[j.ID] = j
+	r.queue <- j.ID
+	snap := *j
+	return &snap, nil
+}
+
+// get returns a snapshot of a job's current state — from memory for this
+// life's jobs, falling back to the store for jobs submitted to a previous
+// life. A missing job returns (nil, nil).
+func (r *jobRunner) get(id string) (*jobstore.Job, error) {
+	r.mu.Lock()
+	j := r.jobs[id]
+	var snap *jobstore.Job
+	if j != nil {
+		c := *j
+		snap = &c
+	}
+	r.mu.Unlock()
+	if snap != nil {
+		return snap, nil
+	}
+	if r.store == nil || !jobstore.ValidID(id) {
+		return nil, nil
+	}
+	j, err := r.store.Get(id)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return j, nil
+}
+
+// stats is the runner's contribution to the readiness probe.
+type runnerStats struct {
+	QueueDepth    int  `json:"queue_depth"`
+	QueueCapacity int  `json:"queue_capacity"`
+	InFlight      int  `json:"in_flight"`
+	Draining      bool `json:"draining"`
+	Durable       bool `json:"durable"`
+}
+
+func (r *jobRunner) stats() runnerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return runnerStats{
+		QueueDepth:    len(r.queue),
+		QueueCapacity: cap(r.queue),
+		InFlight:      r.inFlight,
+		Draining:      r.draining,
+		Durable:       r.store != nil,
+	}
+}
+
+func (r *jobRunner) worker() {
+	defer r.wg.Done()
+	for {
+		// Checked alone first: a two-way select with both cases ready picks
+		// randomly, and a draining worker must never prefer new work.
+		select {
+		case <-r.dequeueCtx.Done():
+			return
+		default:
+		}
+		select {
+		case <-r.dequeueCtx.Done():
+			return
+		case id := <-r.queue:
+			r.runJob(id)
+		}
+	}
+}
+
+func (r *jobRunner) runJob(id string) {
+	select {
+	case <-r.runCtx.Done():
+		// Dequeued after the drain deadline: leave the job queued (in
+		// memory and on disk) for the next process life.
+		return
+	default:
+	}
+	r.mu.Lock()
+	j := r.jobs[id]
+	if j == nil || j.State != jobstore.StateQueued {
+		r.mu.Unlock()
+		return
+	}
+	j.State = jobstore.StateRunning
+	j.Attempts++
+	r.inFlight++
+	snap := *j
+	r.mu.Unlock()
+	r.persist(&snap)
+
+	result, err := r.safeRun(r.runCtx, &snap)
+
+	r.mu.Lock()
+	r.inFlight--
+	switch {
+	case err == nil:
+		j.State = jobstore.StateDone
+		j.Result = result
+		j.FinishedAt = time.Now().UTC()
+	case errors.Is(err, context.Canceled) && r.draining:
+		// Abandoned at the drain deadline, not failed: the queued record
+		// (plus its exploration checkpoint) resumes it next life.
+		j.State = jobstore.StateQueued
+	default:
+		j.State = jobstore.StateFailed
+		j.Error = err.Error()
+		j.FinishedAt = time.Now().UTC()
+	}
+	snap = *j
+	r.mu.Unlock()
+	r.persist(&snap)
+}
+
+// safeRun confines a panicking analysis to its own job: the worker
+// survives, the job fails with a diagnosable error.
+func (r *jobRunner) safeRun(ctx context.Context, j *jobstore.Job) (result json.RawMessage, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("internal: analysis panicked: %v", p)
+		}
+	}()
+	return r.run(ctx, j)
+}
+
+// persist writes a job snapshot through to the store, best effort: a full
+// disk degrades durability, it does not wedge the worker pool.
+func (r *jobRunner) persist(j *jobstore.Job) {
+	if r.store == nil {
+		return
+	}
+	if err := r.store.Put(j); err != nil {
+		log.Printf("peakpowerd: persisting job %s: %v", j.ID, err)
+	}
+}
+
+// drain stops intake (submissions and dequeues), waits up to timeout for
+// in-flight jobs, then cancels the stragglers — which persist themselves
+// back as queued, so nothing accepted is lost. Always returns with the
+// worker pool stopped.
+func (r *jobRunner) drain(timeout time.Duration) {
+	r.mu.Lock()
+	r.draining = true
+	r.mu.Unlock()
+	r.dequeueCancel()
+	done := make(chan struct{})
+	go func() {
+		r.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(timeout):
+		r.runCancel()
+		<-done
+	}
+	r.runCancel()
+}

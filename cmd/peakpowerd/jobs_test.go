@@ -1,0 +1,336 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/jobstore"
+	"repro/peakpower"
+)
+
+func postJob(t *testing.T, url, body string) (int, http.Header, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf [4096]byte
+	n, _ := resp.Body.Read(buf[:])
+	return resp.StatusCode, resp.Header, buf[:n]
+}
+
+func pollJob(t *testing.T, url, id string, deadline time.Duration) jobStatusResponse {
+	t.Helper()
+	var st jobStatusResponse
+	stop := time.Now().Add(deadline)
+	for {
+		code, body := get(t, url+"/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("poll %s: %d %s", id, code, body)
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("poll %s: %v (%s)", id, err, body)
+		}
+		if st.State == string(jobstore.StateDone) || st.State == string(jobstore.StateFailed) {
+			return st
+		}
+		if time.Now().After(stop) {
+			t.Fatalf("job %s stuck in %s", id, st.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestJobLifecycle: submit → 202 + poll URL → terminal state carrying the
+// Report, bit-identical to the synchronous endpoint's response for the
+// same request.
+func TestJobLifecycle(t *testing.T) {
+	ts, _ := newTestServer(t)
+	reqBody := `{"bench":"mult"}`
+
+	code, syncBody := post(t, ts.URL+"/v1/analyze", reqBody)
+	if code != http.StatusOK {
+		t.Fatalf("sync analyze: %d %s", code, syncBody)
+	}
+
+	code, _, body := postJob(t, ts.URL, reqBody)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var acc struct {
+		ID        string `json:"id"`
+		State     string `json:"state"`
+		StatusURL string `json:"status_url"`
+	}
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+	if acc.ID == "" || acc.State != "queued" || acc.StatusURL != "/v1/jobs/"+acc.ID {
+		t.Fatalf("accepted: %+v", acc)
+	}
+
+	st := pollJob(t, ts.URL, acc.ID, 30*time.Second)
+	if st.State != "done" || st.Error != "" {
+		t.Fatalf("job: %+v", st)
+	}
+	if string(st.Report) != string(syncBody) {
+		t.Fatalf("async report differs from sync:\nasync: %.200s\nsync:  %.200s", st.Report, syncBody)
+	}
+	if st.FinishedAt == nil || st.Attempts != 1 {
+		t.Fatalf("job metadata: %+v", st)
+	}
+
+	if code, _ := get(t, ts.URL+"/v1/jobs/nosuchjob"); code != http.StatusNotFound {
+		t.Fatalf("unknown job: want 404, got %d", code)
+	}
+}
+
+// TestJobSubmitValidation: malformed submissions are rejected at the door
+// (400), never accepted into the queue to fail later.
+func TestJobSubmitValidation(t *testing.T) {
+	ts, srv := newTestServer(t)
+	for _, body := range []string{
+		`not json`,
+		`{}`,
+		`{"bench":"mult","source":"x"}`,
+		`{"bench":"mult","options":{"engine":"quantum"}}`,
+	} {
+		if code, _, resp := postJob(t, ts.URL, body); code != http.StatusBadRequest {
+			t.Errorf("submit %q: %d %s", body, code, resp)
+		}
+	}
+	if st := srv.jobs.stats(); st.QueueDepth != 0 {
+		t.Fatalf("rejected submissions queued: %+v", st)
+	}
+}
+
+// TestJobBackpressure429Within100ms is the saturation contract: with the
+// pool busy and the queue full, a submission is answered 429 +
+// Retry-After within the backpressure deadline — intake never blocks
+// behind the workers.
+func TestJobBackpressure429Within100ms(t *testing.T) {
+	ts, srv := newTestServerCfg(t, serverConfig{cacheSize: 4, timeout: time.Minute, workers: 1, queueCap: 2})
+	block := make(chan struct{})
+	defer close(block)
+	srv.jobs.run = func(ctx context.Context, j *jobstore.Job) (json.RawMessage, error) {
+		select {
+		case <-block:
+		case <-ctx.Done():
+		}
+		return json.RawMessage(`{}`), nil
+	}
+
+	// One job occupies the worker, two fill the queue (allow a few tries
+	// for the worker to pick up the first).
+	accepted := 0
+	for i := 0; i < 20 && accepted < 3; i++ {
+		code, _, body := postJob(t, ts.URL, `{"bench":"mult"}`)
+		switch code {
+		case http.StatusAccepted:
+			accepted++
+		case http.StatusTooManyRequests:
+			time.Sleep(2 * time.Millisecond)
+		default:
+			t.Fatalf("submit %d: %d %s", i, code, body)
+		}
+	}
+	if accepted != 3 {
+		t.Fatalf("accepted %d jobs, want 3", accepted)
+	}
+	// Wait until the worker has dequeued one so the queue depth is stable.
+	for i := 0; ; i++ {
+		if st := srv.jobs.stats(); st.InFlight == 1 && st.QueueDepth == 2 {
+			break
+		}
+		if i > 1000 {
+			t.Fatalf("runner never settled: %+v", srv.jobs.stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	start := time.Now()
+	code, hdr, body := postJob(t, ts.URL, `{"bench":"mult"}`)
+	elapsed := time.Since(start)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("saturated submit: %d %s", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	if elapsed > 100*time.Millisecond {
+		t.Fatalf("backpressure took %v, want <100ms", elapsed)
+	}
+
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("429 body not structured: %s", body)
+	}
+}
+
+// TestJobPanicIsolation: a panicking analysis fails its own job with a
+// diagnosable error; the worker pool survives and runs the next job.
+func TestJobPanicIsolation(t *testing.T) {
+	ts, srv := newTestServerCfg(t, serverConfig{cacheSize: 4, timeout: time.Minute, workers: 1, queueCap: 8})
+	srv.jobs.run = func(ctx context.Context, j *jobstore.Job) (json.RawMessage, error) {
+		var req analyzeRequest
+		if err := json.Unmarshal(j.Request, &req); err != nil {
+			return nil, err
+		}
+		if req.Bench == "boom" {
+			panic("synthetic fault")
+		}
+		return json.RawMessage(`{"ok":true}`), nil
+	}
+
+	code, _, body := postJob(t, ts.URL, `{"bench":"boom"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+	st := pollJob(t, ts.URL, acc.ID, 5*time.Second)
+	if st.State != "failed" || !strings.Contains(st.Error, "panicked") {
+		t.Fatalf("panicking job: %+v", st)
+	}
+
+	code, _, body = postJob(t, ts.URL, `{"bench":"mult"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit after panic: %d %s", code, body)
+	}
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+	if st := pollJob(t, ts.URL, acc.ID, 5*time.Second); st.State != "done" {
+		t.Fatalf("worker did not survive the panic: %+v", st)
+	}
+}
+
+// TestJobDurableRestartRecovery is the crash-recovery contract at the
+// service level: jobs accepted by one server life (including one caught
+// mid-run) are re-enqueued and completed by the next life on the same
+// data directory, and their Reports match a clean run bit for bit.
+func TestJobDurableRestartRecovery(t *testing.T) {
+	dataDir := t.TempDir()
+	reqBody := `{"bench":"mult"}`
+
+	// Reference: a clean synchronous analysis on an independent server.
+	tsRef, _ := newTestServer(t)
+	code, want := post(t, tsRef.URL+"/v1/analyze", reqBody)
+	if code != http.StatusOK {
+		t.Fatalf("reference analyze: %d %s", code, want)
+	}
+
+	// Life 1: accept two jobs but never let them finish — one stuck
+	// running, one still queued — then "crash" (drain with a zero budget;
+	// the canceled in-flight job persists as queued).
+	ts1, srv1 := newTestServerCfg(t, serverConfig{
+		cacheSize: 4, timeout: time.Minute, workers: 1, queueCap: 8, dataDir: dataDir,
+	})
+	block := make(chan struct{})
+	var blockOnce sync.Once
+	srv1.jobs.run = func(ctx context.Context, j *jobstore.Job) (json.RawMessage, error) {
+		blockOnce.Do(func() { close(block) })
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	var ids []string
+	for i := 0; i < 2; i++ {
+		code, _, body := postJob(t, ts1.URL, reqBody)
+		if code != http.StatusAccepted {
+			t.Fatalf("life-1 submit %d: %d %s", i, code, body)
+		}
+		var acc struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(body, &acc); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, acc.ID)
+	}
+	<-block // the first job is mid-run
+	ts1.Close()
+	srv1.jobs.drain(0)
+
+	// Life 2: same data directory, the real analysis path.
+	ts2, _ := newTestServerCfg(t, serverConfig{
+		cacheSize: 4, timeout: time.Minute, workers: 2, queueCap: 8, dataDir: dataDir,
+	})
+	retried := false
+	for _, id := range ids {
+		st := pollJob(t, ts2.URL, id, 30*time.Second)
+		if st.State != "done" {
+			t.Fatalf("recovered job %s: %+v", id, st)
+		}
+		if string(st.Report) != string(want) {
+			t.Fatalf("recovered job %s report differs from clean run:\ngot:  %.200s\nwant: %.200s", id, st.Report, want)
+		}
+		retried = retried || st.Attempts >= 2
+	}
+	if !retried {
+		t.Fatal("no job records a second attempt — the mid-run job was not re-executed")
+	}
+
+	// Life 3: terminal results themselves survive a further restart.
+	ts3, _ := newTestServerCfg(t, serverConfig{
+		cacheSize: 4, timeout: time.Minute, workers: 1, queueCap: 8, dataDir: dataDir,
+	})
+	for _, id := range ids {
+		code, body := get(t, ts3.URL+"/v1/jobs/"+id)
+		if code != http.StatusOK {
+			t.Fatalf("life-3 poll %s: %d %s", id, code, body)
+		}
+		var st jobStatusResponse
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State != "done" || string(st.Report) != string(want) {
+			t.Fatalf("life-3 job %s: %+v", id, st)
+		}
+	}
+}
+
+// TestReadyzReportsQueueAndDisk: the readiness probe exposes queue depth,
+// in-flight count, durability, and the disk tier; a draining server
+// answers 503 and refuses new jobs with Retry-After.
+func TestReadyzReportsQueueAndDisk(t *testing.T) {
+	ts, srv := newTestServerCfg(t, serverConfig{
+		cacheSize: 4, timeout: time.Minute, workers: 1, queueCap: 8, dataDir: t.TempDir(),
+	})
+	code, body := get(t, ts.URL+"/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("readyz: %d %s", code, body)
+	}
+	var ready struct {
+		Status string                    `json:"status"`
+		Jobs   runnerStats               `json:"jobs"`
+		Disk   *peakpower.DiskStoreStats `json:"disk"`
+	}
+	if err := json.Unmarshal(body, &ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.Status != "ok" || !ready.Jobs.Durable || ready.Jobs.QueueCapacity != 8 || ready.Disk == nil {
+		t.Fatalf("readyz body: %+v (%s)", ready, body)
+	}
+
+	srv.jobs.drain(time.Second)
+	code, body = get(t, ts.URL+"/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz: %d %s", code, body)
+	}
+	code, hdr, body := postJob(t, ts.URL, `{"bench":"mult"}`)
+	if code != http.StatusServiceUnavailable || hdr.Get("Retry-After") == "" {
+		t.Fatalf("draining submit: %d (Retry-After %q) %s", code, hdr.Get("Retry-After"), body)
+	}
+}

@@ -9,15 +9,19 @@
 // Usage:
 //
 //	peakpowerd [-addr :8090] [-cache 256] [-timeout 2m]
+//	           [-data DIR] [-jobs 2] [-queue 64] [-drain-timeout 5s]
 //
 // Endpoints:
 //
 //	GET  /healthz        liveness + cache statistics
+//	GET  /readyz         readiness: queue depth, in-flight jobs, disk tier
 //	GET  /v1/targets     registered design points
 //	GET  /v1/benchmarks  benchmark suite (?target=..., default ulp430)
-//	POST /v1/analyze     run (or serve from cache) one analysis
+//	POST /v1/analyze     run (or serve from cache) one analysis, synchronously
+//	POST /v1/jobs        submit an analysis job; 202 + job ID immediately
+//	GET  /v1/jobs/{id}   poll a job: state, then the Report (or error)
 //
-// POST /v1/analyze request body:
+// POST /v1/analyze and /v1/jobs share a request body:
 //
 //	{
 //	  "target":  "ulp430",          // optional, default "ulp430"
@@ -30,12 +34,21 @@
 //	  }
 //	}
 //
-// The response is the Report's canonical JSON — bit-identical to an
-// in-process Analyze of the same target, application, and options.
+// The /v1/analyze response is the Report's canonical JSON — bit-identical
+// to an in-process Analyze of the same target, application, and options.
 // Failures return {"error": "..."} with a classifying status code:
-// 400 (malformed request), 404 (unknown target or benchmark),
+// 400 (malformed request), 404 (unknown target, benchmark, or job),
 // 422 (assembly failure or exhausted exploration budget),
+// 429 + Retry-After (job queue full), 503 (draining),
 // 504 (deadline), 500 (other analysis failures).
+//
+// Crash safety: with -data set, accepted jobs are journaled to
+// DIR/jobs (atomic per-job records) and sealed Reports are written
+// through to a verified content-addressed store under DIR/reports. A
+// killed server re-enqueues interrupted jobs on restart and resumes
+// their explorations from per-job checkpoints, sealing Reports
+// byte-identical to an uninterrupted run. Without -data the server is
+// ephemeral: jobs and cache die with the process.
 package main
 
 import (
@@ -49,35 +62,60 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/jobstore"
 	"repro/peakpower"
 )
 
 func main() {
+	cfg := serverConfig{}
 	addr := flag.String("addr", ":8090", "listen address")
-	cacheSize := flag.Int("cache", 256, "analysis cache capacity in reports (0 = unbounded)")
-	timeout := flag.Duration("timeout", 2*time.Minute, "per-request analysis deadline cap")
+	flag.IntVar(&cfg.cacheSize, "cache", 256, "analysis cache capacity in reports (0 = unbounded)")
+	flag.DurationVar(&cfg.timeout, "timeout", 2*time.Minute, "per-request analysis deadline cap")
+	flag.StringVar(&cfg.dataDir, "data", "", "durable state directory (empty = ephemeral: no job journal, no disk report store)")
+	flag.IntVar(&cfg.workers, "jobs", 2, "async job worker pool size")
+	flag.IntVar(&cfg.queueCap, "queue", 64, "async job queue depth before 429 backpressure")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "shutdown budget for in-flight requests and jobs")
 	flag.Parse()
 
-	srv := newServer(*cacheSize, *timeout)
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+	srv, err := newServer(cfg)
+	if err != nil {
+		log.Fatalf("peakpowerd: %v", err)
+	}
+	if err := srv.jobs.recover(); err != nil {
+		log.Fatalf("peakpowerd: recovering jobs: %v", err)
+	}
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.ListenAndServe() }()
-	log.Printf("peakpowerd: listening on %s (%d targets, cache %d)",
-		*addr, len(peakpower.Targets()), *cacheSize)
+	durable := "ephemeral"
+	if cfg.dataDir != "" {
+		durable = "data " + cfg.dataDir
+	}
+	log.Printf("peakpowerd: listening on %s (%d targets, cache %d, %s)",
+		*addr, len(peakpower.Targets()), cfg.cacheSize, durable)
 
 	select {
 	case err := <-errCh:
 		log.Fatalf("peakpowerd: %v", err)
 	case <-ctx.Done():
-		log.Printf("peakpowerd: shutting down")
-		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		log.Printf("peakpowerd: draining (budget %s)", *drainTimeout)
+		deadline := time.Now().Add(*drainTimeout)
+		srv.jobs.drain(*drainTimeout)
+		shCtx, cancel := context.WithDeadline(context.Background(), deadline)
 		defer cancel()
 		if err := httpSrv.Shutdown(shCtx); err != nil {
 			log.Fatalf("peakpowerd: shutdown: %v", err)
@@ -85,11 +123,23 @@ func main() {
 	}
 }
 
+// serverConfig is everything main's flags decide.
+type serverConfig struct {
+	cacheSize int
+	timeout   time.Duration
+	dataDir   string // "" = ephemeral
+	workers   int
+	queueCap  int
+}
+
 // server holds the shared analysis state: one lazily built Analyzer per
-// registered target and one content-addressed report cache across all of
-// them. All fields are safe for concurrent request handling.
+// registered target, one content-addressed report cache across all of
+// them (disk-backed when -data is set), and the async job runner. All
+// fields are safe for concurrent request handling.
 type server struct {
 	cache   *peakpower.Cache
+	disk    *peakpower.DiskStore // nil when ephemeral
+	jobs    *jobRunner
 	timeout time.Duration
 
 	mu        sync.Mutex
@@ -105,20 +155,41 @@ type analyzerEntry struct {
 	err  error
 }
 
-func newServer(cacheSize int, timeout time.Duration) *server {
-	return &server{
-		cache:     peakpower.NewCache(cacheSize),
-		timeout:   timeout,
+func newServer(cfg serverConfig) (*server, error) {
+	if cfg.timeout <= 0 {
+		cfg.timeout = 2 * time.Minute
+	}
+	s := &server{
+		cache:     peakpower.NewCache(cfg.cacheSize),
+		timeout:   cfg.timeout,
 		analyzers: make(map[string]*analyzerEntry),
 	}
+	var store *jobstore.Store
+	if cfg.dataDir != "" {
+		disk, err := peakpower.NewDiskStore(filepath.Join(cfg.dataDir, "reports"))
+		if err != nil {
+			return nil, err
+		}
+		s.disk = disk
+		s.cache.AttachDisk(disk)
+		store, err = jobstore.Open(filepath.Join(cfg.dataDir, "jobs"), nil)
+		if err != nil {
+			return nil, err
+		}
+	}
+	s.jobs = newJobRunner(store, cfg.workers, cfg.queueCap, s.runJobAnalysis)
+	return s, nil
 }
 
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/v1/targets", s.handleTargets)
 	mux.HandleFunc("/v1/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	mux.HandleFunc("/v1/jobs", s.handleJobSubmit)
+	mux.HandleFunc("/v1/jobs/", s.handleJobStatus)
 	return mux
 }
 
@@ -157,6 +228,29 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}{"ok", len(peakpower.Targets()), s.cache.Stats()})
 }
 
+// handleReadyz reports whether the server should receive traffic, with
+// enough detail for an operator to see why not: queue saturation,
+// in-flight load, a degraded disk tier, or an in-progress drain (503).
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.jobs.stats()
+	body := struct {
+		Status string                    `json:"status"`
+		Jobs   runnerStats               `json:"jobs"`
+		Cache  peakpower.CacheStats      `json:"cache"`
+		Disk   *peakpower.DiskStoreStats `json:"disk,omitempty"`
+	}{Status: "ok", Jobs: st, Cache: s.cache.Stats()}
+	if s.disk != nil {
+		ds := s.disk.Stats()
+		body.Disk = &ds
+	}
+	status := http.StatusOK
+	if st.Draining {
+		body.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
+}
+
 func (s *server) handleTargets(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
@@ -182,7 +276,7 @@ func (s *server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, infos)
 }
 
-// analyzeRequest is the POST /v1/analyze body.
+// analyzeRequest is the POST /v1/analyze and POST /v1/jobs body.
 type analyzeRequest struct {
 	Target  string         `json:"target,omitempty"`
 	Bench   string         `json:"bench,omitempty"`
@@ -210,44 +304,27 @@ type analyzeOptions struct {
 	Interrupts *peakpower.InterruptConfig `json:"interrupts,omitempty"`
 }
 
-func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
-		return
-	}
-	var req analyzeRequest
+// decodeAnalyzeRequest reads and validates a request body shared by the
+// synchronous and async endpoints, returning the raw bytes alongside (the
+// job journal records the request verbatim).
+func decodeAnalyzeRequest(w http.ResponseWriter, r *http.Request) (*analyzeRequest, json.RawMessage, error) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("reading request: %w", err))
-		return
+		return nil, nil, fmt.Errorf("reading request: %w", err)
 	}
+	var req analyzeRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
-		return
+		return nil, nil, fmt.Errorf("decoding request: %w", err)
 	}
 	if (req.Bench == "") == (req.Source == "") {
-		writeError(w, http.StatusBadRequest, fmt.Errorf(`exactly one of "bench" or "source" must be set`))
-		return
+		return nil, nil, fmt.Errorf(`exactly one of "bench" or "source" must be set`)
 	}
-	target := req.Target
-	if target == "" {
-		target = peakpower.DefaultTarget
-	}
+	return &req, body, nil
+}
 
-	timeout := s.timeout
-	if ms := req.Options.TimeoutMS; ms > 0 && time.Duration(ms)*time.Millisecond < timeout {
-		timeout = time.Duration(ms) * time.Millisecond
-	}
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
-	defer cancel()
-
-	an, err := s.analyzer(ctx, target)
-	if err != nil {
-		writeError(w, statusFor(err), err)
-		return
-	}
+// buildOpts translates wire options into peakpower functional options.
+func buildOpts(o analyzeOptions) ([]peakpower.Option, error) {
 	var opts []peakpower.Option
-	o := req.Options
 	if o.MaxCycles > 0 {
 		opts = append(opts, peakpower.WithMaxCycles(o.MaxCycles))
 	}
@@ -266,25 +343,85 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if o.Engine != "" {
 		eng, err := peakpower.ParseEngine(o.Engine)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
+			return nil, err
 		}
 		opts = append(opts, peakpower.WithEngine(eng))
 	}
 	if o.Interrupts != nil {
 		opts = append(opts, peakpower.WithInterrupts(*o.Interrupts))
 	}
+	return opts, nil
+}
 
-	var res *peakpower.Result
-	if req.Bench != "" {
-		res, err = an.AnalyzeBench(ctx, req.Bench, opts...)
-	} else {
-		name := req.Name
-		if name == "" {
-			name = "app"
-		}
-		res, err = an.Analyze(ctx, name, req.Source, opts...)
+// runAnalysis executes one validated request against the shared analyzers
+// — the single analysis path behind both the synchronous endpoint and the
+// job workers. extra options (e.g. a job's checkpoint) are appended after
+// the request's own.
+func (s *server) runAnalysis(ctx context.Context, req *analyzeRequest, extra ...peakpower.Option) (*peakpower.Result, error) {
+	target := req.Target
+	if target == "" {
+		target = peakpower.DefaultTarget
 	}
+	timeout := s.timeout
+	if ms := req.Options.TimeoutMS; ms > 0 && time.Duration(ms)*time.Millisecond < timeout {
+		timeout = time.Duration(ms) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	an, err := s.analyzer(ctx, target)
+	if err != nil {
+		return nil, err
+	}
+	opts, err := buildOpts(req.Options)
+	if err != nil {
+		return nil, err
+	}
+	opts = append(opts, extra...)
+	if req.Bench != "" {
+		return an.AnalyzeBench(ctx, req.Bench, opts...)
+	}
+	name := req.Name
+	if name == "" {
+		name = "app"
+	}
+	return an.Analyze(ctx, name, req.Source, opts...)
+}
+
+// runJobAnalysis is the job workers' runFunc: re-decode the journaled
+// request and run it with a per-job exploration checkpoint (when durable),
+// so a job killed mid-exploration resumes instead of restarting.
+func (s *server) runJobAnalysis(ctx context.Context, j *jobstore.Job) (json.RawMessage, error) {
+	var req analyzeRequest
+	if err := json.Unmarshal(j.Request, &req); err != nil {
+		return nil, fmt.Errorf("decoding journaled request: %w", err)
+	}
+	var extra []peakpower.Option
+	if s.jobs.store != nil {
+		extra = append(extra, peakpower.WithCheckpoint(s.jobs.store.CheckpointPath(j.ID)))
+	}
+	res, err := s.runAnalysis(ctx, &req, extra...)
+	if err != nil {
+		return nil, err
+	}
+	return res.Report.MarshalJSON()
+}
+
+func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	req, _, err := decodeAnalyzeRequest(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, err := buildOpts(req.Options); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.runAnalysis(r.Context(), req)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
@@ -297,6 +434,93 @@ func (s *server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	w.Write(data)
+}
+
+// handleJobSubmit accepts an analysis job: 202 + the job ID and its poll
+// URL. The request is validated up front (including options) so a job
+// never fails on a malformed submission, only on the analysis itself. A
+// full queue answers 429 + Retry-After immediately — intake never blocks
+// behind the workers.
+func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return
+	}
+	req, raw, err := decodeAnalyzeRequest(w, r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if _, err := buildOpts(req.Options); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	j, err := s.jobs.submit(raw)
+	switch {
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, errDraining):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, struct {
+		ID        string `json:"id"`
+		State     string `json:"state"`
+		StatusURL string `json:"status_url"`
+	}{j.ID, string(j.State), "/v1/jobs/" + j.ID})
+}
+
+// jobStatusResponse is the GET /v1/jobs/{id} body. Report is the sealed
+// Report's canonical JSON once the job is done; Error the failure text
+// once it has failed.
+type jobStatusResponse struct {
+	ID          string          `json:"id"`
+	State       string          `json:"state"`
+	Attempts    int             `json:"attempts,omitempty"`
+	SubmittedAt time.Time       `json:"submitted_at"`
+	FinishedAt  *time.Time      `json:"finished_at,omitempty"`
+	Report      json.RawMessage `json:"report,omitempty"`
+	Error       string          `json:"error,omitempty"`
+}
+
+func (s *server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use GET"))
+		return
+	}
+	id := strings.TrimPrefix(r.URL.Path, "/v1/jobs/")
+	if id == "" || strings.Contains(id, "/") {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job"))
+		return
+	}
+	j, err := s.jobs.get(id)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job %q", id))
+		return
+	}
+	resp := jobStatusResponse{
+		ID:          j.ID,
+		State:       string(j.State),
+		Attempts:    j.Attempts,
+		SubmittedAt: j.SubmittedAt,
+		Report:      j.Result,
+		Error:       j.Error,
+	}
+	if !j.FinishedAt.IsZero() {
+		t := j.FinishedAt
+		resp.FinishedAt = &t
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // statusFor classifies an analysis error into an HTTP status.

@@ -42,9 +42,23 @@ halt:
 
 func newTestServer(t *testing.T) (*httptest.Server, *server) {
 	t.Helper()
-	srv := newServer(64, time.Minute)
+	return newTestServerCfg(t, serverConfig{cacheSize: 64, timeout: time.Minute})
+}
+
+func newTestServerCfg(t *testing.T, cfg serverConfig) (*httptest.Server, *server) {
+	t.Helper()
+	srv, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.jobs.recover(); err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.handler())
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.jobs.drain(time.Second)
+	})
 	return ts, srv
 }
 

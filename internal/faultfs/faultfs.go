@@ -1,0 +1,248 @@
+// Package faultfs abstracts the filesystem operations the durability
+// layer performs (the report CAS, the job store, the exploration
+// checkpoint journal) behind a small interface with a fault-injecting
+// implementation, so crash-safety code is tested against injected
+// write/sync/read failures instead of hoping the happy path generalizes.
+//
+// Two implementations are provided: OS, the passthrough used in
+// production, and Hooked, which consults a caller-supplied hook before
+// every operation — returning an error from the hook makes that one
+// operation fail exactly as a full disk, a torn write, or an unreadable
+// sector would. Fault schedules (fail the Nth write, fail every sync,
+// fail reads of one path) are plain closures over the hook.
+package faultfs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// Op identifies the operation class a hook is consulted for.
+type Op string
+
+// Operation classes passed to a Hooked hook.
+const (
+	OpRead   Op = "read"   // ReadFile, ReadDir
+	OpWrite  Op = "write"  // WriteFile, appends through File.Write
+	OpSync   Op = "sync"   // File.Sync
+	OpRename Op = "rename" // Rename (the atomic-commit step)
+	OpRemove Op = "remove" // Remove
+	OpOpen   Op = "open"   // OpenAppend, Create
+	OpMkdir  Op = "mkdir"  // MkdirAll
+)
+
+// File is the append-handle subset the journal writers need.
+type File interface {
+	io.Writer
+	// Sync flushes the file to stable storage.
+	Sync() error
+	io.Closer
+}
+
+// FS is the filesystem surface the durability layer uses. All paths are
+// regular OS paths; implementations must be safe for concurrent use.
+type FS interface {
+	// ReadFile returns the full content of a file.
+	ReadFile(name string) ([]byte, error)
+	// WriteFile writes data to a file, creating or truncating it.
+	WriteFile(name string, data []byte, perm os.FileMode) error
+	// OpenAppend opens (creating if absent) a file for appending.
+	OpenAppend(name string) (File, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(name string, perm os.FileMode) error
+	// ReadDir lists a directory.
+	ReadDir(name string) ([]os.DirEntry, error)
+}
+
+// OS is the passthrough production filesystem.
+type OS struct{}
+
+func (OS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+func (OS) WriteFile(name string, data []byte, perm os.FileMode) error {
+	return os.WriteFile(name, data, perm)
+}
+func (OS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+func (OS) Rename(oldname, newname string) error         { return os.Rename(oldname, newname) }
+func (OS) Remove(name string) error                     { return os.Remove(name) }
+func (OS) MkdirAll(name string, perm os.FileMode) error { return os.MkdirAll(name, perm) }
+func (OS) ReadDir(name string) ([]os.DirEntry, error)   { return os.ReadDir(name) }
+
+// Hook decides whether an operation fails: return a non-nil error to
+// inject it, nil to let the operation through to the base filesystem.
+// Hooks may be called concurrently.
+type Hook func(op Op, path string) error
+
+// Hooked wraps a base FS with fault injection. The zero Base means OS.
+type Hooked struct {
+	Base FS
+	// Hook is consulted before every operation; nil injects nothing.
+	Hook Hook
+}
+
+func (h Hooked) base() FS {
+	if h.Base != nil {
+		return h.Base
+	}
+	return OS{}
+}
+
+func (h Hooked) check(op Op, path string) error {
+	if h.Hook == nil {
+		return nil
+	}
+	return h.Hook(op, path)
+}
+
+func (h Hooked) ReadFile(name string) ([]byte, error) {
+	if err := h.check(OpRead, name); err != nil {
+		return nil, err
+	}
+	return h.base().ReadFile(name)
+}
+
+func (h Hooked) WriteFile(name string, data []byte, perm os.FileMode) error {
+	if err := h.check(OpWrite, name); err != nil {
+		return err
+	}
+	return h.base().WriteFile(name, data, perm)
+}
+
+func (h Hooked) OpenAppend(name string) (File, error) {
+	if err := h.check(OpOpen, name); err != nil {
+		return nil, err
+	}
+	f, err := h.base().OpenAppend(name)
+	if err != nil {
+		return nil, err
+	}
+	return hookedFile{f: f, name: name, h: h}, nil
+}
+
+func (h Hooked) Rename(oldname, newname string) error {
+	if err := h.check(OpRename, newname); err != nil {
+		return err
+	}
+	return h.base().Rename(oldname, newname)
+}
+
+func (h Hooked) Remove(name string) error {
+	if err := h.check(OpRemove, name); err != nil {
+		return err
+	}
+	return h.base().Remove(name)
+}
+
+func (h Hooked) MkdirAll(name string, perm os.FileMode) error {
+	if err := h.check(OpMkdir, name); err != nil {
+		return err
+	}
+	return h.base().MkdirAll(name, perm)
+}
+
+func (h Hooked) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := h.check(OpRead, name); err != nil {
+		return nil, err
+	}
+	return h.base().ReadDir(name)
+}
+
+type hookedFile struct {
+	f    File
+	name string
+	h    Hooked
+}
+
+func (f hookedFile) Write(p []byte) (int, error) {
+	if err := f.h.check(OpWrite, f.name); err != nil {
+		return 0, err
+	}
+	return f.f.Write(p)
+}
+
+func (f hookedFile) Sync() error {
+	if err := f.h.check(OpSync, f.name); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+func (f hookedFile) Close() error { return f.f.Close() }
+
+// Counter is a concurrency-safe operation counter for building "fail the
+// Nth operation" schedules.
+type Counter struct {
+	mu sync.Mutex
+	n  map[Op]int
+}
+
+// Next increments and returns the per-op counter (first call returns 1).
+func (c *Counter) Next(op Op) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.n == nil {
+		c.n = make(map[Op]int)
+	}
+	c.n[op]++
+	return c.n[op]
+}
+
+// tmpSeq disambiguates concurrent atomic writes to the same target from
+// one process; the pid disambiguates across processes sharing a store.
+var tmpSeq atomic.Uint64
+
+// WriteAtomic writes data to name via a temp file in the same directory
+// and a rename — the commit point is the rename, so a crash (or an
+// injected fault) mid-write never leaves a half-written name, only a
+// leftover temp file. The shared helper for every atomic writer in the
+// durability layer.
+func WriteAtomic(fs FS, name string, data []byte, perm os.FileMode) error {
+	tmp := fmt.Sprintf("%s.%d.%d.tmp", name, os.Getpid(), tmpSeq.Add(1))
+	if err := fs.WriteFile(tmp, data, perm); err != nil {
+		return err
+	}
+	if err := fs.Rename(tmp, name); err != nil {
+		// Best effort: do not leave the temp file behind on a failed
+		// commit (ignore a second fault here — the temp is inert).
+		_ = fs.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// RemoveAll removes name and its children through fs primitives (ReadDir
+// + Remove), so injected faults see every deletion. Missing files are
+// not errors.
+func RemoveAll(fs FS, name string) error {
+	entries, err := fs.ReadDir(name)
+	if err != nil {
+		// Not a directory (or absent): try a plain remove.
+		if rerr := fs.Remove(name); rerr != nil && !os.IsNotExist(rerr) {
+			return rerr
+		}
+		return nil
+	}
+	for _, e := range entries {
+		p := filepath.Join(name, e.Name())
+		if e.IsDir() {
+			if err := RemoveAll(fs, p); err != nil {
+				return err
+			}
+		} else if err := fs.Remove(p); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	if err := fs.Remove(name); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	fs := OS{}
+	p := filepath.Join(dir, "a", "b.txt")
+	if err := fs.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteFile(p, []byte("hello"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.ReadFile(p)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+	f, err := fs.OpenAppend(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(" world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	got, _ = fs.ReadFile(p)
+	if string(got) != "hello world" {
+		t.Fatalf("after append: %q", got)
+	}
+}
+
+func TestHookedInjectsPerOp(t *testing.T) {
+	dir := t.TempDir()
+	boom := errors.New("boom")
+	var failOp Op
+	fs := Hooked{Hook: func(op Op, path string) error {
+		if op == failOp {
+			return boom
+		}
+		return nil
+	}}
+	p := filepath.Join(dir, "x")
+
+	failOp = OpWrite
+	if err := fs.WriteFile(p, []byte("x"), 0o644); !errors.Is(err, boom) {
+		t.Fatalf("write fault not injected: %v", err)
+	}
+	failOp = ""
+	if err := fs.WriteFile(p, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	failOp = OpRead
+	if _, err := fs.ReadFile(p); !errors.Is(err, boom) {
+		t.Fatalf("read fault not injected: %v", err)
+	}
+	failOp = OpSync
+	f, err := fs.OpenAppend(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("sync fault not injected: %v", err)
+	}
+}
+
+func TestWriteAtomicFaults(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "obj")
+	boom := errors.New("disk full")
+
+	// A write fault leaves no target file at all.
+	fs := Hooked{Hook: func(op Op, path string) error {
+		if op == OpWrite {
+			return boom
+		}
+		return nil
+	}}
+	if err := WriteAtomic(fs, p, []byte("data"), 0o644); !errors.Is(err, boom) {
+		t.Fatalf("want injected write error, got %v", err)
+	}
+	if _, err := os.Stat(p); !os.IsNotExist(err) {
+		t.Fatalf("target exists after failed atomic write")
+	}
+
+	// A rename fault leaves no target and cleans the temp file.
+	fs = Hooked{Hook: func(op Op, path string) error {
+		if op == OpRename {
+			return boom
+		}
+		return nil
+	}}
+	if err := WriteAtomic(fs, p, []byte("data"), 0o644); !errors.Is(err, boom) {
+		t.Fatalf("want injected rename error, got %v", err)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+
+	// No faults: committed atomically.
+	if err := WriteAtomic(OS{}, p, []byte("data"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(p)
+	if string(got) != "data" {
+		t.Fatalf("content %q", got)
+	}
+}
+
+func TestRemoveAll(t *testing.T) {
+	dir := t.TempDir()
+	sub := filepath.Join(dir, "s", "t")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(sub, "f"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := RemoveAll(OS{}, filepath.Join(dir, "s")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "s")); !os.IsNotExist(err) {
+		t.Fatalf("directory survives RemoveAll")
+	}
+	// Removing a missing path is not an error.
+	if err := RemoveAll(OS{}, filepath.Join(dir, "absent")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterSchedules(t *testing.T) {
+	var c Counter
+	if c.Next(OpWrite) != 1 || c.Next(OpWrite) != 2 || c.Next(OpRead) != 1 {
+		t.Fatal("counter sequence wrong")
+	}
+}

@@ -393,6 +393,32 @@ func (sn *Snapshot) Clone() *Snapshot {
 	return c
 }
 
+// StagedInputRec is the exported form of one staged input assignment.
+// Snapshot.Staged's entry type has unexported fields, so serializers (the
+// exploration checkpoint journal) round-trip staged inputs through these
+// records instead.
+type StagedInputRec struct {
+	ID netlist.NetID
+	V  logic.Trit
+}
+
+// StagedRecs appends the snapshot's staged input assignments to dst as
+// exported records, in application order, and returns the extended slice.
+func (sn *Snapshot) StagedRecs(dst []StagedInputRec) []StagedInputRec {
+	for _, st := range sn.Staged {
+		dst = append(dst, StagedInputRec{ID: st.id, V: st.v})
+	}
+	return dst
+}
+
+// SetStagedRecs replaces the snapshot's staged input assignments.
+func (sn *Snapshot) SetStagedRecs(recs []StagedInputRec) {
+	sn.Staged = sn.Staged[:0]
+	for _, r := range recs {
+		sn.Staged = append(sn.Staged, stagedInput{id: r.ID, v: r.V})
+	}
+}
+
 // Restore rewinds the simulator to a snapshot.
 func (s *Simulator) Restore(sn *Snapshot) {
 	if s.pk != nil {

@@ -1,0 +1,270 @@
+// Package jobstore persists a service's async analysis jobs: one JSON
+// file per job, written atomically (same-directory temp file + rename),
+// so the set of submitted jobs — and their terminal results — survives a
+// crash or restart of the process that accepted them.
+//
+// The store is deliberately dumb: it records state transitions, it does
+// not schedule. Recovery policy (which states re-enqueue, in what order)
+// belongs to the service; Recover implements the standard one — queued
+// jobs and jobs that died mid-run come back in submission order.
+//
+// Durability posture: every Put is an atomic replace, so a reader (or the
+// next process life) sees either the previous record or the new one,
+// never a torn file. A record that fails to parse or validate is reported
+// by List as damaged rather than silently dropped, and Scrub deletes such
+// records explicitly.
+package jobstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/faultfs"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job lifecycle: Queued -> Running -> Done | Failed. A crash can leave a
+// job Running on disk; Recover re-queues it (its exploration checkpoint,
+// if any, makes the re-run incremental).
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Terminal reports whether a state is final.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// Job is one persisted analysis job.
+type Job struct {
+	// ID is the job's identity (also its filename); see ValidID.
+	ID string `json:"id"`
+	// State is the lifecycle position this record witnesses.
+	State State `json:"state"`
+	// Request is the submitted analysis request, opaque to the store.
+	Request json.RawMessage `json:"request"`
+	// Result is the terminal payload (the sealed Report JSON) for
+	// StateDone.
+	Result json.RawMessage `json:"result,omitempty"`
+	// Error is the failure text for StateFailed.
+	Error string `json:"error,omitempty"`
+	// Attempts counts executions started, including one in progress. A
+	// job recovered from StateRunning re-enqueues with Attempts intact,
+	// so a poison job (one that crashes its worker) is detectable.
+	Attempts int `json:"attempts,omitempty"`
+	// SubmittedAt orders recovery (RFC3339Nano).
+	SubmittedAt time.Time `json:"submitted_at"`
+	// FinishedAt stamps terminal records.
+	FinishedAt time.Time `json:"finished_at,omitzero"`
+}
+
+var idRe = regexp.MustCompile(`^[a-zA-Z0-9_-]{1,64}$`)
+
+// ValidID reports whether id is storable: short, filesystem-safe, no
+// path structure.
+func ValidID(id string) bool { return idRe.MatchString(id) }
+
+// Store is a directory of job records. Safe for concurrent use.
+type Store struct {
+	dir string
+	fs  faultfs.FS
+	mu  sync.Mutex
+}
+
+// Open creates (if needed) and opens a job store rooted at dir. A nil fs
+// means the real filesystem; tests inject faults through faultfs.Hooked.
+func Open(dir string, fs faultfs.FS) (*Store, error) {
+	if fs == nil {
+		fs = faultfs.OS{}
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobstore: opening %s: %w", dir, err)
+	}
+	return &Store{dir: dir, fs: fs}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(id string) (string, error) {
+	if !ValidID(id) {
+		return "", fmt.Errorf("jobstore: invalid job ID %q", id)
+	}
+	return filepath.Join(s.dir, id+".job"), nil
+}
+
+// CheckpointPath is where a job's exploration checkpoint journal lives —
+// beside the record, deleted with it.
+func (s *Store) CheckpointPath(id string) string {
+	return filepath.Join(s.dir, id+".ckpt")
+}
+
+// Put persists j's current state (atomic replace of any prior record).
+func (s *Store) Put(j *Job) error {
+	p, err := s.path(j.ID)
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(j)
+	if err != nil {
+		return fmt.Errorf("jobstore: encoding job %s: %w", j.ID, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := faultfs.WriteAtomic(s.fs, p, data, 0o644); err != nil {
+		return fmt.Errorf("jobstore: writing job %s: %w", j.ID, err)
+	}
+	return nil
+}
+
+// Get loads one job record. A missing job returns os.ErrNotExist (wrapped).
+func (s *Store) Get(id string) (*Job, error) {
+	p, err := s.path(id)
+	if err != nil {
+		return nil, err
+	}
+	data, err := s.fs.ReadFile(p)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: job %s: %w", id, err)
+	}
+	j, err := decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("jobstore: job %s: %w", id, err)
+	}
+	if j.ID != id {
+		return nil, fmt.Errorf("jobstore: job file %s claims ID %q", id, j.ID)
+	}
+	return j, nil
+}
+
+func decode(data []byte) (*Job, error) {
+	var j Job
+	if err := json.Unmarshal(data, &j); err != nil {
+		return nil, err
+	}
+	if !ValidID(j.ID) {
+		return nil, fmt.Errorf("invalid recorded ID %q", j.ID)
+	}
+	switch j.State {
+	case StateQueued, StateRunning, StateDone, StateFailed:
+	default:
+		return nil, fmt.Errorf("unknown state %q", j.State)
+	}
+	return &j, nil
+}
+
+// Delete removes a job record and its checkpoint journal. Deleting a
+// missing job is not an error.
+func (s *Store) Delete(id string) error {
+	p, err := s.path(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.fs.Remove(p); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("jobstore: deleting job %s: %w", id, err)
+	}
+	if err := s.fs.Remove(s.CheckpointPath(id)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("jobstore: deleting job %s checkpoint: %w", id, err)
+	}
+	return nil
+}
+
+// List loads every parseable record, sorted by submission time then ID.
+// Damaged records (unreadable, torn rename leftovers aside, bad JSON) are
+// returned by filename so the caller can alarm or Scrub; they never hide
+// healthy jobs.
+func (s *Store) List() (jobs []*Job, damaged []string, err error) {
+	entries, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobstore: listing %s: %w", s.dir, err)
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".job") {
+			continue
+		}
+		data, rerr := s.fs.ReadFile(filepath.Join(s.dir, name))
+		if rerr != nil {
+			damaged = append(damaged, name)
+			continue
+		}
+		j, derr := decode(data)
+		if derr != nil || j.ID+".job" != name {
+			damaged = append(damaged, name)
+			continue
+		}
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(i, k int) bool {
+		if !jobs[i].SubmittedAt.Equal(jobs[k].SubmittedAt) {
+			return jobs[i].SubmittedAt.Before(jobs[k].SubmittedAt)
+		}
+		return jobs[i].ID < jobs[k].ID
+	})
+	sort.Strings(damaged)
+	return jobs, damaged, nil
+}
+
+// Recover returns the jobs a restarting service must re-enqueue, in
+// submission order: everything non-terminal. Jobs found mid-run
+// (StateRunning — the previous process died under them) are flipped back
+// to StateQueued and re-persisted, so a second crash before they run
+// again changes nothing.
+func (s *Store) Recover() ([]*Job, error) {
+	jobs, _, err := s.List()
+	if err != nil {
+		return nil, err
+	}
+	var out []*Job
+	for _, j := range jobs {
+		if j.State.Terminal() {
+			continue
+		}
+		if j.State == StateRunning {
+			j.State = StateQueued
+			if err := s.Put(j); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, j)
+	}
+	return out, nil
+}
+
+// Scrub deletes the named damaged records (as returned by List) and any
+// leftover atomic-write temp files. It reclaims space; it never touches
+// healthy records.
+func (s *Store) Scrub(damaged []string) error {
+	for _, name := range damaged {
+		if strings.ContainsAny(name, "/\\") || strings.Contains(name, "..") {
+			return fmt.Errorf("jobstore: refusing to scrub %q", name)
+		}
+		if err := s.fs.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	entries, err := s.fs.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".tmp") {
+			if err := s.fs.Remove(filepath.Join(s.dir, e.Name())); err != nil && !os.IsNotExist(err) {
+				return err
+			}
+		}
+	}
+	return nil
+}

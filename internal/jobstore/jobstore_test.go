@@ -1,0 +1,237 @@
+package jobstore
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/faultfs"
+)
+
+func openT(t *testing.T, fs faultfs.FS) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mkJob(id string, state State, at time.Time) *Job {
+	return &Job{
+		ID:          id,
+		State:       state,
+		Request:     json.RawMessage(`{"bench":"` + id + `"}`),
+		SubmittedAt: at,
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := openT(t, nil)
+	at := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	j := mkJob("job-1", StateQueued, at)
+	j.Attempts = 2
+	if err := s.Put(j); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get("job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != "job-1" || got.State != StateQueued || got.Attempts != 2 ||
+		!got.SubmittedAt.Equal(at) || string(got.Request) != `{"bench":"job-1"}` {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if !got.FinishedAt.IsZero() {
+		t.Fatalf("FinishedAt should stay zero, got %v", got.FinishedAt)
+	}
+
+	// Terminal transition overwrites in place.
+	j.State = StateDone
+	j.Result = json.RawMessage(`{"peak":1}`)
+	j.FinishedAt = at.Add(time.Second)
+	if err := s.Put(j); err != nil {
+		t.Fatal(err)
+	}
+	got, err = s.Get("job-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateDone || string(got.Result) != `{"peak":1}` || got.FinishedAt.IsZero() {
+		t.Fatalf("after overwrite: %+v", got)
+	}
+}
+
+func TestGetMissingAndInvalidIDs(t *testing.T) {
+	s := openT(t, nil)
+	if _, err := s.Get("nope"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing job: %v", err)
+	}
+	for _, id := range []string{"", "a/b", `a\b`, "..", "a b", "x.job"} {
+		if ValidID(id) {
+			t.Fatalf("ValidID(%q) = true", id)
+		}
+		if err := s.Put(mkJob(id, StateQueued, time.Time{})); err == nil {
+			t.Fatalf("Put accepted ID %q", id)
+		}
+		if _, err := s.Get(id); err == nil {
+			t.Fatalf("Get accepted ID %q", id)
+		}
+	}
+}
+
+// TestRecoverRequeuesInterrupted is the restart contract: queued jobs come
+// back queued, a job that died mid-run comes back queued (and is
+// re-persisted that way), terminal jobs stay put — all in submission order.
+func TestRecoverRequeuesInterrupted(t *testing.T) {
+	s := openT(t, nil)
+	base := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	running := mkJob("mid-run", StateRunning, base)
+	running.Attempts = 1
+	for _, j := range []*Job{
+		mkJob("late-queued", StateQueued, base.Add(2*time.Second)),
+		running,
+		mkJob("finished", StateDone, base.Add(time.Second)),
+		mkJob("broken", StateFailed, base.Add(3*time.Second)),
+	} {
+		if err := s.Put(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].ID != "mid-run" || got[1].ID != "late-queued" {
+		t.Fatalf("recovered %v", ids(got))
+	}
+	if got[0].State != StateQueued || got[0].Attempts != 1 {
+		t.Fatalf("mid-run job: %+v", got[0])
+	}
+	// The flip was persisted: a second crash-before-run changes nothing.
+	onDisk, err := s.Get("mid-run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onDisk.State != StateQueued {
+		t.Fatalf("mid-run state on disk: %s", onDisk.State)
+	}
+}
+
+func ids(jobs []*Job) []string {
+	out := make([]string, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.ID
+	}
+	return out
+}
+
+// TestDamagedRecordsReportedAndScrubbed: torn or foreign bytes in the
+// store directory never hide healthy jobs; List names them, Scrub removes
+// them (plus leftover temp files), healthy records survive.
+func TestDamagedRecordsReportedAndScrubbed(t *testing.T) {
+	s := openT(t, nil)
+	if err := s.Put(mkJob("good", StateQueued, time.Time{})); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string]string{
+		"torn.job":     `{"id":"torn","sta`,
+		"badid.job":    `{"id":"../evil","state":"queued","request":{}}`,
+		"renamed.job":  `{"id":"other","state":"queued","request":{}}`,
+		"badstate.job": `{"id":"badstate","state":"melting","request":{}}`,
+		"leftover.tmp": "partial write",
+	} {
+		if err := os.WriteFile(filepath.Join(s.Dir(), name), []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jobs, damaged, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != "good" {
+		t.Fatalf("healthy jobs: %v", ids(jobs))
+	}
+	want := []string{"badid.job", "badstate.job", "renamed.job", "torn.job"}
+	if len(damaged) != len(want) {
+		t.Fatalf("damaged %v, want %v", damaged, want)
+	}
+	for i := range want {
+		if damaged[i] != want[i] {
+			t.Fatalf("damaged %v, want %v", damaged, want)
+		}
+	}
+	if err := s.Scrub(damaged); err != nil {
+		t.Fatal(err)
+	}
+	jobs, damaged, err = s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || len(damaged) != 0 {
+		t.Fatalf("after scrub: jobs %v damaged %v", ids(jobs), damaged)
+	}
+	if _, err := os.Stat(filepath.Join(s.Dir(), "leftover.tmp")); !os.IsNotExist(err) {
+		t.Fatalf("temp file not scrubbed: %v", err)
+	}
+	if err := s.Scrub([]string{"../escape.job"}); err == nil {
+		t.Fatal("Scrub accepted a path-escaping name")
+	}
+}
+
+// TestDeleteRemovesCheckpoint: a job's exploration journal dies with it.
+func TestDeleteRemovesCheckpoint(t *testing.T) {
+	s := openT(t, nil)
+	if err := s.Put(mkJob("j", StateDone, time.Time{})); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(s.CheckpointPath("j"), []byte("journal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("j"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("j"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("record survived delete: %v", err)
+	}
+	if _, err := os.Stat(s.CheckpointPath("j")); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint survived delete: %v", err)
+	}
+	if err := s.Delete("j"); err != nil {
+		t.Fatalf("deleting a missing job: %v", err)
+	}
+}
+
+// TestCrashDuringPutLeavesOldRecord: a write fault mid-Put (the rename
+// never happens) must leave the previous record intact and readable —
+// the atomic-replace contract the recovery path depends on.
+func TestCrashDuringPutLeavesOldRecord(t *testing.T) {
+	var fail bool
+	fs := faultfs.Hooked{Hook: func(op faultfs.Op, path string) error {
+		if fail && (op == faultfs.OpWrite || op == faultfs.OpRename) {
+			return errors.New("injected: crash mid-write")
+		}
+		return nil
+	}}
+	s := openT(t, fs)
+	j := mkJob("j", StateQueued, time.Time{})
+	if err := s.Put(j); err != nil {
+		t.Fatal(err)
+	}
+	fail = true
+	j.State = StateDone
+	if err := s.Put(j); err == nil {
+		t.Fatal("Put succeeded under write fault")
+	}
+	fail = false
+	got, err := s.Get("j")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateQueued {
+		t.Fatalf("old record clobbered by failed write: state %s", got.State)
+	}
+}

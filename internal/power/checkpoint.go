@@ -1,0 +1,227 @@
+// Checkpoint support for the power sink: serializing one exploration
+// task's observations for the symx checkpoint journal, and replaying
+// journaled tasks through the canonical merge on resume.
+//
+// The serialized record is everything a crashed run's finished task
+// contributed to the final Report that cannot be re-derived without
+// re-execution: its Best/TopK candidates (replayed by MergeParallelReplay
+// in canonical order exactly like live candidates), its ISR peak, and the
+// FULL set of cells active during its cycles. Activity is deliberately the
+// task's complete set rather than "new since the worker's last task": a
+// worker-relative delta would depend on which earlier tasks shared that
+// worker — information a resume discards — while per-task sets make the
+// union a plain order-independent fold over any mix of replayed and
+// re-executed tasks.
+//
+// Every float crosses the journal as JSON, which Go encodes at shortest
+// round-trip precision, so replayed candidates fold bit-identically to
+// live ones — the property the resumed-Report byte-identity tests pin.
+package power
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"repro/internal/netlist"
+)
+
+// EnableCheckpoint switches a task-mode sink to also record per-task
+// observation records for the exploration checkpoint journal. Must be
+// called after EnableTasks and before any observation.
+func (s *Sink) EnableCheckpoint() {
+	s.ckpt = true
+	s.taskAccum = make([]uint64, len(s.actAccum))
+	s.taskVisit = func(ci netlist.CellID) { s.taskActive = append(s.taskActive, ci) }
+}
+
+// peakWire is Peak, flattened for the journal.
+type peakWire struct {
+	P     float64   `json:"p"`
+	Pos   int       `json:"pos"`
+	Fetch uint16    `json:"f"`
+	Prev  uint16    `json:"pf,omitempty"`
+	State string    `json:"st,omitempty"`
+	ISR   bool      `json:"isr,omitempty"`
+	Mod   []float64 `json:"mod,omitempty"`
+	Cells []int32   `json:"cells,omitempty"`
+}
+
+// candWire is one Best/TopK candidate: a peak plus its stream coordinate
+// (the task coordinate is the record's).
+type candWire struct {
+	Stream int `json:"s"`
+	peakWire
+}
+
+// taskWire is one task's serialized observations.
+type taskWire struct {
+	Best   []candWire `json:"best,omitempty"`
+	TopK   []candWire `json:"topk,omitempty"`
+	ISR    float64    `json:"isrmw,omitempty"`
+	Active []int32    `json:"active,omitempty"`
+}
+
+func toWire(pk Peak) peakWire {
+	w := peakWire{
+		P: pk.PowerMW, Pos: pk.PathPos, Fetch: pk.FetchAddr, Prev: pk.PrevFetch,
+		State: pk.State, ISR: pk.InISR, Mod: pk.ByModuleMW,
+	}
+	if pk.ActiveCells != nil {
+		w.Cells = make([]int32, len(pk.ActiveCells))
+		for i, c := range pk.ActiveCells {
+			w.Cells[i] = int32(c)
+		}
+	}
+	return w
+}
+
+func fromWire(w peakWire) Peak {
+	pk := Peak{
+		PowerMW: w.P, PathPos: w.Pos, FetchAddr: w.Fetch, PrevFetch: w.Prev,
+		State: w.State, InISR: w.ISR, ByModuleMW: w.Mod,
+	}
+	if w.Cells != nil {
+		pk.ActiveCells = make([]netlist.CellID, len(w.Cells))
+		for i, c := range w.Cells {
+			pk.ActiveCells[i] = netlist.CellID(c)
+		}
+	}
+	return pk
+}
+
+// MarshalTask implements symx.TaskMarshaler: serialize the observations of
+// the task begun by the last BeginTask.
+func (s *Sink) MarshalTask() ([]byte, error) {
+	if !s.ckpt {
+		return nil, fmt.Errorf("power: MarshalTask without EnableCheckpoint")
+	}
+	w := taskWire{ISR: s.taskISR}
+	for _, c := range s.bestCands[s.taskBest0:] {
+		w.Best = append(w.Best, candWire{Stream: c.Stream, peakWire: toWire(c.Peak)})
+	}
+	for _, c := range s.topkCands[s.taskTopk0:] {
+		w.TopK = append(w.TopK, candWire{Stream: c.Stream, peakWire: toWire(c.Peak)})
+	}
+	if len(s.taskActive) > 0 {
+		w.Active = make([]int32, len(s.taskActive))
+		for i, c := range s.taskActive {
+			w.Active[i] = int32(c)
+		}
+		sort.Slice(w.Active, func(i, j int) bool { return w.Active[i] < w.Active[j] })
+	}
+	return json.Marshal(w)
+}
+
+// MergeParallelReplay is MergeParallel plus replayed observations: blobs
+// journaled by MarshalTask in a previous (crashed) run, keyed by task ID.
+// Replayed candidates carry their recorded (task, stream) coordinates, so
+// the canonical sort interleaves them with this run's live candidates
+// exactly where the uninterrupted run would have produced them, and the
+// order-insensitive folds (activity union, ISR peak) absorb the replayed
+// per-task sets directly.
+func MergeParallelReplay(sinks []*Sink, k int, nodeID func(task, stream int) int, replayed map[int][]byte) (best Peak, topK []Peak, isrPeakMW float64, union []bool, err error) {
+	var bestC, topC []PeakCand
+	for _, s := range sinks {
+		bestC = append(bestC, s.bestCands...)
+		topC = append(topC, s.topkCands...)
+		if s.ISRPeakMW > isrPeakMW {
+			isrPeakMW = s.ISRPeakMW
+		}
+		if union == nil {
+			union = make([]bool, len(s.UnionActive))
+		}
+		for i, b := range s.UnionActive {
+			if b {
+				union[i] = true
+			}
+		}
+	}
+	for task, blob := range replayed {
+		var w taskWire
+		if len(blob) > 0 {
+			if uerr := json.Unmarshal(blob, &w); uerr != nil {
+				return best, topK, isrPeakMW, union, fmt.Errorf("power: replay of task %d: %w", task, uerr)
+			}
+		}
+		for _, c := range w.Best {
+			bestC = append(bestC, PeakCand{Peak: fromWire(c.peakWire), Task: task, Stream: c.Stream})
+		}
+		for _, c := range w.TopK {
+			topC = append(topC, PeakCand{Peak: fromWire(c.peakWire), Task: task, Stream: c.Stream})
+		}
+		if w.ISR > isrPeakMW {
+			isrPeakMW = w.ISR
+		}
+		for _, ci := range w.Active {
+			if int(ci) < len(union) {
+				union[ci] = true
+			}
+		}
+	}
+	sortCanonical(bestC, nodeID)
+	sortCanonical(topC, nodeID)
+	for _, c := range bestC {
+		if c.Peak.PowerMW > best.PowerMW {
+			best = c.Peak
+		}
+	}
+	for _, c := range topC {
+		pk := c.Peak
+		topK = insertTopK(topK, k, pk.PowerMW, pk.FetchAddr, func() Peak { return pk })
+	}
+	return best, topK, isrPeakMW, union, nil
+}
+
+// Codec implements symx.CheckpointCodec for power sinks: seeds are
+// TaskSeeds and segment payloads are per-cycle power traces ([]float64),
+// both JSON-encoded (floats at shortest round-trip precision).
+type Codec struct{}
+
+type seedWire struct {
+	Fetch uint16 `json:"f,omitempty"`
+	Prev  uint16 `json:"pf,omitempty"`
+	Depth int8   `json:"d,omitempty"`
+}
+
+// MarshalSeed implements symx.CheckpointCodec.
+func (Codec) MarshalSeed(seed interface{}) ([]byte, error) {
+	if seed == nil {
+		return nil, nil
+	}
+	ts, ok := seed.(TaskSeed)
+	if !ok {
+		return nil, fmt.Errorf("power: checkpoint seed has type %T, want power.TaskSeed", seed)
+	}
+	return json.Marshal(seedWire{Fetch: ts.Fetch, Prev: ts.Prev, Depth: ts.Depth})
+}
+
+// UnmarshalSeed implements symx.CheckpointCodec.
+func (Codec) UnmarshalSeed(data []byte) (interface{}, error) {
+	if len(data) == 0 {
+		return nil, nil
+	}
+	var w seedWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, err
+	}
+	return TaskSeed{Fetch: w.Fetch, Prev: w.Prev, Depth: w.Depth}, nil
+}
+
+// MarshalPayload implements symx.CheckpointCodec.
+func (Codec) MarshalPayload(data interface{}) ([]byte, error) {
+	trace, ok := data.([]float64)
+	if !ok && data != nil {
+		return nil, fmt.Errorf("power: checkpoint payload has type %T, want []float64", data)
+	}
+	return json.Marshal(trace)
+}
+
+// UnmarshalPayload implements symx.CheckpointCodec.
+func (Codec) UnmarshalPayload(data []byte) (interface{}, error) {
+	var trace []float64
+	if err := json.Unmarshal(data, &trace); err != nil {
+		return nil, err
+	}
+	return trace, nil
+}

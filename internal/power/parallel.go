@@ -116,6 +116,15 @@ func (s *Sink) BeginTask(task, basePos int, seed interface{}) {
 	} else {
 		s.seed = TaskSeed{}
 	}
+	if s.ckpt {
+		s.taskBest0 = len(s.bestCands)
+		s.taskTopk0 = len(s.topkCands)
+		s.taskISR = 0
+		for i := range s.taskAccum {
+			s.taskAccum[i] = 0
+		}
+		s.taskActive = s.taskActive[:0]
+	}
 	s.NewSegment()
 }
 
@@ -182,33 +191,8 @@ func (s *Sink) recordCandidates(p float64, pos int, fc fetchCtx, sim *gsim.Simul
 // stream) coordinates to its final tree-node ID (symx.ParallelResult
 // provides it); k is the TopK capacity and must match the sinks'.
 func MergeParallel(sinks []*Sink, k int, nodeID func(task, stream int) int) (best Peak, topK []Peak, isrPeakMW float64, union []bool) {
-	var bestC, topC []PeakCand
-	for _, s := range sinks {
-		bestC = append(bestC, s.bestCands...)
-		topC = append(topC, s.topkCands...)
-		if s.ISRPeakMW > isrPeakMW {
-			isrPeakMW = s.ISRPeakMW
-		}
-		if union == nil {
-			union = make([]bool, len(s.UnionActive))
-		}
-		for i, b := range s.UnionActive {
-			if b {
-				union[i] = true
-			}
-		}
-	}
-	sortCanonical(bestC, nodeID)
-	sortCanonical(topC, nodeID)
-	for _, c := range bestC {
-		if c.Peak.PowerMW > best.PowerMW {
-			best = c.Peak
-		}
-	}
-	for _, c := range topC {
-		pk := c.Peak
-		topK = insertTopK(topK, k, pk.PowerMW, pk.FetchAddr, func() Peak { return pk })
-	}
+	// No replayed blobs, so the replay-capable form cannot fail.
+	best, topK, isrPeakMW, union, _ = MergeParallelReplay(sinks, k, nodeID, nil)
 	return best, topK, isrPeakMW, union
 }
 

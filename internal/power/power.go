@@ -220,6 +220,21 @@ type Sink struct {
 	segAddrMax map[uint16]float64
 	bestCands  []PeakCand
 	topkCands  []PeakCand
+
+	// Checkpoint mode (EnableCheckpoint): per-task observation records
+	// for the exploration journal. Candidate slices are sliced at task
+	// boundaries; the activity union and ISR peak — order-insensitive
+	// folds whose per-task contribution cannot be recovered from the
+	// running fold — get task-local accumulators, so a resumed run can
+	// replay exactly one task's contribution without its worker's
+	// history (see MarshalTask / MergeParallelReplay).
+	ckpt       bool
+	taskBest0  int
+	taskTopk0  int
+	taskISR    float64
+	taskAccum  []uint64
+	taskActive []netlist.CellID
+	taskVisit  func(netlist.CellID)
 }
 
 type fetchCtx struct {
@@ -329,6 +344,12 @@ func (s *Sink) OnCycle(sys *ulp430.System) {
 	sim.AccumulateNewActive(s.actAccum, s.unionVisit)
 
 	if s.taskMode {
+		if s.ckpt {
+			if inISR && p > s.taskISR {
+				s.taskISR = p
+			}
+			sim.AccumulateNewActive(s.taskAccum, s.taskVisit)
+		}
 		s.recordCandidates(p, pos, fc, sim)
 		return
 	}

@@ -45,6 +45,7 @@
 package symx
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -90,6 +91,14 @@ type ParallelOptions struct {
 	// SymbolicInputs mode on the shared netlist) and sink. It is called
 	// once per worker, possibly concurrently.
 	NewWorker func(worker int) (*ulp430.System, WorkerSink, error)
+	// Checkpoint, when non-nil, journals the exploration so a killed run
+	// resumes from its last synced record instead of restarting (see
+	// checkpoint.go). Requires merging (DisableMerge unset) and sinks
+	// implementing TaskMarshaler. In checkpoint mode every fork is
+	// published as a durable task — the worker-local fork stacks are
+	// bypassed so the journal alone reconstructs the exploration
+	// frontier.
+	Checkpoint *Checkpointer
 }
 
 // ParallelResult is the assembled exploration plus the observation-order
@@ -101,6 +110,11 @@ type ParallelResult struct {
 	// order maps a task ID to its segments' (streamStart, final node ID)
 	// pairs, sorted by streamStart.
 	order map[int]taskOrder
+	// Replayed maps task ID to the serialized sink observations of tasks
+	// restored from a checkpoint journal instead of executed this run
+	// (nil unless a resume replayed work). The sink's package folds these
+	// into its canonical merge (e.g. power.MergeParallelReplay).
+	Replayed map[int][]byte
 }
 
 type taskOrder struct {
@@ -227,10 +241,19 @@ type sched struct {
 	nextProgress atomic.Int64
 }
 
+// reserveID allocates a task ID. IDs are reserved before publication so a
+// checkpoint journal can record the task under its final identity before
+// any worker can steal it.
+func (s *sched) reserveID() int {
+	s.mu.Lock()
+	id := s.nextID
+	s.nextID++
+	s.mu.Unlock()
+	return id
+}
+
 func (s *sched) publish(t *ptask) {
 	s.mu.Lock()
-	t.id = s.nextID
-	s.nextID++
 	s.queue = append(s.queue, t)
 	s.queued.Store(int64(len(s.queue)))
 	s.mu.Unlock()
@@ -313,29 +336,50 @@ type worker struct {
 	stream     int // observations made by the current task
 	nextCancel int
 	ownCycles  int // cycles simulated by this worker (cancel pacing)
+
+	taskCycles int     // cycles simulated by the current task (checkpointing)
+	taskNodes  []*Node // current task's nodes in creation order
+	taskKids   []int   // IDs of tasks the current task published, in branch order
 }
 
 func (w *worker) newNode() *Node {
-	n := &Node{task: w.task.id, streamStart: w.stream}
+	n := &Node{task: w.task.id, streamStart: w.stream, seq: len(w.taskNodes)}
 	*w.nodes = append(*w.nodes, n)
+	w.taskNodes = append(w.taskNodes, n)
 	w.sc.nodes.Add(1)
 	return n
+}
+
+// publishTask reserves an identity for the task rooted at st, journals it
+// if checkpointing, and hands it to the scheduler — in that order, so the
+// journal's pub record always precedes any record a stealer could write.
+func (w *worker) publishTask(st *ulp430.PortableState, sinkPos int, branch *Node, forces forkForces) error {
+	t := &ptask{
+		id:      w.sc.reserveID(),
+		state:   st,
+		forces:  forces,
+		branch:  branch,
+		basePos: sinkPos,
+		seed:    w.sink.SpawnSeed(sinkPos),
+	}
+	if ck := w.opts.Checkpoint; ck != nil {
+		if err := ck.writePub(t, branch.task, branch.seq); err != nil {
+			return err
+		}
+		w.taskKids = append(w.taskKids, t.id)
+	}
+	w.sc.publish(t)
+	return nil
 }
 
 // publishFork captures pf as a portable task. pf's snapshot must still be
 // LIFO-reachable on w.sys (it is: published forks come from the current
 // journal position or from the bottom of the local stack).
-func (w *worker) publishFork(pf pendingFork) {
+func (w *worker) publishFork(pf pendingFork) error {
 	st := &ulp430.PortableState{}
 	w.sys.CapturePortableAt(pf.snap, st)
 	w.pool.put(pf.snap)
-	w.sc.publish(&ptask{
-		state:   st,
-		forces:  pf.forces,
-		branch:  pf.branch,
-		basePos: pf.sinkPos,
-		seed:    w.sink.SpawnSeed(pf.sinkPos),
-	})
+	return w.publishTask(st, pf.sinkPos, pf.branch, pf.forces)
 }
 
 // runTask explores one task's whole subtree (minus published forks). It
@@ -344,6 +388,9 @@ func (w *worker) publishFork(pf pendingFork) {
 func (w *worker) runTask(t *ptask) error {
 	w.task = t
 	w.stream = 0
+	w.taskCycles = 0
+	w.taskNodes = w.taskNodes[:0]
+	w.taskKids = w.taskKids[:0]
 	if t.state != nil {
 		w.sys.RestorePortable(t.state)
 	} else {
@@ -398,7 +445,10 @@ func (w *worker) runTask(t *ptask) error {
 outer:
 	for {
 		if sc.stopped.Load() {
-			return nil // another worker failed; it holds the error
+			// Another worker failed; it holds the error. The current task is
+			// abandoned mid-segment — the sentinel keeps it out of the
+			// checkpoint journal (it must not be recorded as done).
+			return errWorkerStopped
 		}
 		if err := sys.Err(); err != nil {
 			return err
@@ -450,6 +500,7 @@ outer:
 				return cycleBudgetErr(opts.MaxCycles)
 			}
 			w.ownCycles++
+			w.taskCycles++
 
 			isIRQ := false
 			if sys.JumpCondUnknown() {
@@ -482,20 +533,18 @@ outer:
 				sinkPos: rollPos, branch: branch,
 				forces: pending.with(isIRQ, true),
 			}
-			if sc.hungry(opts.Workers) {
+			if w.opts.Checkpoint != nil || sc.hungry(opts.Workers) {
 				// The taken direction becomes stealable work. The system
 				// sits exactly at the rolled-back fork state, so the
 				// capture is a plain memory copy (empty journal suffix).
-				pf.snap = w.roll
+				// Checkpoint mode always takes this path: only published
+				// tasks reach the journal, so a worker-local fork would
+				// be invisible to a resume.
 				st := &ulp430.PortableState{}
-				sys.CapturePortableAt(pf.snap, st)
-				sc.publish(&ptask{
-					state:   st,
-					forces:  pf.forces,
-					branch:  pf.branch,
-					basePos: pf.sinkPos,
-					seed:    sink.SpawnSeed(pf.sinkPos),
-				})
+				sys.CapturePortableAt(w.roll, st)
+				if err := w.publishTask(st, pf.sinkPos, pf.branch, pf.forces); err != nil {
+					return err
+				}
 			} else {
 				pf.snap = w.pool.take()
 				w.roll.CloneInto(pf.snap)
@@ -522,10 +571,26 @@ outer:
 		if len(w.local) > 0 && sc.hungry(opts.Workers) {
 			pf := w.local[0]
 			w.local = w.local[1:]
-			w.publishFork(pf)
+			if err := w.publishFork(pf); err != nil {
+				return err
+			}
 		}
 	}
 }
+
+// taskDone journals the finished task: the sink's per-task observations
+// plus the segment chain and cycle count runTask accumulated.
+func (w *worker) taskDone(t *ptask) error {
+	blob, err := w.sink.(TaskMarshaler).MarshalTask()
+	if err != nil {
+		return fmt.Errorf("symx: checkpoint sink marshal: %w", err)
+	}
+	return w.opts.Checkpoint.writeDone(t.id, w.taskCycles, w.taskNodes, w.taskKids, blob)
+}
+
+// errWorkerStopped marks a task abandoned because a peer already failed
+// the run: not an error of its own, but not a completed task either.
+var errWorkerStopped = errors.New("symx: internal: worker stopped")
 
 func (w *worker) run() {
 	for {
@@ -534,7 +599,14 @@ func (w *worker) run() {
 			return
 		}
 		err := w.runTask(t)
+		if err == nil && w.opts.Checkpoint != nil {
+			err = w.taskDone(t)
+		}
 		w.sink.EndTask()
+		if err == errWorkerStopped {
+			w.sc.finish()
+			return
+		}
 		if err != nil {
 			w.sc.fail(err)
 			return
@@ -554,11 +626,36 @@ func ExploreParallel(opts ParallelOptions) (*ParallelResult, error) {
 	if opts.Workers < 1 {
 		opts.Workers = 1
 	}
+	ck := opts.Checkpoint
+	if ck != nil && opts.DisableMerge {
+		return nil, fmt.Errorf("symx: checkpointing requires state merging (DisableMerge must be unset)")
+	}
 
 	sc := &sched{}
 	sc.cond = sync.NewCond(&sc.mu)
 	sc.nextProgress.Store(int64(opts.ProgressEvery))
 	seen := newClaimTable()
+
+	var rs *resumeState
+	if ck != nil {
+		var err error
+		rs, err = ck.open()
+		if err != nil {
+			return nil, err
+		}
+		defer ck.close()
+		// Seed the run with the journal's live history: counters resume at
+		// the replayed totals (keeping the shared budgets exact), and the
+		// replayed branch nodes pre-claim their fork keys so re-executed
+		// work merges into replayed subtrees instead of re-exploring them.
+		sc.nextID = rs.nextID
+		sc.cycles.Store(rs.cycles)
+		sc.nodes.Store(int64(len(rs.nodes)))
+		sc.paths.Store(rs.paths)
+		for key, n := range rs.claims {
+			seen.claim(key, n)
+		}
+	}
 
 	if opts.Progress != nil {
 		defer func() {
@@ -566,8 +663,22 @@ func ExploreParallel(opts ParallelOptions) (*ParallelResult, error) {
 		}()
 	}
 
-	// The root task: whole-program exploration from reset.
-	sc.publish(&ptask{})
+	if rs != nil && rs.rootPub {
+		// Resumed run: the journal owns every live task identity. Pending
+		// live tasks re-enter the queue under their recorded IDs.
+		for _, t := range rs.pending {
+			sc.publish(t)
+		}
+	} else {
+		// The root task: whole-program exploration from reset.
+		root := &ptask{id: sc.reserveID()}
+		if ck != nil {
+			if err := ck.writePub(root, -1, 0); err != nil {
+				return nil, err
+			}
+		}
+		sc.publish(root)
+	}
 
 	nodeLists := make([][]*Node, opts.Workers)
 	var wg sync.WaitGroup
@@ -579,6 +690,12 @@ func ExploreParallel(opts ParallelOptions) (*ParallelResult, error) {
 			if err != nil {
 				sc.fail(fmt.Errorf("symx: worker %d: %w", i, err))
 				return
+			}
+			if ck != nil {
+				if _, ok := sink.(TaskMarshaler); !ok {
+					sc.fail(fmt.Errorf("symx: checkpointing requires the sink to implement TaskMarshaler (%T does not)", sink))
+					return
+				}
 			}
 			w := &worker{
 				id: i, sys: sys, sink: sink, opts: opts, sc: sc, seen: seen,
@@ -598,10 +715,20 @@ func ExploreParallel(opts ParallelOptions) (*ParallelResult, error) {
 	}
 
 	var all []*Node
+	if rs != nil {
+		all = append(all, rs.nodes...)
+	}
 	for _, l := range nodeLists {
 		all = append(all, l...)
 	}
-	return assemble(all, seen, opts)
+	res, err := assemble(all, seen, opts)
+	if err != nil {
+		return nil, err
+	}
+	if rs != nil && len(rs.replayed) > 0 {
+		res.Replayed = rs.replayed
+	}
+	return res, nil
 }
 
 // assemble canonicalizes the provisional fork graph: a fresh walk in the

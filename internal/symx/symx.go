@@ -114,6 +114,10 @@ type Node struct {
 	// the parallel engine records them here and resolves branch-versus-
 	// merge in canonical order during assembly.
 	key uint64
+	// seq is the node's index in its task's creation order — the
+	// coordinate checkpoint pub records use to graft a published task
+	// onto its publisher's branch node across a restart.
+	seq int
 	// task and streamStart locate the segment inside the parallel
 	// exploration that produced it: the owning task and the index of the
 	// segment's first observation in that task's observation stream.

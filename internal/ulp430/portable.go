@@ -1,0 +1,268 @@
+package ulp430
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/gsim"
+	"repro/internal/logic"
+	"repro/internal/netlist"
+)
+
+// Binary codec for PortableState, used by the exploration checkpoint
+// journal: a published fork survives a process kill by writing its
+// portable state to disk, and a restarted process re-enqueues it via
+// DecodePortable + RestorePortable. The encoding is deterministic
+// (fixed field order, little-endian), so re-encoding a decoded state is
+// byte-identical — the property the resume tests lean on.
+//
+// The codec carries no netlist or image data: like RestorePortable, a
+// decoded state is only meaningful on a System built from the same
+// netlist, engine, image, and peripheral configuration, which the
+// journal's owning layer guarantees by keying checkpoint files to the
+// analysis cache key.
+
+// portableMagic identifies (and versions) the encoding. Bump on any
+// layout change: stale checkpoint files must fail decode, not
+// misinterpret.
+var portableMagic = [4]byte{'u', 'p', 's', '1'}
+
+// EncodePortable serializes st.
+func EncodePortable(st *PortableState) []byte {
+	var b bytes.Buffer
+	b.Write(portableMagic[:])
+	putTrits(&b, st.sim.Vals)
+	putTrits(&b, st.sim.Prev)
+	putU64s(&b, st.sim.PlaneV)
+	putU64s(&b, st.sim.PlaneK)
+	putU64s(&b, st.sim.PrevPlaneV)
+	putU64s(&b, st.sim.PrevPlaneK)
+	putBool(&b, st.sim.Settled)
+	staged := st.sim.StagedRecs(nil)
+	putU32(&b, uint32(len(staged)))
+	for _, r := range staged {
+		putU32(&b, uint32(r.ID))
+		b.WriteByte(byte(r.V))
+	}
+	putU64(&b, st.sim.Cycle)
+	putU32(&b, uint32(len(st.mem)))
+	for _, w := range st.mem {
+		putU16(&b, w.val)
+		putU16(&b, w.xmask)
+	}
+	putU16(&b, st.lastDin.val)
+	putU16(&b, st.lastDin.xmask)
+	b.WriteByte(byte(st.lastLine))
+	// BusState is a flat fixed-size struct; binary.Write over it cannot
+	// fail on a bytes.Buffer.
+	_ = binary.Write(&b, binary.LittleEndian, st.bus)
+	if st.err != nil {
+		putString(&b, st.err.Error())
+	} else {
+		putU32(&b, 0)
+	}
+	return b.Bytes()
+}
+
+// DecodePortable deserializes a state produced by EncodePortable.
+func DecodePortable(data []byte) (*PortableState, error) {
+	r := &byteReader{buf: data}
+	var magic [4]byte
+	r.read(magic[:])
+	if r.err == nil && magic != portableMagic {
+		return nil, fmt.Errorf("ulp430: portable state: bad magic %q", magic[:])
+	}
+	st := &PortableState{sim: &gsim.Snapshot{}}
+	st.sim.Vals = getTrits(r)
+	st.sim.Prev = getTrits(r)
+	st.sim.PlaneV = getU64s(r)
+	st.sim.PlaneK = getU64s(r)
+	st.sim.PrevPlaneV = getU64s(r)
+	st.sim.PrevPlaneK = getU64s(r)
+	st.sim.Settled = getBool(r)
+	n := int(getU32(r))
+	if r.err == nil && n > r.remaining()/5 {
+		return nil, errors.New("ulp430: portable state: truncated staged inputs")
+	}
+	staged := make([]gsim.StagedInputRec, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		id := getU32(r)
+		v := getByte(r)
+		staged = append(staged, gsim.StagedInputRec{ID: netlist.NetID(id), V: logic.Trit(v)})
+	}
+	st.sim.SetStagedRecs(staged)
+	st.sim.Cycle = getU64(r)
+	m := int(getU32(r))
+	if r.err == nil && m > r.remaining()/4 {
+		return nil, errors.New("ulp430: portable state: truncated memory image")
+	}
+	st.mem = make([]memWord, m)
+	for i := 0; i < m && r.err == nil; i++ {
+		st.mem[i].val = getU16(r)
+		st.mem[i].xmask = getU16(r)
+	}
+	st.lastDin.val = getU16(r)
+	st.lastDin.xmask = getU16(r)
+	st.lastLine = logic.Trit(getByte(r))
+	if r.err == nil {
+		if err := binary.Read(bytes.NewReader(r.buf[r.off:]), binary.LittleEndian, &st.bus); err != nil {
+			r.err = err
+		} else {
+			r.off += binary.Size(st.bus)
+		}
+	}
+	if s := getString(r); s != "" {
+		st.err = errors.New(s)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("ulp430: portable state: %w", r.err)
+	}
+	if r.off != len(r.buf) {
+		return nil, fmt.Errorf("ulp430: portable state: %d trailing bytes", len(r.buf)-r.off)
+	}
+	return st, nil
+}
+
+func putU16(b *bytes.Buffer, v uint16) {
+	var t [2]byte
+	binary.LittleEndian.PutUint16(t[:], v)
+	b.Write(t[:])
+}
+
+func putU32(b *bytes.Buffer, v uint32) {
+	var t [4]byte
+	binary.LittleEndian.PutUint32(t[:], v)
+	b.Write(t[:])
+}
+
+func putU64(b *bytes.Buffer, v uint64) {
+	var t [8]byte
+	binary.LittleEndian.PutUint64(t[:], v)
+	b.Write(t[:])
+}
+
+func putBool(b *bytes.Buffer, v bool) {
+	if v {
+		b.WriteByte(1)
+	} else {
+		b.WriteByte(0)
+	}
+}
+
+func putTrits(b *bytes.Buffer, ts []logic.Trit) {
+	putU32(b, uint32(len(ts)))
+	for _, t := range ts {
+		b.WriteByte(byte(t))
+	}
+}
+
+func putU64s(b *bytes.Buffer, vs []uint64) {
+	putU32(b, uint32(len(vs)))
+	for _, v := range vs {
+		putU64(b, v)
+	}
+}
+
+func putString(b *bytes.Buffer, s string) {
+	putU32(b, uint32(len(s)))
+	b.WriteString(s)
+}
+
+// byteReader is a bounds-checked cursor: the first short read latches an
+// error and every later get returns zero, so decode paths need one error
+// check at the end rather than one per field.
+type byteReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *byteReader) remaining() int { return len(r.buf) - r.off }
+
+func (r *byteReader) read(dst []byte) {
+	if r.err != nil {
+		return
+	}
+	if r.remaining() < len(dst) {
+		r.err = errors.New("short read")
+		return
+	}
+	copy(dst, r.buf[r.off:])
+	r.off += len(dst)
+}
+
+func getByte(r *byteReader) byte {
+	var t [1]byte
+	r.read(t[:])
+	return t[0]
+}
+
+func getBool(r *byteReader) bool { return getByte(r) != 0 }
+
+func getU16(r *byteReader) uint16 {
+	var t [2]byte
+	r.read(t[:])
+	return binary.LittleEndian.Uint16(t[:])
+}
+
+func getU32(r *byteReader) uint32 {
+	var t [4]byte
+	r.read(t[:])
+	return binary.LittleEndian.Uint32(t[:])
+}
+
+func getU64(r *byteReader) uint64 {
+	var t [8]byte
+	r.read(t[:])
+	return binary.LittleEndian.Uint64(t[:])
+}
+
+func getTrits(r *byteReader) []logic.Trit {
+	n := int(getU32(r))
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > r.remaining() {
+		r.err = errors.New("short read")
+		return nil
+	}
+	ts := make([]logic.Trit, n)
+	for i := range ts {
+		ts[i] = logic.Trit(r.buf[r.off+i])
+	}
+	r.off += n
+	return ts
+}
+
+func getU64s(r *byteReader) []uint64 {
+	n := int(getU32(r))
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	if n > r.remaining()/8 {
+		r.err = errors.New("short read")
+		return nil
+	}
+	vs := make([]uint64, n)
+	for i := range vs {
+		vs[i] = binary.LittleEndian.Uint64(r.buf[r.off+8*i:])
+	}
+	r.off += 8 * n
+	return vs
+}
+
+func getString(r *byteReader) string {
+	n := int(getU32(r))
+	if r.err != nil || n == 0 {
+		return ""
+	}
+	if n > r.remaining() {
+		r.err = errors.New("short read")
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}

@@ -35,7 +35,9 @@ type Cache struct {
 	lru      *list.List // most recent at front; values are *cacheEntry
 	byKey    map[string]*list.Element
 	inflight map[string]*flight
+	disk     *DiskStore
 	hits     uint64
+	diskHits uint64
 	misses   uint64
 }
 
@@ -96,8 +98,54 @@ func (c *Cache) do(ctx context.Context, key string, compute func() (*Result, err
 		f := &flight{done: make(chan struct{})}
 		c.inflight[key] = f
 		c.mu.Unlock()
-		return c.lead(key, f, compute)
+		// The leader checks the disk tier before computing, still inside the
+		// single flight: concurrent callers of the key wait on one disk read
+		// (or one analysis), never a stampede of either.
+		return c.lead(key, f, func() (*Result, error) {
+			if res, ok := c.diskLoad(key); ok {
+				return res, nil
+			}
+			res, err := compute()
+			if err == nil && res != nil && c.disk != nil {
+				// Write-through, best effort: a full disk must not fail an
+				// analysis that succeeded. The failure stays visible on
+				// DiskStore.Err / Stats for readiness probes.
+				_ = c.disk.Store(key, &res.Report)
+			}
+			return res, err
+		})
 	}
+}
+
+// AttachDisk adds a disk tier: memory misses are served from the store
+// when a verified entry exists, and fresh analyses are written through to
+// it. A disk hit carries only the sealed Report — the live handles (Tree,
+// Peaks, the image) did not survive the original process — so callers
+// needing those re-analyze without a cache. Call before the cache is in
+// use; a nil store detaches.
+func (c *Cache) AttachDisk(d *DiskStore) {
+	c.mu.Lock()
+	c.disk = d
+	c.mu.Unlock()
+}
+
+// diskLoad consults the disk tier, rehydrating a hit into a Report-only
+// Result (the lead defer caches it in memory like a computed one).
+func (c *Cache) diskLoad(key string) (*Result, bool) {
+	c.mu.Lock()
+	d := c.disk
+	c.mu.Unlock()
+	if d == nil {
+		return nil, false
+	}
+	rep, ok := d.Load(key)
+	if !ok {
+		return nil, false
+	}
+	c.mu.Lock()
+	c.diskHits++
+	c.mu.Unlock()
+	return &Result{Report: *rep}, true
 }
 
 // lead runs compute as the key's single-flight leader and settles the
@@ -151,9 +199,12 @@ func (c *Cache) Len() int {
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.
 type CacheStats struct {
-	// Hits counts lookups served from the cache.
+	// Hits counts lookups served from the in-memory tier.
 	Hits uint64 `json:"hits"`
-	// Misses counts lookups that required a fresh analysis.
+	// DiskHits counts memory misses served from the disk tier.
+	DiskHits uint64 `json:"disk_hits,omitempty"`
+	// Misses counts lookups that required a fresh analysis (disk hits
+	// included — they register as a miss of the memory tier first).
 	Misses uint64 `json:"misses"`
 	// Entries is the current number of cached results.
 	Entries int `json:"entries"`
@@ -163,7 +214,7 @@ type CacheStats struct {
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Entries: c.lru.Len()}
+	return CacheStats{Hits: c.hits, DiskHits: c.diskHits, Misses: c.misses, Entries: c.lru.Len()}
 }
 
 // ImageHash returns a stable content hash of an assembled image: name,

@@ -1,0 +1,183 @@
+package peakpower
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/faultfs"
+)
+
+// DiskStore is the disk tier of the analysis cache: a content-addressed
+// store of sealed Reports, one file per analysis key. It makes analyses
+// survive process restarts — attach one to a Cache (AttachDisk) and a
+// re-analysis after a crash or redeploy is served from disk instead of
+// re-exploring.
+//
+// Durability posture: writes go through a same-directory temp file and an
+// atomic rename, so a crash mid-write never leaves a half-written entry —
+// only an inert temp file. Reads re-verify the Report's content hash
+// (DecodeReport); an unreadable, truncated, corrupted, or hash-mismatched
+// entry is treated as a MISS and deleted, so one bad sector degrades to a
+// re-analysis, never to serving a wrong bound. Store failures (full disk)
+// are reported to the caller but latch nothing: the next Store attempt
+// runs fresh.
+//
+// A DiskStore is safe for concurrent use. Multiple processes may share a
+// directory: atomic renames make concurrent writers last-wins per key,
+// and every reader verifies what it loads.
+type DiskStore struct {
+	dir string
+	fs  faultfs.FS
+
+	mu       sync.Mutex
+	loads    uint64
+	hits     uint64
+	corrupt  uint64
+	writes   uint64
+	writeErr uint64
+	lastErr  error
+}
+
+// NewDiskStore opens (creating if necessary) a Report store rooted at dir.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	return NewDiskStoreFS(dir, nil)
+}
+
+// NewDiskStoreFS is NewDiskStore on an explicit filesystem (nil means the
+// real one) — the injection point for disk-fault tests.
+func NewDiskStoreFS(dir string, fs faultfs.FS) (*DiskStore, error) {
+	if fs == nil {
+		fs = faultfs.OS{}
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("peakpower: opening report store %s: %w", dir, err)
+	}
+	return &DiskStore{dir: dir, fs: fs}, nil
+}
+
+// Dir returns the store's root directory.
+func (d *DiskStore) Dir() string { return d.dir }
+
+// path maps a cache key to its entry file. Keys are hex digests
+// (Analyzer.cacheKey), but sanitize anyway: a key must never escape dir.
+func (d *DiskStore) path(key string) (string, error) {
+	if key == "" || strings.ContainsAny(key, "/\\") || strings.Contains(key, "..") {
+		return "", fmt.Errorf("peakpower: invalid report store key %q", key)
+	}
+	return filepath.Join(d.dir, key+".json"), nil
+}
+
+// Load returns the stored Report for key, or (nil, false) on a miss. Any
+// defect in the entry — unreadable, bad JSON, wrong schema, content-hash
+// mismatch — counts as a miss, and the defective file is deleted so the
+// slot heals on the next Store.
+func (d *DiskStore) Load(key string) (*Report, bool) {
+	p, err := d.path(key)
+	if err != nil {
+		return nil, false
+	}
+	d.count(&d.loads)
+	data, err := d.fs.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	rep, err := DecodeReport(data)
+	if err != nil {
+		d.count(&d.corrupt)
+		_ = d.fs.Remove(p)
+		return nil, false
+	}
+	d.count(&d.hits)
+	return rep, true
+}
+
+// Store persists a sealed Report under key (atomic temp+rename). Unsealed
+// reports are rejected: an entry without a content hash could not be
+// verified on the way back in.
+func (d *DiskStore) Store(key string, rep *Report) error {
+	p, err := d.path(key)
+	if err != nil {
+		return err
+	}
+	if rep.Hash == "" {
+		return fmt.Errorf("peakpower: refusing to store unsealed report for %s", rep.App)
+	}
+	data, err := rep.MarshalJSON()
+	if err != nil {
+		return fmt.Errorf("peakpower: encoding report for store: %w", err)
+	}
+	if err := faultfs.WriteAtomic(d.fs, p, data, 0o644); err != nil {
+		d.mu.Lock()
+		d.writeErr++
+		d.lastErr = err
+		d.mu.Unlock()
+		return fmt.Errorf("peakpower: storing report %s: %w", key, err)
+	}
+	d.count(&d.writes)
+	return nil
+}
+
+// Len counts the stored entries (a directory scan).
+func (d *DiskStore) Len() int {
+	entries, err := d.fs.ReadDir(d.dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			n++
+		}
+	}
+	return n
+}
+
+// Err returns the most recent Store failure (nil if the last writes
+// succeeded or none happened). Exposed so a service's readiness probe can
+// report a degraded disk tier.
+func (d *DiskStore) Err() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lastErr
+}
+
+func (d *DiskStore) count(f *uint64) {
+	d.mu.Lock()
+	*f++
+	d.mu.Unlock()
+}
+
+// DiskStoreStats is a point-in-time snapshot of the disk tier.
+type DiskStoreStats struct {
+	// Loads counts lookups; Hits the ones served from disk.
+	Loads uint64 `json:"loads"`
+	// Hits counts verified loads.
+	Hits uint64 `json:"hits"`
+	// Corrupt counts entries that failed verification (each was deleted).
+	Corrupt uint64 `json:"corrupt"`
+	// Writes counts successful stores; WriteErrors failed ones.
+	Writes uint64 `json:"writes"`
+	// WriteErrors counts failed stores.
+	WriteErrors uint64 `json:"write_errors"`
+	// Entries is the current file count.
+	Entries int `json:"entries"`
+	// LastError is the most recent store failure, "" when healthy.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Stats returns the store's counters.
+func (d *DiskStore) Stats() DiskStoreStats {
+	d.mu.Lock()
+	st := DiskStoreStats{
+		Loads: d.loads, Hits: d.hits, Corrupt: d.corrupt,
+		Writes: d.writes, WriteErrors: d.writeErr,
+	}
+	if d.lastErr != nil {
+		st.LastError = d.lastErr.Error()
+	}
+	d.mu.Unlock()
+	st.Entries = d.Len()
+	return st
+}

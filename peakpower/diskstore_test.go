@@ -1,0 +1,242 @@
+package peakpower
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/faultfs"
+)
+
+func diskTestAnalyzer(t *testing.T, cache *Cache) (*Analyzer, *Image) {
+	t.Helper()
+	a, err := New(WithCache(cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := Assemble("disk", cacheTestApp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, img
+}
+
+func entryFile(t *testing.T, dir string) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("want exactly one store entry in %s, got %v (err %v)", dir, matches, err)
+	}
+	return matches[0]
+}
+
+// TestDiskStoreSurvivesRestart: an analysis cached with a disk tier is
+// served from disk by a fresh process (modeled as a fresh memory cache on
+// the same directory) — same sealed Report, no re-exploration.
+func TestDiskStoreSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache(16)
+	cache.AttachDisk(disk)
+	a, img := diskTestAnalyzer(t, cache)
+	first, err := a.AnalyzeImage(context.Background(), img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disk.Len() != 1 {
+		t.Fatalf("store entries after analysis: %d, want 1", disk.Len())
+	}
+
+	// "Restart": new memory cache, same directory.
+	disk2, err := NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache2 := NewCache(16)
+	cache2.AttachDisk(disk2)
+	a2, img2 := diskTestAnalyzer(t, cache2)
+	second, err := a2.AnalyzeImage(context.Background(), img2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Hash != first.Hash {
+		t.Fatalf("disk-served report hash %s != original %s", second.Hash, first.Hash)
+	}
+	st := cache2.Stats()
+	if st.DiskHits != 1 {
+		t.Fatalf("stats after disk hit: %+v", st)
+	}
+	// The rehydrated entry now also serves from memory.
+	third, err := a2.AnalyzeImage(context.Background(), img2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if third != second {
+		t.Fatal("second lookup must hit the rehydrated memory entry")
+	}
+}
+
+// TestDiskStoreCorruptEntryHeals is the corrupt-CAS acceptance case: a
+// corrupted (or truncated) entry is a MISS — the defective file is
+// deleted, the analysis re-runs, and the slot is re-written with a
+// verified entry. Never a wrong bound from a bad sector.
+func TestDiskStoreCorruptEntryHeals(t *testing.T) {
+	corruptions := []struct {
+		name string
+		mut  func(data []byte) []byte
+	}{
+		{"garbage", func([]byte) []byte { return []byte("not json{{{") }},
+		{"truncated", func(data []byte) []byte { return data[:len(data)/2] }},
+		{"bitflip", func(data []byte) []byte {
+			// Flip inside the peak value: JSON stays valid, the content
+			// hash does not.
+			mut := append([]byte(nil), data...)
+			for i := range mut {
+				if mut[i] >= '1' && mut[i] <= '8' {
+					mut[i]++
+					return mut
+				}
+			}
+			t.Fatal("no digit to flip")
+			return nil
+		}},
+	}
+	for _, tc := range corruptions {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			disk, err := NewDiskStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cache := NewCache(16)
+			cache.AttachDisk(disk)
+			a, img := diskTestAnalyzer(t, cache)
+			first, err := a.AnalyzeImage(context.Background(), img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p := entryFile(t, dir)
+			data, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(p, tc.mut(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+
+			// Fresh memory tier so the lookup must go through disk.
+			disk2, err := NewDiskStore(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cache2 := NewCache(16)
+			cache2.AttachDisk(disk2)
+			a2, img2 := diskTestAnalyzer(t, cache2)
+			res, err := a2.AnalyzeImage(context.Background(), img2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Hash != first.Hash {
+				t.Fatalf("re-analysis hash %s != original %s", res.Hash, first.Hash)
+			}
+			st := disk2.Stats()
+			if st.Corrupt != 1 || st.Hits != 0 {
+				t.Fatalf("disk stats after corruption: %+v", st)
+			}
+			// The slot healed: the re-written entry decodes and verifies.
+			data, err = os.ReadFile(entryFile(t, dir))
+			if err != nil {
+				t.Fatalf("slot not re-written: %v", err)
+			}
+			rep, err := DecodeReport(data)
+			if err != nil {
+				t.Fatalf("re-written entry does not verify: %v", err)
+			}
+			if rep.Hash != first.Hash {
+				t.Fatalf("re-written entry hash %s != original %s", rep.Hash, first.Hash)
+			}
+		})
+	}
+}
+
+// TestDiskStoreWriteFaultDoesNotFailAnalysis: a full disk (every write
+// fails) degrades the disk tier, not the analysis — concurrent callers
+// still single-flight one exploration and all get the result; the fault
+// is visible on Err/Stats for readiness probes.
+func TestDiskStoreWriteFaultDoesNotFailAnalysis(t *testing.T) {
+	dir := t.TempDir()
+	fs := faultfs.Hooked{Hook: func(op faultfs.Op, path string) error {
+		if op == faultfs.OpWrite {
+			return errors.New("injected: disk full")
+		}
+		return nil
+	}}
+	disk, err := NewDiskStoreFS(dir, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache(16)
+	cache.AttachDisk(disk)
+	a, img := diskTestAnalyzer(t, cache)
+
+	const callers = 8
+	results := make([]*Result, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = a.AnalyzeImage(context.Background(), img)
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d failed under disk write fault: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("caller %d did not share the single-flight result", i)
+		}
+	}
+	if st := cache.Stats(); st.Misses != 1 {
+		t.Fatalf("want exactly one analysis under single-flight, stats %+v", st)
+	}
+	if disk.Err() == nil {
+		t.Fatal("write fault not surfaced on DiskStore.Err")
+	}
+	if st := disk.Stats(); st.WriteErrors == 0 || st.LastError == "" {
+		t.Fatalf("disk stats after write fault: %+v", st)
+	}
+	if disk.Len() != 0 {
+		t.Fatalf("failed writes must not leave entries, got %d", disk.Len())
+	}
+}
+
+// TestDiskStoreRejectsBadInput: unsealed reports and path-escaping keys
+// are refused outright.
+func TestDiskStoreRejectsBadInput(t *testing.T) {
+	disk, err := NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := disk.Store("abc", &Report{Schema: SchemaVersion}); err == nil {
+		t.Fatal("unsealed report stored")
+	}
+	sealed := &Report{Schema: SchemaVersion}
+	sealed.Seal()
+	for _, key := range []string{"", "../escape", "a/b", `a\b`} {
+		if err := disk.Store(key, sealed); err == nil {
+			t.Fatalf("key %q accepted", key)
+		}
+		if _, ok := disk.Load(key); ok {
+			t.Fatalf("key %q loaded", key)
+		}
+	}
+}

@@ -70,6 +70,7 @@ type config struct {
 	engine         Engine
 	cache          *Cache
 	irq            *periph.Config
+	checkpointPath string
 }
 
 func defaultConfig() config {
@@ -228,6 +229,25 @@ func WithExploreWorkers(n int) Option {
 			c.exploreWorkers = n
 		}
 	}
+}
+
+// WithCheckpoint journals the symbolic exploration to path so a killed
+// analysis resumes from its last synced record instead of restarting:
+// re-running the same analysis with the same checkpoint path replays the
+// journaled work and seals a Report BYTE-IDENTICAL to an uninterrupted
+// run (same Report.Hash — the crash-recovery determinism contract,
+// asserted by the resume test suite at multiple worker counts). The
+// journal is keyed to the analysis (image content + resolved options); a
+// journal left by a different analysis fails rather than grafting foreign
+// state. On success the journal is removed.
+//
+// The journal's directory must exist. Journal write failures never fail
+// the analysis — it completes un-checkpointed (losing only resumability).
+// Like the worker count, the option cannot change the analysis result and
+// is excluded from the cache key. An empty path disables checkpointing
+// (the default).
+func WithCheckpoint(path string) Option {
+	return func(c *config) { c.checkpointPath = path }
 }
 
 // WithEngine selects the gate-level evaluation engine. Default:

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/energy"
+	"repro/internal/faultfs"
 	"repro/internal/isa"
 	"repro/internal/netlist"
 	"repro/internal/power"
@@ -150,12 +151,28 @@ func (a *Analyzer) analyzeImage(ctx context.Context, img *Image, cfg config) (*R
 		isrPeak float64
 		modules []string
 	)
-	if cfg.exploreWorkers > 1 {
+	if cfg.exploreWorkers > 1 || cfg.checkpointPath != "" {
+		// The parallel engine also carries checkpointed analyses (even at
+		// one worker): only its published-task protocol maps onto the
+		// durable journal.
+		workers := cfg.exploreWorkers
+		if workers < 1 {
+			workers = 1
+		}
+		var ck *symx.Checkpointer
+		if cfg.checkpointPath != "" {
+			ck = symx.NewCheckpointer(symx.CheckpointConfig{
+				Path:  cfg.checkpointPath,
+				Tag:   a.cacheKey(img, cfg),
+				Codec: power.Codec{},
+			})
+		}
 		shared := power.NewShared()
-		sinks := make([]*power.Sink, cfg.exploreWorkers)
+		sinks := make([]*power.Sink, workers)
 		pres, err := symx.ExploreParallel(symx.ParallelOptions{
-			Options: sxOpts,
-			Workers: cfg.exploreWorkers,
+			Options:    sxOpts,
+			Workers:    workers,
+			Checkpoint: ck,
 			NewWorker: func(worker int) (*ulp430.System, symx.WorkerSink, error) {
 				wsys, err := newSystem()
 				if err != nil {
@@ -163,6 +180,9 @@ func (a *Analyzer) analyzeImage(ctx context.Context, img *Image, cfg config) (*R
 				}
 				wsink := power.NewSink(wsys, model, img, cfg.coiK)
 				wsink.EnableTasks(shared)
+				if ck != nil {
+					wsink.EnableCheckpoint()
+				}
 				sinks[worker] = wsink
 				return wsys, wsink, nil
 			},
@@ -171,8 +191,16 @@ func (a *Analyzer) analyzeImage(ctx context.Context, img *Image, cfg config) (*R
 			return nil, fmt.Errorf("peakpower: symbolic analysis of %s: %w", img.Name, err)
 		}
 		tree = pres.Tree
-		best, topK, isrPeak, union = power.MergeParallel(sinks, cfg.coiK, pres.NodeID)
+		best, topK, isrPeak, union, err = power.MergeParallelReplay(sinks, cfg.coiK, pres.NodeID, pres.Replayed)
+		if err != nil {
+			return nil, fmt.Errorf("peakpower: symbolic analysis of %s: %w", img.Name, err)
+		}
 		modules = sinks[0].Modules()
+		if ck != nil {
+			// The analysis is complete; the journal has served its purpose
+			// and must not shadow a later analysis at the same path.
+			_ = faultfs.OS{}.Remove(cfg.checkpointPath)
+		}
 	} else {
 		sys, err := newSystem()
 		if err != nil {
