@@ -104,7 +104,16 @@ example-smoke:
 	$(GO) run ./examples/sensornode
 	$(GO) run ./cmd/peakpower -bench adcSample -irq 8:20
 
-ci: build vet race race-irq race-parallel fuzz-smoke smoke crash-smoke example-smoke
+# Multi-node smoke: a coordinator peakpowerd plus two worker replicas
+# split one real benchmark exploration over the fleet HTTP protocol
+# (zero coordinator local slots, so every task crosses a lease), and the
+# sealed Report must hash-match a single-node sequential analysis. The
+# in-process fleet determinism and lease-expiry suites ride along.
+fleet-smoke:
+	$(GO) test -count=1 -v -run 'TestFleet' ./cmd/peakpowerd/
+	./scripts/fleet_smoke.sh
+
+ci: build vet race race-irq race-parallel fuzz-smoke smoke crash-smoke fleet-smoke example-smoke
 
 clean:
 	$(GO) clean ./...

@@ -112,15 +112,35 @@ func (c *client) roundTrip(ctx context.Context, method, path string, body []byte
 	if resp.StatusCode == http.StatusTooManyRequests ||
 		resp.StatusCode == http.StatusServiceUnavailable ||
 		resp.StatusCode >= 500 {
-		ra := -1
-		if s := resp.Header.Get("Retry-After"); s != "" {
-			if secs, perr := strconv.Atoi(s); perr == nil && secs >= 0 {
-				ra = secs
-			}
-		}
+		ra := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now())
 		return resp.StatusCode, nil, &retryableError{err: serr, retryAfter: ra}
 	}
 	return resp.StatusCode, nil, serr
+}
+
+// parseRetryAfter reads a Retry-After header in either RFC 9110 form —
+// delay-seconds or an HTTP-date — into whole seconds from now (rounded
+// up, clamped at zero for dates already past). -1 means absent or
+// unparseable: the caller falls back to its own backoff.
+func parseRetryAfter(s string, now time.Time) int {
+	if s == "" {
+		return -1
+	}
+	if secs, err := strconv.Atoi(s); err == nil {
+		if secs < 0 {
+			return -1
+		}
+		return secs
+	}
+	t, err := http.ParseTime(s)
+	if err != nil {
+		return -1
+	}
+	d := t.Sub(now)
+	if d <= 0 {
+		return 0
+	}
+	return int((d + time.Second - 1) / time.Second)
 }
 
 func serverMessage(body []byte) string {

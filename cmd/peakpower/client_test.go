@@ -40,6 +40,32 @@ func TestBackoffHonorsRetryAfter(t *testing.T) {
 	}
 }
 
+// TestParseRetryAfter covers both RFC 9110 header forms: delay-seconds
+// and HTTP-date (rounded up to whole seconds, clamped at zero when the
+// date is already past); anything unparseable falls back to -1 (own
+// backoff).
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 7, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		header string
+		want   int
+	}{
+		{"", -1},
+		{"3", 3},
+		{"0", 0},
+		{"-2", -1},
+		{"soon", -1},
+		{now.Add(10 * time.Second).Format(http.TimeFormat), 10},
+		{now.Add(-time.Minute).Format(http.TimeFormat), 0},
+		{now.Format(time.RFC850), 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.header, now); got != tc.want {
+			t.Errorf("parseRetryAfter(%q) = %d, want %d", tc.header, got, tc.want)
+		}
+	}
+}
+
 func TestRoundTripClassification(t *testing.T) {
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		switch r.URL.Path {

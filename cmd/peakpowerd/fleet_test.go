@@ -1,0 +1,224 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/fleet"
+	"repro/peakpower"
+)
+
+// fleetTestReq is the job body the fleet tests distribute: the forking
+// testApp kernel, so the exploration actually splits into several tasks.
+func fleetTestReq(extra string) string {
+	return `{"target":"ulp430","name":"served","source":` + mustJSON(testApp) + `,
+		"options":{"max_cycles":100000,"coi":4}` + extra + `}`
+}
+
+// fleetGolden computes the single-node reference Report for fleetTestReq
+// with an explicitly sequential exploration (one worker).
+func fleetGolden(t *testing.T) []byte {
+	t.Helper()
+	an, err := peakpower.NewFor(context.Background(), "ulp430")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := an.Analyze(context.Background(), "served", testApp,
+		peakpower.WithMaxCycles(100_000), peakpower.WithCOI(4),
+		peakpower.WithExploreWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Report.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// startFleetWorkers runs n in-process fleet workers against the test
+// coordinator, each with its own Systems and sinks (srv.planFor builds a
+// private pair per worker), stopped at test cleanup.
+func startFleetWorkers(t *testing.T, ts string, srv *server, n int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	for i := 0; i < n; i++ {
+		wk := fleet.NewWorker(fleet.WorkerConfig{
+			Coordinator: ts,
+			ID:          fmt.Sprintf("worker-%d", i),
+			Plan:        srv.planFor,
+			Poll:        5 * time.Millisecond,
+		})
+		go wk.Run(ctx)
+	}
+}
+
+// TestFleetByteIdenticalAcrossWorkerCounts is the tentpole contract: a
+// job explored by a coordinator plus 1, 2, or 3 fleet workers (zero
+// local slots — every task crosses the HTTP protocol) seals a Report
+// byte-identical to a sequential single-node analysis, regardless of
+// how the tasks interleave across the fleet.
+func TestFleetByteIdenticalAcrossWorkerCounts(t *testing.T) {
+	want := fleetGolden(t)
+	for _, workers := range []int{1, 2, 3} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			ts, srv := newTestServerCfg(t, serverConfig{
+				cacheSize: 16, timeout: time.Minute,
+				dataDir:     t.TempDir(),
+				coordinator: true, leaseTTL: 2 * time.Second, localSlots: 0,
+			})
+			startFleetWorkers(t, ts.URL, srv, workers)
+
+			code, _, body := postJob(t, ts.URL, fleetTestReq(""))
+			if code != http.StatusAccepted {
+				t.Fatalf("submit: %d %s", code, body)
+			}
+			var acc struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(body, &acc); err != nil {
+				t.Fatal(err)
+			}
+			st := pollJob(t, ts.URL, acc.ID, 120*time.Second)
+			if st.State != "done" || st.Error != "" {
+				t.Fatalf("fleet job: %+v", st)
+			}
+			if !bytes.Equal(st.Report, want) {
+				t.Fatalf("fleet report (%d workers) differs from single-node:\nfleet: %.200s\nlocal: %.200s",
+					workers, st.Report, want)
+			}
+			if leased, _ := srv.fleet.Counters(); leased == 0 {
+				t.Fatal("no tasks were leased to the fleet")
+			}
+		})
+	}
+}
+
+// TestFleetLeaseExpiryReissue is the fault-tolerance contract: a worker
+// that leases a task and dies (no heartbeat, no completion) does not
+// fail or wedge the job — the janitor re-issues the lease and a live
+// worker completes the exploration, still byte-identical.
+func TestFleetLeaseExpiryReissue(t *testing.T) {
+	want := fleetGolden(t)
+	ts, srv := newTestServerCfg(t, serverConfig{
+		cacheSize: 16, timeout: time.Minute,
+		dataDir:     t.TempDir(),
+		coordinator: true, leaseTTL: 200 * time.Millisecond, localSlots: 0,
+	})
+
+	code, _, body := postJob(t, ts.URL, fleetTestReq(""))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	var acc struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &acc); err != nil {
+		t.Fatal(err)
+	}
+
+	// A zombie worker grabs the first task over raw HTTP and vanishes:
+	// it never heartbeats and never completes.
+	if code, body := post(t, ts.URL+"/v1/fleet/register", `{"worker":"zombie"}`); code != http.StatusOK {
+		t.Fatalf("register: %d %s", code, body)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		code, body = post(t, ts.URL+"/v1/fleet/lease", `{"worker":"zombie"}`)
+		if code == http.StatusOK {
+			var l fleet.LeaseResponse
+			if err := json.Unmarshal(body, &l); err != nil {
+				t.Fatalf("lease: %v (%s)", err, body)
+			}
+			if l.JobID != acc.ID {
+				t.Fatalf("leased job %q, want %q", l.JobID, acc.ID)
+			}
+			break
+		}
+		if code != http.StatusNoContent {
+			t.Fatalf("lease: %d %s", code, body)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never offered a task to lease")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// A live worker joins; the abandoned lease expires and its task is
+	// re-issued to it.
+	startFleetWorkers(t, ts.URL, srv, 1)
+	st := pollJob(t, ts.URL, acc.ID, 120*time.Second)
+	if st.State != "done" || st.Error != "" {
+		t.Fatalf("job after worker death: %+v", st)
+	}
+	if !bytes.Equal(st.Report, want) {
+		t.Fatalf("re-issued exploration differs from single-node:\nfleet: %.200s\nlocal: %.200s", st.Report, want)
+	}
+	if _, reissued := srv.fleet.Counters(); reissued == 0 {
+		t.Fatal("abandoned lease was never re-issued")
+	}
+
+	// /readyz reports the fleet: membership and the re-issue counter.
+	code, body = get(t, ts.URL+"/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("readyz: %d %s", code, body)
+	}
+	var ready struct {
+		Fleet *fleet.Stats `json:"fleet"`
+	}
+	if err := json.Unmarshal(body, &ready); err != nil {
+		t.Fatal(err)
+	}
+	if ready.Fleet == nil {
+		t.Fatalf("readyz has no fleet section: %s", body)
+	}
+	if ready.Fleet.TasksReissued == 0 || ready.Fleet.TasksLeased == 0 {
+		t.Fatalf("fleet stats: %+v", ready.Fleet)
+	}
+	found := false
+	for _, w := range ready.Fleet.Workers {
+		if w == "worker-0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("live worker missing from fleet membership: %+v", ready.Fleet.Workers)
+	}
+
+	// /debug/vars exports the operational counters.
+	code, body = get(t, ts.URL+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("debug/vars: %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("debug/vars not JSON: %v", err)
+	}
+	for _, key := range []string{
+		"peakpowerd_jobs_accepted", "peakpowerd_jobs_completed", "peakpowerd_jobs_failed",
+		"peakpowerd_queue_depth", "peakpowerd_cache",
+		"peakpowerd_fleet_tasks_leased", "peakpowerd_fleet_tasks_reissued",
+	} {
+		if _, ok := vars[key]; !ok {
+			t.Errorf("debug/vars missing %q", key)
+		}
+	}
+}
+
+// TestFleetCoordinatorRequiresData: fleet mode without a durable journal
+// substrate is a configuration error, refused at startup.
+func TestFleetCoordinatorRequiresData(t *testing.T) {
+	if _, err := newServer(serverConfig{coordinator: true}); err == nil {
+		t.Fatal("coordinator without -data accepted")
+	}
+	if _, err := newServer(serverConfig{scrub: true}); err == nil {
+		t.Fatal("-scrub without -data accepted")
+	}
+}

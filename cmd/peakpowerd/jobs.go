@@ -35,6 +35,10 @@ type runFunc func(ctx context.Context, j *jobstore.Job) (json.RawMessage, error)
 type jobRunner struct {
 	store *jobstore.Store // nil = ephemeral: jobs die with the process
 	run   runFunc
+	// notify, when set, observes every job snapshot that reaches a
+	// terminal state (after it is persisted) — the webhook hook. It must
+	// not block: deliveries happen on the calling worker goroutine.
+	notify func(j *jobstore.Job)
 
 	queue         chan string
 	dequeueCtx    context.Context // canceled first on drain: stop taking new jobs
@@ -136,6 +140,7 @@ func (r *jobRunner) submit(raw json.RawMessage) (*jobstore.Job, error) {
 	}
 	r.jobs[j.ID] = j
 	r.queue <- j.ID
+	mJobsAccepted.Add(1)
 	snap := *j
 	return &snap, nil
 }
@@ -238,6 +243,7 @@ func (r *jobRunner) runJob(id string) {
 		j.State = jobstore.StateDone
 		j.Result = result
 		j.FinishedAt = time.Now().UTC()
+		mJobsCompleted.Add(1)
 	case errors.Is(err, context.Canceled) && r.draining:
 		// Abandoned at the drain deadline, not failed: the queued record
 		// (plus its exploration checkpoint) resumes it next life.
@@ -246,10 +252,14 @@ func (r *jobRunner) runJob(id string) {
 		j.State = jobstore.StateFailed
 		j.Error = err.Error()
 		j.FinishedAt = time.Now().UTC()
+		mJobsFailed.Add(1)
 	}
 	snap = *j
 	r.mu.Unlock()
 	r.persist(&snap)
+	if r.notify != nil && snap.State.Terminal() {
+		r.notify(&snap)
+	}
 }
 
 // safeRun confines a panicking analysis to its own job: the worker

@@ -10,16 +10,22 @@
 //
 //	peakpowerd [-addr :8090] [-cache 256] [-timeout 2m]
 //	           [-data DIR] [-jobs 2] [-queue 64] [-drain-timeout 5s]
+//	           [-scrub] [-webhook-secret S]
+//	           [-coordinator [-fleet-lease-ttl 10s] [-fleet-local-slots 1]]
+//	           [-join http://coordinator:8090]
 //
 // Endpoints:
 //
 //	GET  /healthz        liveness + cache statistics
-//	GET  /readyz         readiness: queue depth, in-flight jobs, disk tier
+//	GET  /readyz         readiness: queue depth, in-flight jobs, disk tier,
+//	                     fleet membership + outstanding leases (coordinator)
+//	GET  /debug/vars     expvar counters (jobs, queue, cache, fleet)
 //	GET  /v1/targets     registered design points
 //	GET  /v1/benchmarks  benchmark suite (?target=..., default ulp430)
 //	POST /v1/analyze     run (or serve from cache) one analysis, synchronously
 //	POST /v1/jobs        submit an analysis job; 202 + job ID immediately
 //	GET  /v1/jobs/{id}   poll a job: state, then the Report (or error)
+//	POST /v1/fleet/*     fleet protocol (coordinator mode; see internal/fleet)
 //
 // POST /v1/analyze and /v1/jobs share a request body:
 //
@@ -49,12 +55,21 @@
 // their explorations from per-job checkpoints, sealing Reports
 // byte-identical to an uninterrupted run. Without -data the server is
 // ephemeral: jobs and cache die with the process.
+//
+// Fleet mode: with -coordinator (requires -data), durable jobs'
+// explorations are split into checkpoint-journal tasks and leased to
+// workers started with -join <coordinator-url>; the sealed Report is
+// byte-identical to a single-node run at any fleet size (see
+// internal/fleet). Jobs submitted with "callback_url" receive a webhook
+// POST of their terminal status, HMAC-SHA256-signed when
+// -webhook-secret is set.
 package main
 
 import (
 	"context"
 	"encoding/json"
 	"errors"
+	"expvar"
 	"flag"
 	"fmt"
 	"io"
@@ -68,6 +83,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/jobstore"
 	"repro/peakpower"
 )
@@ -81,6 +97,12 @@ func main() {
 	flag.IntVar(&cfg.workers, "jobs", 2, "async job worker pool size")
 	flag.IntVar(&cfg.queueCap, "queue", 64, "async job queue depth before 429 backpressure")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "shutdown budget for in-flight requests and jobs")
+	flag.BoolVar(&cfg.scrub, "scrub", false, "delete damaged job records and stale temp files from the job store at startup (requires -data)")
+	flag.StringVar(&cfg.webhookSecret, "webhook-secret", "", "HMAC-SHA256 key for signing webhook callback deliveries")
+	flag.BoolVar(&cfg.coordinator, "coordinator", false, "distribute durable jobs' explorations to fleet workers (requires -data)")
+	flag.StringVar(&cfg.joinURL, "join", "", "run as a fleet worker against this coordinator base URL")
+	flag.DurationVar(&cfg.leaseTTL, "fleet-lease-ttl", 10*time.Second, "coordinator: lease TTL before unheartbeated tasks are re-issued")
+	flag.IntVar(&cfg.localSlots, "fleet-local-slots", 1, "coordinator: tasks the coordinator executes itself alongside the fleet")
 	flag.Parse()
 
 	srv, err := newServer(cfg)
@@ -107,6 +129,27 @@ func main() {
 	}
 	log.Printf("peakpowerd: listening on %s (%d targets, cache %d, %s)",
 		*addr, len(peakpower.Targets()), cfg.cacheSize, durable)
+	if srv.fleet != nil {
+		log.Printf("peakpowerd: fleet coordinator up (lease ttl %s, %d local slot(s))",
+			cfg.leaseTTL, cfg.localSlots)
+	}
+	if cfg.joinURL != "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		wk := fleet.NewWorker(fleet.WorkerConfig{
+			Coordinator: strings.TrimRight(cfg.joinURL, "/"),
+			ID:          host + *addr,
+			Plan:        srv.planFor,
+			Logf:        log.Printf,
+		})
+		go func() {
+			if err := wk.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				log.Printf("peakpowerd: fleet worker stopped: %v", err)
+			}
+		}()
+	}
 
 	select {
 	case err := <-errCh:
@@ -130,6 +173,13 @@ type serverConfig struct {
 	dataDir   string // "" = ephemeral
 	workers   int
 	queueCap  int
+
+	scrub         bool
+	webhookSecret string
+	coordinator   bool
+	joinURL       string
+	leaseTTL      time.Duration
+	localSlots    int
 }
 
 // server holds the shared analysis state: one lazily built Analyzer per
@@ -141,6 +191,10 @@ type server struct {
 	disk    *peakpower.DiskStore // nil when ephemeral
 	jobs    *jobRunner
 	timeout time.Duration
+	fleet   *fleet.Coordinator // nil unless -coordinator
+
+	webhookSecret string
+	webhookClient *http.Client
 
 	mu        sync.Mutex
 	analyzers map[string]*analyzerEntry
@@ -159,10 +213,18 @@ func newServer(cfg serverConfig) (*server, error) {
 	if cfg.timeout <= 0 {
 		cfg.timeout = 2 * time.Minute
 	}
+	if cfg.coordinator && cfg.dataDir == "" {
+		return nil, fmt.Errorf("-coordinator requires -data (the fleet distributes work through the job checkpoint journal)")
+	}
+	if cfg.scrub && cfg.dataDir == "" {
+		return nil, fmt.Errorf("-scrub requires -data (there is no job store to scrub)")
+	}
 	s := &server{
-		cache:     peakpower.NewCache(cfg.cacheSize),
-		timeout:   cfg.timeout,
-		analyzers: make(map[string]*analyzerEntry),
+		cache:         peakpower.NewCache(cfg.cacheSize),
+		timeout:       cfg.timeout,
+		analyzers:     make(map[string]*analyzerEntry),
+		webhookSecret: cfg.webhookSecret,
+		webhookClient: &http.Client{Timeout: 10 * time.Second},
 	}
 	var store *jobstore.Store
 	if cfg.dataDir != "" {
@@ -176,8 +238,28 @@ func newServer(cfg serverConfig) (*server, error) {
 		if err != nil {
 			return nil, err
 		}
+		if cfg.scrub {
+			_, damaged, err := store.List()
+			if err != nil {
+				return nil, err
+			}
+			if err := store.Scrub(damaged); err != nil {
+				return nil, fmt.Errorf("scrubbing job store: %w", err)
+			}
+			log.Printf("peakpowerd: scrub removed %d damaged job record(s): %v", len(damaged), damaged)
+		}
+	}
+	if cfg.coordinator {
+		s.fleet = fleet.NewCoordinator(fleet.CoordinatorConfig{
+			LeaseTTL:   cfg.leaseTTL,
+			LocalSlots: cfg.localSlots,
+			Plan:       s.planFor,
+			Logf:       log.Printf,
+		})
 	}
 	s.jobs = newJobRunner(store, cfg.workers, cfg.queueCap, s.runJobAnalysis)
+	s.jobs.notify = s.notifyWebhook
+	registerMetrics(s)
 	return s, nil
 }
 
@@ -190,6 +272,10 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/v1/analyze", s.handleAnalyze)
 	mux.HandleFunc("/v1/jobs", s.handleJobSubmit)
 	mux.HandleFunc("/v1/jobs/", s.handleJobStatus)
+	mux.Handle("/debug/vars", expvar.Handler())
+	if s.fleet != nil {
+		s.fleet.Routes(mux)
+	}
 	return mux
 }
 
@@ -238,10 +324,15 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		Jobs   runnerStats               `json:"jobs"`
 		Cache  peakpower.CacheStats      `json:"cache"`
 		Disk   *peakpower.DiskStoreStats `json:"disk,omitempty"`
+		Fleet  *fleet.Stats              `json:"fleet,omitempty"`
 	}{Status: "ok", Jobs: st, Cache: s.cache.Stats()}
 	if s.disk != nil {
 		ds := s.disk.Stats()
 		body.Disk = &ds
+	}
+	if s.fleet != nil {
+		fs := s.fleet.Stats()
+		body.Fleet = &fs
 	}
 	status := http.StatusOK
 	if st.Draining {
@@ -283,6 +374,10 @@ type analyzeRequest struct {
 	Name    string         `json:"name,omitempty"`
 	Source  string         `json:"source,omitempty"`
 	Options analyzeOptions `json:"options"`
+	// CallbackURL, on POST /v1/jobs, requests a webhook POST of the job's
+	// terminal status (the GET /v1/jobs/{id} body) when it completes or
+	// fails; signed with -webhook-secret when set. Ignored by /v1/analyze.
+	CallbackURL string `json:"callback_url,omitempty"`
 }
 
 // analyzeOptions mirrors the peakpower functional options a client may
@@ -390,7 +485,10 @@ func (s *server) runAnalysis(ctx context.Context, req *analyzeRequest, extra ...
 
 // runJobAnalysis is the job workers' runFunc: re-decode the journaled
 // request and run it with a per-job exploration checkpoint (when durable),
-// so a job killed mid-exploration resumes instead of restarting.
+// so a job killed mid-exploration resumes instead of restarting. In
+// coordinator mode the exploration itself is first driven through the
+// fleet (filling that same checkpoint journal to completion), and the
+// runAnalysis call below merely seals the Report from it.
 func (s *server) runJobAnalysis(ctx context.Context, j *jobstore.Job) (json.RawMessage, error) {
 	var req analyzeRequest
 	if err := json.Unmarshal(j.Request, &req); err != nil {
@@ -399,6 +497,11 @@ func (s *server) runJobAnalysis(ctx context.Context, j *jobstore.Job) (json.RawM
 	var extra []peakpower.Option
 	if s.jobs.store != nil {
 		extra = append(extra, peakpower.WithCheckpoint(s.jobs.store.CheckpointPath(j.ID)))
+	}
+	if s.fleet != nil && s.jobs.store != nil {
+		if err := s.runFleet(ctx, &req, j); err != nil {
+			return nil, err
+		}
 	}
 	res, err := s.runAnalysis(ctx, &req, extra...)
 	if err != nil {
@@ -454,6 +557,12 @@ func (s *server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	if _, err := buildOpts(req.Options); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
+	}
+	if req.CallbackURL != "" {
+		if err := validateCallbackURL(req.CallbackURL); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
 	}
 	j, err := s.jobs.submit(raw)
 	switch {

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"expvar"
+	"sync"
+)
+
+// Operational counters exported on /debug/vars. The cumulative counters
+// are process-global expvar.Ints (expvar.Publish panics on duplicate
+// names, and tests build several servers per process); the gauges are
+// expvar.Funcs registered once, reading whichever server most recently
+// called registerMetrics.
+var (
+	mJobsAccepted  = expvar.NewInt("peakpowerd_jobs_accepted")
+	mJobsCompleted = expvar.NewInt("peakpowerd_jobs_completed")
+	mJobsFailed    = expvar.NewInt("peakpowerd_jobs_failed")
+	mWebhooksOK    = expvar.NewInt("peakpowerd_webhooks_delivered")
+	mWebhooksFail  = expvar.NewInt("peakpowerd_webhooks_failed")
+)
+
+var (
+	metricsMu   sync.Mutex
+	metricsSrv  *server
+	metricsOnce sync.Once
+)
+
+// metricsServer returns the server the gauges read, if any.
+func metricsServer() *server {
+	metricsMu.Lock()
+	defer metricsMu.Unlock()
+	return metricsSrv
+}
+
+// registerMetrics points the /debug/vars gauges at s and publishes them
+// on first use.
+func registerMetrics(s *server) {
+	metricsMu.Lock()
+	metricsSrv = s
+	metricsMu.Unlock()
+	metricsOnce.Do(func() {
+		expvar.Publish("peakpowerd_queue_depth", expvar.Func(func() any {
+			if s := metricsServer(); s != nil {
+				return s.jobs.stats().QueueDepth
+			}
+			return 0
+		}))
+		expvar.Publish("peakpowerd_in_flight", expvar.Func(func() any {
+			if s := metricsServer(); s != nil {
+				return s.jobs.stats().InFlight
+			}
+			return 0
+		}))
+		expvar.Publish("peakpowerd_cache", expvar.Func(func() any {
+			if s := metricsServer(); s != nil {
+				return s.cache.Stats()
+			}
+			return nil
+		}))
+		expvar.Publish("peakpowerd_disk", expvar.Func(func() any {
+			if s := metricsServer(); s != nil && s.disk != nil {
+				return s.disk.Stats()
+			}
+			return nil
+		}))
+		expvar.Publish("peakpowerd_fleet_tasks_leased", expvar.Func(func() any {
+			if s := metricsServer(); s != nil && s.fleet != nil {
+				leased, _ := s.fleet.Counters()
+				return leased
+			}
+			return 0
+		}))
+		expvar.Publish("peakpowerd_fleet_tasks_reissued", expvar.Func(func() any {
+			if s := metricsServer(); s != nil && s.fleet != nil {
+				_, reissued := s.fleet.Counters()
+				return reissued
+			}
+			return 0
+		}))
+	})
+}

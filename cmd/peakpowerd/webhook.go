@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"time"
+
+	"repro/internal/jobstore"
+)
+
+// webhookSignatureHeader carries the HMAC-SHA256 of the delivery body,
+// keyed by -webhook-secret, as "sha256=<hex>". Receivers verify it with
+// a constant-time compare before trusting the payload.
+const webhookSignatureHeader = "X-Peakpower-Signature"
+
+// validateCallbackURL accepts the callback_url a job submission may
+// carry: an absolute http or https URL.
+func validateCallbackURL(raw string) error {
+	u, err := url.Parse(raw)
+	if err != nil {
+		return fmt.Errorf("callback_url: %w", err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return fmt.Errorf("callback_url must be an absolute http(s) URL, got %q", raw)
+	}
+	return nil
+}
+
+// signWebhook computes the signature header value for a delivery body.
+func signWebhook(secret string, body []byte) string {
+	mac := hmac.New(sha256.New, []byte(secret))
+	mac.Write(body)
+	return "sha256=" + hex.EncodeToString(mac.Sum(nil))
+}
+
+// notifyWebhook is the job runner's terminal-state hook: if the job was
+// submitted with a callback_url, deliver its final status (the same
+// body GET /v1/jobs/{id} would answer) asynchronously with retries.
+func (s *server) notifyWebhook(j *jobstore.Job) {
+	var req analyzeRequest
+	if err := json.Unmarshal(j.Request, &req); err != nil || req.CallbackURL == "" {
+		return
+	}
+	resp := jobStatusResponse{
+		ID:          j.ID,
+		State:       string(j.State),
+		Attempts:    j.Attempts,
+		SubmittedAt: j.SubmittedAt,
+		Report:      j.Result,
+		Error:       j.Error,
+	}
+	if !j.FinishedAt.IsZero() {
+		t := j.FinishedAt
+		resp.FinishedAt = &t
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		log.Printf("peakpowerd: webhook for job %s: encoding status: %v", j.ID, err)
+		return
+	}
+	go s.deliverWebhook(j.ID, req.CallbackURL, body)
+}
+
+// deliverWebhook posts one signed delivery with jittered-backoff
+// retries. Any 2xx acknowledges; the attempt budget is small — a
+// webhook is a notification, the job record remains pollable either way.
+func (s *server) deliverWebhook(jobID, callbackURL string, body []byte) {
+	const attempts = 4
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			backoff := time.Duration(1<<(attempt-1)) * 250 * time.Millisecond
+			backoff += time.Duration(rand.Int63n(int64(backoff)))
+			time.Sleep(backoff)
+		}
+		req, err := http.NewRequest(http.MethodPost, callbackURL, bytes.NewReader(body))
+		if err != nil {
+			log.Printf("peakpowerd: webhook for job %s: %v", jobID, err)
+			mWebhooksFail.Add(1)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("X-Peakpower-Job", jobID)
+		if s.webhookSecret != "" {
+			req.Header.Set(webhookSignatureHeader, signWebhook(s.webhookSecret, body))
+		}
+		resp, err := s.webhookClient.Do(req)
+		if err != nil {
+			log.Printf("peakpowerd: webhook for job %s (attempt %d/%d): %v", jobID, attempt+1, attempts, err)
+			continue
+		}
+		resp.Body.Close()
+		if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+			mWebhooksOK.Add(1)
+			return
+		}
+		log.Printf("peakpowerd: webhook for job %s (attempt %d/%d): HTTP %d", jobID, attempt+1, attempts, resp.StatusCode)
+	}
+	mWebhooksFail.Add(1)
+	log.Printf("peakpowerd: webhook for job %s undeliverable after %d attempts", jobID, attempts)
+}

@@ -1,0 +1,486 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/symx"
+	"repro/peakpower"
+)
+
+// CoordinatorConfig configures a fleet coordinator.
+type CoordinatorConfig struct {
+	// LeaseTTL is how long a leased task survives without a heartbeat
+	// before it is re-issued. Default 10s.
+	LeaseTTL time.Duration
+	// LocalSlots is how many tasks the coordinator executes itself, in
+	// process, alongside the remote workers (0 = pure coordinator). A
+	// coordinator with LocalSlots > 0 makes progress even with an empty
+	// fleet, so a single -coordinator daemon still completes jobs.
+	LocalSlots int
+	// Plan resolves job specs; required.
+	Plan PlanFunc
+	// Logf logs coordinator events; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Coordinator distributes jobs' exploration tasks to fleet workers. One
+// Coordinator serves all of a daemon's concurrent jobs; each RunJob call
+// registers one run for its duration.
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	mu       sync.Mutex
+	workers  map[string]time.Time // worker id -> last contact
+	runs     map[string]*run      // job id -> active run
+	leased   int64
+	reissued int64
+}
+
+// lease is one outstanding remote lease.
+type lease struct {
+	worker  string
+	expires time.Time
+}
+
+// run is one fleet-executed job.
+type run struct {
+	jobID string
+	spec  json.RawMessage
+	q     *symx.RemoteQueue
+	ttl   time.Duration
+
+	mu     sync.Mutex
+	leases map[int]*lease // task id -> outstanding remote lease
+}
+
+// NewCoordinator builds a coordinator. cfg.Plan is required.
+func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 10 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Coordinator{
+		cfg:     cfg,
+		workers: map[string]time.Time{},
+		runs:    map[string]*run{},
+	}
+}
+
+// LeaseTTL reports the configured lease TTL.
+func (c *Coordinator) LeaseTTL() time.Duration { return c.cfg.LeaseTTL }
+
+// touch records worker liveness on any RPC.
+func (c *Coordinator) touch(worker string) {
+	if worker == "" {
+		return
+	}
+	c.mu.Lock()
+	c.workers[worker] = time.Now()
+	c.mu.Unlock()
+}
+
+// RunJob drives one job's exploration through the fleet: it opens (or
+// resumes) the job's checkpoint journal as a remote task queue, serves
+// leases/claims/completions to workers until every live task completes
+// or a job-level error latches, then closes the journal. On success the
+// journal holds a complete exploration; the caller seals it through the
+// ordinary WithCheckpoint resume path, which replays it without
+// executing anything — making the sealed Report byte-identical to a
+// single-node run. spec is the job's journaled request body, handed
+// verbatim to workers so they can rebuild the same plan.
+func (c *Coordinator) RunJob(ctx context.Context, jobID string, spec json.RawMessage, plan *peakpower.ExplorePlan, journalPath string) error {
+	q, err := symx.OpenRemoteQueue(symx.CheckpointConfig{
+		Path:  journalPath,
+		Tag:   plan.Key(),
+		Codec: plan.Codec(),
+	}, plan.ExploreOptions(ctx))
+	if err != nil {
+		return err
+	}
+	r := &run{jobID: jobID, spec: spec, q: q, ttl: c.cfg.LeaseTTL, leases: map[int]*lease{}}
+
+	c.mu.Lock()
+	if _, dup := c.runs[jobID]; dup {
+		c.mu.Unlock()
+		q.Close()
+		return fmt.Errorf("fleet: job %s already running", jobID)
+	}
+	c.runs[jobID] = r
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.runs, jobID)
+		c.mu.Unlock()
+		q.Close()
+	}()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Janitor: expire remote leases that stopped heartbeating and
+	// re-issue their tasks at the queue front.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := r.ttl / 4
+		if tick < 10*time.Millisecond {
+			tick = 10 * time.Millisecond
+		}
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-t.C:
+				for _, id := range r.expire(now) {
+					q.Requeue(id)
+					c.mu.Lock()
+					c.reissued++
+					c.mu.Unlock()
+					c.cfg.Logf("fleet: job %s task %d lease expired, re-issued", jobID, id)
+				}
+			}
+		}
+	}()
+
+	// Local runners: the coordinator is its own worker for LocalSlots
+	// tasks at a time, claiming directly against the queue.
+	for i := 0; i < c.cfg.LocalSlots; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sys, sink, err := plan.NewWorker()
+			if err != nil {
+				q.Fail(err)
+				return
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ctx.Done():
+					return
+				default:
+				}
+				t, baseCycles, baseNodes, ok := q.Lease()
+				if !ok {
+					if q.Err() != nil || q.Done() {
+						return
+					}
+					time.Sleep(10 * time.Millisecond)
+					continue
+				}
+				res, err := symx.RunRemoteTask(sys, sink, plan.ExploreOptions(ctx), plan.Codec(), t, q, baseCycles, baseNodes)
+				if err != nil {
+					if errors.Is(err, symx.ErrStaleTask) {
+						continue
+					}
+					q.Fail(err)
+					return
+				}
+				if _, err := q.Complete(t.ID, res); err != nil && !errors.Is(err, symx.ErrStaleTask) {
+					return
+				}
+			}
+		}()
+	}
+
+	// Wait for the journal to be complete (or the job to fail).
+	wait := time.NewTicker(25 * time.Millisecond)
+	defer wait.Stop()
+	var jobErr error
+loop:
+	for {
+		select {
+		case <-ctx.Done():
+			q.Fail(ctx.Err())
+			jobErr = q.Err()
+			break loop
+		case <-wait.C:
+			if err := q.Err(); err != nil {
+				jobErr = err
+				break loop
+			}
+			if q.Done() {
+				break loop
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	return jobErr
+}
+
+// expire removes and returns the leases that lapsed before now.
+func (r *run) expire(now time.Time) []int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var ids []int
+	for id, l := range r.leases {
+		if now.After(l.expires) {
+			delete(r.leases, id)
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// addLease records a remote lease for the janitor to police.
+func (r *run) addLease(id int, worker string) {
+	r.mu.Lock()
+	r.leases[id] = &lease{worker: worker, expires: time.Now().Add(r.ttl)}
+	r.mu.Unlock()
+}
+
+// heartbeat extends a live lease; false means the lease is gone (the
+// worker must cancel the task).
+func (r *run) heartbeat(id int, worker string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	l, ok := r.leases[id]
+	if !ok || l.worker != worker {
+		return false
+	}
+	l.expires = time.Now().Add(r.ttl)
+	return true
+}
+
+// dropLease forgets a lease after its task completed (or failed).
+func (r *run) dropLease(id int) {
+	r.mu.Lock()
+	delete(r.leases, id)
+	r.mu.Unlock()
+}
+
+func (r *run) outstanding() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.leases)
+}
+
+// Routes mounts the fleet protocol on mux.
+func (c *Coordinator) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("/v1/fleet/register", c.handleRegister)
+	mux.HandleFunc("/v1/fleet/lease", c.handleLease)
+	mux.HandleFunc("/v1/fleet/claim", c.handleClaim)
+	mux.HandleFunc("/v1/fleet/complete", c.handleComplete)
+	mux.HandleFunc("/v1/fleet/heartbeat", c.handleHeartbeat)
+}
+
+func decodeFleet(w http.ResponseWriter, req *http.Request, v any) bool {
+	if req.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(req.Body).Decode(v); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func writeFleet(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, req *http.Request) {
+	var in RegisterRequest
+	if !decodeFleet(w, req, &in) {
+		return
+	}
+	c.touch(in.Worker)
+	c.cfg.Logf("fleet: worker %s registered", in.Worker)
+	writeFleet(w, RegisterResponse{LeaseTTLMS: c.cfg.LeaseTTL.Milliseconds()})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, req *http.Request) {
+	var in LeaseRequest
+	if !decodeFleet(w, req, &in) {
+		return
+	}
+	c.touch(in.Worker)
+	c.mu.Lock()
+	runs := make([]*run, 0, len(c.runs))
+	for _, r := range c.runs {
+		runs = append(runs, r)
+	}
+	c.mu.Unlock()
+	sort.Slice(runs, func(i, j int) bool { return runs[i].jobID < runs[j].jobID })
+	for _, r := range runs {
+		t, baseCycles, baseNodes, ok := r.q.Lease()
+		if !ok {
+			continue
+		}
+		r.addLease(t.ID, in.Worker)
+		c.mu.Lock()
+		c.leased++
+		c.mu.Unlock()
+		writeFleet(w, LeaseResponse{
+			JobID:      r.jobID,
+			Spec:       r.spec,
+			Task:       t,
+			BaseCycles: baseCycles,
+			BaseNodes:  baseNodes,
+			LeaseTTLMS: r.ttl.Milliseconds(),
+		})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// runFor resolves a live run, answering 410 Gone (the stale-task signal)
+// when the job is not running in this coordinator life.
+func (c *Coordinator) runFor(w http.ResponseWriter, jobID string) *run {
+	c.mu.Lock()
+	r := c.runs[jobID]
+	c.mu.Unlock()
+	if r == nil {
+		http.Error(w, "gone: job not running here", http.StatusGone)
+	}
+	return r
+}
+
+func (c *Coordinator) handleClaim(w http.ResponseWriter, req *http.Request) {
+	var in ClaimRequest
+	if !decodeFleet(w, req, &in) {
+		return
+	}
+	c.touch(in.Worker)
+	r := c.runFor(w, in.JobID)
+	if r == nil {
+		return
+	}
+	cl, err := r.q.Claim(in.Key, in.Parent, in.Seq, in.Child)
+	if err != nil {
+		if errors.Is(err, symx.ErrStaleTask) {
+			http.Error(w, "gone: "+err.Error(), http.StatusGone)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeFleet(w, cl)
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, req *http.Request) {
+	var in CompleteRequest
+	if !decodeFleet(w, req, &in) {
+		return
+	}
+	c.touch(in.Worker)
+	r := c.runFor(w, in.JobID)
+	if r == nil {
+		return
+	}
+	if in.Error != "" {
+		r.q.Fail(wireError(in.Error, in.ErrKind))
+		r.dropLease(in.TaskID)
+		c.cfg.Logf("fleet: job %s task %d failed on worker %s: %s", in.JobID, in.TaskID, in.Worker, in.Error)
+		writeFleet(w, CompleteResponse{Accepted: true})
+		return
+	}
+	if in.Result == nil {
+		http.Error(w, "bad request: completion carries neither result nor error", http.StatusBadRequest)
+		return
+	}
+	accepted, err := r.q.Complete(in.TaskID, in.Result)
+	if err != nil {
+		if errors.Is(err, symx.ErrStaleTask) {
+			http.Error(w, "gone: "+err.Error(), http.StatusGone)
+			return
+		}
+		// Job-level failure (budget trip, journal write error): the worker
+		// is done with the task either way; the run's wait loop surfaces
+		// the latched error.
+		r.dropLease(in.TaskID)
+		writeFleet(w, CompleteResponse{Accepted: false})
+		return
+	}
+	r.dropLease(in.TaskID)
+	writeFleet(w, CompleteResponse{Accepted: accepted})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, req *http.Request) {
+	var in HeartbeatRequest
+	if !decodeFleet(w, req, &in) {
+		return
+	}
+	c.touch(in.Worker)
+	r := c.runFor(w, in.JobID)
+	if r == nil {
+		return
+	}
+	if !r.heartbeat(in.TaskID, in.Worker) {
+		http.Error(w, "gone: lease lost", http.StatusGone)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+}
+
+// JobFleetStats is one active job's scheduling state.
+type JobFleetStats struct {
+	JobID       string `json:"job_id"`
+	Pending     int    `json:"pending"`
+	Outstanding int    `json:"outstanding"`
+	Completed   int    `json:"completed"`
+}
+
+// Stats is the fleet snapshot /readyz reports.
+type Stats struct {
+	// Workers lists workers seen within three lease TTLs, sorted.
+	Workers []string `json:"workers"`
+	// Jobs lists the active fleet runs, sorted by job ID.
+	Jobs []JobFleetStats `json:"jobs,omitempty"`
+	// TasksLeased counts leases granted to remote workers.
+	TasksLeased int64 `json:"tasks_leased"`
+	// TasksReissued counts expired leases re-issued by the janitor.
+	TasksReissued int64 `json:"tasks_reissued"`
+}
+
+// Stats snapshots fleet membership and per-job scheduling state.
+func (c *Coordinator) Stats() Stats {
+	cutoff := time.Now().Add(-3 * c.cfg.LeaseTTL)
+	c.mu.Lock()
+	s := Stats{Workers: []string{}, TasksLeased: c.leased, TasksReissued: c.reissued}
+	for id, seen := range c.workers {
+		if seen.After(cutoff) {
+			s.Workers = append(s.Workers, id)
+		}
+	}
+	runs := make([]*run, 0, len(c.runs))
+	for _, r := range c.runs {
+		runs = append(runs, r)
+	}
+	c.mu.Unlock()
+	sort.Strings(s.Workers)
+	sort.Slice(runs, func(i, j int) bool { return runs[i].jobID < runs[j].jobID })
+	for _, r := range runs {
+		pending, _, completed := r.q.Stats()
+		s.Jobs = append(s.Jobs, JobFleetStats{
+			JobID:       r.jobID,
+			Pending:     pending,
+			Outstanding: r.outstanding(),
+			Completed:   completed,
+		})
+	}
+	return s
+}
+
+// Counters reports the monotonic scheduling counters (for expvar).
+func (c *Coordinator) Counters() (leased, reissued int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.leased, c.reissued
+}

@@ -1,0 +1,102 @@
+// Package fleet distributes one symbolic exploration across a fleet of
+// peakpowerd replicas.
+//
+// A COORDINATOR (peakpowerd -coordinator) owns each job: it opens the
+// job's checkpoint journal as a symx.RemoteQueue, leases pending
+// exploration tasks to registered workers over a small HTTP protocol,
+// answers fork-point claims (journaling newly published tasks before
+// acknowledging them), and accepts first-wins completions. WORKERS
+// (peakpowerd -join <coordinator-url>) poll for leases, rebuild the
+// job's analysis plan from the leased spec, execute each task on a
+// private System/sink pair with symx.RunRemoteTask, and stream claims
+// and results back. When every live task has completed, the journal is
+// a complete exploration and the coordinator seals the Report through
+// the ordinary checkpoint-resume path — which is why a fleet-executed
+// job's sealed Report is byte-identical to a single-node run at any
+// fleet size and any task interleaving (the PR 7/8 determinism
+// contract, extended across processes).
+//
+// Protocol (all POST, JSON bodies):
+//
+//	/v1/fleet/register   join the fleet; returns the lease TTL
+//	/v1/fleet/lease      request work; 204 when none is pending
+//	/v1/fleet/claim      claim a fork point, publishing its taken child
+//	/v1/fleet/complete   deliver a task result (or a task-fatal error)
+//	/v1/fleet/heartbeat  extend a lease; 410 when the lease was lost
+//
+// Fault tolerance: a worker that stops heartbeating loses its lease and
+// the task is re-issued; because tasks are deterministic and claims are
+// idempotent on (parent task, branch seq), a zombie incarnation and its
+// replacement receive identical child identities and the first
+// completion wins. 410 Gone tells a worker its task is stale (lease
+// expired and re-issued past it, or the coordinator restarted); the
+// worker abandons the task silently. A restarted coordinator reopens
+// the journal and re-issues exactly the live pending tasks.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+
+	"repro/internal/symx"
+	"repro/peakpower"
+)
+
+// PlanFunc resolves a job's journaled request body into an executable
+// exploration plan. Both sides supply one: the coordinator to open the
+// job's queue, each worker to build private Systems and sinks for the
+// job's tasks. The two must resolve identically (same target registry,
+// same option translation) or the journal tags will disagree and the
+// worker's exploration would diverge from the coordinator's.
+type PlanFunc func(ctx context.Context, spec json.RawMessage) (*peakpower.ExplorePlan, error)
+
+// Error kinds carried across the wire so the coordinator can rebuild an
+// errors.Is-matchable error from a worker's task failure.
+const (
+	kindCycleBudget = "cycle_budget"
+	kindNodeBudget  = "node_budget"
+	kindCanceled    = "canceled"
+	kindDeadline    = "deadline"
+)
+
+func errKind(err error) string {
+	switch {
+	case errors.Is(err, symx.ErrCycleBudget):
+		return kindCycleBudget
+	case errors.Is(err, symx.ErrNodeBudget):
+		return kindNodeBudget
+	case errors.Is(err, context.DeadlineExceeded):
+		return kindDeadline
+	case errors.Is(err, context.Canceled):
+		return kindCanceled
+	}
+	return ""
+}
+
+// remoteError reattaches a sentinel to an error that crossed the wire
+// as (text, kind), preserving both the original text and errors.Is.
+type remoteError struct {
+	msg  string
+	kind error
+}
+
+func (e *remoteError) Error() string { return e.msg }
+func (e *remoteError) Unwrap() error { return e.kind }
+
+func wireError(msg, kind string) error {
+	var sentinel error
+	switch kind {
+	case kindCycleBudget:
+		sentinel = symx.ErrCycleBudget
+	case kindNodeBudget:
+		sentinel = symx.ErrNodeBudget
+	case kindDeadline:
+		sentinel = context.DeadlineExceeded
+	case kindCanceled:
+		sentinel = context.Canceled
+	default:
+		return errors.New(msg)
+	}
+	return &remoteError{msg: msg, kind: sentinel}
+}

@@ -1,0 +1,79 @@
+package fleet
+
+import (
+	"encoding/json"
+
+	"repro/internal/symx"
+)
+
+// RegisterRequest joins a worker to the fleet. Registration is advisory
+// (leases are granted to any worker that asks) but lets /readyz report
+// membership and tells the worker the coordinator's lease TTL.
+type RegisterRequest struct {
+	Worker string `json:"worker"`
+}
+
+// RegisterResponse acknowledges a registration.
+type RegisterResponse struct {
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+}
+
+// LeaseRequest asks for one task to execute.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseResponse grants one task lease. Spec is the job's journaled
+// request body, which the worker resolves through its own PlanFunc into
+// the System/sink pair the task runs on. BaseCycles/BaseNodes are the
+// coordinator's committed budget totals at lease time (see
+// symx.RunRemoteTask).
+type LeaseResponse struct {
+	JobID      string          `json:"job_id"`
+	Spec       json.RawMessage `json:"spec"`
+	Task       symx.RemoteTask `json:"task"`
+	BaseCycles int64           `json:"base_cycles"`
+	BaseNodes  int64           `json:"base_nodes"`
+	LeaseTTLMS int64           `json:"lease_ttl_ms"`
+}
+
+// ClaimRequest claims fork point Key on behalf of task Parent's Seq-th
+// chain segment, carrying the taken-direction child task for publication
+// if the claim wins. Claims are idempotent on (Parent, Seq).
+type ClaimRequest struct {
+	Worker string          `json:"worker"`
+	JobID  string          `json:"job_id"`
+	Key    uint64          `json:"key"`
+	Parent int             `json:"parent"`
+	Seq    int             `json:"seq"`
+	Child  symx.RemoteTask `json:"child"`
+}
+
+// CompleteRequest delivers a finished task. Exactly one of Result or
+// Error is set; ErrKind carries the error's sentinel category so the
+// coordinator can rebuild an errors.Is-matchable failure.
+type CompleteRequest struct {
+	Worker  string             `json:"worker"`
+	JobID   string             `json:"job_id"`
+	TaskID  int                `json:"task_id"`
+	Result  *symx.RemoteResult `json:"result,omitempty"`
+	Error   string             `json:"error,omitempty"`
+	ErrKind string             `json:"err_kind,omitempty"`
+}
+
+// CompleteResponse reports whether the completion was recorded (false
+// when a faster incarnation of the task already completed it, or the
+// result tripped a job-level failure — either way the worker is done
+// with the task).
+type CompleteResponse struct {
+	Accepted bool `json:"accepted"`
+}
+
+// HeartbeatRequest extends a task lease. A 410 response means the lease
+// was lost (expired and re-issued, or the coordinator restarted); the
+// worker must cancel the task.
+type HeartbeatRequest struct {
+	Worker string `json:"worker"`
+	JobID  string `json:"job_id"`
+	TaskID int    `json:"task_id"`
+}

@@ -1,0 +1,303 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/symx"
+	"repro/internal/ulp430"
+	"repro/peakpower"
+)
+
+// WorkerConfig configures a fleet worker.
+type WorkerConfig struct {
+	// Coordinator is the coordinator's base URL (e.g. http://host:8080).
+	Coordinator string
+	// ID identifies this worker in leases and /readyz; required.
+	ID string
+	// Plan resolves leased job specs; required. It must resolve
+	// identically to the coordinator's PlanFunc.
+	Plan PlanFunc
+	// Poll is the idle sleep between lease attempts. Default 250ms.
+	Poll time.Duration
+	// Client is the HTTP client; nil uses a 30s-timeout default.
+	Client *http.Client
+	// Logf logs worker events; nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Worker executes leased exploration tasks against a coordinator. Each
+// worker holds one private System/sink pair per job it has seen, reused
+// across that job's tasks; the sink's process-local candidate floor only
+// tightens over a job's lifetime, which is lossless (see
+// peakpower.ExplorePlan.NewWorker).
+type Worker struct {
+	cfg WorkerConfig
+	ttl time.Duration
+
+	jobs map[string]*jobRuntime
+}
+
+// jobRuntime is a worker's cached per-job execution state.
+type jobRuntime struct {
+	plan *peakpower.ExplorePlan
+	sys  *ulp430.System
+	sink symx.WorkerSink
+}
+
+// NewWorker builds a fleet worker. cfg.Coordinator, cfg.ID and cfg.Plan
+// are required.
+func NewWorker(cfg WorkerConfig) *Worker {
+	if cfg.Poll <= 0 {
+		cfg.Poll = 250 * time.Millisecond
+	}
+	if cfg.Client == nil {
+		cfg.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Worker{cfg: cfg, jobs: map[string]*jobRuntime{}}
+}
+
+// post sends one fleet RPC and decodes a 200 response into out (when
+// non-nil). It returns the HTTP status; transport failures return
+// status 0 and the error.
+func (w *Worker) post(ctx context.Context, path string, in, out any) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.cfg.Coordinator+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.cfg.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// register joins the fleet, retrying with backoff until the coordinator
+// answers (it may not be up yet) or ctx ends.
+func (w *Worker) register(ctx context.Context) error {
+	backoff := 250 * time.Millisecond
+	for {
+		var resp RegisterResponse
+		status, err := w.post(ctx, "/v1/fleet/register", RegisterRequest{Worker: w.cfg.ID}, &resp)
+		if err == nil && status == http.StatusOK {
+			w.ttl = time.Duration(resp.LeaseTTLMS) * time.Millisecond
+			if w.ttl <= 0 {
+				w.ttl = 10 * time.Second
+			}
+			w.cfg.Logf("fleet: joined %s (lease ttl %v)", w.cfg.Coordinator, w.ttl)
+			return nil
+		}
+		if err != nil {
+			w.cfg.Logf("fleet: register: %v (retrying)", err)
+		} else {
+			w.cfg.Logf("fleet: register: HTTP %d (retrying)", status)
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
+
+// runtime resolves (building and caching on first use) the worker's
+// execution state for a job.
+func (w *Worker) runtime(ctx context.Context, jobID string, spec json.RawMessage) (*jobRuntime, error) {
+	if rt, ok := w.jobs[jobID]; ok {
+		return rt, nil
+	}
+	plan, err := w.cfg.Plan(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	sys, sink, err := plan.NewWorker()
+	if err != nil {
+		return nil, err
+	}
+	rt := &jobRuntime{plan: plan, sys: sys, sink: sink}
+	w.jobs[jobID] = rt
+	return rt, nil
+}
+
+// Run registers with the coordinator and executes leased tasks until
+// ctx ends. It only returns ctx's error: task-level failures are
+// reported to the coordinator (failing the job there) and lost leases
+// are abandoned silently — the worker itself stays up.
+func (w *Worker) Run(ctx context.Context) error {
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var leaseResp LeaseResponse
+		status, err := w.post(ctx, "/v1/fleet/lease", LeaseRequest{Worker: w.cfg.ID}, &leaseResp)
+		if err != nil || status != http.StatusOK {
+			if err != nil && ctx.Err() != nil {
+				return ctx.Err()
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(w.cfg.Poll):
+			}
+			continue
+		}
+		w.runTask(ctx, &leaseResp)
+	}
+}
+
+// runTask executes one leased task end to end: heartbeats for its
+// lease, claims its forks, and reports its completion or failure.
+func (w *Worker) runTask(ctx context.Context, l *LeaseResponse) {
+	rt, err := w.runtime(ctx, l.JobID, l.Spec)
+	if err != nil {
+		// A worker that cannot rebuild the job's plan fails the job: the
+		// two sides' PlanFuncs are supposed to resolve identically, so
+		// this is a deployment error, not a transient.
+		w.complete(ctx, l, CompleteRequest{Error: err.Error(), ErrKind: errKind(err)})
+		return
+	}
+
+	ttl := time.Duration(l.LeaseTTLMS) * time.Millisecond
+	if ttl <= 0 {
+		ttl = w.ttl
+	}
+	taskCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Heartbeat until the task ends; a 410 means the lease was lost
+	// (expired and re-issued) and the task must stop — its replacement
+	// incarnation owns the subtree now.
+	var hb sync.WaitGroup
+	hb.Add(1)
+	go func() {
+		defer hb.Done()
+		tick := ttl / 3
+		if tick < 10*time.Millisecond {
+			tick = 10 * time.Millisecond
+		}
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-taskCtx.Done():
+				return
+			case <-t.C:
+				status, err := w.post(taskCtx, "/v1/fleet/heartbeat",
+					HeartbeatRequest{Worker: w.cfg.ID, JobID: l.JobID, TaskID: l.Task.ID}, nil)
+				if err == nil && status == http.StatusGone {
+					w.cfg.Logf("fleet: job %s task %d lease lost", l.JobID, l.Task.ID)
+					cancel()
+					return
+				}
+			}
+		}
+	}()
+
+	claimer := &httpClaimer{w: w, ctx: taskCtx, jobID: l.JobID}
+	res, err := symx.RunRemoteTask(rt.sys, rt.sink, rt.plan.ExploreOptions(taskCtx), rt.plan.Codec(), l.Task, claimer, l.BaseCycles, l.BaseNodes)
+	cancel()
+	hb.Wait()
+
+	switch {
+	case err == nil:
+		w.complete(ctx, l, CompleteRequest{Result: res})
+	case errors.Is(err, symx.ErrStaleTask):
+		// The coordinator disowned the task mid-flight; abandon.
+	case taskCtx.Err() != nil && ctx.Err() == nil:
+		// Lease lost (heartbeat 410): the replacement incarnation will
+		// redo the work; abandon silently.
+	case ctx.Err() != nil:
+		// Worker shutting down; the lease expires and the task is
+		// re-issued elsewhere.
+	default:
+		w.complete(ctx, l, CompleteRequest{Error: err.Error(), ErrKind: errKind(err)})
+	}
+}
+
+// complete posts a completion with retries (transport errors only —
+// completions are idempotent and first-wins on the coordinator).
+func (w *Worker) complete(ctx context.Context, l *LeaseResponse, req CompleteRequest) {
+	req.Worker = w.cfg.ID
+	req.JobID = l.JobID
+	req.TaskID = l.Task.ID
+	for attempt := 0; attempt < 4; attempt++ {
+		var resp CompleteResponse
+		status, err := w.post(ctx, "/v1/fleet/complete", req, &resp)
+		if err == nil {
+			if status == http.StatusOK && !resp.Accepted {
+				w.cfg.Logf("fleet: job %s task %d completion superseded", l.JobID, l.Task.ID)
+			}
+			return // 410/4xx/5xx: nothing useful left to do with the task
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(time.Duration(attempt+1) * 100 * time.Millisecond):
+		}
+	}
+	w.cfg.Logf("fleet: job %s task %d completion undeliverable", l.JobID, l.Task.ID)
+}
+
+// httpClaimer forwards a task's fork claims to the coordinator.
+// Transport errors retry (claims are idempotent on (parent, seq)); a
+// 410 surfaces as symx.ErrStaleTask, aborting the task.
+type httpClaimer struct {
+	w     *Worker
+	ctx   context.Context
+	jobID string
+}
+
+func (c *httpClaimer) Claim(key uint64, parent, seq int, child symx.RemoteTask) (symx.RemoteClaim, error) {
+	req := ClaimRequest{Worker: c.w.cfg.ID, JobID: c.jobID, Key: key, Parent: parent, Seq: seq, Child: child}
+	var lastErr error
+	for attempt := 0; attempt < 4; attempt++ {
+		var cl symx.RemoteClaim
+		status, err := c.w.post(c.ctx, "/v1/fleet/claim", req, &cl)
+		switch {
+		case err != nil:
+			lastErr = err
+		case status == http.StatusOK:
+			return cl, nil
+		case status == http.StatusGone:
+			return symx.RemoteClaim{}, symx.ErrStaleTask
+		default:
+			lastErr = fmt.Errorf("fleet: claim: HTTP %d", status)
+		}
+		select {
+		case <-c.ctx.Done():
+			return symx.RemoteClaim{}, c.ctx.Err()
+		case <-time.After(time.Duration(attempt+1) * 100 * time.Millisecond):
+		}
+	}
+	return symx.RemoteClaim{}, lastErr
+}

@@ -1,0 +1,606 @@
+// Cross-process work distribution for checkpointed parallel exploration.
+//
+// The checkpoint journal (checkpoint.go) already makes one exploration a
+// stream of portable task records: in checkpoint mode every fork is
+// published, so a task is exactly one linear segment chain from a
+// ulp430.PortableState to one terminal, identified before any work
+// happens. This file exposes that task stream over a process boundary:
+//
+//   - RemoteTask / RemoteResult are wire-encodable forms of the journal's
+//     pub and done records (state bytes gzipped EncodePortable, seeds and
+//     payloads pre-marshaled through the run's CheckpointCodec).
+//   - RunRemoteTask executes one task on a remote worker's private System
+//     and WorkerSink, mirroring the in-process worker.runTask loop in
+//     checkpoint mode statement for statement — except that fork claims go
+//     through a RemoteClaimer RPC instead of the in-process claim table,
+//     and newly discovered fork points travel back inside the claim call.
+//   - RemoteQueue is the coordinator side: it owns the journal (through
+//     the ordinary Checkpointer), leases pending tasks out, registers
+//     claims idempotently, and accepts first-wins completions. When every
+//     live task is done the journal is a COMPLETE exploration, and the
+//     ordinary resume path (ExploreParallel on the same journal) replays
+//     it without executing anything — assembling the canonical tree and
+//     candidate streams exactly as if the run had been local.
+//
+// Fault tolerance falls out of the claim discipline. A task re-issued
+// after a lease expiry re-executes deterministically, so its claims
+// arrive with the same (key, parent, seq) coordinates and are answered
+// with the same child identities — a zombie first incarnation and its
+// replacement produce interchangeable results, and the first completion
+// wins. Claims from a task the current coordinator life never leased are
+// rejected with ErrStaleTask: accepting them could let an unreachable
+// subtree shadow a live claim key, wedging the final assembly.
+package symx
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/ulp430"
+)
+
+// Exported budget-error constructors: the coordinator reconstructs a
+// worker's budget failure with the engine's exact error text so the
+// fleet-executed job fails byte-identically to a local run.
+func CycleBudgetError(max int) error { return cycleBudgetErr(max) }
+
+// NodeBudgetError is the node-budget counterpart of CycleBudgetError.
+func NodeBudgetError(max int) error { return nodeBudgetErr(max) }
+
+// ErrStaleTask rejects a fleet RPC referring to a task the current
+// coordinator life does not consider leased — a zombie worker holding
+// work from before a coordinator restart. The worker must abandon the
+// task; its live incarnation is re-issued from the journal.
+var ErrStaleTask = errors.New("symx: stale fleet task")
+
+// RemoteForces is the wire form of the accumulated fork forces a task's
+// first cycle is re-stepped under.
+type RemoteForces struct {
+	BrEn   bool `json:"bre,omitempty"`
+	BrVal  bool `json:"brv,omitempty"`
+	IrqEn  bool `json:"ire,omitempty"`
+	IrqVal bool `json:"irv,omitempty"`
+}
+
+func (f RemoteForces) forces() forkForces {
+	return forkForces{brEn: f.BrEn, brVal: f.BrVal, irqEn: f.IrqEn, irqVal: f.IrqVal}
+}
+
+func wireForces(f forkForces) RemoteForces {
+	return RemoteForces{BrEn: f.brEn, BrVal: f.brVal, IrqEn: f.irqEn, IrqVal: f.irqVal}
+}
+
+// RemoteTask is one leased unit of exploration work — the wire form of a
+// journal pub record. State is the gzipped ulp430.EncodePortable start
+// state (empty for the root task, which resets instead); Seed is the
+// sink seed marshaled through the run's CheckpointCodec.
+type RemoteTask struct {
+	ID      int          `json:"id"`
+	BasePos int          `json:"base,omitempty"`
+	Forces  RemoteForces `json:"forces"`
+	Seed    []byte       `json:"seed,omitempty"`
+	State   []byte       `json:"state,omitempty"`
+}
+
+// RemoteNode is one segment of a completed task's chain — the wire form
+// of a journal done record's ckptNode, payload pre-marshaled through the
+// codec.
+type RemoteNode struct {
+	Len         int    `json:"len"`
+	Kind        int    `json:"kind"`
+	IRQ         bool   `json:"irq,omitempty"`
+	PC          uint16 `json:"pc,omitempty"`
+	Key         uint64 `json:"key,omitempty"`
+	StreamStart int    `json:"ss,omitempty"`
+	Payload     []byte `json:"data,omitempty"`
+}
+
+// RemoteResult is a completed task: its segment chain in creation order,
+// the IDs of the tasks it published (one per branch, in branch order),
+// its simulated cycle count, and the sink's per-task observation blob.
+type RemoteResult struct {
+	Cycles int          `json:"cycles"`
+	Nodes  []RemoteNode `json:"nodes"`
+	Kids   []int        `json:"kids,omitempty"`
+	Sink   []byte       `json:"sink,omitempty"`
+}
+
+// RemoteClaim answers a fork-point claim: whether the claiming task owns
+// the subtree (and must keep exploring its not-taken direction), and the
+// identity assigned to the published taken-direction child when it does.
+type RemoteClaim struct {
+	Won     bool `json:"won"`
+	ChildID int  `json:"child_id,omitempty"`
+}
+
+// RemoteClaimer is the worker's view of the coordinator's claim table:
+// claim fork key on behalf of task parent's seq-th chain segment,
+// shipping the taken-direction child task for publication if the claim
+// wins. Implementations must be idempotent on (parent, seq) — a
+// re-executed task incarnation reaches identical forks and must receive
+// identical child identities.
+type RemoteClaimer interface {
+	Claim(key uint64, parent, seq int, child RemoteTask) (RemoteClaim, error)
+}
+
+// RunRemoteTask executes one leased task to its terminal, mirroring the
+// in-process checkpoint-mode worker loop: a linear segment chain (every
+// fork is either claimed — chain continues down the not-taken direction,
+// taken direction published via the claimer — or merged, ending the
+// task). baseCycles/baseNodes are the coordinator's committed totals at
+// lease time; they make the budget guards conservative (a trip implies
+// the true total exceeds the cap — the coordinator's completion-time
+// check is authoritative).
+func RunRemoteTask(sys *ulp430.System, sink WorkerSink, opts Options, codec CheckpointCodec, t RemoteTask, claimer RemoteClaimer, baseCycles, baseNodes int64) (*RemoteResult, error) {
+	opts = opts.withDefaults()
+
+	if len(t.State) > 0 {
+		raw, err := gunzipBytes(t.State)
+		if err != nil {
+			return nil, fmt.Errorf("symx: remote task %d state: %w", t.ID, err)
+		}
+		st, err := ulp430.DecodePortable(raw)
+		if err != nil {
+			return nil, fmt.Errorf("symx: remote task %d state: %w", t.ID, err)
+		}
+		sys.RestorePortable(st)
+	} else {
+		sys.Reset()
+	}
+	seed, err := codec.UnmarshalSeed(t.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("symx: remote task %d seed: %w", t.ID, err)
+	}
+	sink.BeginTask(t.ID, t.BasePos, seed)
+	defer sink.EndTask()
+
+	marshaler, ok := sink.(TaskMarshaler)
+	if !ok {
+		return nil, fmt.Errorf("symx: remote tasks require the sink to implement TaskMarshaler (%T does not)", sink)
+	}
+
+	var (
+		nodes      []*Node
+		kids       []int
+		stream     int
+		taskCycles int
+		nextCancel = cancelCheckEvery
+	)
+	newNode := func() *Node {
+		n := &Node{task: t.ID, streamStart: stream, seq: len(nodes)}
+		nodes = append(nodes, n)
+		return n
+	}
+	cur := newNode()
+	segStart := t.BasePos
+	pending := t.Forces.forces()
+	roll := &ulp430.SysSnapshot{}
+	done := false
+
+	finishSegment := func(kind NodeKind) {
+		cur.Kind = kind
+		cur.Len = sink.Pos() - segStart
+		cur.Data = sink.Segment(segStart)
+	}
+	applyForces := func() {
+		if pending.brEn {
+			sys.ForceBranch(pending.brVal)
+		}
+		if pending.irqEn {
+			sys.ForceIRQ(pending.irqVal)
+		}
+	}
+
+outer:
+	for !done {
+		if err := sys.Err(); err != nil {
+			return nil, err
+		}
+		if opts.Ctx != nil && taskCycles >= nextCancel {
+			nextCancel = taskCycles + cancelCheckEvery
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, fmt.Errorf("symx: exploration aborted after %d cycles: %w",
+					baseCycles+int64(taskCycles), err)
+			}
+		}
+		if sys.Halted() {
+			finishSegment(KindEnd)
+			break
+		}
+		// Conservative budget guards (see the function comment): committed
+		// base plus own work, ignoring in-flight peers.
+		if baseCycles+int64(taskCycles) > int64(opts.MaxCycles) {
+			return nil, cycleBudgetErr(opts.MaxCycles)
+		}
+		if baseNodes+int64(len(nodes)) > int64(opts.MaxNodes) {
+			return nil, nodeBudgetErr(opts.MaxNodes)
+		}
+
+		sys.SnapshotInto(roll)
+		rollPos := sink.Pos()
+
+		for {
+			applyForces()
+			sys.Step()
+			sys.ClearForce()
+			taskCycles++
+			if baseCycles+int64(taskCycles) > int64(opts.MaxCycles) {
+				return nil, cycleBudgetErr(opts.MaxCycles)
+			}
+
+			isIRQ := false
+			if sys.JumpCondUnknown() {
+			} else if sys.IRQCondUnknown() {
+				isIRQ = true
+			} else {
+				break // fully resolved
+			}
+
+			sys.Restore(roll)
+			pc, _ := sys.PC()
+			key := sys.StateHash() ^ pending.key()
+			cur.key = key
+			cur.BranchPC = pc
+			cur.IRQ = isIRQ
+
+			// The taken direction travels inside the claim: if the claim
+			// wins, the coordinator assigns it an identity and journals it
+			// before answering, so the fork is durable before either
+			// direction is explored (the pub-before-done invariant).
+			st := &ulp430.PortableState{}
+			sys.CapturePortableAt(roll, st)
+			seedBytes, err := codec.MarshalSeed(sink.SpawnSeed(rollPos))
+			if err != nil {
+				return nil, fmt.Errorf("symx: checkpoint seed marshal: %w", err)
+			}
+			child := RemoteTask{
+				BasePos: rollPos,
+				Forces:  wireForces(pending.with(isIRQ, true)),
+				Seed:    seedBytes,
+				State:   gzipBytes(ulp430.EncodePortable(st)),
+			}
+			cl, err := claimer.Claim(key, t.ID, cur.seq, child)
+			if err != nil {
+				return nil, err
+			}
+			if !cl.Won {
+				// Someone owns this subtree; the chain ends here.
+				// Assembly decides the canonical winner.
+				finishSegment(KindMerge)
+				done = true
+				break outer
+			}
+			finishSegment(KindBranch)
+			kids = append(kids, cl.ChildID)
+			sink.NewSegment()
+			cur = newNode()
+			segStart = rollPos
+			pending = pending.with(isIRQ, false)
+		}
+
+		sink.OnCycle(sys)
+		stream++
+		pending = forkForces{}
+
+		if _, known := sys.Sim.PortUint("pc"); !known {
+			return nil, fmt.Errorf("symx: PC became X at cycle %d — input-dependent branch target (computed jump/call on input data) is not supported", sys.Sim.Cycle())
+		}
+	}
+
+	blob, err := marshaler.MarshalTask()
+	if err != nil {
+		return nil, fmt.Errorf("symx: checkpoint sink marshal: %w", err)
+	}
+	res := &RemoteResult{Cycles: taskCycles, Kids: kids, Sink: blob}
+	res.Nodes = make([]RemoteNode, len(nodes))
+	for i, n := range nodes {
+		payload, err := codec.MarshalPayload(n.Data)
+		if err != nil {
+			return nil, fmt.Errorf("symx: checkpoint payload marshal: %w", err)
+		}
+		res.Nodes[i] = RemoteNode{
+			Len: n.Len, Kind: int(n.Kind), IRQ: n.IRQ, PC: n.BranchPC,
+			Key: n.key, StreamStart: n.streamStart, Payload: payload,
+		}
+	}
+	return res, nil
+}
+
+// writePubWire journals a task publication whose seed and state are
+// already wire-encoded (they came off a worker's claim RPC in journal
+// encoding).
+func (ck *Checkpointer) writePubWire(t *RemoteTask, parent, seq int) {
+	ck.append(&ckptRec{
+		T: "pub", ID: t.ID, Parent: parent, Seq: seq, BasePos: t.BasePos,
+		BrEn: t.Forces.BrEn, BrVal: t.Forces.BrVal,
+		IrqEn: t.Forces.IrqEn, IrqVal: t.Forces.IrqVal,
+		Seed: t.Seed, State: t.State,
+	})
+}
+
+// writeDoneWire journals a completed task from its wire result.
+func (ck *Checkpointer) writeDoneWire(id int, res *RemoteResult) {
+	rec := &ckptRec{T: "done", ID: id, Cycles: res.Cycles, Sink: res.Sink}
+	if len(res.Kids) > 0 {
+		rec.Kids = append([]int(nil), res.Kids...)
+	}
+	rec.Nodes = make([]ckptNode, len(res.Nodes))
+	for i, n := range res.Nodes {
+		rec.Nodes[i] = ckptNode{
+			Len: n.Len, Kind: n.Kind, IRQ: n.IRQ, PC: n.PC,
+			Key: n.Key, StreamStart: n.StreamStart, Payload: n.Payload,
+		}
+	}
+	ck.append(rec)
+}
+
+type remoteClaimRec struct {
+	parent, seq, child int
+}
+
+// RemoteQueue is the coordinator's task scheduler for one fleet-executed
+// exploration: it owns the checkpoint journal, leases pending tasks to
+// workers, answers claims (registering and journaling new tasks), and
+// accepts first-wins completions. Opening a queue on a journal left by a
+// crashed coordinator resumes it: live pending tasks re-enter the queue
+// under their recorded identities and the claim table is rebuilt from
+// the live done records, exactly as ExploreParallel's own resume would.
+type RemoteQueue struct {
+	mu   sync.Mutex
+	ck   *Checkpointer
+	opts Options
+
+	queue  []int // pending task IDs, FIFO
+	tasks  map[int]RemoteTask
+	queued map[int]bool
+	leased map[int]bool // leased at least once THIS coordinator life
+	done   map[int]bool
+	claims map[uint64]*remoteClaimRec
+
+	live   int // published live tasks not yet completed
+	cycles int64
+	nodes  int64
+	nextID int
+	err    error
+}
+
+// OpenRemoteQueue opens (or resumes) the journal at cfg.Path and returns
+// the coordinator-side scheduler for it. opts must be the exploration
+// options the final local seal will run under (the budgets are enforced
+// against them). Close the queue before sealing: the seal re-opens the
+// journal through the ordinary checkpoint resume path.
+func OpenRemoteQueue(cfg CheckpointConfig, opts Options) (*RemoteQueue, error) {
+	opts = opts.withDefaults()
+	ck := NewCheckpointer(cfg)
+	rs, err := ck.open()
+	if err != nil {
+		return nil, err
+	}
+	q := &RemoteQueue{
+		ck:     ck,
+		opts:   opts,
+		tasks:  map[int]RemoteTask{},
+		queued: map[int]bool{},
+		leased: map[int]bool{},
+		done:   map[int]bool{},
+		claims: map[uint64]*remoteClaimRec{},
+		cycles: rs.cycles,
+		nodes:  int64(len(rs.nodes)),
+		nextID: rs.nextID,
+	}
+
+	// Rebuild the claim table from the live done chains. The child task of
+	// a claim is the one grafted onto the branch node: a done child is
+	// reachable through Taken; a pending child is matched through its
+	// ptask's branch pointer below.
+	byBranch := map[*Node]*remoteClaimRec{}
+	for key, n := range rs.claims {
+		rec := &remoteClaimRec{parent: n.task, seq: n.seq, child: -1}
+		if n.Taken != nil {
+			rec.child = n.Taken.task
+		}
+		q.claims[key] = rec
+		byBranch[n] = rec
+	}
+
+	for _, t := range rs.pending {
+		wt := RemoteTask{
+			ID:      t.id,
+			BasePos: t.basePos,
+			Forces:  wireForces(t.forces),
+		}
+		seed, err := cfg.Codec.MarshalSeed(t.seed)
+		if err != nil {
+			return nil, fmt.Errorf("symx: checkpoint seed marshal: %w", err)
+		}
+		wt.Seed = seed
+		if t.state != nil {
+			wt.State = gzipBytes(ulp430.EncodePortable(t.state))
+		}
+		q.enqueue(wt)
+		if t.branch != nil {
+			if rec := byBranch[t.branch]; rec != nil {
+				rec.child = t.id
+			}
+		}
+	}
+	for key, rec := range q.claims {
+		if rec.child < 0 {
+			ck.close()
+			return nil, fmt.Errorf("symx: checkpoint journal %s: fork key %#x has no live child task", cfg.Path, key)
+		}
+	}
+
+	if !rs.rootPub {
+		root := RemoteTask{ID: q.nextID}
+		q.nextID++
+		// Reuses the in-process pub writer so a fleet-started journal is
+		// indistinguishable from a locally started one.
+		if err := ck.writePub(&ptask{id: root.ID}, -1, 0); err != nil {
+			ck.close()
+			return nil, err
+		}
+		q.enqueue(root)
+	}
+	if werr := ck.Err(); werr != nil {
+		ck.close()
+		return nil, fmt.Errorf("symx: checkpoint journal write: %w", werr)
+	}
+	return q, nil
+}
+
+// enqueue registers a task as live and pending (push back). Caller holds
+// no lock during Open; Lease/Claim callers hold q.mu.
+func (q *RemoteQueue) enqueue(t RemoteTask) {
+	q.tasks[t.ID] = t
+	q.queue = append(q.queue, t.ID)
+	q.queued[t.ID] = true
+	q.live++
+}
+
+// Lease hands out the oldest pending task with the committed budget
+// totals at lease time. ok is false when nothing is pending (the job may
+// still have outstanding leases — check Done).
+func (q *RemoteQueue) Lease() (t RemoteTask, baseCycles, baseNodes int64, ok bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.err != nil || len(q.queue) == 0 {
+		return RemoteTask{}, 0, 0, false
+	}
+	id := q.queue[0]
+	q.queue = q.queue[1:]
+	q.queued[id] = false
+	q.leased[id] = true
+	return q.tasks[id], q.cycles, q.nodes, true
+}
+
+// Requeue returns an expired lease's task to the queue front so it is
+// re-issued before newer work. Completed or already-queued tasks are
+// left alone (the zombie may still win the completion race).
+func (q *RemoteQueue) Requeue(id int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.err != nil || q.done[id] || q.queued[id] || !q.leased[id] {
+		return
+	}
+	q.queue = append([]int{id}, q.queue...)
+	q.queued[id] = true
+}
+
+// Claim implements the coordinator side of RemoteClaimer. It is
+// idempotent on (parent, seq): a re-executed task incarnation receives
+// the identities its predecessor was assigned. A fresh winning claim
+// journals and enqueues the child before answering.
+func (q *RemoteQueue) Claim(key uint64, parent, seq int, child RemoteTask) (RemoteClaim, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.err != nil {
+		return RemoteClaim{}, q.err
+	}
+	if !q.leased[parent] {
+		return RemoteClaim{}, ErrStaleTask
+	}
+	if rec, ok := q.claims[key]; ok {
+		if rec.parent == parent && rec.seq == seq {
+			return RemoteClaim{Won: true, ChildID: rec.child}, nil
+		}
+		return RemoteClaim{}, nil
+	}
+	child.ID = q.nextID
+	q.nextID++
+	q.ck.writePubWire(&child, parent, seq)
+	if werr := q.ck.Err(); werr != nil {
+		// The journal is the fleet's only result substrate; a write
+		// failure must fail the job rather than silently drop a task.
+		q.failLocked(fmt.Errorf("symx: checkpoint journal write: %w", werr))
+		return RemoteClaim{}, q.err
+	}
+	q.claims[key] = &remoteClaimRec{parent: parent, seq: seq, child: child.ID}
+	q.enqueue(child)
+	return RemoteClaim{Won: true, ChildID: child.ID}, nil
+}
+
+// Complete records a task's result, first completion wins. Completions
+// for tasks this coordinator life never leased are rejected with
+// ErrStaleTask (their claims were never registered, so their kids would
+// be unreachable); duplicates are ignored with accepted=false. The
+// authoritative budget check happens here, BEFORE the done record is
+// written — an over-budget journal must never look complete.
+func (q *RemoteQueue) Complete(id int, res *RemoteResult) (accepted bool, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.err != nil {
+		return false, q.err
+	}
+	if !q.leased[id] {
+		return false, ErrStaleTask
+	}
+	if q.done[id] {
+		return false, nil
+	}
+	if q.cycles+int64(res.Cycles) > int64(q.opts.MaxCycles) {
+		q.failLocked(cycleBudgetErr(q.opts.MaxCycles))
+		return false, q.err
+	}
+	if q.nodes+int64(len(res.Nodes)) > int64(q.opts.MaxNodes) {
+		q.failLocked(nodeBudgetErr(q.opts.MaxNodes))
+		return false, q.err
+	}
+	q.ck.writeDoneWire(id, res)
+	if werr := q.ck.Err(); werr != nil {
+		q.failLocked(fmt.Errorf("symx: checkpoint journal write: %w", werr))
+		return false, q.err
+	}
+	q.done[id] = true
+	q.queued[id] = false
+	q.cycles += int64(res.Cycles)
+	q.nodes += int64(len(res.Nodes))
+	q.live--
+	return true, nil
+}
+
+// Fail latches the first job-level error; subsequent leases and claims
+// are refused with it.
+func (q *RemoteQueue) Fail(err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.failLocked(err)
+}
+
+func (q *RemoteQueue) failLocked(err error) {
+	if q.err == nil && err != nil {
+		q.err = err
+	}
+}
+
+// Err returns the latched job-level error, if any.
+func (q *RemoteQueue) Err() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.err
+}
+
+// Done reports whether every live task has completed (and no error is
+// latched): the journal is a complete exploration, ready to seal.
+func (q *RemoteQueue) Done() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.err == nil && q.live == 0
+}
+
+// Stats reports the queue's scheduling state: tasks pending in the
+// queue, tasks leased out and not yet completed, and tasks completed.
+func (q *RemoteQueue) Stats() (pending, outstanding, completed int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	pending = len(q.queue)
+	completed = len(q.done)
+	outstanding = q.live - pending
+	return pending, outstanding, completed
+}
+
+// Close syncs and closes the journal. The queue must not be used after.
+func (q *RemoteQueue) Close() {
+	q.ck.close()
+}

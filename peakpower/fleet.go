@@ -1,0 +1,109 @@
+package peakpower
+
+import (
+	"context"
+
+	"repro/internal/power"
+	"repro/internal/symx"
+	"repro/internal/ulp430"
+)
+
+// ExplorePlan is a fully resolved analysis ready to be executed by a
+// fleet of cooperating processes (see internal/fleet): it exposes the
+// pieces a coordinator or worker needs — the journal tag, the engine
+// options, the checkpoint codec, and private System/sink construction —
+// without re-deriving them per task. The plan's Key equals the tag the
+// in-process WithCheckpoint path uses, so a journal filled by a fleet is
+// sealed by the ordinary AnalyzeImage(..., WithCheckpoint(path)) call.
+type ExplorePlan struct {
+	a   *Analyzer
+	img *Image
+	cfg config
+}
+
+// PlanImage resolves an image analysis into a fleet-executable plan.
+// opts are resolved against the analyzer defaults exactly as
+// AnalyzeImage would resolve them.
+func (a *Analyzer) PlanImage(img *Image, opts ...Option) *ExplorePlan {
+	return &ExplorePlan{a: a, img: img, cfg: a.resolve(opts)}
+}
+
+// PlanBench is PlanImage for a named built-in benchmark, applying the
+// same automatic cycle-budget and interrupt options AnalyzeBench applies
+// — the plan's Key matches what AnalyzeBench would compute, which is
+// what lets the sealing call and the fleet agree on the journal tag.
+func (a *Analyzer) PlanBench(name string, opts ...Option) (*ExplorePlan, error) {
+	b, img, err := targetBenchImage(a.target, name)
+	if err != nil {
+		return nil, err
+	}
+	var auto []Option
+	if b.MaxCycles > 0 {
+		auto = append(auto, WithMaxCycles(2*b.MaxCycles))
+	}
+	if b.IRQ != nil {
+		auto = append(auto, WithInterrupts(*b.IRQ))
+	}
+	return a.PlanImage(img, append(auto, opts...)...), nil
+}
+
+// App returns the analyzed application's name (for logs).
+func (p *ExplorePlan) App() string { return p.img.Name }
+
+// Key is the analysis fingerprint: the checkpoint journal tag and the
+// analysis cache key (identical by construction).
+func (p *ExplorePlan) Key() string { return p.a.cacheKey(p.img, p.cfg) }
+
+// ExploreOptions returns the symx engine options of this analysis. The
+// budgets must be enforced fleet-wide against exactly these values for
+// the job to fail identically to a local run.
+func (p *ExplorePlan) ExploreOptions(ctx context.Context) symx.Options {
+	return symx.Options{
+		MaxCycles:     p.cfg.maxCycles,
+		MaxNodes:      p.cfg.maxNodes,
+		Ctx:           ctx,
+		ProgressEvery: p.cfg.progressEvery,
+	}
+}
+
+// Codec returns the checkpoint codec that serializes this analysis's
+// sink seeds and segment payloads on the wire and in the journal.
+func (p *ExplorePlan) Codec() symx.CheckpointCodec { return power.Codec{} }
+
+// NewWorker builds one private System and checkpoint-capable sink for
+// executing this plan's remote tasks. Each call returns an independent
+// pair; a fleet worker creates one per job and reuses it across that
+// job's tasks. The sink's shared Best floor is process-local — a lower
+// bound on the in-process floor — so the candidate filters keep a
+// superset of what a single-process run keeps, which the canonical
+// replay then reduces identically (the filters are lossless at any
+// floor below the final maximum).
+func (p *ExplorePlan) NewWorker() (*ulp430.System, symx.WorkerSink, error) {
+	sys, err := p.a.newSystem(p.img, p.cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	sink := power.NewSink(sys, p.cfg.model(), p.img, p.cfg.coiK)
+	sink.EnableTasks(power.NewShared())
+	sink.EnableCheckpoint()
+	return sys, sink, nil
+}
+
+// Peek reports whether a result for the given analysis key is already
+// available in the memory or disk tier, without recording a hit or a
+// miss and without promoting the entry. The fleet coordinator uses it to
+// skip distributing work whose sealed Report is already on hand.
+func (c *Cache) Peek(key string) bool {
+	c.mu.Lock()
+	_, ok := c.byKey[key]
+	d := c.disk
+	c.mu.Unlock()
+	if ok {
+		return true
+	}
+	if d == nil {
+		return false
+	}
+	_, ok = d.Load(key)
+	return ok
+}

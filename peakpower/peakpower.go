@@ -132,16 +132,7 @@ func (a *Analyzer) analyzeImage(ctx context.Context, img *Image, cfg config) (*R
 		}
 	}
 
-	newSystem := func() (*ulp430.System, error) {
-		sys, err := a.target.NewSystem(cfg.engine, a.nl, model.Lib, img, ulp430.SymbolicInputs, nil)
-		if err != nil {
-			return nil, err
-		}
-		if cfg.irq != nil {
-			sys.EnableInterrupts(*cfg.irq)
-		}
-		return sys, nil
-	}
+	newSystem := func() (*ulp430.System, error) { return a.newSystem(img, cfg) }
 
 	var (
 		tree    *symx.Tree
@@ -263,6 +254,20 @@ func (a *Analyzer) analyzeImage(ctx context.Context, img *Image, cfg config) (*R
 	}
 	res.Seal()
 	return res, nil
+}
+
+// newSystem builds one private symbolic-mode System for a resolved
+// analysis — the construction shared by the sequential engine, every
+// parallel worker, and the fleet plan (ExplorePlan.NewWorker).
+func (a *Analyzer) newSystem(img *Image, cfg config) (*ulp430.System, error) {
+	sys, err := a.target.NewSystem(cfg.engine, a.nl, cfg.lib, img, ulp430.SymbolicInputs, nil)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.irq != nil {
+		sys.EnableInterrupts(*cfg.irq)
+	}
+	return sys, nil
 }
 
 // AnalyzeBench runs the co-analysis on one of the target's built-in

@@ -138,14 +138,18 @@ func Targets() []TargetInfo {
 	return out
 }
 
-// TargetBenchmarks lists a registered target's built-in benchmark suite.
-// Unknown targets wrap ErrUnknownTarget.
+// TargetBenchmarks lists a registered target's built-in benchmark suite,
+// sorted by name so the listing (and the GET /v1/benchmarks response
+// built from it) is byte-stable across processes. Unknown targets wrap
+// ErrUnknownTarget.
 func TargetBenchmarks(target string) ([]BenchInfo, error) {
 	t, ok := TargetByName(target)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q (see Targets)", ErrUnknownTarget, target)
 	}
-	return benchInfos(t.Benchmarks()), nil
+	infos := benchInfos(t.Benchmarks())
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos, nil
 }
 
 // NewFor builds an Analyzer for a registered target. The target's library,

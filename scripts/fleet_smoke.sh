@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Fleet smoke: a real coordinator peakpowerd plus two worker replicas
+# split one benchmark exploration across processes over HTTP, and the
+# sealed Report must hash-match a single-node sequential analysis
+# (-explore-workers 1). Every task crosses the fleet protocol: the
+# coordinator runs with zero local slots, so a hash match proves the
+# lease/claim/complete path end to end.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GO=${GO:-go}
+COORD=127.0.0.1:18090
+W1=127.0.0.1:18091
+W2=127.0.0.1:18092
+TMP=$(mktemp -d /tmp/fleet-smoke.XXXXXX)
+cleanup() {
+    kill $(jobs -p) 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+$GO build -o "$TMP/peakpowerd" ./cmd/peakpowerd
+$GO build -o "$TMP/peakpower" ./cmd/peakpower
+
+"$TMP/peakpowerd" -addr "$COORD" -data "$TMP/data" -coordinator \
+    -fleet-local-slots 0 -fleet-lease-ttl 5s &
+for i in $(seq 1 50); do
+    curl -sf "http://$COORD/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+
+"$TMP/peakpowerd" -addr "$W1" -join "http://$COORD" &
+"$TMP/peakpowerd" -addr "$W2" -join "http://$COORD" &
+
+# Wait until both workers appear in the coordinator's fleet membership.
+for i in $(seq 1 100); do
+    n=$(curl -sf "http://$COORD/readyz" | grep -o '18091\|18092' | sort -u | wc -l || true)
+    [ "${n:-0}" -ge 2 ] && break
+    sleep 0.2
+done
+if [ "${n:-0}" -lt 2 ]; then
+    echo "fleet smoke: FAIL (workers never registered)" >&2
+    curl -s "http://$COORD/readyz" >&2 || true
+    exit 1
+fi
+
+# The fleet-executed analysis (the CLI's -server mode goes through
+# POST /v1/jobs, which coordinator mode distributes) vs the single-node
+# sequential reference.
+"$TMP/peakpower" -server "http://$COORD" -bench binSearch -json > "$TMP/fleet.json"
+"$TMP/peakpower" -bench binSearch -explore-workers 1 -json > "$TMP/local.json"
+
+fleet_hash=$(grep -o '"hash": *"sha256:[^"]*"' "$TMP/fleet.json")
+local_hash=$(grep -o '"hash": *"sha256:[^"]*"' "$TMP/local.json")
+if [ -z "$fleet_hash" ] || [ "$fleet_hash" != "$local_hash" ]; then
+    echo "fleet smoke: FAIL (fleet $fleet_hash != single-node $local_hash)" >&2
+    exit 1
+fi
+
+# Prove the work actually crossed the fleet (zero local slots should
+# force every task through a remote lease).
+if ! curl -sf "http://$COORD/debug/vars" | grep -q '"peakpowerd_fleet_tasks_leased": [1-9]'; then
+    echo "fleet smoke: FAIL (no tasks were leased to the workers)" >&2
+    curl -s "http://$COORD/debug/vars" >&2 || true
+    exit 1
+fi
+
+echo "fleet smoke: OK (2 workers, $fleet_hash)"
