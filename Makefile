@@ -40,6 +40,15 @@ race-parallel:
 	$(GO) test -race -run 'Parallel|ExploreWorkers|SnapPool|FuzzExplore|EnginesAgree' \
 		./internal/symx/... ./internal/gsim/... ./peakpower/...
 
+# Memo-soundness guard: the memo tables (whole-step default, per-level
+# opt-in) are pure execution-speed mechanisms, so sealed Reports must be
+# byte-identical with memoization on or off — across engines, worker
+# counts, SIGKILL-resume, and a 2-worker fleet, all diffed against the
+# committed golden hashes. CI fails here if a memo change ever leaks
+# into Report bytes.
+memo-guard:
+	$(GO) test -count=1 -run 'TestMemo|TestCacheKeyIgnoresMemo' ./peakpower/
+
 # Short native-fuzz session over the sequential-vs-parallel differential
 # target: generated programs and interrupt windows, trees and power
 # reductions required to agree exactly. CI's fuzz smoke.
@@ -113,7 +122,7 @@ fleet-smoke:
 	$(GO) test -count=1 -v -run 'TestFleet' ./cmd/peakpowerd/
 	./scripts/fleet_smoke.sh
 
-ci: build vet race race-irq race-parallel fuzz-smoke smoke crash-smoke fleet-smoke example-smoke
+ci: build vet race race-irq race-parallel memo-guard fuzz-smoke smoke crash-smoke fleet-smoke example-smoke
 
 clean:
 	$(GO) clean ./...

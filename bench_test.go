@@ -516,6 +516,33 @@ func BenchmarkEngineCoAnalysis(b *testing.B) {
 	}
 }
 
+// BenchmarkMemo measures the whole-step memoization (PERFORMANCE.md,
+// "Engine speed round 2") by running the same fresh co-analysis with the
+// memo table on and off. The sealed Reports are byte-identical either
+// way (peakpower's memo determinism suite asserts it); this benchmark
+// captures only the replay speedup. sensorDuty and adcSample are the
+// convergent, loop-heavy explorations the step table targets; tHold and
+// binSearch are path-divergent controls where probation must cut the
+// table's overhead to noise.
+func BenchmarkMemo(b *testing.B) {
+	a, err := peakpower.New()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, app := range []string{"tHold", "binSearch", "sensorDuty", "adcSample"} {
+		for _, memo := range []bool{false, true} {
+			b.Run(fmt.Sprintf("%s/memo=%v", app, memo), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := a.AnalyzeBench(context.Background(), app,
+						peakpower.WithMemo(memo)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkExploreWorkers scales the work-stealing parallel exploration
 // across worker counts on sensorDuty — the widest interrupt-forking tree
 // in the suite (dozens of pending fork points, so work actually

@@ -54,7 +54,6 @@ type client struct {
 	hc       *http.Client
 	attempts int
 	poll     time.Duration
-	rng      *rand.Rand
 }
 
 func newClient(base string, attempts int) *client {
@@ -63,22 +62,26 @@ func newClient(base string, attempts int) *client {
 		hc:       &http.Client{Timeout: 30 * time.Second},
 		attempts: attempts,
 		poll:     250 * time.Millisecond,
-		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 }
 
 // backoff is the wait before retry number attempt (0-based): the server's
 // Retry-After when it gave one, otherwise exponential from 250ms with
-// half-range jitter, capped at 5s.
+// half-range jitter, capped at 5s. The jitter uses the top-level rand
+// functions, which are safe for concurrent use — one client may serve
+// batch retries from several goroutines at once.
 func (c *client) backoff(attempt, retryAfter int) time.Duration {
 	if retryAfter >= 0 {
 		return time.Duration(retryAfter) * time.Second
 	}
+	if attempt > 20 {
+		attempt = 20 // clamp the shift; the cap below rules anyway
+	}
 	d := 250 * time.Millisecond << attempt
-	if d > 5*time.Second {
+	if d <= 0 || d > 5*time.Second {
 		d = 5 * time.Second
 	}
-	return d/2 + time.Duration(c.rng.Int63n(int64(d/2)+1))
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }
 
 // roundTrip performs one HTTP exchange, classifying the outcome:

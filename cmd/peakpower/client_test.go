@@ -3,9 +3,9 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -16,7 +16,6 @@ import (
 func testClient(base string, attempts int) *client {
 	c := newClient(base, attempts)
 	c.poll = time.Millisecond
-	c.rng = rand.New(rand.NewSource(1))
 	return c
 }
 
@@ -33,11 +32,43 @@ func TestBackoffHonorsRetryAfter(t *testing.T) {
 			}
 		}
 	}
-	for i := 0; i < 50; i++ {
-		if d := c.backoff(20, -1); d < 2500*time.Millisecond || d > 5*time.Second {
-			t.Fatalf("capped backoff %v outside [2.5s, 5s]", d)
+	for _, attempt := range []int{20, 40, 63, 200} { // large shifts must clamp, not overflow
+		for i := 0; i < 50; i++ {
+			if d := c.backoff(attempt, -1); d < 2500*time.Millisecond || d > 5*time.Second {
+				t.Fatalf("attempt %d: capped backoff %v outside [2.5s, 5s]", attempt, d)
+			}
 		}
 	}
+}
+
+// TestConcurrentRetries shares one client between goroutines that all hit
+// a flapping server, so the retry path — including the jittered backoff —
+// runs concurrently. Run under -race this is the regression test for the
+// old per-client *rand.Rand, which is not safe for concurrent use.
+func TestConcurrentRetries(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%2 == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":"draining"}`))
+			return
+		}
+		w.Write([]byte(`{"fine":true}`))
+	}))
+	defer ts.Close()
+
+	c := testClient(ts.URL, 5)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if body := c.do(context.Background(), http.MethodGet, "/", nil); string(body) != `{"fine":true}` {
+				t.Errorf("unexpected body %s", body)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // TestParseRetryAfter covers both RFC 9110 header forms: delay-seconds

@@ -5,24 +5,43 @@ import (
 	"sync"
 )
 
-// Operational counters exported on /debug/vars. The cumulative counters
-// are process-global expvar.Ints (expvar.Publish panics on duplicate
-// names, and tests build several servers per process); the gauges are
-// expvar.Funcs registered once, reading whichever server most recently
-// called registerMetrics.
+// Operational counters exported on /debug/vars. expvar.Publish (and the
+// expvar.New* constructors built on it) panic on duplicate names, and one
+// process routinely constructs several servers — tests, and a
+// -coordinator with an embedded worker — so every registration here goes
+// through an idempotent lookup-or-create: the counters are process-global
+// and shared by all servers, and the gauges are registered once, reading
+// whichever server most recently called registerMetrics.
 var (
-	mJobsAccepted  = expvar.NewInt("peakpowerd_jobs_accepted")
-	mJobsCompleted = expvar.NewInt("peakpowerd_jobs_completed")
-	mJobsFailed    = expvar.NewInt("peakpowerd_jobs_failed")
-	mWebhooksOK    = expvar.NewInt("peakpowerd_webhooks_delivered")
-	mWebhooksFail  = expvar.NewInt("peakpowerd_webhooks_failed")
+	mJobsAccepted  = metricInt("peakpowerd_jobs_accepted")
+	mJobsCompleted = metricInt("peakpowerd_jobs_completed")
+	mJobsFailed    = metricInt("peakpowerd_jobs_failed")
+	mWebhooksOK    = metricInt("peakpowerd_webhooks_delivered")
+	mWebhooksFail  = metricInt("peakpowerd_webhooks_failed")
 )
 
 var (
-	metricsMu   sync.Mutex
-	metricsSrv  *server
-	metricsOnce sync.Once
+	metricsMu  sync.Mutex
+	metricsSrv *server
 )
+
+// metricInt returns the existing expvar.Int published under name, or
+// publishes a fresh one — never panicking on a duplicate.
+func metricInt(name string) *expvar.Int {
+	if v, ok := expvar.Get(name).(*expvar.Int); ok {
+		return v
+	}
+	return expvar.NewInt(name)
+}
+
+// publishGauge publishes f under name unless the name is already taken.
+// Callers serialize through metricsMu, closing the check-then-publish
+// race.
+func publishGauge(name string, f expvar.Func) {
+	if expvar.Get(name) == nil {
+		expvar.Publish(name, f)
+	}
+}
 
 // metricsServer returns the server the gauges read, if any.
 func metricsServer() *server {
@@ -32,49 +51,48 @@ func metricsServer() *server {
 }
 
 // registerMetrics points the /debug/vars gauges at s and publishes them
-// on first use.
+// if this process has not yet done so. Safe to call once per server,
+// any number of servers per process.
 func registerMetrics(s *server) {
 	metricsMu.Lock()
+	defer metricsMu.Unlock()
 	metricsSrv = s
-	metricsMu.Unlock()
-	metricsOnce.Do(func() {
-		expvar.Publish("peakpowerd_queue_depth", expvar.Func(func() any {
-			if s := metricsServer(); s != nil {
-				return s.jobs.stats().QueueDepth
-			}
-			return 0
-		}))
-		expvar.Publish("peakpowerd_in_flight", expvar.Func(func() any {
-			if s := metricsServer(); s != nil {
-				return s.jobs.stats().InFlight
-			}
-			return 0
-		}))
-		expvar.Publish("peakpowerd_cache", expvar.Func(func() any {
-			if s := metricsServer(); s != nil {
-				return s.cache.Stats()
-			}
-			return nil
-		}))
-		expvar.Publish("peakpowerd_disk", expvar.Func(func() any {
-			if s := metricsServer(); s != nil && s.disk != nil {
-				return s.disk.Stats()
-			}
-			return nil
-		}))
-		expvar.Publish("peakpowerd_fleet_tasks_leased", expvar.Func(func() any {
-			if s := metricsServer(); s != nil && s.fleet != nil {
-				leased, _ := s.fleet.Counters()
-				return leased
-			}
-			return 0
-		}))
-		expvar.Publish("peakpowerd_fleet_tasks_reissued", expvar.Func(func() any {
-			if s := metricsServer(); s != nil && s.fleet != nil {
-				_, reissued := s.fleet.Counters()
-				return reissued
-			}
-			return 0
-		}))
-	})
+	publishGauge("peakpowerd_queue_depth", expvar.Func(func() any {
+		if s := metricsServer(); s != nil {
+			return s.jobs.stats().QueueDepth
+		}
+		return 0
+	}))
+	publishGauge("peakpowerd_in_flight", expvar.Func(func() any {
+		if s := metricsServer(); s != nil {
+			return s.jobs.stats().InFlight
+		}
+		return 0
+	}))
+	publishGauge("peakpowerd_cache", expvar.Func(func() any {
+		if s := metricsServer(); s != nil {
+			return s.cache.Stats()
+		}
+		return nil
+	}))
+	publishGauge("peakpowerd_disk", expvar.Func(func() any {
+		if s := metricsServer(); s != nil && s.disk != nil {
+			return s.disk.Stats()
+		}
+		return nil
+	}))
+	publishGauge("peakpowerd_fleet_tasks_leased", expvar.Func(func() any {
+		if s := metricsServer(); s != nil && s.fleet != nil {
+			leased, _ := s.fleet.Counters()
+			return leased
+		}
+		return 0
+	}))
+	publishGauge("peakpowerd_fleet_tasks_reissued", expvar.Func(func() any {
+		if s := metricsServer(); s != nil && s.fleet != nil {
+			_, reissued := s.fleet.Counters()
+			return reissued
+		}
+		return 0
+	}))
 }

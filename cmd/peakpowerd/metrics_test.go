@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/json"
+	"expvar"
+	"testing"
+	"time"
+)
+
+// TestMetricsTwoServers is the regression test for duplicate expvar
+// registration: every expvar name peakpowerd exports must survive
+// constructing any number of servers in one process — exactly what this
+// test binary, and a -coordinator with an embedded worker, do. A
+// non-idempotent registration panics inside expvar.Publish here.
+func TestMetricsTwoServers(t *testing.T) {
+	_, s1 := newTestServerCfg(t, serverConfig{cacheSize: 4, timeout: time.Minute})
+	_, s2 := newTestServerCfg(t, serverConfig{cacheSize: 4, timeout: time.Minute})
+
+	if got := metricsServer(); got != s2 {
+		t.Fatalf("gauges read server %p, want the most recently registered %p", got, s2)
+	}
+	// Explicit re-registration (beyond what newServer already did) must
+	// also be a no-op, and must re-point the gauges.
+	registerMetrics(s1)
+	registerMetrics(s1)
+	if got := metricsServer(); got != s1 {
+		t.Fatalf("gauges read server %p, want %p after re-registration", got, s1)
+	}
+
+	// The counters must resolve to one shared process-global instance.
+	if got := metricInt("peakpowerd_jobs_accepted"); got != mJobsAccepted {
+		t.Fatal("metricInt returned a fresh counter for an existing name")
+	}
+	// Every gauge must be published and render valid JSON.
+	for _, name := range []string{
+		"peakpowerd_queue_depth", "peakpowerd_in_flight", "peakpowerd_cache",
+		"peakpowerd_disk", "peakpowerd_fleet_tasks_leased", "peakpowerd_fleet_tasks_reissued",
+	} {
+		v := expvar.Get(name)
+		if v == nil {
+			t.Fatalf("gauge %s not published", name)
+		}
+		var out any
+		if err := json.Unmarshal([]byte(v.String()), &out); err != nil {
+			t.Fatalf("gauge %s renders invalid JSON %q: %v", name, v.String(), err)
+		}
+	}
+}

@@ -69,6 +69,26 @@ func (s *server) notifyWebhook(j *jobstore.Job) {
 	go s.deliverWebhook(j.ID, req.CallbackURL, body)
 }
 
+// webhookBackoff is the wait before retry number attempt (1-based):
+// exponential from 250ms with full-range jitter, capped at 30s. The
+// doubling is a loop rather than a shift so a large attempt count can
+// never overflow into a zero or negative duration — rand.Int63n panics
+// on a non-positive argument — and the jitter base is always >= 250ms.
+func webhookBackoff(attempt int) time.Duration {
+	const (
+		base = 250 * time.Millisecond
+		max  = 30 * time.Second
+	)
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	return d + time.Duration(rand.Int63n(int64(d)))
+}
+
 // deliverWebhook posts one signed delivery with jittered-backoff
 // retries. Any 2xx acknowledges; the attempt budget is small — a
 // webhook is a notification, the job record remains pollable either way.
@@ -76,9 +96,7 @@ func (s *server) deliverWebhook(jobID, callbackURL string, body []byte) {
 	const attempts = 4
 	for attempt := 0; attempt < attempts; attempt++ {
 		if attempt > 0 {
-			backoff := time.Duration(1<<(attempt-1)) * 250 * time.Millisecond
-			backoff += time.Duration(rand.Int63n(int64(backoff)))
-			time.Sleep(backoff)
+			time.Sleep(webhookBackoff(attempt))
 		}
 		req, err := http.NewRequest(http.MethodPost, callbackURL, bytes.NewReader(body))
 		if err != nil {

@@ -90,3 +90,32 @@ func TestWebhookURLValidation(t *testing.T) {
 		t.Fatalf("rejected submissions queued: %+v", st)
 	}
 }
+
+// TestWebhookBackoffBounds table-tests the retry schedule: every attempt
+// — including absurdly large ones that would overflow a naive shift —
+// yields a wait inside [deterministic base, 2*base], never zero or
+// negative (rand.Int63n panics on a non-positive argument).
+func TestWebhookBackoffBounds(t *testing.T) {
+	const cap = 30 * time.Second
+	cases := []struct {
+		attempt int
+		base    time.Duration
+	}{
+		{1, 250 * time.Millisecond},
+		{2, 500 * time.Millisecond},
+		{3, time.Second},
+		{4, 2 * time.Second},
+		{8, cap},
+		{62, cap},
+		{63, cap}, // 250ms << 62 overflows int64
+		{1 << 20, cap},
+	}
+	for _, tc := range cases {
+		for i := 0; i < 100; i++ {
+			d := webhookBackoff(tc.attempt)
+			if d < tc.base || d >= 2*tc.base {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v)", tc.attempt, d, tc.base, 2*tc.base)
+			}
+		}
+	}
+}

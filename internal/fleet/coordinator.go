@@ -362,7 +362,7 @@ func (c *Coordinator) handleClaim(w http.ResponseWriter, req *http.Request) {
 	if r == nil {
 		return
 	}
-	cl, err := r.q.Claim(in.Key, in.Parent, in.Seq, in.Child)
+	cl, err := r.q.Claim(symx.ForkKey{Lo: in.Key, Hi: in.Key2}, in.Parent, in.Seq, in.Child)
 	if err != nil {
 		if errors.Is(err, symx.ErrStaleTask) {
 			http.Error(w, "gone: "+err.Error(), http.StatusGone)

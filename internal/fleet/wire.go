@@ -43,7 +43,8 @@ type LeaseResponse struct {
 type ClaimRequest struct {
 	Worker string          `json:"worker"`
 	JobID  string          `json:"job_id"`
-	Key    uint64          `json:"key"`
+	Key    uint64          `json:"key"`            // symx.ForkKey.Lo
+	Key2   uint64          `json:"key2,omitempty"` // symx.ForkKey.Hi
 	Parent int             `json:"parent"`
 	Seq    int             `json:"seq"`
 	Child  symx.RemoteTask `json:"child"`

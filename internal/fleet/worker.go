@@ -277,8 +277,8 @@ type httpClaimer struct {
 	jobID string
 }
 
-func (c *httpClaimer) Claim(key uint64, parent, seq int, child symx.RemoteTask) (symx.RemoteClaim, error) {
-	req := ClaimRequest{Worker: c.w.cfg.ID, JobID: c.jobID, Key: key, Parent: parent, Seq: seq, Child: child}
+func (c *httpClaimer) Claim(key symx.ForkKey, parent, seq int, child symx.RemoteTask) (symx.RemoteClaim, error) {
+	req := ClaimRequest{Worker: c.w.cfg.ID, JobID: c.jobID, Key: key.Lo, Key2: key.Hi, Parent: parent, Seq: seq, Child: child}
 	var lastErr error
 	for attempt := 0; attempt < 4; attempt++ {
 		var cl symx.RemoteClaim

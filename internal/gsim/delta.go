@@ -1,0 +1,221 @@
+package gsim
+
+import "math/bits"
+
+// Copy-on-write fork snapshots. A full packed Snapshot copies four
+// plane arrays per fork; deep exploration trees fork every few cycles
+// in tight loops, where only a handful of words changed since the last
+// fork. A DeltaSnapshot instead records the simulator's state as a
+// word-delta against a shared immutable anchor: fork cost becomes
+// O(words changed since the anchor), not O(nets).
+//
+// The invariant that makes this sound (DESIGN.md "Memoization and
+// copy-on-write soundness"): whenever p.anchor is non-nil, every plane
+// word (in any of curV/curK/prevV/prevK) that differs from the anchor
+// has its bit set in p.since. Maintenance:
+//
+//   - reAnchor copies the current planes into a fresh anchor and
+//     records d0, the word mask where cur differs from prev; since
+//     resets to zero (the planes equal the anchor exactly).
+//   - Each Step ends with since |= dirty | d0: current-plane changes
+//     are exactly the dirty words, and the prev <- cur latch can only
+//     introduce a prev-vs-anchorPrev difference where the old cur
+//     already differed from anchorCur (already in since) or where the
+//     anchor's own cur and prev differ (d0).
+//   - A full Restore keeps the anchor only when the snapshot was taken
+//     against the same anchor at the same epoch — i.e. since has only
+//     grown since the capture, so the restored words' anchor diffs are
+//     still covered. Anything else (a portable state from another
+//     process, a pre-anchor snapshot) nils the anchor; the next fork
+//     capture re-anchors.
+//   - Restoring a delta resets since (it shrinks to exactly the
+//     delta's words), so the epoch increments, invalidating older
+//     same-anchor full snapshots.
+//
+// Anchors are immutable once created and may be shared by any number
+// of live DeltaSnapshots; restoring a delta whose anchor is not the
+// simulator's current one falls back to a full-plane copy from the
+// delta's own anchor and adopts it.
+
+// planeAnchor is an immutable full-plane capture that deltas reference.
+type planeAnchor struct {
+	curV, curK   []uint64
+	prevV, prevK []uint64
+	d0           []uint64 // word mask: cur != prev at anchor time
+}
+
+// DeltaSnapshot is a compact restorable capture of packed-engine state:
+// a shared anchor plus the plane words that differ from it (four values
+// per word: curV, curK, prevV, prevK), along with the same cycle/staged
+// metadata a full Snapshot carries.
+type DeltaSnapshot struct {
+	anchor  *planeAnchor
+	words   []int32
+	quads   []uint64
+	settled bool
+	staged  []stagedInput
+	cycle   uint64
+}
+
+// Words reports how many plane words the delta carries — the fork-cost
+// observable (tests assert deltas stay small in tight loops).
+func (d *DeltaSnapshot) Words() int { return len(d.words) }
+
+// CloneInto deep-copies d into dst, reusing dst's buffers. The anchor
+// is shared, not copied: anchors are immutable by construction.
+func (d *DeltaSnapshot) CloneInto(dst *DeltaSnapshot) {
+	dst.anchor = d.anchor
+	dst.words = append(dst.words[:0], d.words...)
+	dst.quads = append(dst.quads[:0], d.quads...)
+	dst.settled = d.settled
+	dst.staged = append(dst.staged[:0], d.staged...)
+	dst.cycle = d.cycle
+}
+
+// reAnchor makes the current planes the new anchor. O(Words), amortized
+// across the cheap delta captures that follow.
+func (p *packedSim) reAnchor() {
+	a := &planeAnchor{
+		curV:  append([]uint64(nil), p.curV...),
+		curK:  append([]uint64(nil), p.curK...),
+		prevV: append([]uint64(nil), p.prevV...),
+		prevK: append([]uint64(nil), p.prevK...),
+		d0:    make([]uint64, len(p.dirty)),
+	}
+	for w := range p.curV {
+		if p.curV[w] != p.prevV[w] || p.curK[w] != p.prevK[w] {
+			a.d0[w>>6] |= 1 << uint(w&63)
+		}
+	}
+	p.anchor = a
+	if p.since == nil {
+		p.since = make([]uint64, len(p.dirty))
+	} else {
+		for i := range p.since {
+			p.since[i] = 0
+		}
+	}
+	p.epoch++
+}
+
+// sinceDense reports whether the since set has grown past the point
+// where a delta stops being cheaper than a fresh anchor.
+func (p *packedSim) sinceDense() bool {
+	n := 0
+	for _, m := range p.since {
+		n += bits.OnesCount64(m)
+	}
+	return n > len(p.curV)/4
+}
+
+// CaptureDelta captures the current state as a copy-on-write delta into
+// dst, reusing dst's buffers. It returns false on the scalar engine,
+// where the caller must fall back to a full snapshot.
+func (s *Simulator) CaptureDelta(dst *DeltaSnapshot) bool {
+	p := s.pk
+	if p == nil {
+		return false
+	}
+	if p.anchor == nil || p.sinceDense() {
+		p.reAnchor()
+	}
+	a := p.anchor
+	dst.anchor = a
+	dst.words = dst.words[:0]
+	dst.quads = dst.quads[:0]
+	for i, m := range p.since {
+		base := int32(i) << 6
+		for m != 0 {
+			w := base + int32(bits.TrailingZeros64(m))
+			m &= m - 1
+			cv, ck, pv, pk := p.curV[w], p.curK[w], p.prevV[w], p.prevK[w]
+			if cv != a.curV[w] || ck != a.curK[w] || pv != a.prevV[w] || pk != a.prevK[w] {
+				dst.words = append(dst.words, w)
+				dst.quads = append(dst.quads, cv, ck, pv, pk)
+			}
+		}
+	}
+	dst.settled = p.settled
+	dst.staged = append(dst.staged[:0], s.staged...)
+	dst.cycle = s.cycle
+	return true
+}
+
+// RestoreDelta rewinds the simulator to a delta capture. Semantics
+// match Restore of the materialized full snapshot exactly: planes,
+// settled, staged, cycle restored; activity flags zeroed; the cached
+// energy bound invalidated.
+func (s *Simulator) RestoreDelta(d *DeltaSnapshot) {
+	p := s.pk
+	if p == nil {
+		panic("gsim: RestoreDelta on scalar engine")
+	}
+	a := d.anchor
+	if p.anchor == a {
+		// Revert every word that may differ from the shared anchor,
+		// then lay the delta over it. A delta word absent from the
+		// current since set already equals the anchor (the invariant),
+		// so the overwrite below is the only change it needs.
+		for i, m := range p.since {
+			base := int32(i) << 6
+			for m != 0 {
+				w := base + int32(bits.TrailingZeros64(m))
+				m &= m - 1
+				p.curV[w] = a.curV[w]
+				p.curK[w] = a.curK[w]
+				p.prevV[w] = a.prevV[w]
+				p.prevK[w] = a.prevK[w]
+			}
+		}
+	} else {
+		copy(p.curV, a.curV)
+		copy(p.curK, a.curK)
+		copy(p.prevV, a.prevV)
+		copy(p.prevK, a.prevK)
+		p.anchor = a
+		if p.since == nil {
+			p.since = make([]uint64, len(p.dirty))
+		}
+	}
+	for i := range p.since {
+		p.since[i] = 0
+	}
+	for j, w := range d.words {
+		q := d.quads[4*j:]
+		p.curV[w], p.curK[w], p.prevV[w], p.prevK[w] = q[0], q[1], q[2], q[3]
+		p.since[w>>6] |= 1 << uint(w&63)
+	}
+	p.epoch++ // since shrank: older same-anchor full snapshots are stale
+	p.settled = d.settled
+	p.boundValid = false
+	p.actValid = false
+	for i := range p.act {
+		p.act[i] = 0
+	}
+	s.staged = append(s.staged[:0], d.staged...)
+	s.cycle = d.cycle
+}
+
+// MaterializeInto expands the delta into a full Snapshot (for portable
+// captures that must cross process boundaries), reusing sn's buffers.
+func (d *DeltaSnapshot) MaterializeInto(sn *Snapshot) {
+	a := d.anchor
+	sn.PlaneV = append(sn.PlaneV[:0], a.curV...)
+	sn.PlaneK = append(sn.PlaneK[:0], a.curK...)
+	sn.PrevPlaneV = append(sn.PrevPlaneV[:0], a.prevV...)
+	sn.PrevPlaneK = append(sn.PrevPlaneK[:0], a.prevK...)
+	for j, w := range d.words {
+		q := d.quads[4*j:]
+		sn.PlaneV[w], sn.PlaneK[w] = q[0], q[1]
+		sn.PrevPlaneV[w], sn.PrevPlaneK[w] = q[2], q[3]
+	}
+	sn.Vals = sn.Vals[:0]
+	sn.Prev = sn.Prev[:0]
+	sn.Settled = d.settled
+	sn.Staged = append(sn.Staged[:0], d.staged...)
+	sn.Cycle = d.cycle
+	// The materialized snapshot's relationship to any live anchor is
+	// unknown to a future restorer; force conservative invalidation.
+	sn.anchor = nil
+	sn.epoch = 0
+}

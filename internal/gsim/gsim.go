@@ -47,6 +47,7 @@ package gsim
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/cell"
 	"repro/internal/logic"
@@ -125,6 +126,10 @@ type Simulator struct {
 
 	cycle uint64
 	hooks []CycleHook
+
+	// Memoization hit/miss totals, atomic so a progress reporter can
+	// read them while another goroutine steps the simulator.
+	memoHits, memoMisses atomic.Int64
 
 	// Per-kind transition-energy tables and the design's total
 	// clock-pin energy, precomputed from lib for BoundEnergyFJ.
@@ -342,6 +347,12 @@ type Snapshot struct {
 	Settled bool
 	Staged  []stagedInput
 	Cycle   uint64
+
+	// anchor/epoch record the copy-on-write anchor state at capture
+	// time: Restore keeps the simulator's anchor valid only when both
+	// still match (see delta.go for the invariant).
+	anchor *planeAnchor
+	epoch  uint64
 }
 
 // Snapshot captures the current simulator state, including any staged
@@ -363,6 +374,8 @@ func (s *Simulator) SnapshotInto(sn *Snapshot) {
 		sn.PrevPlaneV = append(sn.PrevPlaneV[:0], p.prevV...)
 		sn.PrevPlaneK = append(sn.PrevPlaneK[:0], p.prevK...)
 		sn.Settled = p.settled
+		sn.anchor = p.anchor
+		sn.epoch = p.epoch
 	} else {
 		sn.Vals = append(sn.Vals[:0], s.vals...)
 		sn.Prev = append(sn.Prev[:0], s.prev...)
@@ -384,6 +397,8 @@ func (sn *Snapshot) CloneInto(dst *Snapshot) {
 	dst.Settled = sn.Settled
 	dst.Staged = append(dst.Staged[:0], sn.Staged...)
 	dst.Cycle = sn.Cycle
+	dst.anchor = sn.anchor
+	dst.epoch = sn.epoch
 }
 
 // Clone returns an independent deep copy of sn.
@@ -429,8 +444,18 @@ func (s *Simulator) Restore(sn *Snapshot) {
 		copy(p.prevK, sn.PrevPlaneK)
 		p.settled = sn.Settled
 		p.boundValid = false
+		p.actValid = false
 		for i := range p.act {
 			p.act[i] = 0
+		}
+		// The anchor survives only when the snapshot was captured on
+		// this simulator against the same anchor at the same epoch —
+		// then since has only grown since the capture and still covers
+		// the restored words' anchor diffs. Any other provenance
+		// (portable state, pre-anchor capture) invalidates it; the next
+		// fork capture re-anchors.
+		if p.anchor != nil && (sn.anchor != p.anchor || sn.epoch != p.epoch) {
+			p.anchor = nil
 		}
 	} else {
 		copy(s.vals, sn.Vals)
@@ -598,6 +623,62 @@ func (s *Simulator) StateHash() uint64 {
 		h *= 1099511628211
 	}
 	return h
+}
+
+// StateHash2 is an independent second hash over the same flip-flop
+// walk, with a different basis and multiplier, forming the high word of
+// the exploration's 128-bit merge key. Two states must collide in both
+// hashes (plus the memory and bus components) to be merged wrongly —
+// see DESIGN.md "Merge keys". A second multiplier (not merely a second
+// basis) matters: FNV with the same prime collides identically for
+// equal-length inputs whenever the first hash does.
+func (s *Simulator) StateHash2() uint64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, ci := range s.seq {
+		h ^= uint64(s.Val(s.n.Cell(ci).Out))
+		h *= 0x106689D45497DE35
+	}
+	return h
+}
+
+// EnableMemo turns on whole-step result memoization (stepmemo.go) with
+// the given table byte budget (<= 0 selects the default). It reports
+// false on the scalar engine, which has no packed planes to key on.
+// Memoization never changes simulation results — only whether a cycle
+// phase is evaluated or replayed — so it is safe to enable on any
+// packed simulator.
+func (s *Simulator) EnableMemo(maxBytes int) bool {
+	if s.pk == nil {
+		return false
+	}
+	if maxBytes <= 0 {
+		maxBytes = defaultStepMemoBytes
+	}
+	s.pk.stepMemo = newStepTable(s.pk.plan.Words, maxBytes)
+	return true
+}
+
+// EnableLevelMemo additionally turns on the fine-grained per-level memo
+// tier (memo.go) with the given byte budget (<= 0 selects the default).
+// The per-level grain catches partial state repeats the whole-step
+// table misses, at a per-dirty-level hash cost that only pays off when
+// replays dominate; see memo.go. Like EnableMemo it never changes
+// simulation results and reports false on the scalar engine.
+func (s *Simulator) EnableLevelMemo(maxBytes int) bool {
+	if s.pk == nil {
+		return false
+	}
+	if maxBytes <= 0 {
+		maxBytes = defaultMemoBytes
+	}
+	s.pk.memo = newMemoTable(s.pk.plan, maxBytes)
+	return true
+}
+
+// MemoStats returns the cumulative memoization hit/miss counters. Safe
+// to call from any goroutine.
+func (s *Simulator) MemoStats() (hits, misses int64) {
+	return s.memoHits.Load(), s.memoMisses.Load()
 }
 
 // DynamicEnergyFJ returns the concrete dynamic energy, in femtojoules,

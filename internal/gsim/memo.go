@@ -1,0 +1,258 @@
+package gsim
+
+import (
+	"math/bits"
+
+	"repro/internal/netlist"
+)
+
+// Per-level packed-result memoization — the fine-grained, opt-in memo
+// tier (EnableLevelMemo). Loop-heavy programs revisit near-identical
+// symbolic states every iteration: a level's fan-in words take values
+// the engine has already evaluated, and the gather programs recompute
+// an answer the table already holds. The memo table keys each level's
+// evaluation on the exact values of the plane words its ReadMask
+// covers and replays the level's output region on a hit.
+//
+// Unlike the whole-step table (stepmemo.go, the EnableMemo default),
+// the per-level grain catches partial repeats — states that differ in
+// a few words replay every level outside the difference's cone. The
+// price is a hash over each dirty level's read words every cycle,
+// which competes with an evaluator that already skips clean batches;
+// it pays off only when replays dominate (e.g. long-division orbits,
+// where >90% of dirty levels replay), which is why it is not on by
+// default.
+//
+// Soundness (DESIGN.md "Memoization and copy-on-write soundness"):
+//
+//   - A level's output region is a pure function of its ReadMask words:
+//     the plan builder marks every word any gather run reads, levels
+//     only read strictly lower levels, and a batch skipped inside a
+//     dirty level retains outputs equal to evaluating its (unchanged)
+//     inputs. Replaying a recorded output region for identical read
+//     words is therefore exact, not approximate.
+//   - Hash collisions cannot corrupt results: the stored source words
+//     are compared in full before a hit is taken. A collision verifies
+//     unequal, evaluates normally, and overwrites the entry.
+//   - Replay marks dirty words by compare-on-copy — exactly the words
+//     whose value changes, which is the same dirty set evalBatch's
+//     store would produce. Downstream level skipping and the
+//     copy-on-write since-mask therefore see identical dirt whether a
+//     level was evaluated or replayed, so memo on/off is invisible to
+//     everything but wall-clock time.
+//
+// Source words are captured before the level runs: a ReadMask word can
+// share a 64-bit boundary with the level's own output region, so the
+// post-eval value of a "read" word is not the value the level read.
+const (
+	memoBasis = 0x9E3779B97F4A7C15
+	memoPrime = 1099511628211
+
+	// memoProbationLookups / memoProbationHits: each level's hit rate
+	// is re-checked every window of lookups, and a window below the
+	// threshold disables the level for good — a level that does not
+	// replay (straight-line code, a loop whose live state never
+	// repeats) must stop paying the hash-and-record tax quickly,
+	// because its misses are pure overhead. The window is short enough
+	// that a non-repeating program disables every level within its
+	// first ~64 dirty cycles, and the threshold low enough that slow
+	// loops (long bodies, so the first hits arrive late) survive
+	// probation.
+	memoProbationLookups = 64
+	memoProbationHits    = 8
+
+	// defaultMemoBytes bounds one simulator's table; when full,
+	// existing entries still serve hits but no new entries land.
+	defaultMemoBytes = 16 << 20
+)
+
+// memoEntry holds one recorded evaluation: the exact source words
+// (for collision-proof verification) and the raw output-region words
+// (masked to the level's lanes on replay).
+type memoEntry struct {
+	src []uint64
+	out []uint64
+}
+
+// memoLevel is one level's table and precomputed geometry.
+type memoLevel struct {
+	read           []int32 // plane word indices covered by the level's ReadMask
+	outLo, outHi   int32   // inclusive plane-word range of the output region
+	loMask, hiMask uint64  // lane-validity masks for the boundary words
+	entries        map[uint64]*memoEntry
+	src            []uint64 // capture scratch: 2 words (v,k) per read word
+	lookups, hits  uint32
+	disabled       bool
+}
+
+// memoTable is a per-simulator (single-goroutine) memo store.
+type memoTable struct {
+	levels   []memoLevel
+	bytes    int
+	maxBytes int
+
+	// pending carries a miss from lookup to record across the level's
+	// evaluation; -1 when nothing is to be recorded.
+	pending   int
+	pendKey   uint64
+	pendEntry *memoEntry
+
+	// Per-step counters drained into the Simulator's atomics.
+	stepHits, stepMisses uint64
+}
+
+func newMemoTable(plan *netlist.PackedPlan, maxBytes int) *memoTable {
+	mt := &memoTable{
+		levels:   make([]memoLevel, len(plan.Levels)),
+		maxBytes: maxBytes,
+		pending:  -1,
+	}
+	for li := range plan.Levels {
+		lv := &plan.Levels[li]
+		ml := &mt.levels[li]
+		for mw, m := range lv.ReadMask {
+			base := int32(mw) << 6
+			for m != 0 {
+				b := int32(bits.TrailingZeros64(m))
+				m &= m - 1
+				ml.read = append(ml.read, base+b)
+			}
+		}
+		if len(lv.Batches) == 0 || len(ml.read) == 0 {
+			// Nothing to key on (or to write): a read-free level can
+			// only go dirty on the forced first settle, which memo
+			// skips anyway.
+			ml.disabled = true
+			continue
+		}
+		first := lv.Batches[0].FirstPos
+		last := &lv.Batches[len(lv.Batches)-1]
+		end := last.FirstPos + int32(len(last.Cells)) // exclusive bit position
+		ml.outLo = first >> 6
+		ml.outHi = (end - 1) >> 6
+		ml.loMask = ^uint64(0) << uint(first&63)
+		ml.hiMask = ^uint64(0) >> uint(63-(end-1)&63)
+		ml.entries = make(map[uint64]*memoEntry)
+		ml.src = make([]uint64, 0, 2*len(ml.read))
+	}
+	return mt
+}
+
+// lookup hashes level li's current source words and replays a verified
+// hit, returning true (the caller skips evaluation). On a miss it
+// captures the source words and leaves them pending for record.
+//
+// The hit path copies nothing: the hash is computed straight off the
+// planes and a candidate entry is verified by comparing its stored
+// source words against the live planes, so a level in its replaying
+// steady state pays one hash, one compare, and the masked output copy.
+// Only a miss — which must record — pays the source capture.
+func (mt *memoTable) lookup(p *packedSim, li int) bool {
+	mt.pending = -1
+	ml := &mt.levels[li]
+	if ml.disabled {
+		return false
+	}
+	h := uint64(memoBasis)
+	for _, w := range ml.read {
+		h = (h ^ p.curV[w]) * memoPrime
+		h = (h ^ p.curK[w]) * memoPrime
+	}
+	ml.lookups++
+	e := ml.entries[h]
+	if e != nil && mt.verify(p, ml, e) {
+		ml.hits++
+		mt.stepHits++
+		mt.replay(p, ml, e)
+		return true
+	}
+	mt.stepMisses++
+	if ml.lookups >= memoProbationLookups {
+		if ml.hits < memoProbationHits {
+			ml.disabled = true
+			ml.entries = nil
+			ml.src = nil
+			return false
+		}
+		ml.lookups, ml.hits = 0, 0
+	}
+	src := ml.src[:0]
+	for _, w := range ml.read {
+		src = append(src, p.curV[w], p.curK[w])
+	}
+	ml.src = src
+	mt.pending = li
+	mt.pendKey = h
+	mt.pendEntry = e // stale or colliding entry to overwrite in place
+	return false
+}
+
+// verify compares an entry's recorded source words against the live
+// planes — the collision-proof check a replay requires.
+func (mt *memoTable) verify(p *packedSim, ml *memoLevel, e *memoEntry) bool {
+	i := 0
+	for _, w := range ml.read {
+		if e.src[i] != p.curV[w] || e.src[i+1] != p.curK[w] {
+			return false
+		}
+		i += 2
+	}
+	return true
+}
+
+// replay copies a recorded output region into the current planes,
+// masked to the level's lanes, marking dirty exactly the words whose
+// value changes (compare-on-copy — the same dirt evaluation would
+// produce).
+func (mt *memoTable) replay(p *packedSim, ml *memoLevel, e *memoEntry) {
+	i := 0
+	for w := ml.outLo; w <= ml.outHi; w++ {
+		m := ^uint64(0)
+		if w == ml.outLo {
+			m &= ml.loMask
+		}
+		if w == ml.outHi {
+			m &= ml.hiMask
+		}
+		nv := p.curV[w]&^m | e.out[i]&m
+		nk := p.curK[w]&^m | e.out[i+1]&m
+		if nv != p.curV[w] || nk != p.curK[w] {
+			p.curV[w] = nv
+			p.curK[w] = nk
+			p.markDirty(w)
+		}
+		i += 2
+	}
+}
+
+// record stores the just-evaluated output region for the pending miss.
+// A full table overwrites colliding entries but admits no new ones.
+func (mt *memoTable) record(p *packedSim) {
+	li := mt.pending
+	if li < 0 {
+		return
+	}
+	mt.pending = -1
+	ml := &mt.levels[li]
+	e := mt.pendEntry
+	if e == nil {
+		nOut := 2 * int(ml.outHi-ml.outLo+1)
+		size := (len(ml.src) + nOut) * 8
+		if mt.bytes+size > mt.maxBytes {
+			return
+		}
+		e = &memoEntry{
+			src: make([]uint64, len(ml.src)),
+			out: make([]uint64, nOut),
+		}
+		mt.bytes += size
+		ml.entries[mt.pendKey] = e
+	}
+	copy(e.src, ml.src)
+	i := 0
+	for w := ml.outLo; w <= ml.outHi; w++ {
+		e.out[i] = p.curV[w]
+		e.out[i+1] = p.curK[w]
+		i += 2
+	}
+}

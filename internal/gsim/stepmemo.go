@@ -1,0 +1,219 @@
+package gsim
+
+// Whole-step memoization. Loop-heavy explorations revisit whole
+// processor states: a wait loop polling a symbolic input, a search loop
+// whose live registers cycle through a short orbit. Per-level
+// memoization (memo.go) replays such repeats one level at a time but
+// still pays a hash per dirty level per cycle — ~96 overlapping read
+// sets on the ULP430 plan. The step table instead keys the entire
+// post-capture phase of a cycle — combinational settling plus the
+// activity/energy pass — on one hash of the five planes that determine
+// it, and replays the final planes, activity flags and energy bound in
+// a single masked copy.
+//
+// Soundness (DESIGN.md "Memoization and copy-on-write soundness"):
+//
+//   - By the time the step table is consulted, every external input to
+//     the cycle has already landed in the planes: staged inputs and bus
+//     writes are in curV/curK, the clock edge has captured, and the
+//     activity pass reads only curV/curK/prevV/prevK plus the previous
+//     cycle's flags (act — prevAct is overwritten before first read).
+//     The phase's output state is therefore a pure function of
+//     (curV, curK, prevV, prevK, act).
+//   - The dirty masks and the settled flag are deliberately NOT part of
+//     the key: the engine's skip invariant (a level or batch whose
+//     fan-in words are clean holds outputs equal to evaluating them)
+//     means force-settling, dirty-driven settling, and replay all reach
+//     the same fixpoint for identical planes. Replay therefore also
+//     sets settled, exactly as the settle loop would.
+//   - Replay reconstructs the cycle's observable bookkeeping: dirty and
+//     actDirty are marked by compare-on-copy (exactly the words a live
+//     settle/activity pass would have marked), prevAct receives the
+//     pre-pass flags, and the cached energy bound is the very float64
+//     the live pass produced for these planes. The one cache replay
+//     cannot refresh is the per-batch energy array (eBatch), so a hit
+//     sets eBatchStale and the next live activity pass runs full.
+//   - Collisions cannot corrupt state: the full source planes are
+//     compared before a hit is taken.
+const (
+	// stepProbationLookups / stepProbationHits mirror the per-level
+	// probation: a simulator whose program never revisits a state
+	// (straight-line code) must stop paying the hash-and-record tax.
+	// The window is long enough to span several iterations of the
+	// slowest loops in the benchmark suite. stepProbationEarly cuts a
+	// simulator with no hits at all off sooner — path-divergent
+	// explorations (a search loop narrowing symbolic bounds) never
+	// revisit a state, and every recorded entry is ~6 KiB of wasted
+	// copying; convergent workloads show their first replay well inside
+	// the early window.
+	stepProbationEarly   = 128
+	stepProbationLookups = 512
+	stepProbationHits    = 8
+
+	// defaultStepMemoBytes bounds one simulator's step table. Entries
+	// are large (eight plane-sized arrays), so the budget is above the
+	// level table's; when full, existing entries still serve hits.
+	defaultStepMemoBytes = 24 << 20
+)
+
+// stepEntry holds one recorded cycle phase: the exact five source
+// planes (collision-proof verification) and the resulting current
+// planes, activity flags and energy bound.
+type stepEntry struct {
+	src   []uint64 // curV ‖ curK ‖ prevV ‖ prevK ‖ act, 5×Words
+	out   []uint64 // final curV ‖ curK ‖ act, 3×Words
+	bound float64
+}
+
+// stepTable is a per-simulator (single-goroutine) whole-step store.
+type stepTable struct {
+	entries  map[uint64]*stepEntry
+	bytes    int
+	maxBytes int
+
+	lookups, hits uint32
+	disabled      bool
+
+	// pending carries a miss from lookup to record across the live
+	// settle and activity passes.
+	pending   bool
+	pendKey   uint64
+	pendEntry *stepEntry
+	src       []uint64 // capture scratch, 5×Words
+
+	// Per-step counters drained into the Simulator's atomics.
+	stepHits, stepMisses uint64
+}
+
+func newStepTable(words, maxBytes int) *stepTable {
+	return &stepTable{
+		entries:  make(map[uint64]*stepEntry),
+		maxBytes: maxBytes,
+		src:      make([]uint64, 0, 5*words),
+	}
+}
+
+// lookup hashes the five source planes and replays a verified hit,
+// returning true (the caller skips settling and the activity pass). On
+// a miss it captures the planes and leaves them pending for record.
+func (st *stepTable) lookup(p *packedSim) bool {
+	st.pending = false
+	if st.disabled {
+		return false
+	}
+	h := uint64(memoBasis)
+	for _, plane := range [5][]uint64{p.curV, p.curK, p.prevV, p.prevK, p.act} {
+		for _, w := range plane {
+			h = (h ^ w) * memoPrime
+		}
+	}
+	st.lookups++
+	e := st.entries[h]
+	if e != nil && st.verify(p, e) {
+		st.hits++
+		st.stepHits++
+		st.replay(p, e)
+		return true
+	}
+	st.stepMisses++
+	if st.lookups >= stepProbationLookups ||
+		(st.lookups >= stepProbationEarly && st.hits == 0) {
+		if st.hits < stepProbationHits {
+			st.disabled = true
+			st.entries = nil
+			st.src = nil
+			return false
+		}
+		st.lookups, st.hits = 0, 0
+	}
+	src := st.src[:0]
+	src = append(src, p.curV...)
+	src = append(src, p.curK...)
+	src = append(src, p.prevV...)
+	src = append(src, p.prevK...)
+	src = append(src, p.act...)
+	st.src = src
+	st.pending = true
+	st.pendKey = h
+	st.pendEntry = e // stale or colliding entry to overwrite in place
+	return false
+}
+
+// verify compares an entry's recorded source planes against the live
+// planes — the collision-proof check a replay requires.
+func (st *stepTable) verify(p *packedSim, e *stepEntry) bool {
+	n := len(p.curV)
+	s := e.src
+	for w := 0; w < n; w++ {
+		if s[w] != p.curV[w] || s[n+w] != p.curK[w] ||
+			s[2*n+w] != p.prevV[w] || s[3*n+w] != p.prevK[w] ||
+			s[4*n+w] != p.act[w] {
+			return false
+		}
+	}
+	return true
+}
+
+// replay applies a recorded cycle phase: final current planes with
+// compare-on-copy dirty marking (the same dirt a live settle would
+// produce), then the activity pass's bookkeeping — flag swap and
+// prevAct latch — with compare-on-copy actDirty marking, and finally
+// the cached energy bound. eBatch is not refreshed by a replay, so the
+// next live activity pass must run full (eBatchStale).
+func (st *stepTable) replay(p *packedSim, e *stepEntry) {
+	n := len(p.curV)
+	for w := 0; w < n; w++ {
+		nv, nk := e.out[w], e.out[n+w]
+		if nv != p.curV[w] || nk != p.curK[w] {
+			p.curV[w] = nv
+			p.curK[w] = nk
+			p.markDirty(int32(w))
+		}
+	}
+	p.settled = true
+	p.actDirty, p.actDirtyPrev = p.actDirtyPrev, p.actDirty
+	for i := range p.actDirty {
+		p.actDirty[i] = 0
+	}
+	copy(p.prevAct, p.act)
+	for w := 0; w < n; w++ {
+		if na := e.out[2*n+w]; na != p.act[w] {
+			p.act[w] = na
+			p.markActDirty(int32(w))
+		}
+	}
+	p.boundFJ = e.bound
+	p.boundValid = true
+	// The replayed cycle's dirty sets are exactly a live cycle's, so
+	// next cycle's capture skip and activity replay proofs hold.
+	p.actValid = true
+	p.eBatchStale = true
+}
+
+// record stores the just-computed cycle phase for the pending miss.
+// A full table overwrites colliding entries but admits no new ones.
+func (st *stepTable) record(p *packedSim) {
+	if !st.pending {
+		return
+	}
+	st.pending = false
+	e := st.pendEntry
+	n := len(p.curV)
+	if e == nil {
+		size := (len(st.src) + 3*n) * 8
+		if st.bytes+size > st.maxBytes {
+			return
+		}
+		e = &stepEntry{
+			src: make([]uint64, len(st.src)),
+			out: make([]uint64, 3*n),
+		}
+		st.bytes += size
+		st.entries[st.pendKey] = e
+	}
+	copy(e.src, st.src)
+	copy(e.out[:n], p.curV)
+	copy(e.out[n:2*n], p.curK)
+	copy(e.out[2*n:], p.act)
+	e.bound = p.boundFJ
+}

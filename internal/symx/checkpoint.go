@@ -161,6 +161,7 @@ type ckptNode struct {
 	IRQ         bool   `json:"irq,omitempty"`
 	PC          uint16 `json:"pc,omitempty"`
 	Key         uint64 `json:"key,omitempty"`
+	Key2        uint64 `json:"key2,omitempty"` // ForkKey.Hi (Key is .Lo)
 	StreamStart int    `json:"ss,omitempty"`
 	Payload     []byte `json:"data,omitempty"`
 }
@@ -170,7 +171,7 @@ type resumeState struct {
 	nodes    []*Node          // reconstructed segments of live done tasks
 	pending  []*ptask         // live tasks awaiting (re-)execution, by ID
 	replayed map[int][]byte   // task ID -> sink blob, live done tasks
-	claims   map[uint64]*Node // branch-key claims to seed
+	claims   map[ForkKey]*Node // branch-key claims to seed
 	cycles   int64
 	paths    int64
 	nextID   int
@@ -303,7 +304,8 @@ func (ck *Checkpointer) writeDone(id, cycles int, nodes []*Node, kids []int, sin
 		}
 		rec.Nodes[i] = ckptNode{
 			Len: n.Len, Kind: int(n.Kind), IRQ: n.IRQ, PC: n.BranchPC,
-			Key: n.key, StreamStart: n.streamStart, Payload: payload,
+			Key: n.key.Lo, Key2: n.key.Hi,
+			StreamStart: n.streamStart, Payload: payload,
 		}
 	}
 	ck.append(rec)
@@ -314,7 +316,7 @@ func (ck *Checkpointer) writeDone(id, cycles int, nodes []*Node, kids []int, sin
 // a fresh run. The journal is read as a prefix: the first unparseable or
 // unterminated line (a torn tail, or corruption) ends it.
 func (ck *Checkpointer) load() (*resumeState, error) {
-	rs := &resumeState{replayed: map[int][]byte{}, claims: map[uint64]*Node{}}
+	rs := &resumeState{replayed: map[int][]byte{}, claims: map[ForkKey]*Node{}}
 	data, err := ck.cfg.FS.ReadFile(ck.cfg.Path)
 	if err != nil {
 		return rs, nil // fresh (or unreadable — treated as fresh) journal
@@ -417,7 +419,8 @@ parse:
 			n := &Node{
 				Len: cn.Len, Kind: NodeKind(cn.Kind), IRQ: cn.IRQ,
 				BranchPC: cn.PC, Data: payload,
-				key: cn.Key, task: id, streamStart: cn.StreamStart, seq: i,
+				key:  ForkKey{Lo: cn.Key, Hi: cn.Key2},
+				task: id, streamStart: cn.StreamStart, seq: i,
 			}
 			chain[i] = n
 			if i > 0 {
@@ -440,7 +443,7 @@ parse:
 		for _, n := range chain {
 			if n.Kind == KindBranch {
 				if prev, dup := rs.claims[n.key]; dup && prev != n {
-					return nil, fmt.Errorf("symx: checkpoint journal %s: fork key %#x claimed by two live tasks", ck.cfg.Path, n.key)
+					return nil, fmt.Errorf("symx: checkpoint journal %s: fork key %#x:%#x claimed by two live tasks", ck.cfg.Path, n.key.Lo, n.key.Hi)
 				}
 				rs.claims[n.key] = n
 			}

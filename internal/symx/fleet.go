@@ -92,6 +92,7 @@ type RemoteNode struct {
 	IRQ         bool   `json:"irq,omitempty"`
 	PC          uint16 `json:"pc,omitempty"`
 	Key         uint64 `json:"key,omitempty"`
+	Key2        uint64 `json:"key2,omitempty"` // ForkKey.Hi (Key is .Lo)
 	StreamStart int    `json:"ss,omitempty"`
 	Payload     []byte `json:"data,omitempty"`
 }
@@ -121,7 +122,7 @@ type RemoteClaim struct {
 // re-executed task incarnation reaches identical forks and must receive
 // identical child identities.
 type RemoteClaimer interface {
-	Claim(key uint64, parent, seq int, child RemoteTask) (RemoteClaim, error)
+	Claim(key ForkKey, parent, seq int, child RemoteTask) (RemoteClaim, error)
 }
 
 // RunRemoteTask executes one leased task to its terminal, mirroring the
@@ -239,7 +240,7 @@ outer:
 
 			sys.Restore(roll)
 			pc, _ := sys.PC()
-			key := sys.StateHash() ^ pending.key()
+			key := stateKey(sys, pending)
 			cur.key = key
 			cur.BranchPC = pc
 			cur.IRQ = isIRQ
@@ -301,7 +302,8 @@ outer:
 		}
 		res.Nodes[i] = RemoteNode{
 			Len: n.Len, Kind: int(n.Kind), IRQ: n.IRQ, PC: n.BranchPC,
-			Key: n.key, StreamStart: n.streamStart, Payload: payload,
+			Key: n.key.Lo, Key2: n.key.Hi,
+			StreamStart: n.streamStart, Payload: payload,
 		}
 	}
 	return res, nil
@@ -329,7 +331,8 @@ func (ck *Checkpointer) writeDoneWire(id int, res *RemoteResult) {
 	for i, n := range res.Nodes {
 		rec.Nodes[i] = ckptNode{
 			Len: n.Len, Kind: n.Kind, IRQ: n.IRQ, PC: n.PC,
-			Key: n.Key, StreamStart: n.StreamStart, Payload: n.Payload,
+			Key: n.Key, Key2: n.Key2,
+			StreamStart: n.StreamStart, Payload: n.Payload,
 		}
 	}
 	ck.append(rec)
@@ -356,7 +359,7 @@ type RemoteQueue struct {
 	queued map[int]bool
 	leased map[int]bool // leased at least once THIS coordinator life
 	done   map[int]bool
-	claims map[uint64]*remoteClaimRec
+	claims map[ForkKey]*remoteClaimRec
 
 	live   int // published live tasks not yet completed
 	cycles int64
@@ -384,7 +387,7 @@ func OpenRemoteQueue(cfg CheckpointConfig, opts Options) (*RemoteQueue, error) {
 		queued: map[int]bool{},
 		leased: map[int]bool{},
 		done:   map[int]bool{},
-		claims: map[uint64]*remoteClaimRec{},
+		claims: map[ForkKey]*remoteClaimRec{},
 		cycles: rs.cycles,
 		nodes:  int64(len(rs.nodes)),
 		nextID: rs.nextID,
@@ -428,7 +431,7 @@ func OpenRemoteQueue(cfg CheckpointConfig, opts Options) (*RemoteQueue, error) {
 	for key, rec := range q.claims {
 		if rec.child < 0 {
 			ck.close()
-			return nil, fmt.Errorf("symx: checkpoint journal %s: fork key %#x has no live child task", cfg.Path, key)
+			return nil, fmt.Errorf("symx: checkpoint journal %s: fork key %#x:%#x has no live child task", cfg.Path, key.Lo, key.Hi)
 		}
 	}
 
@@ -492,7 +495,7 @@ func (q *RemoteQueue) Requeue(id int) {
 // idempotent on (parent, seq): a re-executed task incarnation receives
 // the identities its predecessor was assigned. A fresh winning claim
 // journals and enqueues the child before answering.
-func (q *RemoteQueue) Claim(key uint64, parent, seq int, child RemoteTask) (RemoteClaim, error) {
+func (q *RemoteQueue) Claim(key ForkKey, parent, seq int, child RemoteTask) (RemoteClaim, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.err != nil {

@@ -18,7 +18,10 @@ import (
 // TopK, ISR peak, activity union — must agree exactly. Budget
 // exhaustion must produce the identical error. Snapshot double-frees
 // are caught as a side effect: the free pool panics on a repeated put,
-// which fails the fuzz run.
+// and a pooled snapshot panics on Restore/CapturePortableAt (use after
+// free), either of which fails the fuzz run; fuzzPoolInvariants then
+// asserts the pool and copy-on-write invariants explicitly on the
+// fuzzed program's own state.
 //
 // The corpus entry layout: nIn selects 1-3 symbolic input words, t1/t2
 // the two branch thresholds, lat/width the interrupt arrival window,
@@ -140,5 +143,97 @@ skip2:
 		if !reflect.DeepEqual(seqSink.UnionActive, union) {
 			t.Fatalf("activity union mismatch")
 		}
+
+		fuzzPoolInvariants(t, newSys())
 	})
+}
+
+// fuzzPoolInvariants drives the fork-snapshot free pool directly on the
+// fuzzed program's state, asserting the copy-on-write invariants the
+// explorations above rely on implicitly:
+//
+//   - interleaved delta captures restore independently (a recycled
+//     snapshot must not share plane words with a live capture),
+//   - a snapshot returned to the pool refuses Restore (use after free),
+//   - a repeated put panics (double free),
+//   - a re-taken snapshot is fully usable again.
+func fuzzPoolInvariants(t *testing.T, sys *ulp430.System) {
+	t.Helper()
+	sys.Reset()
+	roll := &ulp430.SysSnapshot{}
+	// step advances one cycle, resolving any symbolic fork the way the
+	// engine does (restore + force not-taken) so the state stays valid.
+	step := func() {
+		if sys.Halted() {
+			return
+		}
+		sys.SnapshotInto(roll)
+		sys.Step()
+		if sys.JumpCondUnknown() {
+			sys.Restore(roll)
+			sys.ForceBranch(false)
+			sys.Step()
+			sys.ClearForce()
+		} else if sys.IRQCondUnknown() {
+			sys.Restore(roll)
+			sys.ForceIRQ(false)
+			sys.Step()
+			sys.ClearForce()
+		}
+	}
+	for i := 0; i < 40; i++ {
+		step()
+	}
+
+	var pool snapPool
+	a := pool.take()
+	sys.CaptureFork(a)
+	hashA, hashA2 := sys.StateKey()
+	step()
+	b := pool.take()
+	sys.CaptureFork(b)
+	hashB, hashB2 := sys.StateKey()
+
+	sys.Restore(a)
+	if lo, hi := sys.StateKey(); lo != hashA || hi != hashA2 {
+		t.Fatal("pool: restoring capture A did not reproduce its state")
+	}
+	sys.Restore(b)
+	if lo, hi := sys.StateKey(); lo != hashB || hi != hashB2 {
+		t.Fatal("pool: restoring capture B after A corrupted B (aliased snapshots)")
+	}
+
+	// Recycle A; the reissued snapshot must capture fresh state without
+	// disturbing the still-live B.
+	pool.put(a)
+	c := pool.take()
+	step()
+	sys.CaptureFork(c)
+	sys.Restore(b)
+	if lo, hi := sys.StateKey(); lo != hashB || hi != hashB2 {
+		t.Fatal("pool: capture into a recycled snapshot corrupted a live capture")
+	}
+	sys.Restore(c)
+
+	pool.put(b)
+	mustPanic(t, "double free", func() { pool.put(b) })
+	mustPanic(t, "use after free", func() { sys.Restore(b) })
+
+	// Taking B back clears the pooled mark; it must be fully usable.
+	d := pool.take()
+	if d != b {
+		t.Fatal("pool: expected LIFO reuse of the freed snapshot")
+	}
+	sys.CaptureFork(d)
+	sys.Restore(d)
+}
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("pool: %s was not caught", what)
+		}
+	}()
+	fn()
 }

@@ -152,6 +152,7 @@ func (p *snapPool) take() *ulp430.SysSnapshot {
 	if n := len(*p); n > 0 {
 		sn := (*p)[n-1]
 		*p = (*p)[:n-1]
+		sn.MarkTaken()
 		return sn
 	}
 	return &ulp430.SysSnapshot{}
@@ -163,6 +164,10 @@ func (p *snapPool) put(sn *ulp430.SysSnapshot) {
 			panic("symx: snapshot double-freed to pool")
 		}
 	}
+	// The pooled mark turns any lingering alias into a loud panic on its
+	// next Restore/CapturePortableAt instead of a silent state corruption
+	// (the pool may hand the snapshot's buffers to an unrelated fork).
+	sn.MarkPooled()
 	*p = append(*p, sn)
 }
 
@@ -171,7 +176,7 @@ func (p *snapPool) put(sn *ulp430.SysSnapshot) {
 type claimTable struct {
 	shards [64]struct {
 		mu sync.Mutex
-		m  map[uint64]*Node
+		m  map[ForkKey]*Node
 		_  [40]byte // keep shards off one another's cache line
 	}
 }
@@ -179,7 +184,7 @@ type claimTable struct {
 func newClaimTable() *claimTable {
 	t := &claimTable{}
 	for i := range t.shards {
-		t.shards[i].m = make(map[uint64]*Node)
+		t.shards[i].m = make(map[ForkKey]*Node)
 	}
 	return t
 }
@@ -187,8 +192,8 @@ func newClaimTable() *claimTable {
 // claim records n as the owner of key if the key is unclaimed, returning
 // whether n won. The claimant pointer is only read again during assembly
 // (after all workers join), so the map value never needs updating.
-func (t *claimTable) claim(key uint64, n *Node) bool {
-	s := &t.shards[key&63]
+func (t *claimTable) claim(key ForkKey, n *Node) bool {
+	s := &t.shards[key.Lo&63]
 	s.mu.Lock()
 	_, taken := s.m[key]
 	if !taken {
@@ -198,8 +203,8 @@ func (t *claimTable) claim(key uint64, n *Node) bool {
 	return !taken
 }
 
-func (t *claimTable) owner(key uint64) *Node {
-	s := &t.shards[key&63]
+func (t *claimTable) owner(key ForkKey) *Node {
+	s := &t.shards[key.Lo&63]
 	s.mu.Lock()
 	n := s.m[key]
 	s.mu.Unlock()
@@ -512,7 +517,7 @@ outer:
 
 			sys.Restore(w.roll)
 			pc, _ := sys.PC()
-			key := sys.StateHash() ^ pending.key()
+			key := stateKey(sys, pending)
 			cur.key = key
 			cur.BranchPC = pc
 			cur.IRQ = isIRQ
@@ -546,8 +551,11 @@ outer:
 					return err
 				}
 			} else {
+				// The system sits at the rolled-back fork state, so the
+				// capture is a copy-on-write delta against the current
+				// anchor — O(words changed), not O(nets).
 				pf.snap = w.pool.take()
-				w.roll.CloneInto(pf.snap)
+				sys.CaptureFork(pf.snap)
 				w.local = append(w.local, pf)
 			}
 			sink.NewSegment()
@@ -756,7 +764,7 @@ func assemble(all []*Node, seen *claimTable, opts ParallelOptions) (*ParallelRes
 	}
 
 	tree := &Tree{Root: root}
-	canon := make(map[uint64]*Node)
+	canon := make(map[ForkKey]*Node)
 	var stack []*Node
 	cur := root
 	for {
@@ -786,7 +794,7 @@ func assemble(all []*Node, seen *claimTable, opts ParallelOptions) (*ParallelRes
 					cur.NotTaken, cur.Taken = owner.NotTaken, owner.Taken
 				}
 				if cur.NotTaken == nil || cur.Taken == nil {
-					return nil, fmt.Errorf("symx: internal: fork key %#x has unexplored children", cur.key)
+					return nil, fmt.Errorf("symx: internal: fork key %#x:%#x has unexplored children", cur.key.Lo, cur.key.Hi)
 				}
 				stack = append(stack, cur)
 				cur = cur.NotTaken

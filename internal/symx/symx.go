@@ -109,11 +109,11 @@ type Node struct {
 	MergeTo *Node
 
 	// key is the merge key of a fork terminal (KindBranch/KindMerge):
-	// pre-branch state hash mixed with the accumulated fork forces. The
-	// sequential engine resolves keys against its seen map immediately;
-	// the parallel engine records them here and resolves branch-versus-
-	// merge in canonical order during assembly.
-	key uint64
+	// the 128-bit pre-branch state key mixed with the accumulated fork
+	// forces. The sequential engine resolves keys against its seen map
+	// immediately; the parallel engine records them here and resolves
+	// branch-versus-merge in canonical order during assembly.
+	key ForkKey
 	// seq is the node's index in its task's creation order — the
 	// coordinate checkpoint pub records use to graft a published task
 	// onto its publisher's branch node across a restart.
@@ -213,9 +213,22 @@ func (f forkForces) with(irq, dir bool) forkForces {
 	return f
 }
 
+// ForkKey is the exploration's 128-bit merge key: the system's dual
+// state hash (ulp430.System.StateKey) mixed with the accumulated fork
+// forces, one independent multiplier per word. Two states merge only
+// when both words agree — a joint collision across two independently
+// mixed 64-bit hashes — which is what lets the engine treat key
+// equality as state equality (DESIGN.md "Merge keys"). Key values are
+// transient: they appear in the checkpoint journal and the fleet wire
+// protocol (both private, single-run formats) but never in a sealed
+// Report, so the key function may evolve freely.
+type ForkKey struct {
+	Lo, Hi uint64
+}
+
 // key folds the force set into the merge key: the same pre-cycle state
 // under different already-decided directions has different futures.
-func (f forkForces) key() uint64 {
+func (f forkForces) key() ForkKey {
 	var k uint64
 	if f.brEn {
 		k |= 1
@@ -229,7 +242,15 @@ func (f forkForces) key() uint64 {
 	if f.irqVal {
 		k |= 8
 	}
-	return k * 0x9E3779B97F4A7C15
+	return ForkKey{Lo: k * 0x9E3779B97F4A7C15, Hi: k * 0xA24BAED4963EE407}
+}
+
+// stateKey is the merge key of the system's current state under the
+// accumulated forces.
+func stateKey(sys *ulp430.System, pending forkForces) ForkKey {
+	lo, hi := sys.StateKey()
+	fk := pending.key()
+	return ForkKey{Lo: lo ^ fk.Lo, Hi: hi ^ fk.Hi}
 }
 
 // Budget errors are built in one place so the sequential and parallel
@@ -271,7 +292,7 @@ func Explore(sys *ulp430.System, sink Sink, opts Options) (*Tree, error) {
 	}
 	tree.Root = newNode()
 
-	seen := make(map[uint64]*Node)
+	seen := make(map[ForkKey]*Node)
 	var stack []pendingFork
 
 	cur := tree.Root
@@ -399,7 +420,7 @@ outer:
 			// Rewind the cycle; this segment terminates at a fork.
 			sys.Restore(roll)
 			pc, _ := sys.PC()
-			key := sys.StateHash() ^ pending.key()
+			key := stateKey(sys, pending)
 			if prior, ok := seen[key]; ok && !opts.DisableMerge {
 				finishSegment(KindMerge)
 				cur.BranchPC = pc
@@ -417,8 +438,12 @@ outer:
 			seen[key] = cur
 			branch := cur
 
+			// The system is at the roll state here (just restored), so
+			// the fork snapshot is captured copy-on-write from the live
+			// planes — O(words changed since the anchor), not a full
+			// plane copy.
 			snap := snapPool.take()
-			roll.CloneInto(snap)
+			sys.CaptureFork(snap)
 			stack = append(stack, pendingFork{
 				snap: snap, sinkPos: rollPos, branch: branch,
 				forces: pending.with(isIRQ, true),

@@ -435,15 +435,31 @@ func (s *System) Tick(sim *gsim.Simulator) {
 
 // SysSnapshot captures the full system state: simulator nets plus a
 // memory journal position (memory restoration is O(writes since
-// snapshot), not O(memory size)).
+// snapshot), not O(memory size)). It has two forms: SnapshotInto
+// produces a full plane copy, CaptureFork a copy-on-write word delta
+// (isDelta selects which of sim/delta is live).
 type SysSnapshot struct {
 	sim      *gsim.Snapshot
+	delta    *gsim.DeltaSnapshot
+	isDelta  bool
 	journal  int
 	lastDin  memWord
 	lastLine logic.Trit
 	bus      periph.BusState
 	err      error
+
+	// pooled marks residence in a fork-snapshot free pool; any use of a
+	// pooled snapshot is a use-after-free and panics.
+	pooled bool
 }
+
+// MarkPooled flags the snapshot as returned to a free pool. Restoring
+// or capturing from it before MarkTaken panics — turning silent
+// recycled-buffer aliasing bugs into immediate failures.
+func (sn *SysSnapshot) MarkPooled() { sn.pooled = true }
+
+// MarkTaken flags the snapshot as checked out of its pool and usable.
+func (sn *SysSnapshot) MarkTaken() { sn.pooled = false }
 
 // Snapshot captures the current state. Snapshots form a LIFO discipline
 // with Restore (depth-first exploration): restoring an older snapshot
@@ -460,6 +476,32 @@ func (s *System) SnapshotInto(sn *SysSnapshot) {
 		sn.sim = &gsim.Snapshot{}
 	}
 	s.Sim.SnapshotInto(sn.sim)
+	sn.isDelta = false
+	s.captureMeta(sn)
+}
+
+// CaptureFork captures the current state as a fork snapshot, preferring
+// a copy-on-write word delta (packed engine) over full plane copies —
+// the O(changed words) form deep exploration trees fork with. On the
+// scalar engine it degrades to a full snapshot.
+func (s *System) CaptureFork(sn *SysSnapshot) {
+	sn.pooled = false
+	if sn.delta == nil {
+		sn.delta = &gsim.DeltaSnapshot{}
+	}
+	if s.Sim.CaptureDelta(sn.delta) {
+		sn.isDelta = true
+	} else {
+		if sn.sim == nil {
+			sn.sim = &gsim.Snapshot{}
+		}
+		s.Sim.SnapshotInto(sn.sim)
+		sn.isDelta = false
+	}
+	s.captureMeta(sn)
+}
+
+func (s *System) captureMeta(sn *SysSnapshot) {
 	sn.journal = len(s.journal)
 	sn.lastDin = s.lastDin
 	sn.lastLine = s.lastLine
@@ -481,10 +523,19 @@ func (sn *SysSnapshot) Clone() *SysSnapshot {
 // allocation-free form backing the symbolic engine's fork-snapshot
 // pool.
 func (sn *SysSnapshot) CloneInto(dst *SysSnapshot) {
-	if dst.sim == nil {
-		dst.sim = &gsim.Snapshot{}
+	dst.isDelta = sn.isDelta
+	dst.pooled = false
+	if sn.isDelta {
+		if dst.delta == nil {
+			dst.delta = &gsim.DeltaSnapshot{}
+		}
+		sn.delta.CloneInto(dst.delta)
+	} else {
+		if dst.sim == nil {
+			dst.sim = &gsim.Snapshot{}
+		}
+		sn.sim.CloneInto(dst.sim)
 	}
-	sn.sim.CloneInto(dst.sim)
 	dst.journal = sn.journal
 	dst.lastDin = sn.lastDin
 	dst.lastLine = sn.lastLine
@@ -494,6 +545,9 @@ func (sn *SysSnapshot) CloneInto(dst *SysSnapshot) {
 
 // Restore rewinds to a snapshot taken earlier on this path.
 func (s *System) Restore(sn *SysSnapshot) {
+	if sn.pooled {
+		panic("ulp430: restore from a pooled fork snapshot (use after free)")
+	}
 	if sn.journal > len(s.journal) {
 		panic("ulp430: restoring a snapshot newer than current state")
 	}
@@ -502,7 +556,11 @@ func (s *System) Restore(sn *SysSnapshot) {
 		s.mem[e.idx] = e.old
 	}
 	s.journal = s.journal[:sn.journal]
-	s.Sim.Restore(sn.sim)
+	if sn.isDelta {
+		s.Sim.RestoreDelta(sn.delta)
+	} else {
+		s.Sim.Restore(sn.sim)
+	}
 	s.lastDin = sn.lastDin
 	s.lastLine = sn.lastLine
 	s.irqForce = forceNone
@@ -535,13 +593,20 @@ type PortableState struct {
 // suffix onto a copy of current memory, so the cost is O(memory +
 // writes-since-snapshot), independent of how the snapshot was taken.
 func (s *System) CapturePortableAt(sn *SysSnapshot, dst *PortableState) {
+	if sn.pooled {
+		panic("ulp430: portable capture from a pooled fork snapshot (use after free)")
+	}
 	if sn.journal > len(s.journal) {
 		panic("ulp430: capturing a snapshot newer than current state")
 	}
 	if dst.sim == nil {
 		dst.sim = &gsim.Snapshot{}
 	}
-	sn.sim.CloneInto(dst.sim)
+	if sn.isDelta {
+		sn.delta.MaterializeInto(dst.sim)
+	} else {
+		sn.sim.CloneInto(dst.sim)
+	}
 	if dst.mem == nil {
 		dst.mem = make([]memWord, len(s.mem))
 	}
@@ -599,6 +664,57 @@ func (s *System) StateHash() uint64 {
 		h *= 1099511628211
 	}
 	return h
+}
+
+// StateKey returns the exploration's 128-bit merge key: lo is StateHash
+// and hi an independently mixed second hash over the same state walk
+// (different basis and multiplier per component, a splitmix-finalized
+// bus term). Merging two genuinely different states requires both words
+// to collide — see DESIGN.md "Merge keys".
+func (s *System) StateKey() (lo, hi uint64) {
+	lo = s.Sim.StateHash()
+	hi = s.Sim.StateHash2()
+	m1, m2 := s.memHashes()
+	lo ^= m1
+	lo *= 1099511628211
+	hi ^= m2
+	hi *= 0x106689D45497DE35
+	if s.bus != nil {
+		bh := s.bus.Hash(s.Sim.Cycle())
+		lo ^= bh
+		lo *= 1099511628211
+		hi ^= mix64(bh ^ 0xD6E8FEB86659FD93)
+		hi *= 0x106689D45497DE35
+	}
+	return lo, hi
+}
+
+// memHashes computes both RAM hash accumulators in a single pass.
+func (s *System) memHashes() (h1, h2 uint64) {
+	h1 = 1469598103934665603
+	h2 = 0x9E3779B97F4A7C15
+	lo := int32(soc.RAMStart / 2)
+	hi := int32(soc.RAMEnd / 2)
+	for i := lo; i < hi; i++ {
+		w := s.mem[i]
+		v := uint64(w.val) | uint64(w.xmask)<<16
+		h1 ^= v
+		h1 *= 1099511628211
+		h2 ^= v
+		h2 *= 0x106689D45497DE35
+	}
+	return h1, h2
+}
+
+// mix64 is the splitmix64 finalizer, decorrelating the bus hash's
+// second use from its first.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
 }
 
 // RunToHalt drives the system (after Reset) until the halt register is

@@ -52,6 +52,11 @@ type Progress struct {
 	Nodes int
 	// Paths is the number of fully explored paths so far.
 	Paths int
+	// MemoHits / MemoMisses count the packed engine's memoization
+	// lookups so far, summed across explore workers (zero with
+	// WithMemo(false) or the scalar engine).
+	MemoHits   int64
+	MemoMisses int64
 }
 
 // config is the resolved option set. An Analyzer stores the defaults
@@ -71,6 +76,7 @@ type config struct {
 	cache          *Cache
 	irq            *periph.Config
 	checkpointPath string
+	memo           bool
 }
 
 func defaultConfig() config {
@@ -82,6 +88,7 @@ func defaultConfig() config {
 		coiK:           8,
 		workers:        runtime.GOMAXPROCS(0),
 		exploreWorkers: runtime.GOMAXPROCS(0),
+		memo:           true,
 	}
 }
 
@@ -248,6 +255,22 @@ func WithExploreWorkers(n int) Option {
 // (the default).
 func WithCheckpoint(path string) Option {
 	return func(c *config) { c.checkpointPath = path }
+}
+
+// WithMemo toggles the packed engine's whole-step memoization
+// (default: enabled). The memo replays a cycle's settled planes,
+// activity flags and energy bound when the planes entering the cycle
+// recur — the common case when exploration paths converge, as in
+// interrupt-driven duty loops — instead of re-executing the gather
+// programs. It is a pure execution-speed mechanism: memo hits verify
+// their source planes exactly (no reliance on hash uniqueness) and
+// reproduce the evaluated dirty set bit for bit, so sealed Reports are
+// byte-identical with the memo on or off. Like the worker count, the option cannot change the
+// analysis result and is excluded from the cache key; the scalar engine
+// ignores it. Result.MemoHits / MemoMisses and the Progress counters
+// report its effectiveness.
+func WithMemo(enabled bool) Option {
+	return func(c *config) { c.memo = enabled }
 }
 
 // WithEngine selects the gate-level evaluation engine. Default:

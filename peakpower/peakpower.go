@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/energy"
@@ -125,14 +126,43 @@ func (a *Analyzer) analyzeImage(ctx context.Context, img *Image, cfg config) (*R
 		Ctx:           ctx,
 		ProgressEvery: cfg.progressEvery,
 	}
+	// Every system this analysis creates (sequential, or one per explore
+	// worker) is tracked so the memo counters can be summed for progress
+	// reporting and the final Result. MemoStats reads atomics, so summing
+	// concurrently with running workers is safe.
+	var (
+		sysMu   sync.Mutex
+		systems []*ulp430.System
+	)
+	memoTotals := func() (hits, misses int64) {
+		sysMu.Lock()
+		defer sysMu.Unlock()
+		for _, s := range systems {
+			h, m := s.Sim.MemoStats()
+			hits += h
+			misses += m
+		}
+		return hits, misses
+	}
+	newSystem := func() (*ulp430.System, error) {
+		sys, err := a.newSystem(img, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sysMu.Lock()
+		systems = append(systems, sys)
+		sysMu.Unlock()
+		return sys, nil
+	}
+
 	if cfg.progress != nil {
 		fn, app := cfg.progress, img.Name
 		sxOpts.Progress = func(p symx.Progress) {
-			fn(Progress{App: app, Cycles: p.Cycles, Nodes: p.Nodes, Paths: p.Paths})
+			h, m := memoTotals()
+			fn(Progress{App: app, Cycles: p.Cycles, Nodes: p.Nodes, Paths: p.Paths,
+				MemoHits: h, MemoMisses: m})
 		}
 	}
-
-	newSystem := func() (*ulp430.System, error) { return a.newSystem(img, cfg) }
 
 	var (
 		tree    *symx.Tree
@@ -239,6 +269,7 @@ func (a *Analyzer) analyzeImage(ctx context.Context, img *Image, cfg config) (*R
 		Tree:        tree,
 		img:         img,
 	}
+	res.MemoHits, res.MemoMisses = memoTotals()
 	if cfg.irq != nil {
 		res.Interrupts = &IRQReport{
 			MinLatency: cfg.irq.MinLatency,
@@ -266,6 +297,9 @@ func (a *Analyzer) newSystem(img *Image, cfg config) (*ulp430.System, error) {
 	}
 	if cfg.irq != nil {
 		sys.EnableInterrupts(*cfg.irq)
+	}
+	if cfg.memo {
+		sys.Sim.EnableMemo(0) // no-op on the scalar engine
 	}
 	return sys, nil
 }
@@ -363,6 +397,9 @@ func (a *Analyzer) RunConcrete(ctx context.Context, img *Image, inputs []uint16,
 	}
 	if cfg.irq != nil {
 		sys.EnableInterrupts(*cfg.irq)
+	}
+	if cfg.memo {
+		sys.Sim.EnableMemo(0)
 	}
 	sys.PortIn = portIn
 	sink := power.NewSink(sys, model, img, 0)
